@@ -1,0 +1,139 @@
+//! Iterative radix-2 complex FFT.
+//!
+//! Small, allocation-free, and exact enough for FT's round-trip and
+//! checksum validation. Complex numbers are `(re, im)` pairs in
+//! interleaved `f64` slices, matching how FT stages them in simulated
+//! memory.
+
+use std::f64::consts::PI;
+
+/// In-place FFT of `n` complex values stored interleaved in `buf`
+/// (`buf.len() == 2 * n`). `inverse` selects the inverse transform
+/// (including the `1/n` scaling).
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two or `buf.len() != 2 * n`.
+pub fn fft_inplace(buf: &mut [f64], n: usize, inverse: bool) {
+    assert!(n.is_power_of_two(), "FFT size {n} must be a power of two");
+    assert_eq!(buf.len(), 2 * n, "interleaved complex buffer length");
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i as u32).reverse_bits() >> (32 - bits);
+        let j = j as usize;
+        if j > i {
+            buf.swap(2 * i, 2 * j);
+            buf.swap(2 * i + 1, 2 * j + 1);
+        }
+    }
+    // Butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * PI / len as f64;
+        let (wr, wi) = (ang.cos(), ang.sin());
+        for start in (0..n).step_by(len) {
+            let (mut cr, mut ci) = (1.0f64, 0.0f64);
+            for k in 0..len / 2 {
+                let a = start + k;
+                let b = start + k + len / 2;
+                let (ar, ai) = (buf[2 * a], buf[2 * a + 1]);
+                let (br, bi) = (buf[2 * b], buf[2 * b + 1]);
+                let (tr, ti) = (br * cr - bi * ci, br * ci + bi * cr);
+                buf[2 * a] = ar + tr;
+                buf[2 * a + 1] = ai + ti;
+                buf[2 * b] = ar - tr;
+                buf[2 * b + 1] = ai - ti;
+                let (ncr, nci) = (cr * wr - ci * wi, cr * wi + ci * wr);
+                cr = ncr;
+                ci = nci;
+            }
+        }
+        len <<= 1;
+    }
+    if inverse {
+        let scale = 1.0 / n as f64;
+        for v in buf.iter_mut() {
+            *v *= scale;
+        }
+    }
+}
+
+/// Number of floating-point operations of one radix-2 FFT of size `n`
+/// (the standard `5 n log2 n` count), for `work()` accounting.
+pub fn fft_flops(n: usize) -> u64 {
+    if n <= 1 {
+        return 0;
+    }
+    5 * n as u64 * n.trailing_zeros() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_dft(input: &[f64], n: usize) -> Vec<f64> {
+        let mut out = vec![0.0; 2 * n];
+        for k in 0..n {
+            let (mut sr, mut si) = (0.0f64, 0.0f64);
+            for j in 0..n {
+                let ang = -2.0 * PI * (k * j) as f64 / n as f64;
+                let (re, im) = (input[2 * j], input[2 * j + 1]);
+                sr += re * ang.cos() - im * ang.sin();
+                si += re * ang.sin() + im * ang.cos();
+            }
+            out[2 * k] = sr;
+            out[2 * k + 1] = si;
+        }
+        out
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        let n = 32;
+        let mut buf: Vec<f64> = (0..2 * n).map(|i| ((i * 7919) % 1000) as f64 / 1000.0).collect();
+        let reference = naive_dft(&buf, n);
+        fft_inplace(&mut buf, n, false);
+        for (a, b) in buf.iter().zip(&reference) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn round_trip_is_identity() {
+        let n = 256;
+        let orig: Vec<f64> = (0..2 * n).map(|i| (i as f64).sin()).collect();
+        let mut buf = orig.clone();
+        fft_inplace(&mut buf, n, false);
+        fft_inplace(&mut buf, n, true);
+        for (a, b) in buf.iter().zip(&orig) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn impulse_transforms_to_constant() {
+        let n = 8;
+        let mut buf = vec![0.0; 2 * n];
+        buf[0] = 1.0;
+        fft_inplace(&mut buf, n, false);
+        for k in 0..n {
+            assert!((buf[2 * k] - 1.0).abs() < 1e-12);
+            assert!(buf[2 * k + 1].abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_panics() {
+        let mut buf = vec![0.0; 6];
+        fft_inplace(&mut buf, 3, false);
+    }
+
+    #[test]
+    fn flop_count_formula() {
+        assert_eq!(fft_flops(8), 5 * 8 * 3);
+        assert_eq!(fft_flops(1), 0);
+    }
+}

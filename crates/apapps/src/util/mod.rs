@@ -1,0 +1,8 @@
+//! Numeric building blocks shared by the workloads: the NPB linear
+//! congruential generator, a radix-2 complex FFT, a pentadiagonal solver,
+//! and sparse-matrix helpers.
+
+pub mod fft;
+pub mod lcg;
+pub mod penta;
+pub mod sparse;

@@ -1,0 +1,184 @@
+//! Communication registers with present bits.
+//!
+//! Paper §4.4: *"The AP1000+ has special registers exclusively for
+//! communication. 128 4-byte communication registers for each MC are
+//! allocated in shared memory space. … Each communication register has a
+//! present bit (p-bit). The p-bit is set to 1 when data is stored and to 0
+//! when data is read. If the p-bit is 0, the processor automatically
+//! retries loading the communication register until the p-bit becomes 1."*
+//!
+//! Reads are therefore *consuming* and *blocking*; the blocking retry is
+//! modeled by returning `None`, on which the runtime suspends the reading
+//! cell until a store arrives.
+
+/// Number of communication registers per MC.
+pub const NUM_COMM_REGS: usize = 128;
+
+/// The bank of 128 four-byte communication registers of one cell.
+///
+/// # Examples
+///
+/// ```
+/// use apmem::CommRegs;
+///
+/// let mut regs = CommRegs::new();
+/// assert_eq!(regs.load(3), None);          // empty: p-bit clear, would retry
+/// regs.store(3, 42);
+/// assert_eq!(regs.load(3), Some(42));      // consumes, clears p-bit
+/// assert_eq!(regs.load(3), None);
+/// ```
+#[derive(Clone, Debug)]
+pub struct CommRegs {
+    value: [u32; NUM_COMM_REGS],
+    present: [bool; NUM_COMM_REGS],
+    stores: u64,
+    loads: u64,
+}
+
+impl CommRegs {
+    /// A bank with all p-bits clear.
+    pub fn new() -> Self {
+        CommRegs {
+            value: [0; NUM_COMM_REGS],
+            present: [false; NUM_COMM_REGS],
+            stores: 0,
+            loads: 0,
+        }
+    }
+
+    /// Stores `v` into register `idx`, setting its p-bit.
+    ///
+    /// Returns `true` if the register already held un-consumed data (the
+    /// store overwrites it — software protocols must avoid this, and tests
+    /// assert on it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= NUM_COMM_REGS`.
+    pub fn store(&mut self, idx: usize, v: u32) -> bool {
+        assert!(idx < NUM_COMM_REGS, "communication register {idx} out of range");
+        let clobbered = self.present[idx];
+        self.value[idx] = v;
+        self.present[idx] = true;
+        self.stores += 1;
+        clobbered
+    }
+
+    /// Attempts to load register `idx`. `Some(v)` consumes the value and
+    /// clears the p-bit; `None` means the p-bit is clear and the hardware
+    /// would retry (the caller should block).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= NUM_COMM_REGS`.
+    pub fn load(&mut self, idx: usize) -> Option<u32> {
+        assert!(idx < NUM_COMM_REGS, "communication register {idx} out of range");
+        if !self.present[idx] {
+            return None;
+        }
+        self.present[idx] = false;
+        self.loads += 1;
+        Some(self.value[idx])
+    }
+
+    /// Non-consuming inspection of a register's p-bit.
+    pub fn is_present(&self, idx: usize) -> bool {
+        idx < NUM_COMM_REGS && self.present[idx]
+    }
+
+    /// Stores an 8-byte value into the even-aligned register pair
+    /// `(idx, idx+1)` — §4.4 allows 4- or 8-byte access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is odd or `idx + 1 >= NUM_COMM_REGS`.
+    pub fn store_pair(&mut self, idx: usize, v: u64) -> bool {
+        assert!(idx.is_multiple_of(2), "8-byte comm-reg access must be even-aligned");
+        let lo = self.store(idx, v as u32);
+        let hi = self.store(idx + 1, (v >> 32) as u32);
+        lo || hi
+    }
+
+    /// Loads an 8-byte value from the pair `(idx, idx+1)`; both p-bits must
+    /// be set, and both are consumed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is odd or `idx + 1 >= NUM_COMM_REGS`.
+    pub fn load_pair(&mut self, idx: usize) -> Option<u64> {
+        assert!(idx.is_multiple_of(2), "8-byte comm-reg access must be even-aligned");
+        if !self.is_present(idx) || !self.is_present(idx + 1) {
+            return None;
+        }
+        let lo = self.load(idx).expect("p-bit checked") as u64;
+        let hi = self.load(idx + 1).expect("p-bit checked") as u64;
+        Some(lo | (hi << 32))
+    }
+
+    /// `(stores, loads)` performed, for statistics.
+    pub fn counters(&self) -> (u64, u64) {
+        (self.stores, self.loads)
+    }
+}
+
+impl Default for CommRegs {
+    fn default() -> Self {
+        CommRegs::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_load_consumes() {
+        let mut r = CommRegs::new();
+        assert!(!r.store(0, 7));
+        assert!(r.is_present(0));
+        assert_eq!(r.load(0), Some(7));
+        assert!(!r.is_present(0));
+        assert_eq!(r.load(0), None);
+        assert_eq!(r.counters(), (1, 1));
+    }
+
+    #[test]
+    fn overwrite_reports_clobber() {
+        let mut r = CommRegs::new();
+        assert!(!r.store(5, 1));
+        assert!(r.store(5, 2));
+        assert_eq!(r.load(5), Some(2));
+    }
+
+    #[test]
+    fn pair_access() {
+        let mut r = CommRegs::new();
+        let v = 0xdead_beef_cafe_f00du64;
+        assert!(!r.store_pair(2, v));
+        assert_eq!(r.load_pair(2), Some(v));
+        assert_eq!(r.load_pair(2), None);
+    }
+
+    #[test]
+    fn pair_requires_both_present() {
+        let mut r = CommRegs::new();
+        r.store(4, 1);
+        assert_eq!(r.load_pair(4), None);
+        // The half store must not have been consumed by the failed pair load.
+        assert!(r.is_present(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let mut r = CommRegs::new();
+        r.store(NUM_COMM_REGS, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "even-aligned")]
+    fn odd_pair_panics() {
+        let mut r = CommRegs::new();
+        r.store_pair(1, 0);
+    }
+}

@@ -1,0 +1,350 @@
+//! The 8-word command image.
+//!
+//! §4.1: *"PUT/GET operations are invoked by writing parameters to the
+//! send queue in the MSC+. When a program uses PUT/GET, the program writes
+//! the parameters one-by-one to the special address. … Since PUT/GET
+//! operations require 8-word parameters, the overhead of PUT/GET is the
+//! time for 8 store instructions."*
+//!
+//! This module defines that memory-mapped wire format: a [`Command`]
+//! serializes to exactly eight 32-bit words and back. The layout packs the
+//! §3.1 argument lists:
+//!
+//! ```text
+//! word 0   kind(4) | ack(1) | reserved | dst cell id (16)
+//! word 1   raddr (low 32 bits of the logical address)
+//! word 2   laddr (low 32 bits)
+//! word 3   send_flag address (low 32)
+//! word 4   recv_flag address (low 32)
+//! word 5   send stride: item_size(16) | count(16)
+//! word 6   send skip(16) | recv skip(16)
+//! word 7   recv stride: item_size(16) | count(16)
+//! ```
+//!
+//! Addresses on the AP1000+ are 32-bit logical. Stride fields are 16-bit;
+//! contiguous transfers too large for them use the *block* form (flag bit
+//! 5/6 of word 0): the item field counts 128-byte granules, spanning
+//! exactly the 4 MB single-DMA maximum of §4.1.
+
+use crate::message::{Command, GetArgs, PutArgs};
+use crate::stride::StrideSpec;
+use aputil::{CellId, VAddr};
+use core::fmt;
+use std::error::Error;
+
+/// Number of 32-bit parameter words per command.
+pub const COMMAND_WORDS: usize = 8;
+
+const KIND_PUT: u32 = 0x1;
+const KIND_GET: u32 = 0x2;
+const FLAG_ACK: u32 = 1 << 4;
+const FLAG_WORD_ITEMS: u32 = 1 << 5;
+
+/// Decode failures for a command image.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum DecodeError {
+    /// Word 0 carries an unknown command kind.
+    BadKind(u32),
+    /// A stride field is zero where the format requires nonzero.
+    BadStride,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::BadKind(k) => write!(f, "unknown command kind {k:#x}"),
+            DecodeError::BadStride => write!(f, "malformed stride field"),
+        }
+    }
+}
+
+impl Error for DecodeError {}
+
+/// Whether a stride spec fits the native 16-bit stride fields.
+fn fits_native(s: StrideSpec) -> bool {
+    s.item_size <= u16::MAX as u32 && s.count <= u16::MAX as u32 && s.skip <= u16::MAX as u32
+}
+
+/// Granule of the block (word-items) encoding: 128 bytes, so the 16-bit
+/// item field spans exactly the 4 MB DMA maximum (32 768 granules).
+const BLOCK_GRANULE: u64 = 128;
+
+/// Whether a stride spec can use the block encoding (contiguous, total a
+/// multiple of the granule, within the DMA cap).
+fn fits_word_items(s: StrideSpec) -> bool {
+    s.is_contiguous()
+        && s.total_bytes().is_multiple_of(BLOCK_GRANULE)
+        && s.total_bytes() / BLOCK_GRANULE <= u16::MAX as u64
+}
+
+/// `true` if `cmd` is representable in the 8-word image. The MSC+ rejects
+/// anything else at issue time; the higher-level runtime never produces
+/// unencodable commands for transfers within the 4 MB DMA limit because
+/// oversized contiguous blocks use the word-items form.
+pub fn encodable(cmd: &Command) -> bool {
+    let (send, recv) = match cmd {
+        Command::Put(p) => (p.send_stride, p.recv_stride),
+        Command::Get(g) => (g.send_stride, g.recv_stride),
+    };
+    (fits_native(send) || fits_word_items(send)) && (fits_native(recv) || fits_word_items(recv))
+}
+
+fn encode_stride(s: StrideSpec, flags: &mut u32, which: u32) -> (u16, u16, u16) {
+    if fits_native(s) {
+        (s.item_size as u16, s.count as u16, s.skip as u16)
+    } else {
+        // Block form: one contiguous run measured in 128-byte granules.
+        debug_assert!(fits_word_items(s));
+        *flags |= FLAG_WORD_ITEMS << which;
+        let granules = (s.total_bytes() / BLOCK_GRANULE) as u16;
+        (granules, 1, granules)
+    }
+}
+
+fn decode_stride(item: u16, count: u16, skip: u16, word_items: bool) -> Result<StrideSpec, DecodeError> {
+    if word_items {
+        if item == 0 {
+            return Err(DecodeError::BadStride);
+        }
+        let bytes = item as u64 * BLOCK_GRANULE;
+        Ok(StrideSpec::contiguous(bytes))
+    } else {
+        if item == 0 || count == 0 {
+            return Err(DecodeError::BadStride);
+        }
+        Ok(StrideSpec::new(item as u32, count as u32, skip as u32))
+    }
+}
+
+/// Encodes a command into its 8-word queue image.
+///
+/// # Panics
+///
+/// Panics if the command is not [`encodable`] — the caller (the issuing
+/// library) validates first, like the real run-time system.
+pub fn encode(cmd: &Command) -> [u32; COMMAND_WORDS] {
+    assert!(encodable(cmd), "command does not fit the 8-word image: {cmd:?}");
+    let mut w = [0u32; COMMAND_WORDS];
+    let (kind, dst, raddr, laddr, sflag, rflag, send, recv, ack) = match cmd {
+        Command::Put(p) => (
+            KIND_PUT, p.dst, p.raddr, p.laddr, p.send_flag, p.recv_flag, p.send_stride,
+            p.recv_stride, p.ack,
+        ),
+        Command::Get(g) => (
+            KIND_GET, g.src_cell, g.raddr, g.laddr, g.send_flag, g.recv_flag, g.send_stride,
+            g.recv_stride, false,
+        ),
+    };
+    let mut flags = kind | if ack { FLAG_ACK } else { 0 };
+    let (si, sc, ss) = encode_stride(send, &mut flags, 1);
+    let (ri, rc, rs) = encode_stride(recv, &mut flags, 2);
+    w[0] = flags | (dst.as_u32() << 16);
+    w[1] = raddr.as_u64() as u32;
+    w[2] = laddr.as_u64() as u32;
+    w[3] = sflag.as_u64() as u32;
+    w[4] = rflag.as_u64() as u32;
+    w[5] = (si as u32) << 16 | sc as u32;
+    w[6] = (ss as u32) << 16 | rs as u32;
+    w[7] = (ri as u32) << 16 | rc as u32;
+    w
+}
+
+/// Decodes an 8-word queue image back into a command — what the MSC+ send
+/// controller does when it pops the queue.
+///
+/// # Errors
+///
+/// [`DecodeError`] on corrupted images.
+pub fn decode(w: &[u32; COMMAND_WORDS]) -> Result<Command, DecodeError> {
+    let kind = w[0] & 0xF;
+    let ack = w[0] & FLAG_ACK != 0;
+    let dst = CellId::new(w[0] >> 16);
+    let send_words = w[0] & (FLAG_WORD_ITEMS << 1) != 0;
+    let recv_words = w[0] & (FLAG_WORD_ITEMS << 2) != 0;
+    let send = decode_stride(
+        (w[5] >> 16) as u16,
+        (w[5] & 0xFFFF) as u16,
+        (w[6] >> 16) as u16,
+        send_words,
+    )?;
+    let recv = decode_stride(
+        (w[7] >> 16) as u16,
+        (w[7] & 0xFFFF) as u16,
+        (w[6] & 0xFFFF) as u16,
+        recv_words,
+    )?;
+    let raddr = VAddr::new(w[1] as u64);
+    let laddr = VAddr::new(w[2] as u64);
+    let send_flag = VAddr::new(w[3] as u64);
+    let recv_flag = VAddr::new(w[4] as u64);
+    match kind {
+        KIND_PUT => Ok(Command::Put(PutArgs {
+            dst,
+            raddr,
+            laddr,
+            send_stride: send,
+            recv_stride: recv,
+            send_flag,
+            recv_flag,
+            ack,
+        })),
+        KIND_GET => Ok(Command::Get(GetArgs {
+            src_cell: dst,
+            raddr,
+            laddr,
+            send_stride: send,
+            recv_stride: recv,
+            send_flag,
+            recv_flag,
+        })),
+        other => Err(DecodeError::BadKind(other)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn put(send: StrideSpec, recv: StrideSpec, ack: bool) -> Command {
+        Command::Put(PutArgs {
+            dst: CellId::new(513),
+            raddr: VAddr::new(0x0012_3450),
+            laddr: VAddr::new(0x00ab_cd00),
+            send_stride: send,
+            recv_stride: recv,
+            send_flag: VAddr::new(0x1000),
+            recv_flag: VAddr::NULL,
+            ack,
+        })
+    }
+
+    #[test]
+    fn put_round_trips() {
+        let cmd = put(StrideSpec::new(8, 100, 800), StrideSpec::contiguous(800), true);
+        let image = encode(&cmd);
+        assert_eq!(decode(&image).unwrap(), cmd);
+    }
+
+    #[test]
+    fn get_round_trips() {
+        let cmd = Command::Get(GetArgs {
+            src_cell: CellId::new(7),
+            raddr: VAddr::new(0x100),
+            laddr: VAddr::new(0x200),
+            send_stride: StrideSpec::new(16, 32, 64),
+            recv_stride: StrideSpec::new(32, 16, 128),
+            send_flag: VAddr::NULL,
+            recv_flag: VAddr::new(0x300),
+        });
+        assert_eq!(decode(&encode(&cmd)).unwrap(), cmd);
+    }
+
+    #[test]
+    fn large_contiguous_uses_word_items() {
+        // 1 MB contiguous transfer exceeds 16-bit stride fields but must
+        // still encode (word-items form).
+        let cmd = put(
+            StrideSpec::contiguous(1 << 20),
+            StrideSpec::contiguous(1 << 20),
+            false,
+        );
+        assert!(encodable(&cmd));
+        assert_eq!(decode(&encode(&cmd)).unwrap(), cmd);
+    }
+
+    #[test]
+    fn max_dma_transfer_encodes() {
+        let cmd = put(
+            StrideSpec::contiguous(4 << 20),
+            StrideSpec::contiguous(4 << 20),
+            false,
+        );
+        assert!(encodable(&cmd), "the 4 MB DMA cap must be encodable");
+        assert_eq!(decode(&encode(&cmd)).unwrap(), cmd);
+    }
+
+    #[test]
+    fn unencodable_stride_detected() {
+        // 70 000 non-contiguous items exceed the 16-bit count.
+        let cmd = put(
+            StrideSpec::new(8, 70_000, 16),
+            StrideSpec::new(8, 70_000, 16),
+            false,
+        );
+        assert!(!encodable(&cmd));
+    }
+
+    #[test]
+    fn corrupted_image_is_rejected() {
+        let cmd = put(StrideSpec::contiguous(64), StrideSpec::contiguous(64), false);
+        let mut image = encode(&cmd);
+        image[0] = (image[0] & !0xF) | 0xE; // bogus kind
+        assert!(matches!(decode(&image), Err(DecodeError::BadKind(0xE))));
+        let mut image = encode(&cmd);
+        image[5] = 0; // zero item/count
+        assert_eq!(decode(&image), Err(DecodeError::BadStride));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_stride() -> impl Strategy<Value = StrideSpec> {
+        prop_oneof![
+            // Native strided form.
+            (1u32..=u16::MAX as u32, 1u32..=2000).prop_flat_map(|(item, count)| {
+                (Just(item), Just(count), item..=u16::MAX as u32)
+                    .prop_map(|(i, c, skip)| StrideSpec::new(i, c, skip))
+            }),
+            // Contiguous small (native) form.
+            (1u64..=u16::MAX as u64).prop_map(StrideSpec::contiguous),
+            // Contiguous block form, up to the 4 MB DMA cap.
+            (1u64..=u16::MAX as u64).prop_map(|g| StrideSpec::contiguous(g * 128)),
+        ]
+    }
+
+    proptest! {
+        /// encode ∘ decode is the identity for every encodable command.
+        #[test]
+        fn round_trip(
+            dst in 0u32..1024,
+            raddr in 1u64..0xFFFF_FFFF,
+            laddr in 1u64..0xFFFF_FFFF,
+            sflag in 0u64..0xFFFF_FFFF,
+            rflag in 0u64..0xFFFF_FFFF,
+            send in arb_stride(),
+            recv in arb_stride(),
+            ack in any::<bool>(),
+            is_put in any::<bool>(),
+        ) {
+            let cmd = if is_put {
+                Command::Put(PutArgs {
+                    dst: CellId::new(dst),
+                    raddr: VAddr::new(raddr),
+                    laddr: VAddr::new(laddr),
+                    send_stride: send,
+                    recv_stride: recv,
+                    send_flag: VAddr::new(sflag),
+                    recv_flag: VAddr::new(rflag),
+                    ack,
+                })
+            } else {
+                Command::Get(GetArgs {
+                    src_cell: CellId::new(dst),
+                    raddr: VAddr::new(raddr),
+                    laddr: VAddr::new(laddr),
+                    send_stride: send,
+                    recv_stride: recv,
+                    send_flag: VAddr::new(sflag),
+                    recv_flag: VAddr::new(rflag),
+                })
+            };
+            prop_assume!(encodable(&cmd));
+            let decoded = decode(&encode(&cmd)).unwrap();
+            prop_assert_eq!(decoded, cmd);
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! The MSC+ message controller model.
+//!
+//! The MSC+ is the heart of the paper's contribution (§4.1, Figure 5): it
+//! lets user code issue PUT/GET with a handful of stores, moves data with
+//! DMA through the MC's MMU, combines flag updates with transfer
+//! completion, and keeps the processor entirely out of message handling.
+//! This crate models its mechanical pieces:
+//!
+//! * [`queue::HwQueue`] — the five on-chip command queues
+//!   (64 words of RAM each) with automatic **spill to a DRAM buffer** and
+//!   OS-interrupt accounting on refill (§4.1 "Queues and queue overflows").
+//! * [`dma`] — DMA copy between logical address ranges, translating through
+//!   the MMU page-run by page-run and reporting TLB misses for timing.
+//! * [`stride::StrideSpec`] and the gather/scatter engine — the
+//!   one-dimensional stride transfer of §3.1/§4.1.
+//! * [`message::Command`] and [`message::Packet`] — what
+//!   the processor writes into the send queue, and what travels on the
+//!   T-net, including header-size accounting for the timing models.
+
+pub mod dma;
+pub mod encode;
+pub mod message;
+pub mod queue;
+pub mod stride;
+
+pub use encode::{decode, encodable, encode, DecodeError};
+pub use message::{Command, Packet, PutArgs, GetArgs, HEADER_BYTES};
+pub use queue::{HwQueue, PushOutcome, QueueStats};
+pub use stride::StrideSpec;

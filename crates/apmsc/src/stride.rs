@@ -1,0 +1,257 @@
+//! The one-dimensional stride engine.
+//!
+//! §4.1 "Stride data transfer": the AP1000+ supports one-dimensional stride
+//! transfer in hardware "as a compromise between the hardware cost of
+//! implementing high-dimensional stride data transfer and the processing
+//! overhead"; higher dimensions are built by repeating 1-D strides. A
+//! stride is described by `(item_size, count, skip)` on each side, and the
+//! two sides may re-block the same byte stream differently (Figure 3 shows
+//! `send_cnt = 3`, `recv_cnt = 2`).
+
+use crate::dma::{read_virtual, write_virtual};
+use apmem::{MemError, Memory, Mmu};
+use aputil::VAddr;
+
+/// One side of a stride transfer: `count` items of `item_size` bytes, the
+/// start of each item `skip` bytes after the start of the previous one.
+///
+/// `skip == item_size` (or `count == 1`) degenerates to a contiguous
+/// block.
+///
+/// # Examples
+///
+/// ```
+/// use apmsc::StrideSpec;
+///
+/// let s = StrideSpec::new(8, 100, 800); // a column of a 100×100 f64 matrix
+/// assert_eq!(s.total_bytes(), 800);
+/// assert!(!s.is_contiguous());
+/// assert!(StrideSpec::contiguous(64).is_contiguous());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct StrideSpec {
+    /// Bytes per item.
+    pub item_size: u32,
+    /// Number of items.
+    pub count: u32,
+    /// Bytes from the start of one item to the start of the next.
+    pub skip: u32,
+}
+
+impl StrideSpec {
+    /// Creates a stride spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `item_size` is 0, or `count > 1` with `skip < item_size`
+    /// (overlapping items).
+    pub fn new(item_size: u32, count: u32, skip: u32) -> Self {
+        assert!(item_size > 0, "stride item_size must be nonzero");
+        assert!(
+            count <= 1 || skip >= item_size,
+            "stride items overlap: skip {skip} < item_size {item_size}"
+        );
+        StrideSpec { item_size, count, skip }
+    }
+
+    /// A contiguous block of `bytes` bytes as a single-item "stride".
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is 0 or exceeds `u32::MAX`.
+    pub fn contiguous(bytes: u64) -> Self {
+        assert!(bytes > 0 && bytes <= u32::MAX as u64, "bad contiguous size {bytes}");
+        StrideSpec::new(bytes as u32, 1, bytes as u32)
+    }
+
+    /// Total payload bytes the spec describes.
+    pub fn total_bytes(&self) -> u64 {
+        self.item_size as u64 * self.count as u64
+    }
+
+    /// `true` if the described bytes are one contiguous run.
+    pub fn is_contiguous(&self) -> bool {
+        self.count <= 1 || self.skip == self.item_size
+    }
+
+    /// Footprint in memory from the first byte to one past the last.
+    pub fn span_bytes(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            (self.count as u64 - 1) * self.skip as u64 + self.item_size as u64
+        }
+    }
+}
+
+/// Gathers the strided bytes starting at `base` into a contiguous payload.
+/// Returns `(payload, tlb_misses)`.
+///
+/// # Errors
+///
+/// Propagates page faults and physical bounds errors.
+pub fn gather(
+    mmu: &mut Mmu,
+    mem: &Memory,
+    base: VAddr,
+    spec: StrideSpec,
+) -> Result<(Vec<u8>, u64), MemError> {
+    let mut out = Vec::with_capacity(spec.total_bytes() as usize);
+    let mut misses = 0u64;
+    for i in 0..spec.count {
+        let at = base + i as u64 * spec.skip as u64;
+        let r = read_virtual(mmu, mem, at, spec.item_size as u64)?;
+        misses += r.tlb_misses;
+        out.extend_from_slice(&r.data);
+    }
+    Ok((out, misses))
+}
+
+/// Scatters a contiguous `payload` to the strided layout at `base`.
+/// Returns the TLB miss count.
+///
+/// # Errors
+///
+/// `InvalidArg`-style size mismatches are a panic (caller validates);
+/// page faults and bounds errors propagate.
+///
+/// # Panics
+///
+/// Panics if `payload.len() != spec.total_bytes()`.
+pub fn scatter(
+    mmu: &mut Mmu,
+    mem: &mut Memory,
+    base: VAddr,
+    spec: StrideSpec,
+    payload: &[u8],
+) -> Result<u64, MemError> {
+    assert_eq!(
+        payload.len() as u64,
+        spec.total_bytes(),
+        "scatter payload does not match stride spec"
+    );
+    let mut misses = 0u64;
+    for i in 0..spec.count {
+        let at = base + i as u64 * spec.skip as u64;
+        let lo = (i * spec.item_size) as usize;
+        let hi = lo + spec.item_size as usize;
+        misses += write_virtual(mmu, mem, at, &payload[lo..hi])?;
+    }
+    Ok(misses)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Mmu, Memory, VAddr) {
+        let mut mmu = Mmu::new(16 << 20);
+        let mem = Memory::new(16 << 20);
+        let base = mmu.map_anywhere(1 << 20).unwrap();
+        (mmu, mem, base)
+    }
+
+    #[test]
+    fn gather_reads_columns() {
+        let (mut mmu, mut mem, base) = setup();
+        // 4×4 matrix of u8 rows of 4: gather column 1 (skip 4).
+        let matrix: Vec<u8> = (0..16).collect();
+        write_virtual(&mut mmu, &mut mem, base, &matrix).unwrap();
+        let spec = StrideSpec::new(1, 4, 4);
+        let (col, _) = gather(&mut mmu, &mem, base + 1, spec).unwrap();
+        assert_eq!(col, vec![1, 5, 9, 13]);
+    }
+
+    #[test]
+    fn scatter_then_gather_round_trips() {
+        let (mut mmu, mut mem, base) = setup();
+        let spec = StrideSpec::new(8, 50, 24);
+        let payload: Vec<u8> = (0..spec.total_bytes()).map(|i| (i % 251) as u8).collect();
+        scatter(&mut mmu, &mut mem, base, spec, &payload).unwrap();
+        let (back, _) = gather(&mut mmu, &mem, base, spec).unwrap();
+        assert_eq!(back, payload);
+    }
+
+    #[test]
+    fn reblocking_send3_recv2_figure3() {
+        // Figure 3: sender gathers 3 items, receiver scatters the same
+        // bytes as 2 items of 1.5× the size.
+        let (mut mmu, mut mem, base) = setup();
+        let send = StrideSpec::new(4, 3, 10);
+        let recv = StrideSpec::new(6, 2, 20);
+        assert_eq!(send.total_bytes(), recv.total_bytes());
+        let src: Vec<u8> = (0..40).collect();
+        write_virtual(&mut mmu, &mut mem, base, &src).unwrap();
+        let (payload, _) = gather(&mut mmu, &mem, base, send).unwrap();
+        assert_eq!(payload, vec![0, 1, 2, 3, 10, 11, 12, 13, 20, 21, 22, 23]);
+        let dst = base + 1000;
+        scatter(&mut mmu, &mut mem, dst, recv, &payload).unwrap();
+        let r0 = read_virtual(&mut mmu, &mem, dst, 6).unwrap().data;
+        let r1 = read_virtual(&mut mmu, &mem, dst + 20, 6).unwrap().data;
+        assert_eq!(r0, vec![0, 1, 2, 3, 10, 11]);
+        assert_eq!(r1, vec![12, 13, 20, 21, 22, 23]);
+    }
+
+    #[test]
+    fn contiguous_degenerates() {
+        let s = StrideSpec::contiguous(4096);
+        assert!(s.is_contiguous());
+        assert_eq!(s.total_bytes(), 4096);
+        assert_eq!(s.span_bytes(), 4096);
+        let t = StrideSpec::new(16, 4, 16);
+        assert!(t.is_contiguous(), "skip == item_size is contiguous");
+    }
+
+    #[test]
+    fn span_accounts_for_gaps() {
+        let s = StrideSpec::new(8, 3, 100);
+        assert_eq!(s.span_bytes(), 208);
+        assert_eq!(s.total_bytes(), 24);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap")]
+    fn overlapping_stride_panics() {
+        let _ = StrideSpec::new(16, 2, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn scatter_size_mismatch_panics() {
+        let (mut mmu, mut mem, base) = setup();
+        let _ = scatter(&mut mmu, &mut mem, base, StrideSpec::new(8, 2, 8), &[0u8; 15]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// scatter ∘ gather is the identity on the strided footprint, for
+        /// any compatible (send, recv) re-blocking of the same stream.
+        #[test]
+        fn gather_scatter_identity(
+            item in 1u32..64,
+            count in 1u32..32,
+            extra_skip in 0u32..32,
+        ) {
+            let mut mmu = Mmu::new(16 << 20);
+            let mut mem = Memory::new(16 << 20);
+            let base = mmu.map_anywhere(1 << 16).unwrap();
+            let spec = StrideSpec::new(item, count, item + extra_skip);
+            // Fill the whole span with a pattern.
+            let span = spec.span_bytes();
+            let image: Vec<u8> = (0..span).map(|i| (i * 7 % 251) as u8).collect();
+            write_virtual(&mut mmu, &mut mem, base, &image).unwrap();
+            let (payload, _) = gather(&mut mmu, &mem, base, spec).unwrap();
+            prop_assert_eq!(payload.len() as u64, spec.total_bytes());
+            // Scatter elsewhere, gather again: identical payload.
+            let dst = base + 40_000;
+            scatter(&mut mmu, &mut mem, dst, spec, &payload).unwrap();
+            let (again, _) = gather(&mut mmu, &mem, dst, spec).unwrap();
+            prop_assert_eq!(again, payload);
+        }
+    }
+}

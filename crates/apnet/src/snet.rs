@@ -1,0 +1,147 @@
+//! The S-net hardware barrier network.
+//!
+//! Paper §4/§4.5: *"a synchronization network, or S-net, for barrier
+//! synchronization"*; *"The AP1000+ uses the synchronization network
+//! (S-net) in hardware … for barrier synchronization. … Software
+//! synchronization can be used for barrier synchronization for specific
+//! groups of cells."* The hardware tree synchronizes **all** cells; group
+//! barriers are built in software on communication registers (see
+//! `apcore`).
+
+use aputil::{CellId, SimTime};
+
+/// The machine-wide hardware barrier.
+///
+/// Cells call [`SNet::arrive`] as they reach the barrier; when the last
+/// cell arrives the barrier *fires* and every cell is released at
+/// `latest_arrival + latency`.
+///
+/// # Examples
+///
+/// ```
+/// use apnet::SNet;
+/// use aputil::{CellId, SimTime};
+///
+/// let mut s = SNet::new(2, SimTime::from_micros(1));
+/// assert_eq!(s.arrive(CellId::new(0), SimTime::from_nanos(100)), None);
+/// let release = s.arrive(CellId::new(1), SimTime::from_nanos(500)).unwrap();
+/// assert_eq!(release.as_nanos(), 1500);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SNet {
+    latency: SimTime,
+    waiting: Vec<bool>,
+    arrived: u32,
+    latest: SimTime,
+    epochs: u64,
+}
+
+impl SNet {
+    /// Creates an S-net for `ncells` cells with the given tree latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ncells` is zero.
+    pub fn new(ncells: u32, latency: SimTime) -> Self {
+        assert!(ncells > 0, "S-net needs at least one cell");
+        SNet {
+            latency,
+            waiting: vec![false; ncells as usize],
+            arrived: 0,
+            latest: SimTime::ZERO,
+            epochs: 0,
+        }
+    }
+
+    /// Number of completed barrier epochs.
+    pub fn epochs(&self) -> u64 {
+        self.epochs
+    }
+
+    /// Number of cells currently waiting at the barrier.
+    pub fn waiting_count(&self) -> u32 {
+        self.arrived
+    }
+
+    /// Registers that `cell` reached the barrier at `now`. Returns
+    /// `Some(release_time)` when this arrival completes the barrier (the
+    /// caller releases *all* cells at that time), `None` otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is out of range or arrives twice in one epoch —
+    /// barrier semantics make a double arrival a program error.
+    pub fn arrive(&mut self, cell: CellId, now: SimTime) -> Option<SimTime> {
+        let idx = cell.index();
+        assert!(idx < self.waiting.len(), "{cell} outside this S-net");
+        assert!(
+            !self.waiting[idx],
+            "{cell} entered the barrier twice in one epoch"
+        );
+        self.waiting[idx] = true;
+        self.arrived += 1;
+        self.latest = self.latest.max(now);
+        if self.arrived as usize == self.waiting.len() {
+            let release = self.latest + self.latency;
+            self.waiting.fill(false);
+            self.arrived = 0;
+            self.latest = SimTime::ZERO;
+            self.epochs += 1;
+            Some(release)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ns(n: u64) -> SimTime {
+        SimTime::from_nanos(n)
+    }
+
+    #[test]
+    fn releases_at_latest_plus_latency() {
+        let mut s = SNet::new(3, ns(10));
+        assert_eq!(s.arrive(CellId::new(2), ns(300)), None);
+        assert_eq!(s.arrive(CellId::new(0), ns(100)), None);
+        assert_eq!(s.waiting_count(), 2);
+        assert_eq!(s.arrive(CellId::new(1), ns(200)), Some(ns(310)));
+        assert_eq!(s.epochs(), 1);
+        assert_eq!(s.waiting_count(), 0);
+    }
+
+    #[test]
+    fn epochs_are_independent() {
+        let mut s = SNet::new(2, ns(5));
+        s.arrive(CellId::new(0), ns(10));
+        assert_eq!(s.arrive(CellId::new(1), ns(20)), Some(ns(25)));
+        // Second epoch starts clean; earlier latest must not leak.
+        s.arrive(CellId::new(1), ns(30));
+        assert_eq!(s.arrive(CellId::new(0), ns(40)), Some(ns(45)));
+        assert_eq!(s.epochs(), 2);
+    }
+
+    #[test]
+    fn single_cell_barrier_fires_immediately() {
+        let mut s = SNet::new(1, ns(7));
+        assert_eq!(s.arrive(CellId::new(0), ns(1)), Some(ns(8)));
+    }
+
+    #[test]
+    #[should_panic(expected = "twice")]
+    fn double_arrival_panics() {
+        let mut s = SNet::new(2, ns(1));
+        s.arrive(CellId::new(0), ns(1));
+        s.arrive(CellId::new(0), ns(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn out_of_range_panics() {
+        let mut s = SNet::new(2, ns(1));
+        s.arrive(CellId::new(3), ns(1));
+    }
+}

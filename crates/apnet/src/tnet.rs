@@ -1,0 +1,313 @@
+//! The T-net point-to-point timing model.
+//!
+//! A message injected at time `t` from `src` to `dst` arrives at
+//!
+//! ```text
+//! arrival = t + network_prolog + network_delay · hops(src, dst)
+//!             + network_msg_time · size
+//! ```
+//!
+//! which is items (15)–(18) of the paper's Figure 7. On top of that the
+//! model enforces two hardware properties:
+//!
+//! * **per-pair FIFO** — static routing means two messages between the same
+//!   pair can never overtake each other;
+//! * optional **port contention** — each cell has one injection channel and
+//!   one ejection channel (25 MB/s each, Figure 5); with
+//!   [`Contention::Ports`] a message occupies both for its serialization
+//!   time, so bursts to one destination queue up.
+
+use crate::torus::Torus;
+use apsim::Resource;
+use aputil::{CellId, SimTime};
+use std::collections::HashMap;
+
+/// Timing parameters of the T-net (Figure 6 names).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TNetParams {
+    /// Fixed per-message network startup (`network_prolog_time`).
+    pub prolog: SimTime,
+    /// Per-hop latency (`network_delay_time`).
+    pub per_hop: SimTime,
+    /// Per-byte serialization time (`network_msg_time`); 25 MB/s ⇒ 40 ns/B.
+    pub per_byte: SimTime,
+}
+
+impl Default for TNetParams {
+    /// The AP1000 hardware numbers: 0.16 µs prolog, 0.16 µs per hop,
+    /// 25 MB/s channels.
+    fn default() -> Self {
+        TNetParams {
+            prolog: SimTime::from_micros_f64(0.16),
+            per_hop: SimTime::from_micros_f64(0.16),
+            per_byte: SimTime::from_nanos(40),
+        }
+    }
+}
+
+/// How much of the network's internal contention to model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Contention {
+    /// Pure latency model — what the paper's MLSim uses ("MLSim simulates
+    /// communication behavior … with a delay parameter").
+    #[default]
+    None,
+    /// Injection/ejection channels serialize messages (Figure 5: four
+    /// 25 MB/s channels per cell; we model one in + one out).
+    Ports,
+    /// Every directed torus link on the static dimension-order route is a
+    /// serially-occupied 25 MB/s channel: messages crossing a shared link
+    /// queue behind each other (wormhole head-of-line blocking).
+    Links,
+}
+
+/// Aggregate T-net statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TNetStats {
+    /// Messages carried.
+    pub messages: u64,
+    /// Payload bytes carried.
+    pub bytes: u64,
+    /// Sum of hop counts (for mean-distance reporting).
+    pub total_hops: u64,
+}
+
+/// The T-net: topology + timing + ordering state.
+#[derive(Clone, Debug)]
+pub struct TNet {
+    torus: Torus,
+    params: TNetParams,
+    contention: Contention,
+    in_port: Vec<Resource>,
+    out_port: Vec<Resource>,
+    links: HashMap<(CellId, CellId), Resource>,
+    last_arrival: HashMap<(CellId, CellId), SimTime>,
+    stats: TNetStats,
+}
+
+impl TNet {
+    /// Creates a T-net over `torus` with the given timing and contention
+    /// model.
+    pub fn new(torus: Torus, params: TNetParams, contention: Contention) -> Self {
+        let n = torus.ncells() as usize;
+        TNet {
+            torus,
+            params,
+            contention,
+            in_port: vec![Resource::new(); n],
+            out_port: vec![Resource::new(); n],
+            links: HashMap::new(),
+            last_arrival: HashMap::new(),
+            stats: TNetStats::default(),
+        }
+    }
+
+    /// The underlying topology.
+    pub fn torus(&self) -> Torus {
+        self.torus
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> TNetStats {
+        self.stats
+    }
+
+    /// Injects a `size`-byte message at time `now`; returns its arrival
+    /// time at `dst`. Delivery between the same `(src, dst)` pair is
+    /// guaranteed nondecreasing (FIFO), like the real statically-routed
+    /// wormhole T-net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` or `dst` are outside the torus.
+    pub fn transfer(&mut self, now: SimTime, src: CellId, dst: CellId, size: u64) -> SimTime {
+        let hops = self.torus.hops(src, dst);
+        let serialize = self.params.per_byte.saturating_mul(size);
+        let mut depart = now;
+        if let Contention::Links = self.contention {
+            // Wormhole over the static route: the head advances one hop per
+            // `per_hop`, each directed link holds the message for its
+            // serialization time, and a busy link stalls the whole worm.
+            let route = self.torus.route(src, dst);
+            let mut head = now + self.params.prolog;
+            for pair in route.windows(2) {
+                let link = self
+                    .links
+                    .entry((pair[0], pair[1]))
+                    .or_default();
+                let (start, _) = link.reserve(head, serialize);
+                head = start + self.params.per_hop;
+            }
+            let arrival = head + serialize;
+            return self.finish(src, dst, hops, size, arrival);
+        }
+        if let Contention::Ports = self.contention {
+            // Hold the sender's injection channel for the serialization
+            // time, then the receiver's ejection channel.
+            let (_, inj_end) = self.out_port[src.index()].reserve(depart, serialize);
+            depart = inj_end - serialize; // wormhole: head leaves when channel granted
+            let head_at_dst = depart + self.params.prolog + self.params.per_hop * hops as u64;
+            let (_, ej_end) = self.in_port[dst.index()].reserve(head_at_dst, serialize);
+            let arrival = ej_end;
+            return self.finish(src, dst, hops, size, arrival);
+        }
+        let arrival = depart + self.params.prolog + self.params.per_hop * hops as u64 + serialize;
+        self.finish(src, dst, hops, size, arrival)
+    }
+
+    fn finish(&mut self, src: CellId, dst: CellId, hops: u32, size: u64, arrival: SimTime) -> SimTime {
+        let slot = self.last_arrival.entry((src, dst)).or_insert(SimTime::ZERO);
+        let arrival = arrival.max(*slot);
+        *slot = arrival;
+        self.stats.messages += 1;
+        self.stats.bytes += size;
+        self.stats.total_hops += hops as u64;
+        arrival
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net(contention: Contention) -> TNet {
+        TNet::new(Torus::new(4, 4), TNetParams::default(), contention)
+    }
+
+    #[test]
+    fn latency_formula_matches_figure7() {
+        let mut n = net(Contention::None);
+        let src = CellId::new(0);
+        let dst = CellId::new(3); // 1 hop away on 4-wide torus (wrap)
+        let hops = n.torus().hops(src, dst);
+        assert_eq!(hops, 1);
+        let t = n.transfer(SimTime::ZERO, src, dst, 100);
+        // 160 prolog + 160*1 hop + 40*100 bytes = 4320 ns
+        assert_eq!(t.as_nanos(), 160 + 160 + 4000);
+    }
+
+    #[test]
+    fn zero_byte_message_is_pure_latency() {
+        let mut n = net(Contention::None);
+        let t = n.transfer(SimTime::ZERO, CellId::new(0), CellId::new(1), 0);
+        assert_eq!(t.as_nanos(), 160 + 160);
+    }
+
+    #[test]
+    fn per_pair_fifo_holds_even_for_shrinking_messages() {
+        let mut n = net(Contention::None);
+        let (a, b) = (CellId::new(0), CellId::new(5));
+        // Big message first, tiny message a moment later: the tiny one must
+        // NOT arrive earlier.
+        let t1 = n.transfer(SimTime::ZERO, a, b, 100_000);
+        let t2 = n.transfer(SimTime::from_nanos(10), a, b, 4);
+        assert!(t2 >= t1, "t2={t2:?} overtook t1={t1:?}");
+    }
+
+    #[test]
+    fn distinct_pairs_do_not_interfere_without_contention() {
+        let mut n = net(Contention::None);
+        let t1 = n.transfer(SimTime::ZERO, CellId::new(0), CellId::new(1), 1_000_000);
+        let t2 = n.transfer(SimTime::ZERO, CellId::new(2), CellId::new(3), 4);
+        assert!(t2 < t1);
+    }
+
+    #[test]
+    fn port_contention_serializes_sends() {
+        let mut n = net(Contention::Ports);
+        let src = CellId::new(0);
+        // Two 1000-byte messages to different destinations leave the same
+        // injection channel back to back.
+        let t1 = n.transfer(SimTime::ZERO, src, CellId::new(1), 1000);
+        let t2 = n.transfer(SimTime::ZERO, src, CellId::new(2), 1000);
+        assert!(t2 >= t1, "second send must finish no earlier");
+        assert!(t2.as_nanos() >= 2 * 40_000, "serialization must stack");
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut n = net(Contention::None);
+        n.transfer(SimTime::ZERO, CellId::new(0), CellId::new(1), 10);
+        n.transfer(SimTime::ZERO, CellId::new(1), CellId::new(0), 20);
+        let s = n.stats();
+        assert_eq!(s.messages, 2);
+        assert_eq!(s.bytes, 30);
+        assert_eq!(s.total_hops, 2);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// FIFO per pair under arbitrary interleavings, both contention
+        /// models, and arrival is never before injection + minimum latency.
+        #[test]
+        fn fifo_and_causality(
+            msgs in proptest::collection::vec((0u64..1000, 0u32..16, 0u32..16, 0u64..5000), 1..60),
+            model in 0u8..3,
+        ) {
+            let c = match model {
+                0 => Contention::None,
+                1 => Contention::Ports,
+                _ => Contention::Links,
+            };
+            let mut n = TNet::new(Torus::new(4, 4), TNetParams::default(), c);
+            let mut last: HashMap<(u32, u32), SimTime> = HashMap::new();
+            // Feed messages in nondecreasing injection order.
+            let mut sorted = msgs;
+            sorted.sort_by_key(|m| m.0);
+            for (t, s, d, size) in sorted {
+                let now = SimTime::from_nanos(t);
+                let arr = n.transfer(now, CellId::new(s), CellId::new(d), size);
+                prop_assert!(arr >= now + TNetParams::default().prolog);
+                let e = last.entry((s, d)).or_insert(SimTime::ZERO);
+                prop_assert!(arr >= *e, "FIFO violated for pair ({s},{d})");
+                *e = arr;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod link_contention_tests {
+    use super::*;
+
+    fn net() -> TNet {
+        TNet::new(Torus::new(4, 1), TNetParams::default(), Contention::Links)
+    }
+
+    #[test]
+    fn shared_link_serializes_flows() {
+        // 0→2 and 1→2 both cross link 1→2 on a 4×1 ring.
+        let mut n = net();
+        let t1 = n.transfer(SimTime::ZERO, CellId::new(0), CellId::new(2), 10_000);
+        let t2 = n.transfer(SimTime::ZERO, CellId::new(1), CellId::new(2), 10_000);
+        // Each message serializes 400 µs on the shared link: no overlap.
+        assert!(
+            t2.as_nanos() >= t1.as_nanos() + 300_000,
+            "t1 {t1}, t2 {t2} — expected head-of-line blocking"
+        );
+    }
+
+    #[test]
+    fn disjoint_paths_do_not_interact() {
+        let mut n = net();
+        let t1 = n.transfer(SimTime::ZERO, CellId::new(0), CellId::new(1), 10_000);
+        let t2 = n.transfer(SimTime::ZERO, CellId::new(2), CellId::new(3), 10_000);
+        assert!(t2.as_nanos() < t1.as_nanos() + 1_000, "t1 {t1}, t2 {t2}");
+    }
+
+    #[test]
+    fn links_model_is_never_faster_than_pure_latency() {
+        let mut lat = TNet::new(Torus::new(4, 4), TNetParams::default(), Contention::None);
+        let mut lnk = TNet::new(Torus::new(4, 4), TNetParams::default(), Contention::Links);
+        for (s, d, b) in [(0u32, 5u32, 100u64), (1, 5, 2000), (0, 15, 40), (3, 12, 999)] {
+            let a = lat.transfer(SimTime::ZERO, CellId::new(s), CellId::new(d), b);
+            let c = lnk.transfer(SimTime::ZERO, CellId::new(s), CellId::new(d), b);
+            assert!(c >= a.saturating_sub(SimTime::from_nanos(200)), "{s}->{d}: {c} < {a}");
+        }
+    }
+}

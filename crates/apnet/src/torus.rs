@@ -1,0 +1,230 @@
+//! The two-dimensional torus topology of the T-net.
+//!
+//! Cells are arranged in a `width × height` grid with wraparound in both
+//! dimensions. Routing is **static dimension-order (X then Y)** with
+//! minimal wraparound in each dimension — the paper's acknowledge trick
+//! (§4.1) depends on the T-net "using static routing and passing
+//! messages in order", and static dimension-order routing gives exactly
+//! that: every (src, dst) pair always uses the same path.
+
+use aputil::CellId;
+
+/// A `width × height` torus over densely numbered cells
+/// (`id = y * width + x`).
+///
+/// # Examples
+///
+/// ```
+/// use apnet::Torus;
+/// use aputil::CellId;
+///
+/// let t = Torus::for_cells(16); // 4×4
+/// assert_eq!(t.dims(), (4, 4));
+/// assert_eq!(t.hops(CellId::new(0), CellId::new(15)), 2); // wrap both dims
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Torus {
+    width: u32,
+    height: u32,
+}
+
+impl Torus {
+    /// Creates a torus with explicit dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: u32, height: u32) -> Self {
+        assert!(width > 0 && height > 0, "torus dimensions must be nonzero");
+        Torus { width, height }
+    }
+
+    /// Chooses the most nearly square torus for `ncells` cells, the way the
+    /// machine was configured (e.g. 64 cells → 8×8, 128 → 16×8).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ncells` is zero.
+    pub fn for_cells(ncells: u32) -> Self {
+        assert!(ncells > 0, "machine must have at least one cell");
+        // Largest divisor of ncells not exceeding sqrt(ncells).
+        let mut best = 1;
+        let mut d = 1;
+        while d * d <= ncells {
+            if ncells.is_multiple_of(d) {
+                best = d;
+            }
+            d += 1;
+        }
+        Torus::new(ncells / best, best)
+    }
+
+    /// `(width, height)`.
+    pub fn dims(self) -> (u32, u32) {
+        (self.width, self.height)
+    }
+
+    /// Number of cells.
+    pub fn ncells(self) -> u32 {
+        self.width * self.height
+    }
+
+    /// The `(x, y)` coordinate of a cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell is outside this torus.
+    pub fn coords(self, cell: CellId) -> (u32, u32) {
+        let i = cell.as_u32();
+        assert!(i < self.ncells(), "{cell} outside {}x{} torus", self.width, self.height);
+        (i % self.width, i / self.width)
+    }
+
+    /// The cell at `(x, y)` (coordinates taken modulo the dimensions).
+    pub fn cell_at(self, x: u32, y: u32) -> CellId {
+        CellId::new((y % self.height) * self.width + (x % self.width))
+    }
+
+    /// Signed minimal displacement along one dimension with wraparound;
+    /// ties (exactly half way) route in the positive direction, which keeps
+    /// routing static.
+    fn delta(from: u32, to: u32, dim: u32) -> i64 {
+        let fwd = (to + dim - from) % dim; // steps in + direction
+        let bwd = dim - fwd; // steps in - direction (if fwd != 0)
+        if fwd == 0 {
+            0
+        } else if fwd <= bwd {
+            fwd as i64
+        } else {
+            -(bwd as i64)
+        }
+    }
+
+    /// Hop count of the static X-then-Y route between two cells.
+    pub fn hops(self, src: CellId, dst: CellId) -> u32 {
+        let (sx, sy) = self.coords(src);
+        let (dx, dy) = self.coords(dst);
+        (Self::delta(sx, dx, self.width).unsigned_abs()
+            + Self::delta(sy, dy, self.height).unsigned_abs()) as u32
+    }
+
+    /// The full static route as the sequence of cells visited, starting at
+    /// `src` and ending at `dst` (X dimension resolved first, then Y).
+    pub fn route(self, src: CellId, dst: CellId) -> Vec<CellId> {
+        let (sx, sy) = self.coords(src);
+        let (dx, dy) = self.coords(dst);
+        let mut path = vec![src];
+        let mut x = sx as i64;
+        let step_x = Self::delta(sx, dx, self.width).signum();
+        while (x.rem_euclid(self.width as i64)) as u32 != dx {
+            x += step_x;
+            path.push(self.cell_at(x.rem_euclid(self.width as i64) as u32, sy));
+        }
+        let mut y = sy as i64;
+        let step_y = Self::delta(sy, dy, self.height).signum();
+        while (y.rem_euclid(self.height as i64)) as u32 != dy {
+            y += step_y;
+            path.push(self.cell_at(dx, y.rem_euclid(self.height as i64) as u32));
+        }
+        path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn near_square_factorization() {
+        assert_eq!(Torus::for_cells(64).dims(), (8, 8));
+        assert_eq!(Torus::for_cells(128).dims(), (16, 8));
+        assert_eq!(Torus::for_cells(16).dims(), (4, 4));
+        assert_eq!(Torus::for_cells(1).dims(), (1, 1));
+        assert_eq!(Torus::for_cells(7).dims(), (7, 1));
+        assert_eq!(Torus::for_cells(1024).dims(), (32, 32));
+    }
+
+    #[test]
+    fn hop_counts_wrap() {
+        let t = Torus::new(8, 8);
+        assert_eq!(t.hops(CellId::new(0), CellId::new(0)), 0);
+        assert_eq!(t.hops(CellId::new(0), CellId::new(7)), 1); // wrap in x
+        assert_eq!(t.hops(CellId::new(0), CellId::new(3)), 3);
+        assert_eq!(t.hops(CellId::new(0), CellId::new(4)), 4); // half way
+        let far = t.cell_at(4, 4);
+        assert_eq!(t.hops(CellId::new(0), far), 8); // worst case on 8x8
+    }
+
+    #[test]
+    fn hops_symmetric() {
+        let t = Torus::new(6, 4);
+        for a in 0..t.ncells() {
+            for b in 0..t.ncells() {
+                assert_eq!(
+                    t.hops(CellId::new(a), CellId::new(b)),
+                    t.hops(CellId::new(b), CellId::new(a)),
+                    "asymmetric hops {a}->{b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn route_is_x_then_y_and_length_matches_hops() {
+        let t = Torus::new(4, 4);
+        let src = t.cell_at(0, 0);
+        let dst = t.cell_at(2, 3);
+        let route = t.route(src, dst);
+        assert_eq!(route.first(), Some(&src));
+        assert_eq!(route.last(), Some(&dst));
+        assert_eq!(route.len() as u32 - 1, t.hops(src, dst));
+        // X resolved first: second node must differ in x, same y.
+        let (x1, y1) = t.coords(route[1]);
+        assert_eq!(y1, 0);
+        assert_ne!(x1, 0);
+    }
+
+    #[test]
+    fn route_to_self_is_trivial() {
+        let t = Torus::new(3, 3);
+        assert_eq!(t.route(CellId::new(4), CellId::new(4)), vec![CellId::new(4)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn coords_out_of_range_panics() {
+        Torus::new(2, 2).coords(CellId::new(4));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Routes are static, acyclic, start/end correctly, and their length
+        /// equals the hop count.
+        #[test]
+        fn routes_are_consistent(w in 1u32..10, h in 1u32..10, a in 0u32..100, b in 0u32..100) {
+            let t = Torus::new(w, h);
+            let src = CellId::new(a % t.ncells());
+            let dst = CellId::new(b % t.ncells());
+            let r1 = t.route(src, dst);
+            let r2 = t.route(src, dst);
+            prop_assert_eq!(&r1, &r2, "routing must be static");
+            prop_assert_eq!(r1.len() as u32 - 1, t.hops(src, dst));
+            let unique: std::collections::HashSet<_> = r1.iter().collect();
+            prop_assert_eq!(unique.len(), r1.len(), "route revisits a cell");
+        }
+
+        /// Hop count obeys the torus diameter bound.
+        #[test]
+        fn hops_bounded_by_diameter(w in 1u32..12, h in 1u32..12, a in 0u32..200, b in 0u32..200) {
+            let t = Torus::new(w, h);
+            let src = CellId::new(a % t.ncells());
+            let dst = CellId::new(b % t.ncells());
+            prop_assert!(t.hops(src, dst) <= w / 2 + h / 2 + 1);
+        }
+    }
+}

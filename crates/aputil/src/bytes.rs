@@ -1,0 +1,134 @@
+//! Little-endian byte codecs for typed values in simulated memory.
+//!
+//! Application data in the emulator lives in simulated cell memories as raw
+//! bytes, exactly like on the real machine. These helpers convert between
+//! Rust values and those byte images. Everything is little-endian — the
+//! simulated machine picks one endianness and sticks to it (the real
+//! SuperSPARC was big-endian; the choice is invisible to the model, and
+//! little-endian matches the host for cheap debugging).
+
+/// A plain-old-data scalar that can live in simulated memory.
+///
+/// This trait is sealed: it is implemented for exactly the scalar types the
+/// workloads use (`u32`, `u64`, `i32`, `i64`, `f32`, `f64`) and cannot be
+/// implemented downstream.
+pub trait Pod: private::Sealed + Copy + Default + 'static {
+    /// Size of the encoded value in bytes.
+    const SIZE: usize;
+
+    /// Encodes `self` into `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != Self::SIZE`.
+    fn write_le(self, out: &mut [u8]);
+
+    /// Decodes a value from `input`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != Self::SIZE`.
+    fn read_le(input: &[u8]) -> Self;
+}
+
+mod private {
+    pub trait Sealed {}
+    impl Sealed for u32 {}
+    impl Sealed for u64 {}
+    impl Sealed for i32 {}
+    impl Sealed for i64 {}
+    impl Sealed for f32 {}
+    impl Sealed for f64 {}
+}
+
+macro_rules! impl_pod {
+    ($($t:ty),*) => {$(
+        impl Pod for $t {
+            const SIZE: usize = core::mem::size_of::<$t>();
+
+            #[inline]
+            fn write_le(self, out: &mut [u8]) {
+                out.copy_from_slice(&self.to_le_bytes());
+            }
+
+            #[inline]
+            fn read_le(input: &[u8]) -> Self {
+                <$t>::from_le_bytes(input.try_into().expect("Pod::read_le: wrong slice length"))
+            }
+        }
+    )*};
+}
+
+impl_pod!(u32, u64, i32, i64, f32, f64);
+
+/// Encodes a slice of scalars into a fresh byte vector.
+///
+/// # Examples
+///
+/// ```
+/// let bytes = aputil::bytes::encode_slice(&[1.0f64, 2.0]);
+/// assert_eq!(bytes.len(), 16);
+/// let back: Vec<f64> = aputil::bytes::decode_slice(&bytes);
+/// assert_eq!(back, vec![1.0, 2.0]);
+/// ```
+pub fn encode_slice<T: Pod>(values: &[T]) -> Vec<u8> {
+    let mut out = vec![0u8; values.len() * T::SIZE];
+    for (v, chunk) in values.iter().zip(out.chunks_exact_mut(T::SIZE)) {
+        v.write_le(chunk);
+    }
+    out
+}
+
+/// Decodes a byte slice into a vector of scalars.
+///
+/// # Panics
+///
+/// Panics if `bytes.len()` is not a multiple of `T::SIZE`.
+pub fn decode_slice<T: Pod>(bytes: &[u8]) -> Vec<T> {
+    assert!(
+        bytes.len().is_multiple_of(T::SIZE),
+        "decode_slice: {} bytes is not a multiple of {}",
+        bytes.len(),
+        T::SIZE
+    );
+    bytes.chunks_exact(T::SIZE).map(T::read_le).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trips() {
+        let mut buf = [0u8; 8];
+        42u64.write_le(&mut buf);
+        assert_eq!(u64::read_le(&buf), 42);
+        let mut buf = [0u8; 8];
+        (-1.5f64).write_le(&mut buf);
+        assert_eq!(f64::read_le(&buf), -1.5);
+        let mut buf = [0u8; 4];
+        (-7i32).write_le(&mut buf);
+        assert_eq!(i32::read_le(&buf), -7);
+    }
+
+    #[test]
+    fn slice_round_trips() {
+        let xs = [1u32, 2, 3, u32::MAX];
+        assert_eq!(decode_slice::<u32>(&encode_slice(&xs)), xs);
+        let empty: [f64; 0] = [];
+        assert!(encode_slice(&empty).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn decode_rejects_ragged_input() {
+        let _ = decode_slice::<u64>(&[0u8; 7]);
+    }
+
+    #[test]
+    fn nan_payload_preserved() {
+        let weird = f64::from_bits(0x7ff8_dead_beef_0001);
+        let bytes = encode_slice(&[weird]);
+        assert_eq!(decode_slice::<f64>(&bytes)[0].to_bits(), weird.to_bits());
+    }
+}

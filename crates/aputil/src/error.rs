@@ -1,0 +1,108 @@
+//! The workspace-wide error type.
+
+use crate::{CellId, VAddr};
+use core::fmt;
+use std::error::Error;
+
+/// Convenient result alias for fallible AP1000+ operations.
+pub type ApResult<T> = Result<T, ApError>;
+
+/// Errors raised by the machine model and runtime.
+///
+/// The paper's protection story (§3.2, §4.1) is that user programs may pass
+/// illegal addresses to user-level DMA, so the *hardware* must detect them:
+/// a bad address raises a page fault and interrupts the program. That
+/// hardware event surfaces here as [`ApError::PageFault`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum ApError {
+    /// MMU translation failed: the logical address is unmapped on `cell`.
+    PageFault {
+        /// Cell whose MMU raised the fault.
+        cell: CellId,
+        /// Faulting logical address.
+        addr: VAddr,
+    },
+    /// A transfer or access would cross the end of a mapped region.
+    OutOfRange {
+        /// Cell on which the access was attempted.
+        cell: CellId,
+        /// Start of the offending access.
+        addr: VAddr,
+        /// Length in bytes of the offending access.
+        len: u64,
+    },
+    /// A destination cell ID does not exist in this machine.
+    NoSuchCell {
+        /// The invalid ID.
+        cell: CellId,
+        /// Number of cells in the machine.
+        ncells: usize,
+    },
+    /// An argument was structurally invalid (zero-size DMA, mismatched
+    /// stride totals, bad group, …).
+    InvalidArg(String),
+    /// A hardware queue and its DRAM spill buffer were both exhausted.
+    QueueExhausted {
+        /// Human-readable queue name (e.g. `"user send"`).
+        queue: &'static str,
+    },
+    /// The simulated program deadlocked: every cell is blocked and no events
+    /// remain.
+    Deadlock(String),
+    /// A cell program panicked or exited abnormally.
+    CellFailed {
+        /// Which cell failed.
+        cell: CellId,
+        /// Panic payload or failure description.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ApError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ApError::PageFault { cell, addr } => {
+                write!(f, "page fault on {cell} at {addr}")
+            }
+            ApError::OutOfRange { cell, addr, len } => {
+                write!(f, "access out of range on {cell} at {addr} len {len}")
+            }
+            ApError::NoSuchCell { cell, ncells } => {
+                write!(f, "no such cell {cell} (machine has {ncells} cells)")
+            }
+            ApError::InvalidArg(msg) => write!(f, "invalid argument: {msg}"),
+            ApError::QueueExhausted { queue } => {
+                write!(f, "{queue} queue and spill buffer exhausted")
+            }
+            ApError::Deadlock(msg) => write!(f, "simulation deadlock: {msg}"),
+            ApError::CellFailed { cell, reason } => {
+                write!(f, "{cell} failed: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for ApError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ApError::PageFault {
+            cell: CellId::new(3),
+            addr: VAddr::new(0x10),
+        };
+        assert_eq!(e.to_string(), "page fault on cell3 at v:0x10");
+        let e = ApError::QueueExhausted { queue: "user send" };
+        assert!(e.to_string().contains("user send"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ApError>();
+    }
+}

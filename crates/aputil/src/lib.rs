@@ -1,0 +1,29 @@
+//! Common foundation types for the AP1000+ reproduction.
+//!
+//! This crate holds the small vocabulary shared by every other crate in the
+//! workspace: simulated time ([`SimTime`]), cell identifiers ([`CellId`]),
+//! logical and physical addresses ([`VAddr`], [`PAddr`]), byte codecs for
+//! moving typed data through simulated memory, and the workspace-wide error
+//! type ([`ApError`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use aputil::{SimTime, CellId};
+//!
+//! let t = SimTime::from_micros_f64(0.16) + SimTime::from_nanos(40);
+//! assert_eq!(t.as_nanos(), 200);
+//! let c = CellId::new(5);
+//! assert_eq!(c.index(), 5);
+//! ```
+
+pub mod addr;
+pub mod bytes;
+pub mod error;
+pub mod id;
+pub mod time;
+
+pub use addr::{PAddr, VAddr};
+pub use error::{ApError, ApResult};
+pub use id::CellId;
+pub use time::SimTime;

@@ -1,0 +1,41 @@
+//! End-to-end workload benchmarks: host cost of emulating each test-scale
+//! application, and of replaying its trace through MLSim — the two halves
+//! of the reproduction pipeline.
+
+use apapps::{standard_suite, Scale};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mlsim::{replay, ModelParams};
+
+fn bench_emulation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("emulate");
+    g.sample_size(10);
+    for w in standard_suite(Scale::Test) {
+        g.bench_function(w.name(), |b| b.iter(|| black_box(w.run().unwrap())));
+    }
+    g.finish();
+}
+
+fn bench_replay(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mlsim_replay");
+    let traces: Vec<(String, aptrace::Trace)> = standard_suite(Scale::Test)
+        .iter()
+        .map(|w| (w.name().to_string(), w.run().unwrap().trace))
+        .collect();
+    for (name, trace) in &traces {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                for m in [
+                    ModelParams::ap1000(),
+                    ModelParams::ap1000_star(),
+                    ModelParams::ap1000_plus(),
+                ] {
+                    black_box(replay(trace, &m).unwrap());
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_emulation, bench_replay);
+criterion_main!(benches);

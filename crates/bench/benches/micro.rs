@@ -1,0 +1,160 @@
+//! Component micro-benchmarks: host-side cost of the simulator's hot
+//! paths, plus simulated-latency checks of the §4.1 hardware claims
+//! (PUT issue ≈ a few stores, stride vs element-wise transfer, queue
+//! spill behaviour).
+
+use apcore::{run_with, MachineConfig, StrideSpec, VAddr};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("apsim/event_queue_push_pop_1k", |b| {
+        b.iter(|| {
+            let mut q = apsim::EventQueue::new();
+            for i in 0..1000u64 {
+                q.push(aputil::SimTime::from_nanos(i * 37 % 500), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, v)) = q.pop() {
+                acc = acc.wrapping_add(v);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_torus(c: &mut Criterion) {
+    let t = apnet::Torus::new(32, 32);
+    c.bench_function("apnet/torus_route_32x32", |b| {
+        b.iter(|| {
+            let mut h = 0u32;
+            for s in 0..64u32 {
+                h += t.hops(aputil::CellId::new(s), aputil::CellId::new(1023 - s));
+            }
+            black_box(h)
+        })
+    });
+}
+
+fn bench_tlb(c: &mut Criterion) {
+    let mut mmu = apmem::Mmu::new(64 << 20);
+    let base = mmu.map_anywhere(1 << 20).unwrap();
+    c.bench_function("apmem/tlb_translate_hit", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for off in (0..4096u64).step_by(64) {
+                acc += mmu.translate(base + off).unwrap().paddr.as_u64();
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_stride_gather(c: &mut Criterion) {
+    let mut mmu = apmem::Mmu::new(64 << 20);
+    let mut mem = apmem::Memory::new(64 << 20);
+    let base = mmu.map_anywhere(2 << 20).unwrap();
+    apmsc::dma::write_virtual(&mut mmu, &mut mem, base, &vec![7u8; 2 << 20]).unwrap();
+    let spec = apmsc::StrideSpec::new(8, 512, 2056);
+    c.bench_function("apmsc/stride_gather_512x8B", |b| {
+        b.iter(|| black_box(apmsc::stride::gather(&mut mmu, &mem, base, spec).unwrap()))
+    });
+}
+
+fn bench_hwqueue_spill(c: &mut Criterion) {
+    c.bench_function("apmsc/hwqueue_spill_100", |b| {
+        b.iter(|| {
+            let mut q: apmsc::HwQueue<u64> = apmsc::HwQueue::new("bench", 8);
+            for i in 0..100 {
+                q.push(i);
+            }
+            let mut acc = 0;
+            while let Some(v) = q.pop() {
+                acc += v;
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_emulator_put_roundtrip(c: &mut Criterion) {
+    // Host cost of a full simulated PUT + flag wait between two cells.
+    c.bench_function("apcore/put_roundtrip_host_cost", |b| {
+        b.iter(|| {
+            run_with(MachineConfig::new(2).with_trace(false), |cell| {
+                let buf = cell.alloc::<f64>(8);
+                let flag = cell.alloc_flag();
+                cell.barrier();
+                if cell.id() == 0 {
+                    cell.put(1, buf, buf, 64, VAddr::NULL, flag, false);
+                } else {
+                    cell.wait_flag(flag, 1);
+                }
+                cell.barrier();
+            })
+            .unwrap()
+        })
+    });
+}
+
+fn bench_reduction(c: &mut Criterion) {
+    c.bench_function("apcore/scalar_reduction_16cells", |b| {
+        b.iter(|| {
+            run_with(MachineConfig::new(16).with_trace(false), |cell| {
+                cell.reduce_sum_f64(cell.id() as f64)
+            })
+            .unwrap()
+        })
+    });
+}
+
+/// Ablation: simulated latency of a strided column transfer vs the same
+/// bytes element by element (the §5.4 claim in a benchmark).
+fn bench_stride_ablation(c: &mut Criterion) {
+    let run = |stride: bool| {
+        let r = run_with(MachineConfig::new(2).with_trace(false), move |cell| {
+            let src = cell.alloc::<f64>(256 * 2);
+            let dst = cell.alloc::<f64>(256);
+            let flag = cell.alloc_flag();
+            cell.barrier();
+            if cell.id() == 0 {
+                if stride {
+                    let send = StrideSpec::new(8, 256, 16);
+                    let recv = StrideSpec::contiguous(2048);
+                    cell.put_stride(1, dst, src, send, recv, VAddr::NULL, flag, false);
+                } else {
+                    for i in 0..256u64 {
+                        cell.put(1, dst + i * 8, src + i * 16, 8, VAddr::NULL, flag, false);
+                    }
+                }
+            } else {
+                cell.wait_flag(flag, if stride { 1 } else { 256 });
+            }
+            cell.barrier();
+        })
+        .unwrap();
+        r.total_time
+    };
+    let t_stride = run(true);
+    let t_elem = run(false);
+    assert!(t_elem > t_stride, "stride hardware must win");
+    eprintln!(
+        "simulated 256-item column: stride {} vs element-wise {} ({:.1}x)",
+        t_stride,
+        t_elem,
+        t_elem.as_nanos() as f64 / t_stride.as_nanos() as f64
+    );
+    c.bench_function("ablation/stride_column_host_cost", |b| b.iter(|| black_box(run(true))));
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_torus,
+    bench_tlb,
+    bench_stride_gather,
+    bench_hwqueue_spill,
+    bench_emulator_put_roundtrip,
+    bench_reduction,
+    bench_stride_ablation,
+);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Dev probe: per-model breakdown for one workload (not part of the
+//! reproduction tables; useful when calibrating).
+
+use apapps::Scale;
+use mlsim::{replay, ModelParams};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let name = args.first().map(String::as_str).unwrap_or("SP");
+    let scale = if args.iter().any(|a| a == "--paper") {
+        Scale::Paper
+    } else {
+        Scale::Test
+    };
+    let suite = apapps::standard_suite(scale);
+    let w = suite
+        .iter()
+        .find(|w| w.name() == name)
+        .unwrap_or_else(|| panic!("no workload {name}"));
+    let report = w.run().expect("run failed");
+    println!("emulator total {}", report.total_time);
+    for m in [ModelParams::ap1000(), ModelParams::ap1000_star(), ModelParams::ap1000_plus()] {
+        let r = replay(&report.trace, &m).expect("replay failed");
+        let mean = |f: fn(&mlsim::PeBreakdown) -> aputil::SimTime| r.mean(f);
+        println!(
+            "{:8} total {:>12}  exec {:>12} rts {:>12} overhead {:>12} idle {:>12}",
+            r.model,
+            r.total.to_string(),
+            mean(|b| b.exec).to_string(),
+            mean(|b| b.rts).to_string(),
+            mean(|b| b.overhead).to_string(),
+            mean(|b| b.idle).to_string()
+        );
+    }
+}

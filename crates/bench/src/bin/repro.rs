@@ -1,0 +1,74 @@
+//! `repro` — regenerate every table and figure of the AP1000+ paper.
+//!
+//! ```text
+//! repro table1                 # machine specifications (static)
+//! repro fig6                   # MLSim parameter files
+//! repro fig7 [--bytes N]       # PUT communication model chains
+//! repro table2 [--scale s]     # speedups vs AP1000 (runs the suite)
+//! repro table3 [--scale s]     # per-PE communication statistics
+//! repro fig8   [--scale s]     # normalized execution-time breakdown
+//! repro all    [--scale s]     # everything above, one suite run
+//! ```
+//!
+//! `--scale test` uses small instances (seconds); the default `paper`
+//! scale uses the reduced-but-paper-shaped instances documented in
+//! DESIGN.md/EXPERIMENTS.md.
+
+use apbench::{
+    crosscheck, fig6, fig7, fig8, parse_scale, run_suite, table1, table2, table3,
+};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("all");
+    match cmd {
+        "table1" => print!("{}", table1()),
+        "fig6" => print!("{}", fig6()),
+        "fig7" => {
+            let bytes = args
+                .iter()
+                .position(|a| a == "--bytes")
+                .and_then(|i| args.get(i + 1))
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(1600);
+            print!("{}", fig7(bytes));
+        }
+        "ablations" => {
+            let scale = parse_scale(&args);
+            print!("{}", apbench::ablations(scale));
+        }
+        "table2" | "table3" | "fig8" | "all" => {
+            let scale = parse_scale(&args);
+            eprintln!("running the application suite at {scale:?} scale...");
+            let t0 = Instant::now();
+            let rows = run_suite(scale);
+            eprintln!("suite done in {:.1}s (all results verified)", t0.elapsed().as_secs_f64());
+            match cmd {
+                "table2" => print!("{}", table2(&rows)),
+                "table3" => print!("{}", table3(&rows)),
+                "fig8" => print!("{}", fig8(&rows)),
+                _ => {
+                    print!("{}", table1());
+                    println!();
+                    print!("{}", fig6());
+                    println!();
+                    print!("{}", fig7(1600));
+                    println!();
+                    print!("{}", table2(&rows));
+                    println!();
+                    print!("{}", table3(&rows));
+                    println!();
+                    print!("{}", fig8(&rows));
+                    println!();
+                    print!("{}", crosscheck(&rows));
+                }
+            }
+        }
+        other => {
+            eprintln!("unknown command '{other}'");
+            eprintln!("usage: repro [table1|fig6|fig7|table2|table3|fig8|ablations|all] [--scale test|paper]");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,811 @@
+//! The deterministic simulation kernel.
+//!
+//! One kernel thread owns the whole [`Machine`]; cell programs run on their
+//! own host threads but only ever one at a time: the kernel wakes a cell by
+//! sending it a [`Response`], then blocks until that cell's next
+//! [`Request`] arrives. All hardware activity (DMA, packets, flags,
+//! barriers) is driven through a single time-ordered event queue with FIFO
+//! tie-breaking, so a given program and configuration always produces the
+//! identical execution.
+
+use crate::machine::{ActiveTx, Machine, TxJob};
+use crate::request::{Mark, Request, Response};
+use apmsc::{Packet, HEADER_BYTES};
+use apsim::{Clock, EventQueue};
+use aputil::{ApError, ApResult, CellId, SimTime, VAddr};
+use aptrace::Op;
+use crossbeam::channel::{Receiver, Sender};
+use std::collections::HashMap;
+
+/// Kernel events.
+#[derive(Debug)]
+enum Ev {
+    /// Deliver `resp` to `cell` and take its next request.
+    Wake { cell: u32, resp: Response },
+    /// Try to start the send DMA of `cell`.
+    SendPop { cell: u32 },
+    /// `cell`'s send DMA finished its active job.
+    SendDone { cell: u32 },
+    /// A packet reached `dst`'s MSC+.
+    Arrive { dst: u32, pkt: Packet },
+    /// `dst`'s receive DMA finished landing a packet.
+    RecvDone { dst: u32, pkt: Packet },
+}
+
+#[derive(Clone, Copy, Debug)]
+struct FlagWait {
+    target: u32,
+    since: SimTime,
+}
+
+#[derive(Clone, Debug)]
+struct RecvWait {
+    src: CellId,
+    laddr: VAddr,
+    max: u64,
+    since: SimTime,
+}
+
+#[derive(Clone, Debug)]
+struct BcastState {
+    root: CellId,
+    bytes: u64,
+    arrived: Vec<(u32, VAddr, SimTime)>,
+}
+
+pub(crate) struct Kernel {
+    pub machine: Machine,
+    evq: EventQueue<Ev>,
+    clock: Clock,
+    resume_tx: Vec<Sender<Response>>,
+    req_rx: Receiver<(u32, Request)>,
+    /// Human-readable block reason per cell (None = runnable/done).
+    blocked: Vec<Option<&'static str>>,
+    flag_waiters: HashMap<(u32, u64), FlagWait>,
+    recv_waiters: HashMap<u32, RecvWait>,
+    reg_waiters: HashMap<(u32, u16), SimTime>,
+    fence_waiters: HashMap<u32, SimTime>,
+    load_waiters: HashMap<u32, SimTime>,
+    send_waiters: HashMap<u32, SimTime>,
+    barrier_since: HashMap<u32, SimTime>,
+    bcast: Option<BcastState>,
+    done: u32,
+}
+
+impl Kernel {
+    pub fn new(
+        machine: Machine,
+        resume_tx: Vec<Sender<Response>>,
+        req_rx: Receiver<(u32, Request)>,
+    ) -> Self {
+        let n = machine.cells.len();
+        let mut evq = EventQueue::new();
+        // Boot: hand each cell its first baton at t = 0 in id order.
+        for cell in 0..n as u32 {
+            evq.push(SimTime::ZERO, Ev::Wake { cell, resp: Response::Unit });
+        }
+        Kernel {
+            machine,
+            evq,
+            clock: Clock::new(),
+            resume_tx,
+            req_rx,
+            blocked: vec![None; n],
+            flag_waiters: HashMap::new(),
+            recv_waiters: HashMap::new(),
+            reg_waiters: HashMap::new(),
+            fence_waiters: HashMap::new(),
+            load_waiters: HashMap::new(),
+            send_waiters: HashMap::new(),
+            barrier_since: HashMap::new(),
+            bcast: None,
+            done: 0,
+        }
+    }
+
+    /// Consumes the kernel, returning the machine and the resume senders
+    /// (dropping the senders unblocks any still-parked program threads).
+    pub fn into_parts(self) -> (Machine, Vec<Sender<Response>>) {
+        (self.machine, self.resume_tx)
+    }
+
+    /// Runs the event loop to completion.
+    pub fn run(&mut self) -> ApResult<SimTime> {
+        while let Some((t, ev)) = self.evq.pop() {
+            self.clock.advance_to(t);
+            self.handle(ev)?;
+        }
+        let n = self.machine.cells.len() as u32;
+        if self.done < n {
+            let stuck: Vec<String> = self
+                .blocked
+                .iter()
+                .enumerate()
+                .filter_map(|(i, b)| b.map(|r| format!("cell{i}: {r}")))
+                .collect();
+            return Err(ApError::Deadlock(format!(
+                "{} of {} cells never finished [{}]",
+                n - self.done,
+                n,
+                stuck.join(", ")
+            )));
+        }
+        Ok(self.clock.now())
+    }
+
+    fn now(&self) -> SimTime {
+        self.clock.now()
+    }
+
+    // ---- accounting helpers -------------------------------------------
+
+    fn charge_exec(&mut self, cell: u32, t: SimTime) {
+        self.machine.times[cell as usize].exec += t;
+    }
+
+    fn charge_rts(&mut self, cell: u32, t: SimTime) {
+        self.machine.times[cell as usize].rts += t;
+    }
+
+    fn charge_overhead(&mut self, cell: u32, t: SimTime) {
+        self.machine.times[cell as usize].overhead += t;
+    }
+
+    fn add_idle(&mut self, cell: u32, since: SimTime, until: SimTime) {
+        self.machine.times[cell as usize].idle += until.saturating_sub(since);
+    }
+
+    fn record(&mut self, cell: u32, op: Op) {
+        if self.machine.cfg.record_trace {
+            self.machine.trace.pe_mut(CellId::new(cell)).push(op);
+        }
+    }
+
+    fn wake_at(&mut self, cell: u32, at: SimTime, resp: Response) {
+        self.blocked[cell as usize] = None;
+        self.evq.push(at, Ev::Wake { cell, resp });
+    }
+
+    fn block(&mut self, cell: u32, reason: &'static str) {
+        self.blocked[cell as usize] = Some(reason);
+    }
+
+    // ---- event dispatch ------------------------------------------------
+
+    fn handle(&mut self, ev: Ev) -> ApResult<()> {
+        match ev {
+            Ev::Wake { cell, resp } => self.deliver_and_take(cell, resp),
+            Ev::SendPop { cell } => self.send_pop(cell),
+            Ev::SendDone { cell } => self.send_done(cell),
+            Ev::Arrive { dst, pkt } => self.arrive(dst, pkt),
+            Ev::RecvDone { dst, pkt } => self.recv_done(dst, pkt),
+        }
+    }
+
+    fn deliver_and_take(&mut self, cell: u32, resp: Response) -> ApResult<()> {
+        self.resume_tx[cell as usize]
+            .send(resp)
+            .map_err(|_| ApError::CellFailed {
+                cell: CellId::new(cell),
+                reason: "program thread exited unexpectedly".to_string(),
+            })?;
+        let (from, req) = self.req_rx.recv().map_err(|_| ApError::CellFailed {
+            cell: CellId::new(cell),
+            reason: "program thread panicked".to_string(),
+        })?;
+        debug_assert_eq!(from, cell, "baton protocol violated");
+        self.dispatch(from, req)
+    }
+
+    // ---- request handling ----------------------------------------------
+
+    fn dispatch(&mut self, cell: u32, req: Request) -> ApResult<()> {
+        let now = self.now();
+        let hw_params = self.machine.cfg.hw;
+        let cid = CellId::new(cell);
+        match req {
+            Request::Alloc { bytes } => {
+                let hw = &mut self.machine.cells[cell as usize];
+                let addr = hw.mmu.map_anywhere(bytes).map_err(|_| {
+                    ApError::InvalidArg(format!("{cid} cannot allocate {bytes} bytes"))
+                })?;
+                self.wake_at(cell, now, Response::Addr(addr));
+            }
+            Request::ReadMem { addr, len } => {
+                let data = self.machine.read_v(cid, addr, len)?;
+                self.wake_at(cell, now, Response::Bytes(data));
+            }
+            Request::WriteMem { addr, data } => {
+                self.machine.write_v(cid, addr, &data)?;
+                self.wake_at(cell, now, Response::Unit);
+            }
+            Request::Work { flops } => {
+                let t = hw_params.flop_time.saturating_mul(flops);
+                self.charge_exec(cell, t);
+                self.record(cell, Op::Work { flops });
+                self.wake_at(cell, now + t, Response::Unit);
+            }
+            Request::Rts { units } => {
+                let t = hw_params.rts_unit_time.saturating_mul(units);
+                self.charge_rts(cell, t);
+                self.record(cell, Op::Rts { units });
+                self.wake_at(cell, now + t, Response::Unit);
+            }
+            Request::Put(args) => {
+                self.machine.check_cell(args.dst)?;
+                args.validate().map_err(ApError::InvalidArg)?;
+                self.record(
+                    cell,
+                    Op::Put {
+                        dst: args.dst,
+                        bytes: args.size(),
+                        stride: args.is_stride(),
+                        ack: args.ack,
+                        send_flag: args.send_flag.as_u64(),
+                        recv_flag: args.recv_flag.as_u64(),
+                    },
+                );
+                self.charge_overhead(cell, hw_params.issue_time);
+                self.machine.cells[cell as usize].user_q.push(TxJob::Put(args));
+                let t = now + hw_params.issue_time;
+                self.evq.push(t, Ev::SendPop { cell });
+                self.wake_at(cell, t, Response::Unit);
+            }
+            Request::Get(args) => {
+                self.machine.check_cell(args.src_cell)?;
+                args.validate().map_err(ApError::InvalidArg)?;
+                self.record(
+                    cell,
+                    Op::Get {
+                        src: args.src_cell,
+                        bytes: if args.is_ack_probe() { 0 } else { args.size() },
+                        stride: args.is_stride(),
+                        ack_probe: args.is_ack_probe(),
+                        send_flag: args.send_flag.as_u64(),
+                        recv_flag: args.recv_flag.as_u64(),
+                    },
+                );
+                self.charge_overhead(cell, hw_params.issue_time);
+                self.machine.cells[cell as usize].user_q.push(TxJob::GetReq(args));
+                let t = now + hw_params.issue_time;
+                self.evq.push(t, Ev::SendPop { cell });
+                self.wake_at(cell, t, Response::Unit);
+            }
+            Request::WaitFlag { flag, target } => {
+                self.record(cell, Op::WaitFlag { flag: flag.as_u64(), target });
+                let v = self.machine.read_flag(cid, flag)?;
+                if v >= target {
+                    self.charge_overhead(cell, hw_params.flag_check_time);
+                    self.wake_at(cell, now + hw_params.flag_check_time, Response::Unit);
+                } else {
+                    self.block(cell, "wait_flag");
+                    self.flag_waiters
+                        .insert((cell, flag.as_u64()), FlagWait { target, since: now });
+                }
+            }
+            Request::ReadFlag { flag } => {
+                let v = self.machine.read_flag(cid, flag)?;
+                self.charge_overhead(cell, hw_params.flag_check_time);
+                self.wake_at(cell, now + hw_params.flag_check_time, Response::Value(v));
+            }
+            Request::Barrier => {
+                self.record(cell, Op::Barrier);
+                if let Some(release) = self.machine.snet.arrive(cid, now) {
+                    let waiters: Vec<(u32, SimTime)> = self.barrier_since.drain().collect();
+                    for (c, since) in waiters {
+                        self.add_idle(c, since, release);
+                        self.wake_at(c, release, Response::Unit);
+                    }
+                    self.add_idle(cell, now, release);
+                    self.wake_at(cell, release, Response::Unit);
+                } else {
+                    self.block(cell, "barrier");
+                    self.barrier_since.insert(cell, now);
+                }
+            }
+            Request::Send { dst, laddr, bytes } => {
+                self.machine.check_cell(dst)?;
+                self.record(cell, Op::Send { dst, bytes });
+                self.charge_overhead(cell, hw_params.send_call_time);
+                self.machine.cells[cell as usize].user_q.push(TxJob::Ring {
+                    dst,
+                    laddr,
+                    bytes,
+                    wake_sender: true,
+                });
+                self.evq
+                    .push(now + hw_params.send_call_time, Ev::SendPop { cell });
+                self.block(cell, "send");
+                self.send_waiters.insert(cell, now + hw_params.send_call_time);
+            }
+            Request::Recv { src, laddr, max } => {
+                self.machine.check_cell(src)?;
+                self.record(cell, Op::Recv { src, bytes: max });
+                if let Some(pos) = self.machine.cells[cell as usize]
+                    .ring
+                    .iter()
+                    .position(|(s, _)| *s == src)
+                {
+                    let (_, payload) =
+                        self.machine.cells[cell as usize].ring.remove(pos).expect("pos valid");
+                    self.complete_recv(cell, laddr, max, payload, now)?;
+                } else {
+                    self.block(cell, "recv");
+                    self.recv_waiters
+                        .insert(cell, RecvWait { src, laddr, max, since: now });
+                }
+            }
+            Request::RegStore { dst, reg, value } => {
+                self.machine.check_cell(dst)?;
+                self.record(cell, Op::RegStore { dst, reg });
+                self.charge_overhead(cell, hw_params.reg_store_time);
+                if dst == cid {
+                    self.reg_store_arrived(cell, reg, value, now + hw_params.reg_store_time)?;
+                } else {
+                    let pkt = Packet::RegStore { src: cid, reg, value };
+                    let arrival =
+                        self.machine
+                            .tnet
+                            .transfer(now + hw_params.reg_store_time, cid, dst, pkt.wire_bytes());
+                    self.evq.push(arrival, Ev::Arrive { dst: dst.as_u32(), pkt });
+                }
+                self.wake_at(cell, now + hw_params.reg_store_time, Response::Unit);
+            }
+            Request::RegLoad { reg } => {
+                self.record(cell, Op::RegLoad { reg });
+                if let Some(v) = self.machine.cells[cell as usize].regs.load(reg as usize) {
+                    self.charge_overhead(cell, hw_params.reg_load_time);
+                    self.wake_at(cell, now + hw_params.reg_load_time, Response::Value(v));
+                } else {
+                    self.block(cell, "reg_load");
+                    self.reg_waiters.insert((cell, reg), now);
+                }
+            }
+            Request::Bcast { root, laddr, bytes } => {
+                self.machine.check_cell(root)?;
+                self.record(cell, Op::Bcast { root, bytes });
+                let state = self.bcast.get_or_insert_with(|| BcastState {
+                    root,
+                    bytes,
+                    arrived: Vec::new(),
+                });
+                if state.root != root || state.bytes != bytes {
+                    return Err(ApError::InvalidArg(format!(
+                        "mismatched bcast: {cid} gave root {root}/{bytes}B, collective started \
+                         with root {}/{}B",
+                        state.root, state.bytes
+                    )));
+                }
+                state.arrived.push((cell, laddr, now));
+                if state.arrived.len() == self.machine.cells.len() {
+                    let state = self.bcast.take().expect("just inserted");
+                    let latest = state
+                        .arrived
+                        .iter()
+                        .map(|&(_, _, t)| t)
+                        .max()
+                        .expect("nonempty");
+                    let root_laddr = state
+                        .arrived
+                        .iter()
+                        .find(|&&(c, _, _)| c == state.root.as_u32())
+                        .expect("root participated")
+                        .1;
+                    let payload = self.machine.read_v(state.root, root_laddr, state.bytes)?;
+                    let delivery = self.machine.bnet.broadcast(
+                        latest,
+                        state.root,
+                        state.bytes + HEADER_BYTES,
+                    );
+                    for (c, la, since) in state.arrived {
+                        if c != state.root.as_u32() {
+                            self.machine.write_v(CellId::new(c), la, &payload)?;
+                        }
+                        self.add_idle(c, since, delivery);
+                        self.wake_at(c, delivery, Response::Unit);
+                    }
+                } else {
+                    self.block(cell, "bcast");
+                }
+            }
+            Request::RemoteStore { dst, offset, data } => {
+                self.machine.check_cell(dst)?;
+                self.record(cell, Op::RemoteStore { dst, bytes: data.len() as u64 });
+                let hw = &mut self.machine.cells[cell as usize];
+                hw.rstore_issued += 1;
+                let bytes = data.len() as u64;
+                hw.remote_q.push(TxJob::RemoteStoreTx { dst, offset, data });
+                let cost = hw_params.reg_store_time
+                    + hw_params.dma_per_byte.saturating_mul(bytes);
+                self.charge_overhead(cell, cost);
+                self.evq.push(now + cost, Ev::SendPop { cell });
+                self.wake_at(cell, now + cost, Response::Unit);
+            }
+            Request::RemoteLoad { dst, offset, len } => {
+                self.machine.check_cell(dst)?;
+                self.record(cell, Op::RemoteLoad { src: dst, bytes: len });
+                self.machine.cells[cell as usize]
+                    .remote_q
+                    .push(TxJob::RemoteLoadReqTx { dst, offset, len });
+                self.evq.push(now, Ev::SendPop { cell });
+                self.block(cell, "remote_load");
+                self.load_waiters.insert(cell, now);
+            }
+            Request::RemoteFence => {
+                self.record(cell, Op::RemoteFence);
+                let hw = &self.machine.cells[cell as usize];
+                if hw.rstore_acked == hw.rstore_issued {
+                    self.wake_at(cell, now, Response::Unit);
+                } else {
+                    self.block(cell, "remote_fence");
+                    self.fence_waiters.insert(cell, now);
+                }
+            }
+            Request::Mark(m) => {
+                let op = match m {
+                    Mark::GopScalar => Op::MarkGopScalar,
+                    Mark::GopVector => Op::MarkGopVector,
+                };
+                self.record(cell, op);
+                self.wake_at(cell, now, Response::Unit);
+            }
+            Request::Fail(reason) => {
+                return Err(ApError::CellFailed { cell: cid, reason });
+            }
+            Request::Finish => {
+                self.machine.times[cell as usize].finish = now;
+                self.blocked[cell as usize] = None;
+                self.done += 1;
+            }
+        }
+        Ok(())
+    }
+
+    fn complete_recv(
+        &mut self,
+        cell: u32,
+        laddr: VAddr,
+        max: u64,
+        payload: Vec<u8>,
+        ready: SimTime,
+    ) -> ApResult<()> {
+        let hw = &mut self.machine.cells[cell as usize];
+        hw.ring_bytes = hw.ring_bytes.saturating_sub(payload.len() as u64);
+        let n = (payload.len() as u64).min(max);
+        self.machine
+            .write_v(CellId::new(cell), laddr, &payload[..n as usize])?;
+        let cost = self
+            .machine
+            .cfg
+            .hw
+            .recv_copy_per_byte
+            .saturating_mul(n)
+            + self.machine.cfg.hw.flag_check_time;
+        self.charge_overhead(cell, cost);
+        self.wake_at(cell, ready + cost, Response::Len(n));
+        Ok(())
+    }
+
+    // ---- hardware: send path -------------------------------------------
+
+    fn send_pop(&mut self, cell: u32) -> ApResult<()> {
+        let mut now = self.now();
+        if self.machine.cells[cell as usize].send_busy {
+            return Ok(());
+        }
+        let refills_before = self.machine.cells[cell as usize].total_refills();
+        let Some(job) = self.machine.cells[cell as usize].pop_tx() else {
+            return Ok(());
+        };
+        // Queue-overflow recovery: reloading spilled entries from DRAM
+        // interrupts the operating system (§4.1) — the CPU pays the
+        // service time and the DMA start is pushed back behind it.
+        let refills = self.machine.cells[cell as usize].total_refills() - refills_before;
+        if refills > 0 {
+            let service = self
+                .machine
+                .cfg
+                .hw
+                .os_interrupt_time
+                .saturating_mul(refills);
+            self.charge_overhead(cell, service);
+            now += service;
+        }
+        let cid = CellId::new(cell);
+        // Gather the payload (functionally instantaneous; timing charged
+        // below as DMA duration).
+        let (payload, items) = match &job {
+            TxJob::Put(a) => (self.machine.gather(cid, a.laddr, a.send_stride)?, a.send_stride.count),
+            TxJob::GetReq(_) => (Vec::new(), 1),
+            TxJob::Ring { laddr, bytes, .. } => (self.machine.read_v(cid, *laddr, *bytes)?, 1),
+            TxJob::GetReply { raddr, send_stride, .. } => {
+                if raddr.is_null() {
+                    (Vec::new(), 1)
+                } else {
+                    (self.machine.gather(cid, *raddr, *send_stride)?, send_stride.count)
+                }
+            }
+            TxJob::RemoteStoreTx { data, .. } => (data.clone(), 1),
+            TxJob::RemoteLoadReqTx { .. } => (Vec::new(), 1),
+            TxJob::RemoteLoadReplyTx { data, .. } => (data.clone(), 1),
+            TxJob::RemoteAckTx { .. } => (Vec::new(), 1),
+        };
+        let dur = self.machine.dma_time(payload.len() as u64, items);
+        let hw = &mut self.machine.cells[cell as usize];
+        hw.send_busy = true;
+        hw.active_tx = Some(ActiveTx { job, payload });
+        self.evq.push(now + dur, Ev::SendDone { cell });
+        Ok(())
+    }
+
+    fn send_done(&mut self, cell: u32) -> ApResult<()> {
+        let now = self.now();
+        let cid = CellId::new(cell);
+        let ActiveTx { job, payload } = {
+            let hw = &mut self.machine.cells[cell as usize];
+            hw.send_busy = false;
+            hw.active_tx.take().expect("send_done without active job")
+        };
+        // More work may be queued.
+        self.evq.push(now, Ev::SendPop { cell });
+        match job {
+            TxJob::Put(a) => {
+                self.bump_flag(cell, a.send_flag)?;
+                let pkt = Packet::PutData {
+                    src: cid,
+                    raddr: a.raddr,
+                    recv_stride: a.recv_stride,
+                    recv_flag: a.recv_flag,
+                    payload,
+                };
+                self.inject(cid, a.dst, pkt);
+            }
+            TxJob::GetReq(a) => {
+                let pkt = Packet::GetReq {
+                    src: cid,
+                    raddr: a.raddr,
+                    send_stride: a.send_stride,
+                    send_flag: a.send_flag,
+                    reply_laddr: a.laddr,
+                    reply_stride: a.recv_stride,
+                    reply_flag: a.recv_flag,
+                };
+                self.inject(cid, a.src_cell, pkt);
+            }
+            TxJob::Ring { dst, wake_sender, .. } => {
+                let pkt = Packet::RingMsg { src: cid, payload };
+                self.inject(cid, dst, pkt);
+                if wake_sender {
+                    if let Some(since) = self.send_waiters.remove(&cell) {
+                        self.add_idle(cell, since, now);
+                        self.wake_at(cell, now, Response::Unit);
+                    }
+                }
+            }
+            TxJob::GetReply {
+                requester,
+                send_flag,
+                reply_laddr,
+                reply_stride,
+                reply_flag,
+                ..
+            } => {
+                self.bump_flag(cell, send_flag)?;
+                let pkt = Packet::GetReply {
+                    src: cid,
+                    laddr: reply_laddr,
+                    recv_stride: reply_stride,
+                    recv_flag: reply_flag,
+                    payload,
+                };
+                self.inject(cid, requester, pkt);
+            }
+            TxJob::RemoteStoreTx { dst, offset, .. } => {
+                let pkt = Packet::RemoteStore {
+                    src: cid,
+                    raddr: VAddr::new(offset),
+                    payload,
+                };
+                self.inject(cid, dst, pkt);
+            }
+            TxJob::RemoteLoadReqTx { dst, offset, len } => {
+                let pkt = Packet::RemoteLoadReq {
+                    src: cid,
+                    raddr: VAddr::new(offset),
+                    size: len,
+                };
+                self.inject(cid, dst, pkt);
+            }
+            TxJob::RemoteLoadReplyTx { dst, .. } => {
+                let pkt = Packet::RemoteLoadReply { src: cid, payload };
+                self.inject(cid, dst, pkt);
+            }
+            TxJob::RemoteAckTx { dst } => {
+                let pkt = Packet::RemoteStoreAck { src: cid };
+                self.inject(cid, dst, pkt);
+            }
+        }
+        Ok(())
+    }
+
+    fn inject(&mut self, src: CellId, dst: CellId, pkt: Packet) {
+        let now = self.now();
+        if src == dst {
+            // Loopback: the MSC+ short-circuits the network.
+            self.evq.push(now, Ev::Arrive { dst: dst.as_u32(), pkt });
+            return;
+        }
+        let arrival = self.machine.tnet.transfer(now, src, dst, pkt.wire_bytes());
+        self.evq.push(arrival, Ev::Arrive { dst: dst.as_u32(), pkt });
+    }
+
+    // ---- hardware: receive path ------------------------------------------
+
+    fn arrive(&mut self, dst: u32, pkt: Packet) -> ApResult<()> {
+        let now = self.now();
+        let did = CellId::new(dst);
+        match pkt {
+            Packet::GetReq {
+                src,
+                raddr,
+                send_stride,
+                send_flag,
+                reply_laddr,
+                reply_stride,
+                reply_flag,
+            } => {
+                // Enter the reply queue; the send controller answers
+                // automatically (§3.2 "the message handler must reply to
+                // the GET request automatically").
+                self.machine.cells[dst as usize].reply_get_q.push(TxJob::GetReply {
+                    requester: src,
+                    raddr,
+                    send_stride,
+                    send_flag,
+                    reply_laddr,
+                    reply_stride,
+                    reply_flag,
+                });
+                self.evq.push(now, Ev::SendPop { cell: dst });
+            }
+            Packet::RemoteLoadReq { src, raddr, size } => {
+                let data = self.machine.dsm_read(did, raddr.as_u64(), size)?;
+                self.machine.cells[dst as usize]
+                    .reply_remote_q
+                    .push(TxJob::RemoteLoadReplyTx { dst: src, data });
+                self.evq.push(now, Ev::SendPop { cell: dst });
+            }
+            Packet::RemoteStoreAck { .. } => {
+                let hw = &mut self.machine.cells[dst as usize];
+                hw.rstore_acked += 1;
+                if hw.rstore_acked == hw.rstore_issued {
+                    if let Some(since) = self.fence_waiters.remove(&dst) {
+                        self.add_idle(dst, since, now);
+                        self.wake_at(dst, now, Response::Unit);
+                    }
+                }
+            }
+            Packet::RegStore { reg, value, .. } => {
+                self.reg_store_arrived(dst, reg, value, now)?;
+            }
+            Packet::RemoteLoadReply { payload, .. } => {
+                if let Some(since) = self.load_waiters.remove(&dst) {
+                    self.add_idle(dst, since, now);
+                    self.wake_at(dst, now, Response::Bytes(payload));
+                }
+            }
+            data_pkt @ (Packet::PutData { .. }
+            | Packet::GetReply { .. }
+            | Packet::RingMsg { .. }
+            | Packet::RemoteStore { .. }) => {
+                // Receive DMA serializes arriving payloads.
+                let items = match &data_pkt {
+                    Packet::PutData { recv_stride, .. } => recv_stride.count,
+                    Packet::GetReply { recv_stride, .. } => recv_stride.count,
+                    _ => 1,
+                };
+                let dur = self.machine.dma_time(data_pkt.payload_bytes(), items);
+                let (_, end) = self.machine.cells[dst as usize].recv_dma.reserve(now, dur);
+                self.evq.push(end, Ev::RecvDone { dst, pkt: data_pkt });
+            }
+        }
+        Ok(())
+    }
+
+    fn recv_done(&mut self, dst: u32, pkt: Packet) -> ApResult<()> {
+        let now = self.now();
+        let did = CellId::new(dst);
+        match pkt {
+            Packet::PutData { raddr, recv_stride, recv_flag, payload, .. } => {
+                self.machine.scatter(did, raddr, recv_stride, &payload)?;
+                self.bump_flag(dst, recv_flag)?;
+            }
+            Packet::GetReply { laddr, recv_stride, recv_flag, payload, .. } => {
+                if !payload.is_empty() {
+                    self.machine.scatter(did, laddr, recv_stride, &payload)?;
+                }
+                self.bump_flag(dst, recv_flag)?;
+            }
+            Packet::RingMsg { src, payload } => {
+                let hw = &mut self.machine.cells[dst as usize];
+                hw.ring_bytes += payload.len() as u64;
+                hw.ring.push_back((src, payload));
+                // §4.3: a full ring buffer interrupts the OS to allocate a
+                // new one; the receiving CPU pays the service time.
+                if hw.ring_bytes > self.machine.cfg.hw.ring_capacity {
+                    hw.ring_bytes = 0; // fresh buffer
+                    hw.ring_overflows += 1;
+                    let service = self.machine.cfg.hw.os_interrupt_time;
+                    self.charge_overhead(dst, service);
+                }
+                if let Some(w) = self.recv_waiters.get(&dst).cloned() {
+                    if let Some(pos) = self.machine.cells[dst as usize]
+                        .ring
+                        .iter()
+                        .position(|(s, _)| *s == w.src)
+                    {
+                        self.recv_waiters.remove(&dst);
+                        let (_, payload) = self.machine.cells[dst as usize]
+                            .ring
+                            .remove(pos)
+                            .expect("pos valid");
+                        self.add_idle(dst, w.since, now);
+                        self.complete_recv(dst, w.laddr, w.max, payload, now)?;
+                    }
+                }
+            }
+            Packet::RemoteStore { src, raddr, payload } => {
+                self.machine.dsm_write(did, raddr.as_u64(), &payload)?;
+                self.machine.cells[dst as usize]
+                    .reply_remote_q
+                    .push(TxJob::RemoteAckTx { dst: src });
+                self.evq.push(now, Ev::SendPop { cell: dst });
+            }
+            other => unreachable!("recv_done got non-payload packet {other:?}"),
+        }
+        Ok(())
+    }
+
+    // ---- flags and registers ---------------------------------------------
+
+    /// Fetch-and-increment `flag` on `cell` and wake a satisfied waiter.
+    fn bump_flag(&mut self, cell: u32, flag: VAddr) -> ApResult<()> {
+        let now = self.now();
+        let Some(new) = self.machine.incr_flag(CellId::new(cell), flag)? else {
+            return Ok(());
+        };
+        let key = (cell, flag.as_u64());
+        if let Some(w) = self.flag_waiters.get(&key).copied() {
+            if new >= w.target {
+                self.flag_waiters.remove(&key);
+                let check = self.machine.cfg.hw.flag_check_time;
+                self.add_idle(cell, w.since, now);
+                self.charge_overhead(cell, check);
+                self.wake_at(cell, now + check, Response::Unit);
+            }
+        }
+        Ok(())
+    }
+
+    /// A communication-register store reached `cell` at `at`.
+    fn reg_store_arrived(&mut self, cell: u32, reg: u16, value: u32, at: SimTime) -> ApResult<()> {
+        let clobbered = self.machine.cells[cell as usize].regs.store(reg as usize, value);
+        if clobbered {
+            return Err(ApError::InvalidArg(format!(
+                "communication register {reg} on cell{cell} overwritten while p-bit set \
+                 (reduction protocol violation)"
+            )));
+        }
+        if let Some(since) = self.reg_waiters.remove(&(cell, reg)) {
+            let v = self.machine.cells[cell as usize]
+                .regs
+                .load(reg as usize)
+                .expect("p-bit just set");
+            let cost = self.machine.cfg.hw.reg_load_time;
+            self.add_idle(cell, since, at);
+            self.charge_overhead(cell, cost);
+            self.wake_at(cell, at + cost, Response::Value(v));
+        }
+        Ok(())
+    }
+}

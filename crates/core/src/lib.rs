@@ -1,0 +1,170 @@
+//! # apcore — the AP1000+ machine emulator and PUT/GET interface
+//!
+//! This crate is the heart of the reproduction of *"AP1000+: Architectural
+//! Support of PUT/GET Interface for Parallelizing Compiler"* (ASPLOS'94):
+//! a deterministic, functional + timing emulator of the AP1000+ machine
+//! and the SPMD programming interface the paper's compilers target.
+//!
+//! A program is an ordinary Rust closure run once per cell; it talks to
+//! the machine through a [`Cell`] handle offering `put`/`get` (plain and
+//! strided), completion flags, SEND/RECEIVE ring buffers, S-net barriers,
+//! communication-register reductions, B-net broadcast, and DSM remote
+//! load/store. Data really moves between simulated memories — programs
+//! compute real answers — while the kernel simultaneously tracks simulated
+//! time through MSC+ queues, DMA engines, and the T-net torus.
+//!
+//! # Examples
+//!
+//! Every even cell PUTs eight bytes to its right neighbour, which waits on
+//! the receive flag:
+//!
+//! ```
+//! use apcore::{run_with, MachineConfig};
+//!
+//! let report = run_with(MachineConfig::new(4), |cell| {
+//!     let buf = cell.alloc::<f64>(1);
+//!     let flag = cell.alloc_flag();
+//!     let me = cell.id();
+//!     let n = cell.ncells();
+//!     cell.write_pod(buf, me as f64);
+//!     cell.barrier();
+//!     // Ring shift: PUT my value into my right neighbour's buffer.
+//!     cell.put((me + 1) % n, buf, buf, 8, aputil::VAddr::NULL, flag, false);
+//!     cell.wait_flag(flag, 1);
+//!     cell.read_pod::<f64>(buf)
+//! })
+//! .unwrap();
+//! // Cell i now holds the value of its left neighbour.
+//! assert_eq!(report.outputs, vec![3.0, 0.0, 1.0, 2.0]);
+//! ```
+
+pub mod accounting;
+pub mod cell;
+pub mod config;
+mod kernel;
+mod machine;
+mod request;
+
+pub use accounting::{CellTimes, RunReport};
+pub use cell::{Cell, ReduceOp};
+pub use config::{HwParams, MachineConfig};
+pub use request::Mark;
+
+// Re-export the vocabulary types users need at the API boundary.
+pub use apmsc::StrideSpec;
+pub use aputil::{ApError, ApResult, CellId, SimTime, VAddr};
+
+use crossbeam::channel::unbounded;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::thread;
+
+/// Runs `program` as an SPMD job: one copy per cell, in simulated
+/// lockstep. Returns the per-cell outputs, the time breakdown, the probe
+/// trace, and machine statistics.
+///
+/// # Errors
+///
+/// * [`ApError::PageFault`] / [`ApError::OutOfRange`] — a program handed
+///   the hardware an illegal address (the paper's protection check).
+/// * [`ApError::Deadlock`] — every cell is blocked and no hardware events
+///   remain.
+/// * [`ApError::CellFailed`] — a program panicked.
+/// * [`ApError::InvalidArg`] — malformed PUT/GET descriptors, mismatched
+///   collectives, or reduction-protocol violations.
+///
+/// # Examples
+///
+/// ```
+/// use apcore::{run_with, MachineConfig};
+///
+/// let sums = run_with(MachineConfig::new(8), |cell| {
+///     cell.reduce_sum_f64(cell.id() as f64)
+/// })
+/// .unwrap();
+/// assert!(sums.outputs.iter().all(|&s| s == 28.0));
+/// ```
+pub fn run_with<T, F>(cfg: MachineConfig, program: F) -> ApResult<RunReport<T>>
+where
+    T: Send + 'static,
+    F: Fn(&mut Cell) -> T + Send + Sync + 'static,
+{
+    let machine = machine::Machine::new(cfg);
+    let (req_tx, req_rx) = unbounded();
+    let program = Arc::new(program);
+    let mut resume_txs = Vec::with_capacity(cfg.ncells as usize);
+    let mut handles = Vec::with_capacity(cfg.ncells as usize);
+    for id in 0..cfg.ncells {
+        let (resume_tx, resume_rx) = unbounded();
+        resume_txs.push(resume_tx);
+        let req_tx = req_tx.clone();
+        let program = Arc::clone(&program);
+        let ncells = cfg.ncells;
+        handles.push(
+            thread::Builder::new()
+                .name(format!("cell{id}"))
+                .spawn(move || -> Result<T, String> {
+                    let mut cell = Cell::new(CellId::new(id), ncells, req_tx, resume_rx);
+                    cell.wait_boot();
+                    match catch_unwind(AssertUnwindSafe(|| program(&mut cell))) {
+                        Ok(out) => {
+                            cell.finish();
+                            Ok(out)
+                        }
+                        Err(payload) => {
+                            let reason = payload
+                                .downcast_ref::<&str>()
+                                .map(|s| s.to_string())
+                                .or_else(|| payload.downcast_ref::<String>().cloned())
+                                .unwrap_or_else(|| "panic".to_string());
+                            cell.fail(reason.clone());
+                            Err(reason)
+                        }
+                    }
+                })
+                .expect("spawn cell thread"),
+        );
+    }
+    drop(req_tx);
+
+    let mut kernel = kernel::Kernel::new(machine, resume_txs, req_rx);
+    let run_result = kernel.run();
+    let (machine, resume_txs) = kernel.into_parts();
+    // Unblock any threads still parked on their resume channels.
+    drop(resume_txs);
+
+    let mut outputs = Vec::with_capacity(handles.len());
+    let mut thread_error: Option<(u32, String)> = None;
+    for (id, h) in handles.into_iter().enumerate() {
+        match h.join() {
+            Ok(Ok(out)) => outputs.push(out),
+            Ok(Err(reason)) => {
+                thread_error.get_or_insert((id as u32, reason));
+            }
+            Err(_) => {
+                thread_error.get_or_insert((id as u32, "program thread panicked".to_string()));
+            }
+        }
+    }
+
+    let total_time = run_result?;
+    if let Some((id, reason)) = thread_error {
+        return Err(ApError::CellFailed {
+            cell: CellId::new(id),
+            reason,
+        });
+    }
+
+    let queue_spills = machine.cells.iter().map(|c| c.total_spills()).sum();
+    let ring_overflows = machine.cells.iter().map(|c| c.ring_overflows).sum();
+    Ok(RunReport {
+        outputs,
+        times: machine.times,
+        total_time,
+        trace: machine.trace,
+        tnet: machine.tnet.stats(),
+        barriers: machine.snet.epochs(),
+        queue_spills,
+        ring_overflows,
+    })
+}

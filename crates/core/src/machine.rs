@@ -1,0 +1,290 @@
+//! The assembled machine: per-cell hardware plus the three networks.
+
+use crate::accounting::CellTimes;
+use crate::config::MachineConfig;
+use apmem::{CommRegs, DsmMap, FlagUnit, MemError, Memory, Mmu};
+use apmsc::stride;
+use apmsc::{dma, GetArgs, HwQueue, PutArgs, StrideSpec};
+use apnet::{BNet, SNet, TNet, TNetParams, Torus};
+use apsim::Resource;
+use aputil::{ApError, ApResult, CellId, SimTime, VAddr};
+use std::collections::VecDeque;
+
+/// A queued transmit job for a cell's send controller.
+#[derive(Clone, Debug)]
+pub(crate) enum TxJob {
+    /// User PUT.
+    Put(PutArgs),
+    /// User GET request.
+    GetReq(GetArgs),
+    /// SEND-model ring-buffer message; `wake_sender` marks the blocking
+    /// SEND library call waiting for send-DMA completion.
+    Ring {
+        dst: CellId,
+        laddr: VAddr,
+        bytes: u64,
+        wake_sender: bool,
+    },
+    /// Reply to a GET served by this cell.
+    GetReply {
+        requester: CellId,
+        raddr: VAddr,
+        send_stride: StrideSpec,
+        send_flag: VAddr,
+        reply_laddr: VAddr,
+        reply_stride: StrideSpec,
+        reply_flag: VAddr,
+    },
+    /// DSM remote store.
+    RemoteStoreTx { dst: CellId, offset: u64, data: Vec<u8> },
+    /// DSM remote load request.
+    RemoteLoadReqTx { dst: CellId, offset: u64, len: u64 },
+    /// DSM remote load reply.
+    RemoteLoadReplyTx { dst: CellId, data: Vec<u8> },
+    /// Automatic acknowledge of a received remote store.
+    RemoteAckTx { dst: CellId },
+}
+
+/// A transmit job popped from a queue with its gathered payload, occupying
+/// the send DMA engine.
+#[derive(Clone, Debug)]
+pub(crate) struct ActiveTx {
+    pub job: TxJob,
+    pub payload: Vec<u8>,
+}
+
+/// One cell's hardware state.
+pub(crate) struct CellHw {
+    pub mmu: Mmu,
+    pub mem: Memory,
+    pub flag_unit: FlagUnit,
+    pub regs: CommRegs,
+    /// User PUT/GET sends (§4.1: user send queue).
+    pub user_q: HwQueue<TxJob>,
+    /// System PUT/GET sends (kept for fidelity; used by DSM remote access
+    /// initiation).
+    pub remote_q: HwQueue<TxJob>,
+    /// GET replies.
+    pub reply_get_q: HwQueue<TxJob>,
+    /// Remote-load replies ("remote load replies precede GET replies").
+    pub reply_remote_q: HwQueue<TxJob>,
+    pub send_busy: bool,
+    pub active_tx: Option<ActiveTx>,
+    pub recv_dma: Resource,
+    /// Arrived ring-buffer messages: `(src, payload)`.
+    pub ring: VecDeque<(CellId, Vec<u8>)>,
+    /// Bytes currently buffered in the ring.
+    pub ring_bytes: u64,
+    /// Times the ring exceeded its capacity (§4.3 OS allocations).
+    pub ring_overflows: u64,
+    /// Remote stores issued / acknowledged (the implicit acknowledge flag
+    /// of §2.2).
+    pub rstore_issued: u64,
+    pub rstore_acked: u64,
+}
+
+impl CellHw {
+    fn new(mem_size: u64) -> Self {
+        CellHw {
+            mmu: Mmu::new(mem_size),
+            mem: Memory::new(mem_size),
+            flag_unit: FlagUnit::new(),
+            regs: CommRegs::new(),
+            user_q: HwQueue::new("user send", 8),
+            remote_q: HwQueue::new("remote access", 8),
+            reply_get_q: HwQueue::new("get reply", 8),
+            reply_remote_q: HwQueue::new("remote reply", 8),
+            send_busy: false,
+            active_tx: None,
+            recv_dma: Resource::new(),
+            ring: VecDeque::new(),
+            ring_bytes: 0,
+            ring_overflows: 0,
+            rstore_issued: 0,
+            rstore_acked: 0,
+        }
+    }
+
+    /// Pops the highest-priority pending transmit job. Priority (§4.1):
+    /// remote-load replies, then remote access, then GET replies, then
+    /// user sends.
+    pub fn pop_tx(&mut self) -> Option<TxJob> {
+        self.reply_remote_q
+            .pop()
+            .or_else(|| self.remote_q.pop())
+            .or_else(|| self.reply_get_q.pop())
+            .or_else(|| self.user_q.pop())
+    }
+
+    /// Total OS refill interrupts across the four queues (§4.1: "When
+    /// the queue empties, the MSC+ interrupts the operating system, which
+    /// then loads data from the buffer in DRAM back into the queue").
+    pub fn total_refills(&self) -> u64 {
+        self.user_q.stats().refill_interrupts
+            + self.remote_q.stats().refill_interrupts
+            + self.reply_get_q.stats().refill_interrupts
+            + self.reply_remote_q.stats().refill_interrupts
+    }
+
+    /// Total spilled entries across the four queues.
+    pub fn total_spills(&self) -> u64 {
+        self.user_q.stats().spilled
+            + self.remote_q.stats().spilled
+            + self.reply_get_q.stats().spilled
+            + self.reply_remote_q.stats().spilled
+    }
+}
+
+/// The whole machine.
+pub(crate) struct Machine {
+    pub cfg: MachineConfig,
+    pub cells: Vec<CellHw>,
+    pub tnet: TNet,
+    pub bnet: BNet,
+    pub snet: SNet,
+    pub dsm: DsmMap,
+    pub times: Vec<CellTimes>,
+    pub trace: aptrace::Trace,
+}
+
+impl Machine {
+    pub fn new(cfg: MachineConfig) -> Self {
+        let torus = Torus::for_cells(cfg.ncells);
+        let tparams = TNetParams {
+            prolog: cfg.hw.net_prolog,
+            per_hop: cfg.hw.net_per_hop,
+            per_byte: cfg.hw.net_per_byte,
+        };
+        Machine {
+            cells: (0..cfg.ncells).map(|_| CellHw::new(cfg.mem_size)).collect(),
+            tnet: TNet::new(torus, tparams, cfg.contention),
+            bnet: BNet::with_params(cfg.ncells, cfg.hw.net_prolog, cfg.hw.bnet_per_byte),
+            snet: SNet::new(cfg.ncells, cfg.hw.barrier_latency),
+            dsm: DsmMap::new(cfg.ncells, cfg.mem_size),
+            times: vec![CellTimes::default(); cfg.ncells as usize],
+            trace: aptrace::Trace::new(cfg.ncells as usize),
+            cfg,
+        }
+    }
+
+    pub fn check_cell(&self, cell: CellId) -> ApResult<()> {
+        if cell.index() < self.cells.len() {
+            Ok(())
+        } else {
+            Err(ApError::NoSuchCell {
+                cell,
+                ncells: self.cells.len(),
+            })
+        }
+    }
+
+    fn wrap(cell: CellId, e: MemError) -> ApError {
+        match e {
+            MemError::PageFault { addr } => ApError::PageFault { cell, addr },
+            MemError::OutOfBounds { addr, len, .. } => ApError::OutOfRange {
+                cell,
+                addr: VAddr::new(addr.as_u64()),
+                len,
+            },
+            MemError::OutOfFrames { requested } => {
+                ApError::InvalidArg(format!("{cell} out of memory allocating {requested} bytes"))
+            }
+            other => ApError::InvalidArg(format!("{cell} memory error: {other}")),
+        }
+    }
+
+    /// Data-plane read of a cell's logical memory.
+    pub fn read_v(&mut self, cell: CellId, addr: VAddr, len: u64) -> ApResult<Vec<u8>> {
+        let hw = &mut self.cells[cell.index()];
+        dma::read_virtual(&mut hw.mmu, &hw.mem, addr, len)
+            .map(|r| r.data)
+            .map_err(|e| Self::wrap(cell, e))
+    }
+
+    /// Data-plane write of a cell's logical memory.
+    pub fn write_v(&mut self, cell: CellId, addr: VAddr, data: &[u8]) -> ApResult<()> {
+        let hw = &mut self.cells[cell.index()];
+        dma::write_virtual(&mut hw.mmu, &mut hw.mem, addr, data)
+            .map(|_| ())
+            .map_err(|e| Self::wrap(cell, e))
+    }
+
+    /// Stride-gather on a cell (send-side DMA).
+    pub fn gather(&mut self, cell: CellId, base: VAddr, spec: StrideSpec) -> ApResult<Vec<u8>> {
+        let hw = &mut self.cells[cell.index()];
+        stride::gather(&mut hw.mmu, &hw.mem, base, spec)
+            .map(|(d, _)| d)
+            .map_err(|e| Self::wrap(cell, e))
+    }
+
+    /// Stride-scatter on a cell (receive-side DMA).
+    pub fn scatter(
+        &mut self,
+        cell: CellId,
+        base: VAddr,
+        spec: StrideSpec,
+        data: &[u8],
+    ) -> ApResult<()> {
+        let hw = &mut self.cells[cell.index()];
+        stride::scatter(&mut hw.mmu, &mut hw.mem, base, spec, data)
+            .map(|_| ())
+            .map_err(|e| Self::wrap(cell, e))
+    }
+
+    /// Fetch-and-increment of a flag on `cell`; returns the new value, or
+    /// `None` when the flag address is null (no-op).
+    pub fn incr_flag(&mut self, cell: CellId, flag: VAddr) -> ApResult<Option<u32>> {
+        let hw = &mut self.cells[cell.index()];
+        match hw.flag_unit.fetch_increment(&mut hw.mmu, &mut hw.mem, flag) {
+            Ok(Some(old)) => Ok(Some(old.wrapping_add(1))),
+            Ok(None) => Ok(None),
+            Err(e) => Err(Self::wrap(cell, e)),
+        }
+    }
+
+    /// Reads a flag's current value.
+    pub fn read_flag(&self, cell: CellId, flag: VAddr) -> ApResult<u32> {
+        let hw = &self.cells[cell.index()];
+        hw.flag_unit
+            .read(&hw.mmu, &hw.mem, flag)
+            .map_err(|e| Self::wrap(cell, e))
+    }
+
+    /// Physical read in a cell's DSM window (`offset` within the shared
+    /// block, which aliases the top half of DRAM, §4.2).
+    pub fn dsm_read(&self, cell: CellId, offset: u64, len: u64) -> ApResult<Vec<u8>> {
+        let base = self
+            .dsm
+            .shared_addr(cell, offset)
+            .and_then(|a| self.dsm.resolve(a))
+            .ok_or_else(|| ApError::InvalidArg(format!("DSM offset {offset} out of window")))?
+            .1;
+        let mut buf = vec![0u8; len as usize];
+        self.cells[cell.index()]
+            .mem
+            .read(base, &mut buf)
+            .map_err(|e| Self::wrap(cell, e))?;
+        Ok(buf)
+    }
+
+    /// Physical write in a cell's DSM window.
+    pub fn dsm_write(&mut self, cell: CellId, offset: u64, data: &[u8]) -> ApResult<()> {
+        let base = self
+            .dsm
+            .shared_addr(cell, offset)
+            .and_then(|a| self.dsm.resolve(a))
+            .ok_or_else(|| ApError::InvalidArg(format!("DSM offset {offset} out of window")))?
+            .1;
+        self.cells[cell.index()]
+            .mem
+            .write(base, data)
+            .map_err(|e| Self::wrap(cell, e))
+    }
+
+    /// DMA duration for a payload with `items` stride descriptors.
+    pub fn dma_time(&self, bytes: u64, items: u32) -> SimTime {
+        self.cfg.hw.dma_set_time
+            + self.cfg.hw.dma_per_byte.saturating_mul(bytes)
+            + self.cfg.hw.stride_item_time.saturating_mul(items.saturating_sub(1) as u64)
+    }
+}

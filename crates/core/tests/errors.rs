@@ -1,0 +1,171 @@
+//! Error-path coverage: every §3.2 protection case and protocol misuse
+//! must surface as a structured error, never a hang or silent corruption.
+
+use apcore::{run_with, ApError, MachineConfig, ReduceOp, VAddr};
+
+fn cfg(n: u32) -> MachineConfig {
+    MachineConfig::new(n)
+}
+
+#[test]
+fn put_to_nonexistent_cell_is_rejected() {
+    let err = run_with(cfg(2), |cell| {
+        let buf = cell.alloc::<f64>(1);
+        cell.put(7, buf, buf, 8, VAddr::NULL, VAddr::NULL, false);
+    })
+    .unwrap_err();
+    assert!(matches!(err, ApError::NoSuchCell { .. }), "got {err}");
+}
+
+#[test]
+fn get_from_nonexistent_cell_is_rejected() {
+    let err = run_with(cfg(2), |cell| {
+        let buf = cell.alloc::<f64>(1);
+        let flag = cell.alloc_flag();
+        cell.get(9, buf, buf, 8, VAddr::NULL, flag);
+    })
+    .unwrap_err();
+    assert!(matches!(err, ApError::NoSuchCell { .. }), "got {err}");
+}
+
+#[test]
+fn mismatched_put_strides_are_rejected() {
+    use apcore::StrideSpec;
+    let err = run_with(cfg(2), |cell| {
+        let buf = cell.alloc::<f64>(64);
+        cell.put_stride(
+            1,
+            buf,
+            buf,
+            StrideSpec::new(8, 4, 16),  // 32 bytes
+            StrideSpec::new(8, 5, 16),  // 40 bytes
+            VAddr::NULL,
+            VAddr::NULL,
+            false,
+        );
+    })
+    .unwrap_err();
+    match err {
+        ApError::InvalidArg(msg) => assert!(msg.contains("bytes"), "msg: {msg}"),
+        other => panic!("expected InvalidArg, got {other}"),
+    }
+}
+
+#[test]
+fn oversized_dma_is_rejected() {
+    let err = run_with(cfg(2).with_mem_size(32 << 20), |cell| {
+        let buf = cell.alloc_bytes(8 << 20);
+        // 8 MB exceeds the 4 MB single-DMA maximum of §4.1.
+        cell.put(1, buf, buf, 8 << 20, VAddr::NULL, VAddr::NULL, false);
+    })
+    .unwrap_err();
+    match err {
+        ApError::InvalidArg(msg) => assert!(msg.contains("4 MB"), "msg: {msg}"),
+        other => panic!("expected InvalidArg, got {other}"),
+    }
+}
+
+#[test]
+fn wait_on_unmapped_flag_faults() {
+    let err = run_with(cfg(2), |cell| {
+        cell.wait_flag(VAddr::new(0xeeee_0000), 1);
+    })
+    .unwrap_err();
+    assert!(matches!(err, ApError::PageFault { .. }), "got {err}");
+}
+
+#[test]
+fn reduction_protocol_violation_is_detected() {
+    // Two cells run *different* reductions concurrently: their register
+    // stores collide on a set p-bit, which the kernel reports instead of
+    // corrupting values.
+    let err = run_with(cfg(4), |cell| {
+        if cell.id() < 2 {
+            let group = vec![0, 1];
+            cell.group_reduce_f64(&group, 1.0, ReduceOp::Sum);
+        } else {
+            // Overlapping group using the same register slots, racing the
+            // other group's protocol on cells 0/1... simulate misuse by
+            // storing directly into a busy register.
+            cell.reg_store(0, 0, 7);
+            cell.reg_store(0, 0, 8); // second store before any load
+        }
+    })
+    .unwrap_err();
+    match err {
+        ApError::InvalidArg(msg) => {
+            assert!(msg.contains("p-bit") || msg.contains("register"), "msg: {msg}")
+        }
+        // Depending on interleaving the reduction may also deadlock after
+        // the stray value is consumed; both are structured failures.
+        ApError::Deadlock(_) | ApError::CellFailed { .. } => {}
+        other => panic!("unexpected error {other}"),
+    }
+}
+
+#[test]
+fn group_member_missing_panics_cleanly() {
+    let err = run_with(cfg(4), |cell| {
+        if cell.id() == 3 {
+            // Not a member of the group it joins.
+            cell.group_barrier(&[0, 1, 2]);
+        }
+    })
+    .unwrap_err();
+    match err {
+        ApError::CellFailed { reason, .. } => {
+            assert!(reason.contains("member"), "reason: {reason}")
+        }
+        // The other cells may be reported first as deadlocked.
+        ApError::Deadlock(_) => {}
+        other => panic!("unexpected {other}"),
+    }
+}
+
+#[test]
+fn recv_truncates_to_max() {
+    let r = run_with(cfg(2), |cell| {
+        let buf = cell.alloc::<f64>(16);
+        if cell.id() == 0 {
+            cell.write_slice(buf, &[1.0f64; 16]);
+            cell.send(1, buf, 128);
+            0
+        } else {
+            // Only accept 40 of the 128 bytes.
+            cell.recv(0, buf, 40)
+        }
+    })
+    .unwrap();
+    assert_eq!(r.outputs[1], 40);
+}
+
+#[test]
+fn allocation_exhaustion_is_reported() {
+    let err = run_with(cfg(1).with_mem_size(1 << 20), |cell| {
+        loop {
+            let _ = cell.alloc_bytes(1 << 19);
+        }
+    })
+    .unwrap_err();
+    match err {
+        ApError::InvalidArg(msg) => assert!(msg.contains("allocate"), "msg: {msg}"),
+        other => panic!("expected allocation failure, got {other}"),
+    }
+}
+
+#[test]
+fn bcast_size_mismatch_is_detected() {
+    let err = run_with(cfg(2), |cell| {
+        let buf = cell.alloc::<f64>(4);
+        if cell.id() == 0 {
+            cell.bcast(0, buf, 32);
+        } else {
+            cell.bcast(0, buf, 16);
+        }
+    })
+    .unwrap_err();
+    match err {
+        ApError::InvalidArg(msg) => assert!(msg.contains("bcast"), "msg: {msg}"),
+        other => panic!("expected InvalidArg, got {other}"),
+    }
+}

@@ -1,0 +1,97 @@
+//! Table-2 / Figure-8 report helpers.
+
+use crate::replay::ReplayResult;
+use aputil::SimTime;
+
+/// Speedup of `fast` relative to `slow` — Table 2 reports
+/// `time(AP1000) / time(model)`.
+pub fn speedup(slow: &ReplayResult, fast: &ReplayResult) -> f64 {
+    if fast.total == SimTime::ZERO {
+        return 0.0;
+    }
+    slow.total.as_nanos() as f64 / fast.total.as_nanos() as f64
+}
+
+/// One stacked bar of Figure 8, as percentages of a reference total.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Fig8Row {
+    /// Execution time (%).
+    pub exec: f64,
+    /// Run-time-system time (%).
+    pub rts: f64,
+    /// Communication overhead (%).
+    pub overhead: f64,
+    /// Idle time (%).
+    pub idle: f64,
+    /// Total height of the bar (%) — 100 for the reference model.
+    pub total: f64,
+}
+
+impl Fig8Row {
+    /// Sum of the four components.
+    pub fn stack(&self) -> f64 {
+        self.exec + self.rts + self.overhead + self.idle
+    }
+}
+
+/// Builds the Figure-8 bars for a set of replays of the same trace,
+/// normalized to `reference`'s total time (the paper normalizes to the
+/// AP1000+ bar = 100%).
+pub fn fig8_rows(reference: &ReplayResult, models: &[&ReplayResult]) -> Vec<Fig8Row> {
+    let norm = reference.total.as_nanos() as f64;
+    models
+        .iter()
+        .map(|r| {
+            let mean = |f: fn(&crate::replay::PeBreakdown) -> SimTime| {
+                r.mean(f).as_nanos() as f64 / norm * 100.0
+            };
+            Fig8Row {
+                exec: mean(|b| b.exec),
+                rts: mean(|b| b.rts),
+                overhead: mean(|b| b.overhead),
+                idle: mean(|b| b.idle),
+                total: r.total.as_nanos() as f64 / norm * 100.0,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replay::PeBreakdown;
+
+    fn result(total_us: u64, exec_us: u64, idle_us: u64) -> ReplayResult {
+        ReplayResult {
+            model: "t".into(),
+            per_pe: vec![PeBreakdown {
+                exec: SimTime::from_micros(exec_us),
+                rts: SimTime::ZERO,
+                overhead: SimTime::ZERO,
+                idle: SimTime::from_micros(idle_us),
+                finish: SimTime::from_micros(total_us),
+            }],
+            total: SimTime::from_micros(total_us),
+        }
+    }
+
+    #[test]
+    fn speedup_ratio() {
+        let slow = result(800, 800, 0);
+        let fast = result(100, 100, 0);
+        assert_eq!(speedup(&slow, &fast), 8.0);
+        assert_eq!(speedup(&slow, &result(0, 0, 0)), 0.0);
+    }
+
+    #[test]
+    fn fig8_normalizes_to_reference() {
+        let plus = result(100, 80, 20);
+        let star = result(150, 80, 70);
+        let rows = fig8_rows(&plus, &[&plus, &star]);
+        assert_eq!(rows[0].total, 100.0);
+        assert!((rows[0].exec - 80.0).abs() < 1e-9);
+        assert!((rows[1].total - 150.0).abs() < 1e-9);
+        assert!((rows[1].idle - 70.0).abs() < 1e-9);
+        assert!((rows[0].stack() - 100.0).abs() < 1e-9);
+    }
+}
