@@ -96,7 +96,11 @@ impl Cg {
             }
             // Residual ||x - A z|| and the eigenvalue estimate.
             a.matvec(&z, &mut q);
-            let resid: f64 = x.iter().zip(&q).map(|(a, b)| (a - b) * (a - b)).sum::<f64>();
+            let resid: f64 = x
+                .iter()
+                .zip(&q)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f64>();
             let xz: f64 = x.iter().zip(&z).map(|(a, b)| a * b).sum();
             let znorm: f64 = z.iter().map(|v| v * v).sum::<f64>().sqrt();
             zetas.push(1.0 / xz + resid.sqrt());
@@ -240,9 +244,9 @@ impl Workload for Cg {
             let mut q_full = vec![0.0f64; n];
 
             let matvec = |cell: &mut Cell,
-                              v_block: &[f64],
-                              q_full: &mut Vec<f64>,
-                              vgops: &mut u32|
+                          v_block: &[f64],
+                          q_full: &mut Vec<f64>,
+                          vgops: &mut u32|
              -> Vec<f64> {
                 for (i, row) in rows.iter().enumerate() {
                     let mut s = 0.0;
@@ -253,7 +257,15 @@ impl Workload for Cg {
                 }
                 cell.work(2 * nnz_block as u64);
                 cell.rts(2);
-                ring_reduce_scatter(cell, q_full, scratch, blocks, flag, vgops, cfg.streamed_ring);
+                ring_reduce_scatter(
+                    cell,
+                    q_full,
+                    scratch,
+                    blocks,
+                    flag,
+                    vgops,
+                    cfg.streamed_ring,
+                );
                 q_full[lo..hi].to_vec()
             };
 
@@ -286,8 +298,7 @@ impl Workload for Cg {
                     cell.work(2 * nb as u64);
                 }
                 let az = matvec(cell, &z, &mut q_full, &mut vgops);
-                let local_resid: f64 =
-                    x.iter().zip(&az).map(|(a, b)| (a - b) * (a - b)).sum();
+                let local_resid: f64 = x.iter().zip(&az).map(|(a, b)| (a - b) * (a - b)).sum();
                 let local_xz: f64 = x.iter().zip(&z).map(|(a, b)| a * b).sum();
                 let local_zz: f64 = z.iter().map(|v| v * v).sum();
                 cell.work(6 * nb as u64);

@@ -59,8 +59,14 @@ impl Ep {
     /// Standard instance at `scale` (64 PEs as in Table 3).
     pub fn new(scale: Scale) -> Self {
         match scale {
-            Scale::Test => Ep { pe: 4, log2_pairs: 12 },
-            Scale::Paper => Ep { pe: 64, log2_pairs: 20 },
+            Scale::Test => Ep {
+                pe: 4,
+                log2_pairs: 12,
+            },
+            Scale::Paper => Ep {
+                pe: 64,
+                log2_pairs: 20,
+            },
         }
     }
 }
@@ -142,6 +148,9 @@ mod tests {
         let t = tally_range(0, 100_000);
         let accepted: u64 = t.counts.iter().sum();
         let rate = accepted as f64 / 100_000.0;
-        assert!((rate - std::f64::consts::PI / 4.0).abs() < 0.01, "rate {rate}");
+        assert!(
+            (rate - std::f64::consts::PI / 4.0).abs() < 0.01,
+            "rate {rate}"
+        );
     }
 }

@@ -38,13 +38,27 @@ impl Ft {
     /// Standard instance at `scale`.
     pub fn new(scale: Scale) -> Self {
         match scale {
-            Scale::Test => Ft { pe: 4, nx: 8, ny: 8, nz: 8, iters: 2 },
-            Scale::Paper => Ft { pe: 128, nx: 128, ny: 64, nz: 128, iters: 3 },
+            Scale::Test => Ft {
+                pe: 4,
+                nx: 8,
+                ny: 8,
+                nz: 8,
+                iters: 2,
+            },
+            Scale::Paper => Ft {
+                pe: 128,
+                nx: 128,
+                ny: 64,
+                nz: 128,
+                iters: 3,
+            },
         }
     }
 
     fn check(&self) {
-        assert!(self.nx.is_power_of_two() && self.ny.is_power_of_two() && self.nz.is_power_of_two());
+        assert!(
+            self.nx.is_power_of_two() && self.ny.is_power_of_two() && self.nz.is_power_of_two()
+        );
         assert_eq!(self.nx % self.pe as usize, 0, "pe must divide nx");
         assert_eq!(self.nz % self.pe as usize, 0, "pe must divide nz");
     }
@@ -224,133 +238,119 @@ impl Workload for Ft {
             };
 
             // All-to-all forward transpose: slab A -> pencil B.
-            let transpose_fwd = |cell: &mut apcore::Cell,
-                                 a: &[f64],
-                                 arrivals: &mut u32|
-             -> Vec<f64> {
-                cell.write_slice(a_buf, a);
-                cell.barrier();
-                for q in 0..p {
-                    if q == me {
-                        continue;
+            let transpose_fwd =
+                |cell: &mut apcore::Cell, a: &[f64], arrivals: &mut u32| -> Vec<f64> {
+                    cell.write_slice(a_buf, a);
+                    cell.barrier();
+                    for q in 0..p {
+                        if q == me {
+                            continue;
+                        }
+                        cell.rts((nzb * ny) as u64 / 4);
+                        // My rows of q's x-block: runs of nxb complex at every
+                        // (z, y) of my slab.
+                        let send =
+                            StrideSpec::new((nxb * 16) as u32, (nzb * ny) as u32, (nx * 16) as u32);
+                        let block_bytes = (nxb * ny * nzb * 16) as u64;
+                        let recv = StrideSpec::contiguous(block_bytes);
+                        cell.put_stride(
+                            q,
+                            staging + (me * nxb * ny * nzb * 16) as u64,
+                            a_buf + (q * nxb * 16) as u64,
+                            send,
+                            recv,
+                            VAddr::NULL,
+                            flag,
+                            true,
+                        );
                     }
-                    cell.rts((nzb * ny) as u64 / 4);
-                    // My rows of q's x-block: runs of nxb complex at every
-                    // (z, y) of my slab.
-                    let send = StrideSpec::new(
-                        (nxb * 16) as u32,
-                        (nzb * ny) as u32,
-                        (nx * 16) as u32,
-                    );
-                    let block_bytes = (nxb * ny * nzb * 16) as u64;
-                    let recv = StrideSpec::contiguous(block_bytes);
-                    cell.put_stride(
-                        q,
-                        staging + (me * nxb * ny * nzb * 16) as u64,
-                        a_buf + (q * nxb * 16) as u64,
-                        send,
-                        recv,
-                        VAddr::NULL,
-                        flag,
-                        true,
-                    );
-                }
-                cell.wait_acks();
-                *arrivals += (p - 1) as u32;
-                cell.wait_flag(flag, *arrivals);
-                // Assemble B from the staging blocks (+ own block direct).
-                let st = cell.read_slice::<f64>(staging, pencil);
-                let mut b = vec![0.0f64; pencil];
-                for src in 0..p {
-                    for zz in 0..nzb {
-                        let z = src * nzb + zz;
-                        for y in 0..ny {
-                            for xx in 0..nxb {
-                                let (re, im) = if src == me {
-                                    let idx = 2 * ((zz * ny + y) * nx + me * nxb + xx);
-                                    (a[idx], a[idx + 1])
-                                } else {
-                                    let s = 2
-                                        * ((src * nxb * ny * nzb)
-                                            + (zz * ny + y) * nxb
-                                            + xx);
-                                    (st[s], st[s + 1])
-                                };
-                                let d = 2 * ((xx * ny + y) * nz + z);
-                                b[d] = re;
-                                b[d + 1] = im;
+                    cell.wait_acks();
+                    *arrivals += (p - 1) as u32;
+                    cell.wait_flag(flag, *arrivals);
+                    // Assemble B from the staging blocks (+ own block direct).
+                    let st = cell.read_slice::<f64>(staging, pencil);
+                    let mut b = vec![0.0f64; pencil];
+                    for src in 0..p {
+                        for zz in 0..nzb {
+                            let z = src * nzb + zz;
+                            for y in 0..ny {
+                                for xx in 0..nxb {
+                                    let (re, im) = if src == me {
+                                        let idx = 2 * ((zz * ny + y) * nx + me * nxb + xx);
+                                        (a[idx], a[idx + 1])
+                                    } else {
+                                        let s =
+                                            2 * ((src * nxb * ny * nzb) + (zz * ny + y) * nxb + xx);
+                                        (st[s], st[s + 1])
+                                    };
+                                    let d = 2 * ((xx * ny + y) * nz + z);
+                                    b[d] = re;
+                                    b[d + 1] = im;
+                                }
                             }
                         }
                     }
-                }
-                cell.work((nxb * ny * nz) as u64);
-                cell.barrier();
-                b
-            };
+                    cell.work((nxb * ny * nz) as u64);
+                    cell.barrier();
+                    b
+                };
 
             // All-to-all backward transpose: pencil B -> slab A.
-            let transpose_bwd = |cell: &mut apcore::Cell,
-                                 b: &[f64],
-                                 arrivals: &mut u32|
-             -> Vec<f64> {
-                cell.write_slice(b_buf, b);
-                cell.barrier();
-                for q in 0..p {
-                    if q == me {
-                        continue;
+            let transpose_bwd =
+                |cell: &mut apcore::Cell, b: &[f64], arrivals: &mut u32| -> Vec<f64> {
+                    cell.write_slice(b_buf, b);
+                    cell.barrier();
+                    for q in 0..p {
+                        if q == me {
+                            continue;
+                        }
+                        cell.rts((nxb * ny) as u64 / 4);
+                        // q's z-rows of my x-block: runs of nzb complex at
+                        // every (x_local, y).
+                        let send =
+                            StrideSpec::new((nzb * 16) as u32, (nxb * ny) as u32, (nz * 16) as u32);
+                        let block_bytes = (nxb * ny * nzb * 16) as u64;
+                        let recv = StrideSpec::contiguous(block_bytes);
+                        cell.put_stride(
+                            q,
+                            staging + (me * nxb * ny * nzb * 16) as u64,
+                            b_buf + (q * nzb * 16) as u64,
+                            send,
+                            recv,
+                            VAddr::NULL,
+                            flag,
+                            true,
+                        );
                     }
-                    cell.rts((nxb * ny) as u64 / 4);
-                    // q's z-rows of my x-block: runs of nzb complex at
-                    // every (x_local, y).
-                    let send = StrideSpec::new(
-                        (nzb * 16) as u32,
-                        (nxb * ny) as u32,
-                        (nz * 16) as u32,
-                    );
-                    let block_bytes = (nxb * ny * nzb * 16) as u64;
-                    let recv = StrideSpec::contiguous(block_bytes);
-                    cell.put_stride(
-                        q,
-                        staging + (me * nxb * ny * nzb * 16) as u64,
-                        b_buf + (q * nzb * 16) as u64,
-                        send,
-                        recv,
-                        VAddr::NULL,
-                        flag,
-                        true,
-                    );
-                }
-                cell.wait_acks();
-                *arrivals += (p - 1) as u32;
-                cell.wait_flag(flag, *arrivals);
-                let st = cell.read_slice::<f64>(staging, pencil);
-                let mut a = vec![0.0f64; slab];
-                for src in 0..p {
-                    for xx in 0..nxb {
-                        let x = src * nxb + xx;
-                        for y in 0..ny {
-                            for zz in 0..nzb {
-                                let (re, im) = if src == me {
-                                    let idx = 2 * ((xx * ny + y) * nz + me * nzb + zz);
-                                    (b[idx], b[idx + 1])
-                                } else {
-                                    let s = 2
-                                        * ((src * nxb * ny * nzb)
-                                            + (xx * ny + y) * nzb
-                                            + zz);
-                                    (st[s], st[s + 1])
-                                };
-                                let d = 2 * ((zz * ny + y) * nx + x);
-                                a[d] = re;
-                                a[d + 1] = im;
+                    cell.wait_acks();
+                    *arrivals += (p - 1) as u32;
+                    cell.wait_flag(flag, *arrivals);
+                    let st = cell.read_slice::<f64>(staging, pencil);
+                    let mut a = vec![0.0f64; slab];
+                    for src in 0..p {
+                        for xx in 0..nxb {
+                            let x = src * nxb + xx;
+                            for y in 0..ny {
+                                for zz in 0..nzb {
+                                    let (re, im) = if src == me {
+                                        let idx = 2 * ((xx * ny + y) * nz + me * nzb + zz);
+                                        (b[idx], b[idx + 1])
+                                    } else {
+                                        let s =
+                                            2 * ((src * nxb * ny * nzb) + (xx * ny + y) * nzb + zz);
+                                        (st[s], st[s + 1])
+                                    };
+                                    let d = 2 * ((zz * ny + y) * nx + x);
+                                    a[d] = re;
+                                    a[d + 1] = im;
+                                }
                             }
                         }
                     }
-                }
-                cell.work((nxb * ny * nzb * p) as u64);
-                cell.barrier();
-                a
-            };
+                    cell.work((nxb * ny * nzb * p) as u64);
+                    cell.barrier();
+                    a
+                };
 
             // FFT along z on the pencil (contiguous lines).
             let fft_z = |cell: &mut apcore::Cell, b: &mut Vec<f64>, inverse: bool| {

@@ -62,7 +62,7 @@ impl Workload for MatMul {
             let n = cfg.n;
             let nb = n / p; // rows per cell
             let block = nb * n; // f64s per block
-            // Double-buffered B block in simulated memory.
+                                // Double-buffered B block in simulated memory.
             let b0 = cell.alloc::<f64>(block);
             let b1 = cell.alloc::<f64>(block);
             let flag = cell.alloc_flag();
@@ -88,15 +88,7 @@ impl Workload for MatMul {
                 // Ship it onward first — communication overlaps compute.
                 if s + 1 < p {
                     let dst = (me + p - 1) % p;
-                    cell.put(
-                        dst,
-                        nxt,
-                        cur,
-                        (block * 8) as u64,
-                        VAddr::NULL,
-                        flag,
-                        false,
-                    );
+                    cell.put(dst, nxt, cur, (block * 8) as u64, VAddr::NULL, flag, false);
                 }
                 // Multiply: C[my rows] += A[:, owner block] × B_owner.
                 let bcur = cell.read_slice::<f64>(cur, block);

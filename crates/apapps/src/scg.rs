@@ -35,8 +35,20 @@ impl Scg {
     /// Standard instance at `scale`.
     pub fn new(scale: Scale) -> Self {
         match scale {
-            Scale::Test => Scg { pe: 4, gx: 24, gy: 24, max_iters: 200, tol: 1e-8 },
-            Scale::Paper => Scg { pe: 64, gx: 200, gy: 200, max_iters: 450, tol: 1e-8 },
+            Scale::Test => Scg {
+                pe: 4,
+                gx: 24,
+                gy: 24,
+                max_iters: 200,
+                tol: 1e-8,
+            },
+            Scale::Paper => Scg {
+                pe: 64,
+                gx: 200,
+                gy: 200,
+                max_iters: 450,
+                tol: 1e-8,
+            },
         }
     }
 
@@ -125,9 +137,8 @@ impl Workload for Scg {
             pv.copy_from_slice(&z);
             let mut q = vec![0.0f64; nloc];
 
-            let local_dot = |a: &[f64], b: &[f64]| -> f64 {
-                a.iter().zip(b).map(|(x, y)| x * y).sum()
-            };
+            let local_dot =
+                |a: &[f64], b: &[f64]| -> f64 { a.iter().zip(b).map(|(x, y)| x * y).sum() };
             let mut rho = cell.reduce_sum_f64(local_dot(&r, &z));
             let mut rr = cell.reduce_sum_f64(local_dot(&r, &r));
             let mut iters = 0usize;

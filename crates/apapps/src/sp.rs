@@ -37,8 +37,16 @@ impl Sp {
     /// Standard instance at `scale`.
     pub fn new(scale: Scale) -> Self {
         match scale {
-            Scale::Test => Sp { pe: 2, n: 8, iters: 2 },
-            Scale::Paper => Sp { pe: 64, n: 64, iters: 4 },
+            Scale::Test => Sp {
+                pe: 2,
+                n: 8,
+                iters: 2,
+            },
+            Scale::Paper => Sp {
+                pe: 64,
+                n: 64,
+                iters: 4,
+            },
         }
     }
 
@@ -57,8 +65,16 @@ impl Sp {
         };
         let a2 = if w >= 2 { h(dir, u, v, w * 4) } else { 0.0 };
         let a1 = if w >= 1 { h(dir, u, v, w * 4 + 1) } else { 0.0 };
-        let c1 = if w + 1 < n { h(dir, u, v, w * 4 + 2) } else { 0.0 };
-        let c2 = if w + 2 < n { h(dir, u, v, w * 4 + 3) } else { 0.0 };
+        let c1 = if w + 1 < n {
+            h(dir, u, v, w * 4 + 2)
+        } else {
+            0.0
+        };
+        let c2 = if w + 2 < n {
+            h(dir, u, v, w * 4 + 3)
+        } else {
+            0.0
+        };
         let d = 4.0 + a2.abs() + a1.abs() + c1.abs() + c2.abs();
         [a2, a1, d, c1, c2]
     }
@@ -218,8 +234,7 @@ impl Workload for Sp {
                 // ---- z sweep (pipelined across cells, batched by y) ---
                 // Per-line eliminated rows, kept for back substitution:
                 // ws_all[y][x][zz].
-                let mut ws_all: Vec<Vec<Vec<WRow>>> =
-                    vec![vec![Vec::with_capacity(zb); n]; n];
+                let mut ws_all: Vec<Vec<Vec<WRow>>> = vec![vec![Vec::with_capacity(zb); n]; n];
                 for y in 0..n {
                     // Receive the carry rows (prev1, prev2 per line).
                     let mut carry: Vec<(Option<WRow>, Option<WRow>)> = vec![(None, None); n];
@@ -367,7 +382,12 @@ mod tests {
         // y-batch per iteration: (P-1)/P * 2 * n * iters puts per PE.
         let p = cfg.pe as f64;
         let expect = (p - 1.0) / p * 2.0 * cfg.n as f64 * cfg.iters as f64;
-        assert!((row.put - expect).abs() < 1e-9, "put {} vs {}", row.put, expect);
+        assert!(
+            (row.put - expect).abs() < 1e-9,
+            "put {} vs {}",
+            row.put,
+            expect
+        );
         assert_eq!(row.gets, 0.0);
         // Forward carries are 8n doubles, backward 2n: mean 5n*8 bytes.
         let mean = (8.0 + 2.0) / 2.0 * cfg.n as f64 * 8.0;
@@ -387,12 +407,22 @@ mod tests {
     fn one_plane_per_cell_pipelines_correctly() {
         // zb = 1 exercises the carry's "no second predecessor" encoding
         // (regression: 0/0 = NaN at the second cell).
-        Sp { pe: 4, n: 4, iters: 1 }.run().unwrap();
+        Sp {
+            pe: 4,
+            n: 4,
+            iters: 1,
+        }
+        .run()
+        .unwrap();
     }
 
     #[test]
     fn single_pe_equals_reference_trivially() {
-        let cfg = Sp { pe: 1, n: 8, iters: 1 };
+        let cfg = Sp {
+            pe: 1,
+            n: 8,
+            iters: 1,
+        };
         cfg.run().unwrap();
     }
 }

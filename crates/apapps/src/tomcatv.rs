@@ -43,8 +43,18 @@ impl Tomcatv {
     /// Standard instance at `scale`.
     pub fn new(scale: Scale, stride: bool) -> Self {
         match scale {
-            Scale::Test => Tomcatv { pe: 4, n: 33, iters: 2, stride },
-            Scale::Paper => Tomcatv { pe: 16, n: 257, iters: 10, stride },
+            Scale::Test => Tomcatv {
+                pe: 4,
+                n: 33,
+                iters: 2,
+                stride,
+            },
+            Scale::Paper => Tomcatv {
+                pe: 16,
+                n: 257,
+                iters: 10,
+                stride,
+            },
         }
     }
 
@@ -58,7 +68,11 @@ impl Tomcatv {
 
     /// One relaxation step of a field; returns the max change. `get`
     /// reads the *old* field at `(i, j)`.
-    fn relax(n: usize, get: impl Fn(usize, usize) -> f64, put: &mut impl FnMut(usize, usize, f64)) -> f64 {
+    fn relax(
+        n: usize,
+        get: impl Fn(usize, usize) -> f64,
+        put: &mut impl FnMut(usize, usize, f64),
+    ) -> f64 {
         let mut err = 0.0f64;
         for i in 2..n - 2 {
             for j in 2..n - 2 {
@@ -120,8 +134,8 @@ impl Workload for Tomcatv {
             let nb = chi - clo;
             assert!(nb == 0 || nb >= 2, "each cell needs at least two columns");
             let w = chunk + 4; // uniform local width: 2 overlap columns per side
-            // Local fields in simulated memory: rows 0..n, local cols
-            // 0..w; local col 2+k holds global col clo+k.
+                               // Local fields in simulated memory: rows 0..n, local cols
+                               // 0..w; local col 2+k holds global col clo+k.
             let xa = cell.alloc::<f64>(n * w);
             let ya = cell.alloc::<f64>(n * w);
             let xflag = cell.alloc_flag();
@@ -149,7 +163,11 @@ impl Workload for Tomcatv {
             let colspec = StrideSpec::new(8, n as u32, (w * 8) as u32);
 
             let left = me.checked_sub(1);
-            let right = if me + 1 < p && chi < n { Some(me + 1) } else { None };
+            let right = if me + 1 < p && chi < n {
+                Some(me + 1)
+            } else {
+                None
+            };
             let left = if clo > 0 { left } else { None };
 
             for iter in 0..cfg.iters {
@@ -284,7 +302,9 @@ impl Workload for Tomcatv {
                             arr[(i as isize + di) as usize * w + (c as isize + dc) as usize]
                         };
                         let v = g(&xh_old, 0, 0);
-                        let near = (g(&xh_old, 0, -1) + g(&xh_old, 0, 1) + g(&xh_old, -1, 0)
+                        let near = (g(&xh_old, 0, -1)
+                            + g(&xh_old, 0, 1)
+                            + g(&xh_old, -1, 0)
                             + g(&xh_old, 1, 0))
                             / 4.0;
                         let far = (g(&xh_old, 0, -2) + g(&xh_old, 0, 2)) / 2.0;
@@ -292,7 +312,9 @@ impl Workload for Tomcatv {
                         xh[i * w + c] = nv;
                         errx = errx.max((nv - v).abs());
                         let v = g(&yh_old, 0, 0);
-                        let near = (g(&yh_old, 0, -1) + g(&yh_old, 0, 1) + g(&yh_old, -1, 0)
+                        let near = (g(&yh_old, 0, -1)
+                            + g(&yh_old, 0, 1)
+                            + g(&yh_old, -1, 0)
                             + g(&yh_old, 1, 0))
                             / 4.0;
                         let far = (g(&yh_old, 0, -2) + g(&yh_old, 0, 2)) / 2.0;
@@ -354,8 +376,16 @@ mod tests {
         // mean (4·(P−2) + 2·2)/P per iteration, for PUTs (X) and GETs (Y).
         let p = cfg.pe as f64;
         let per_iter = (4.0 * (p - 2.0) + 4.0) / p;
-        assert!((row.puts - per_iter * cfg.iters as f64).abs() < 1e-9, "puts {}", row.puts);
-        assert!((row.gets - per_iter * cfg.iters as f64).abs() < 1e-9, "gets {}", row.gets);
+        assert!(
+            (row.puts - per_iter * cfg.iters as f64).abs() < 1e-9,
+            "puts {}",
+            row.puts
+        );
+        assert!(
+            (row.gets - per_iter * cfg.iters as f64).abs() < 1e-9,
+            "gets {}",
+            row.gets
+        );
         assert_eq!(row.put, 0.0);
         assert_eq!(row.get, 0.0);
         assert_eq!(row.sync, (8 * cfg.iters) as f64);

@@ -92,7 +92,9 @@ mod tests {
     #[test]
     fn matches_naive_dft() {
         let n = 32;
-        let mut buf: Vec<f64> = (0..2 * n).map(|i| ((i * 7919) % 1000) as f64 / 1000.0).collect();
+        let mut buf: Vec<f64> = (0..2 * n)
+            .map(|i| ((i * 7919) % 1000) as f64 / 1000.0)
+            .collect();
         let reference = naive_dft(&buf, n);
         fft_inplace(&mut buf, n, false);
         for (a, b) in buf.iter().zip(&reference) {

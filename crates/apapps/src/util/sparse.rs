@@ -93,7 +93,12 @@ impl Csr {
             }
             row_ptr.push(cols.len());
         }
-        Csr { n, row_ptr, cols, vals }
+        Csr {
+            n,
+            row_ptr,
+            cols,
+            vals,
+        }
     }
 
     /// 5-point Poisson operator on an `nx × ny` grid (SCG's system:
@@ -127,7 +132,12 @@ impl Csr {
                 row_ptr.push(cols.len());
             }
         }
-        Csr { n, row_ptr, cols, vals }
+        Csr {
+            n,
+            row_ptr,
+            cols,
+            vals,
+        }
     }
 }
 

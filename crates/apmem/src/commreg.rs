@@ -56,7 +56,10 @@ impl CommRegs {
     ///
     /// Panics if `idx >= NUM_COMM_REGS`.
     pub fn store(&mut self, idx: usize, v: u32) -> bool {
-        assert!(idx < NUM_COMM_REGS, "communication register {idx} out of range");
+        assert!(
+            idx < NUM_COMM_REGS,
+            "communication register {idx} out of range"
+        );
         let clobbered = self.present[idx];
         self.value[idx] = v;
         self.present[idx] = true;
@@ -72,7 +75,10 @@ impl CommRegs {
     ///
     /// Panics if `idx >= NUM_COMM_REGS`.
     pub fn load(&mut self, idx: usize) -> Option<u32> {
-        assert!(idx < NUM_COMM_REGS, "communication register {idx} out of range");
+        assert!(
+            idx < NUM_COMM_REGS,
+            "communication register {idx} out of range"
+        );
         if !self.present[idx] {
             return None;
         }
@@ -93,7 +99,10 @@ impl CommRegs {
     ///
     /// Panics if `idx` is odd or `idx + 1 >= NUM_COMM_REGS`.
     pub fn store_pair(&mut self, idx: usize, v: u64) -> bool {
-        assert!(idx.is_multiple_of(2), "8-byte comm-reg access must be even-aligned");
+        assert!(
+            idx.is_multiple_of(2),
+            "8-byte comm-reg access must be even-aligned"
+        );
         let lo = self.store(idx, v as u32);
         let hi = self.store(idx + 1, (v >> 32) as u32);
         lo || hi
@@ -106,7 +115,10 @@ impl CommRegs {
     ///
     /// Panics if `idx` is odd or `idx + 1 >= NUM_COMM_REGS`.
     pub fn load_pair(&mut self, idx: usize) -> Option<u64> {
-        assert!(idx.is_multiple_of(2), "8-byte comm-reg access must be even-aligned");
+        assert!(
+            idx.is_multiple_of(2),
+            "8-byte comm-reg access must be even-aligned"
+        );
         if !self.is_present(idx) || !self.is_present(idx + 1) {
             return None;
         }

@@ -98,8 +98,14 @@ mod tests {
     fn increments_from_zero() {
         let (mut mmu, mut mem, flag) = setup();
         let mut fu = FlagUnit::new();
-        assert_eq!(fu.fetch_increment(&mut mmu, &mut mem, flag).unwrap(), Some(0));
-        assert_eq!(fu.fetch_increment(&mut mmu, &mut mem, flag).unwrap(), Some(1));
+        assert_eq!(
+            fu.fetch_increment(&mut mmu, &mut mem, flag).unwrap(),
+            Some(0)
+        );
+        assert_eq!(
+            fu.fetch_increment(&mut mmu, &mut mem, flag).unwrap(),
+            Some(1)
+        );
         assert_eq!(fu.read(&mmu, &mem, flag).unwrap(), 2);
         assert_eq!(fu.updates(), 2);
     }
@@ -108,7 +114,10 @@ mod tests {
     fn null_flag_is_skipped() {
         let (mut mmu, mut mem, _) = setup();
         let mut fu = FlagUnit::new();
-        assert_eq!(fu.fetch_increment(&mut mmu, &mut mem, VAddr::NULL).unwrap(), None);
+        assert_eq!(
+            fu.fetch_increment(&mut mmu, &mut mem, VAddr::NULL).unwrap(),
+            None
+        );
         assert_eq!(fu.updates(), 0);
         assert_eq!(fu.skipped(), 1);
         assert!(fu.read(&mmu, &mem, VAddr::NULL).is_err());

@@ -40,7 +40,10 @@ impl fmt::Display for MemError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MemError::OutOfBounds { addr, len, size } => {
-                write!(f, "physical access at {addr} len {len} exceeds DRAM size {size}")
+                write!(
+                    f,
+                    "physical access at {addr} len {len} exceeds DRAM size {size}"
+                )
             }
             MemError::PageFault { addr } => write!(f, "page fault at {addr}"),
             MemError::OutOfFrames { requested } => {
@@ -101,9 +104,17 @@ impl Memory {
         let end = addr
             .as_u64()
             .checked_add(len)
-            .ok_or(MemError::OutOfBounds { addr, len, size: self.size })?;
+            .ok_or(MemError::OutOfBounds {
+                addr,
+                len,
+                size: self.size,
+            })?;
         if end > self.size {
-            return Err(MemError::OutOfBounds { addr, len, size: self.size });
+            return Err(MemError::OutOfBounds {
+                addr,
+                len,
+                size: self.size,
+            });
         }
         Ok(())
     }

@@ -37,7 +37,6 @@ impl PageSize {
             PageSize::Large => 1 << LARGE_SHIFT,
         }
     }
-
 }
 
 /// Result of one address translation.
@@ -148,7 +147,8 @@ impl Mmu {
         for i in 0..npages {
             let v = base + i * page_bytes;
             let p = pbase + i * page_bytes;
-            self.table.insert(v >> SMALL_SHIFT, PageEntry { pframe: p, size });
+            self.table
+                .insert(v >> SMALL_SHIFT, PageEntry { pframe: p, size });
         }
         self.next_vaddr = base + phys_len;
         self.next_frame = pbase + phys_len;
@@ -214,10 +214,16 @@ impl Mmu {
         let off = va - page_base;
         match entry.size {
             PageSize::Small => {
-                self.small_tlb[sidx] = Some(TlbLine { vpn: small_vpn, pframe: entry.pframe });
+                self.small_tlb[sidx] = Some(TlbLine {
+                    vpn: small_vpn,
+                    pframe: entry.pframe,
+                });
             }
             PageSize::Large => {
-                self.large_tlb[lidx] = Some(TlbLine { vpn: large_vpn, pframe: entry.pframe });
+                self.large_tlb[lidx] = Some(TlbLine {
+                    vpn: large_vpn,
+                    pframe: entry.pframe,
+                });
             }
         }
         Ok(Translation {
@@ -262,9 +268,9 @@ impl Mmu {
             .checked_add(len)
             .ok_or(MemError::PageFault { addr: vaddr })?;
         while va < end {
-            let (page_base, entry) = self
-                .lookup_entry(va)
-                .ok_or(MemError::PageFault { addr: VAddr::new(va) })?;
+            let (page_base, entry) = self.lookup_entry(va).ok_or(MemError::PageFault {
+                addr: VAddr::new(va),
+            })?;
             va = page_base + entry.size.bytes();
         }
         Ok(())

@@ -43,7 +43,10 @@ pub fn read_virtual(
         mem.read(t.paddr, &mut data[done as usize..(done + n) as usize])?;
         done += n;
     }
-    Ok(DmaRead { data, tlb_misses: misses })
+    Ok(DmaRead {
+        data,
+        tlb_misses: misses,
+    })
 }
 
 /// Writes `data` to the logical range starting at `vaddr`; returns the

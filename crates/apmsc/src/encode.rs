@@ -102,7 +102,12 @@ fn encode_stride(s: StrideSpec, flags: &mut u32, which: u32) -> (u16, u16, u16) 
     }
 }
 
-fn decode_stride(item: u16, count: u16, skip: u16, word_items: bool) -> Result<StrideSpec, DecodeError> {
+fn decode_stride(
+    item: u16,
+    count: u16,
+    skip: u16,
+    word_items: bool,
+) -> Result<StrideSpec, DecodeError> {
     if word_items {
         if item == 0 {
             return Err(DecodeError::BadStride);
@@ -124,16 +129,33 @@ fn decode_stride(item: u16, count: u16, skip: u16, word_items: bool) -> Result<S
 /// Panics if the command is not [`encodable`] — the caller (the issuing
 /// library) validates first, like the real run-time system.
 pub fn encode(cmd: &Command) -> [u32; COMMAND_WORDS] {
-    assert!(encodable(cmd), "command does not fit the 8-word image: {cmd:?}");
+    assert!(
+        encodable(cmd),
+        "command does not fit the 8-word image: {cmd:?}"
+    );
     let mut w = [0u32; COMMAND_WORDS];
     let (kind, dst, raddr, laddr, sflag, rflag, send, recv, ack) = match cmd {
         Command::Put(p) => (
-            KIND_PUT, p.dst, p.raddr, p.laddr, p.send_flag, p.recv_flag, p.send_stride,
-            p.recv_stride, p.ack,
+            KIND_PUT,
+            p.dst,
+            p.raddr,
+            p.laddr,
+            p.send_flag,
+            p.recv_flag,
+            p.send_stride,
+            p.recv_stride,
+            p.ack,
         ),
         Command::Get(g) => (
-            KIND_GET, g.src_cell, g.raddr, g.laddr, g.send_flag, g.recv_flag, g.send_stride,
-            g.recv_stride, false,
+            KIND_GET,
+            g.src_cell,
+            g.raddr,
+            g.laddr,
+            g.send_flag,
+            g.recv_flag,
+            g.send_stride,
+            g.recv_stride,
+            false,
         ),
     };
     let mut flags = kind | if ack { FLAG_ACK } else { 0 };
@@ -221,7 +243,11 @@ mod tests {
 
     #[test]
     fn put_round_trips() {
-        let cmd = put(StrideSpec::new(8, 100, 800), StrideSpec::contiguous(800), true);
+        let cmd = put(
+            StrideSpec::new(8, 100, 800),
+            StrideSpec::contiguous(800),
+            true,
+        );
         let image = encode(&cmd);
         assert_eq!(decode(&image).unwrap(), cmd);
     }
@@ -277,7 +303,11 @@ mod tests {
 
     #[test]
     fn corrupted_image_is_rejected() {
-        let cmd = put(StrideSpec::contiguous(64), StrideSpec::contiguous(64), false);
+        let cmd = put(
+            StrideSpec::contiguous(64),
+            StrideSpec::contiguous(64),
+            false,
+        );
         let mut image = encode(&cmd);
         image[0] = (image[0] & !0xF) | 0xE; // bogus kind
         assert!(matches!(decode(&image), Err(DecodeError::BadKind(0xE))));

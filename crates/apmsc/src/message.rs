@@ -128,7 +128,9 @@ fn validate_pair(send: StrideSpec, recv: StrideSpec) -> Result<(), String> {
         ));
     }
     if total > MAX_DMA_BYTES {
-        return Err(format!("transfer of {total} bytes exceeds the 4 MB DMA limit"));
+        return Err(format!(
+            "transfer of {total} bytes exceeds the 4 MB DMA limit"
+        ));
     }
     Ok(())
 }
@@ -273,7 +275,9 @@ impl Packet {
             | Packet::RingMsg { payload, .. }
             | Packet::RemoteStore { payload, .. }
             | Packet::RemoteLoadReply { payload, .. } => payload.len() as u64,
-            Packet::GetReq { .. } | Packet::RemoteStoreAck { .. } | Packet::RemoteLoadReq { .. } => 0,
+            Packet::GetReq { .. }
+            | Packet::RemoteStoreAck { .. }
+            | Packet::RemoteLoadReq { .. } => 0,
             Packet::RegStore { .. } => 4,
         }
     }
@@ -317,7 +321,10 @@ mod tests {
             StrideSpec::new(1 << 20, 5, 1 << 20),
         );
         assert!(too_big.validate().unwrap_err().contains("4 MB"));
-        let max_ok = put(StrideSpec::contiguous(4 << 20), StrideSpec::contiguous(4 << 20));
+        let max_ok = put(
+            StrideSpec::contiguous(4 << 20),
+            StrideSpec::contiguous(4 << 20),
+        );
         assert!(max_ok.validate().is_ok());
     }
 

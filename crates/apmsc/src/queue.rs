@@ -71,6 +71,7 @@ pub struct HwQueue<T> {
     spill: VecDeque<T>,
     ram_capacity: usize,
     stats: QueueStats,
+    occupancy: apobs::Hist,
 }
 
 impl<T> HwQueue<T> {
@@ -90,6 +91,7 @@ impl<T> HwQueue<T> {
             spill: VecDeque::new(),
             ram_capacity: QUEUE_RAM_WORDS / entry_words,
             stats: QueueStats::default(),
+            occupancy: apobs::Hist::new(),
         }
     }
 
@@ -118,6 +120,12 @@ impl<T> HwQueue<T> {
         self.stats
     }
 
+    /// Log2 histogram of total occupancy (RAM + spill) observed after each
+    /// enqueue.
+    pub fn occupancy(&self) -> &apobs::Hist {
+        &self.occupancy
+    }
+
     /// Pushes an entry; reports whether it landed in RAM or spilled.
     pub fn push(&mut self, entry: T) -> PushOutcome {
         self.stats.pushed += 1;
@@ -133,6 +141,7 @@ impl<T> HwQueue<T> {
             PushOutcome::Spilled
         };
         self.stats.high_water = self.stats.high_water.max(self.len());
+        self.occupancy.record(self.len() as u64);
         outcome
     }
 
@@ -243,5 +252,21 @@ mod proptests {
             }
             prop_assert!(q.is_empty());
         }
+    }
+}
+
+#[cfg(test)]
+mod obs_tests {
+    use super::*;
+
+    #[test]
+    fn occupancy_histogram_tracks_enqueue_depth() {
+        let mut q: HwQueue<u32> = HwQueue::new("t", 8);
+        for i in 0..12 {
+            q.push(i);
+        }
+        assert_eq!(q.occupancy().count(), 12);
+        assert_eq!(q.occupancy().max(), 12);
+        assert_eq!(q.occupancy().min(), 1);
     }
 }

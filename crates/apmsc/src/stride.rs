@@ -51,7 +51,11 @@ impl StrideSpec {
             count <= 1 || skip >= item_size,
             "stride items overlap: skip {skip} < item_size {item_size}"
         );
-        StrideSpec { item_size, count, skip }
+        StrideSpec {
+            item_size,
+            count,
+            skip,
+        }
     }
 
     /// A contiguous block of `bytes` bytes as a single-item "stride".
@@ -60,7 +64,10 @@ impl StrideSpec {
     ///
     /// Panics if `bytes` is 0 or exceeds `u32::MAX`.
     pub fn contiguous(bytes: u64) -> Self {
-        assert!(bytes > 0 && bytes <= u32::MAX as u64, "bad contiguous size {bytes}");
+        assert!(
+            bytes > 0 && bytes <= u32::MAX as u64,
+            "bad contiguous size {bytes}"
+        );
         StrideSpec::new(bytes as u32, 1, bytes as u32)
     }
 
@@ -219,7 +226,13 @@ mod tests {
     #[should_panic(expected = "does not match")]
     fn scatter_size_mismatch_panics() {
         let (mut mmu, mut mem, base) = setup();
-        let _ = scatter(&mut mmu, &mut mem, base, StrideSpec::new(8, 2, 8), &[0u8; 15]);
+        let _ = scatter(
+            &mut mmu,
+            &mut mem,
+            base,
+            StrideSpec::new(8, 2, 8),
+            &[0u8; 15],
+        );
     }
 }
 

@@ -18,6 +18,7 @@
 //!   time, so bursts to one destination queue up.
 
 use crate::torus::Torus;
+use apobs::{Bucket, Hist, Recorder, TimelineEvent, Unit};
 use apsim::Resource;
 use aputil::{CellId, SimTime};
 use std::collections::HashMap;
@@ -72,6 +73,19 @@ pub struct TNetStats {
     pub total_hops: u64,
 }
 
+/// Observability side-channel of the T-net: histograms are always
+/// collected (they are two array increments per message); timeline events
+/// are buffered only after [`TNet::enable_events`].
+#[derive(Clone, Debug, Default)]
+pub struct TNetObs {
+    recorder: Recorder,
+    /// Payload bytes per message.
+    pub msg_size: Hist,
+    /// End-to-end transit nanoseconds per message (prolog + hops +
+    /// serialization, including contention stalls and FIFO holds).
+    pub latency: Hist,
+}
+
 /// The T-net: topology + timing + ordering state.
 #[derive(Clone, Debug)]
 pub struct TNet {
@@ -83,6 +97,7 @@ pub struct TNet {
     links: HashMap<(CellId, CellId), Resource>,
     last_arrival: HashMap<(CellId, CellId), SimTime>,
     stats: TNetStats,
+    obs: TNetObs,
 }
 
 impl TNet {
@@ -99,6 +114,7 @@ impl TNet {
             links: HashMap::new(),
             last_arrival: HashMap::new(),
             stats: TNetStats::default(),
+            obs: TNetObs::default(),
         }
     }
 
@@ -110,6 +126,23 @@ impl TNet {
     /// Statistics so far.
     pub fn stats(&self) -> TNetStats {
         self.stats
+    }
+
+    /// Observability state (message-size and latency histograms).
+    pub fn obs(&self) -> &TNetObs {
+        &self.obs
+    }
+
+    /// Starts buffering per-message timeline events (injection spans on the
+    /// source's net track, hop instants along the route, a delivery instant
+    /// at the destination).
+    pub fn enable_events(&mut self) {
+        self.obs.recorder = Recorder::enabled();
+    }
+
+    /// Drains the buffered timeline events.
+    pub fn take_events(&mut self) -> Vec<TimelineEvent> {
+        self.obs.recorder.take_events()
     }
 
     /// Injects a `size`-byte message at time `now`; returns its arrival
@@ -131,15 +164,12 @@ impl TNet {
             let route = self.torus.route(src, dst);
             let mut head = now + self.params.prolog;
             for pair in route.windows(2) {
-                let link = self
-                    .links
-                    .entry((pair[0], pair[1]))
-                    .or_default();
+                let link = self.links.entry((pair[0], pair[1])).or_default();
                 let (start, _) = link.reserve(head, serialize);
                 head = start + self.params.per_hop;
             }
             let arrival = head + serialize;
-            return self.finish(src, dst, hops, size, arrival);
+            return self.finish(now, src, dst, hops, size, arrival);
         }
         if let Contention::Ports = self.contention {
             // Hold the sender's injection channel for the serialization
@@ -149,19 +179,66 @@ impl TNet {
             let head_at_dst = depart + self.params.prolog + self.params.per_hop * hops as u64;
             let (_, ej_end) = self.in_port[dst.index()].reserve(head_at_dst, serialize);
             let arrival = ej_end;
-            return self.finish(src, dst, hops, size, arrival);
+            return self.finish(now, src, dst, hops, size, arrival);
         }
         let arrival = depart + self.params.prolog + self.params.per_hop * hops as u64 + serialize;
-        self.finish(src, dst, hops, size, arrival)
+        self.finish(now, src, dst, hops, size, arrival)
     }
 
-    fn finish(&mut self, src: CellId, dst: CellId, hops: u32, size: u64, arrival: SimTime) -> SimTime {
+    fn finish(
+        &mut self,
+        now: SimTime,
+        src: CellId,
+        dst: CellId,
+        hops: u32,
+        size: u64,
+        arrival: SimTime,
+    ) -> SimTime {
         let slot = self.last_arrival.entry((src, dst)).or_insert(SimTime::ZERO);
         let arrival = arrival.max(*slot);
         *slot = arrival;
         self.stats.messages += 1;
         self.stats.bytes += size;
         self.stats.total_hops += hops as u64;
+        self.obs.msg_size.record(size);
+        self.obs
+            .latency
+            .record(arrival.saturating_sub(now).as_nanos());
+        if self.obs.recorder.is_enabled() {
+            self.obs.recorder.span(
+                src.as_u32(),
+                Unit::Net,
+                "transfer",
+                now,
+                arrival.saturating_sub(now),
+                Bucket::Hw,
+                size,
+            );
+            // Nominal head-advance times along the static route; contention
+            // stalls show up as the gap to the delivery instant.
+            let route = self.torus.route(src, dst);
+            let head = now + self.params.prolog;
+            for (k, cell) in route.iter().enumerate().skip(1) {
+                if *cell != dst {
+                    self.obs.recorder.instant(
+                        cell.as_u32(),
+                        Unit::Net,
+                        "hop",
+                        head + self.params.per_hop * k as u64,
+                        Bucket::Hw,
+                        size,
+                    );
+                }
+            }
+            self.obs.recorder.instant(
+                dst.as_u32(),
+                Unit::Net,
+                "deliver",
+                arrival,
+                Bucket::Hw,
+                size,
+            );
+        }
         arrival
     }
 }
@@ -304,10 +381,55 @@ mod link_contention_tests {
     fn links_model_is_never_faster_than_pure_latency() {
         let mut lat = TNet::new(Torus::new(4, 4), TNetParams::default(), Contention::None);
         let mut lnk = TNet::new(Torus::new(4, 4), TNetParams::default(), Contention::Links);
-        for (s, d, b) in [(0u32, 5u32, 100u64), (1, 5, 2000), (0, 15, 40), (3, 12, 999)] {
+        for (s, d, b) in [
+            (0u32, 5u32, 100u64),
+            (1, 5, 2000),
+            (0, 15, 40),
+            (3, 12, 999),
+        ] {
             let a = lat.transfer(SimTime::ZERO, CellId::new(s), CellId::new(d), b);
             let c = lnk.transfer(SimTime::ZERO, CellId::new(s), CellId::new(d), b);
-            assert!(c >= a.saturating_sub(SimTime::from_nanos(200)), "{s}->{d}: {c} < {a}");
+            assert!(
+                c >= a.saturating_sub(SimTime::from_nanos(200)),
+                "{s}->{d}: {c} < {a}"
+            );
         }
+    }
+}
+
+#[cfg(test)]
+mod obs_tests {
+    use super::*;
+
+    #[test]
+    fn histograms_collect_without_enabling_events() {
+        let mut n = TNet::new(Torus::new(4, 4), TNetParams::default(), Contention::None);
+        n.transfer(SimTime::ZERO, CellId::new(0), CellId::new(5), 128);
+        assert_eq!(n.obs().msg_size.count(), 1);
+        assert_eq!(n.obs().msg_size.max(), 128);
+        assert!(n.obs().latency.min() > 0);
+        assert!(n.take_events().is_empty(), "events need enable_events()");
+    }
+
+    #[test]
+    fn events_cover_injection_hops_and_delivery() {
+        let mut n = TNet::new(Torus::new(4, 4), TNetParams::default(), Contention::None);
+        n.enable_events();
+        let (src, dst) = (CellId::new(0), CellId::new(2)); // 2 hops on a 4-wide ring row
+        let arrival = n.transfer(SimTime::ZERO, src, dst, 64);
+        let evs = n.take_events();
+        let inject: Vec<_> = evs.iter().filter(|e| e.name == "transfer").collect();
+        assert_eq!(inject.len(), 1);
+        assert_eq!(inject[0].cell, src.as_u32());
+        assert_eq!(inject[0].end(), arrival);
+        assert_eq!(
+            evs.iter().filter(|e| e.name == "hop").count() as u32,
+            n.torus().hops(src, dst) - 1
+        );
+        let deliver: Vec<_> = evs.iter().filter(|e| e.name == "deliver").collect();
+        assert_eq!(deliver.len(), 1);
+        assert_eq!(deliver[0].cell, dst.as_u32());
+        assert_eq!(deliver[0].start, arrival);
+        assert!(n.take_events().is_empty(), "drained");
     }
 }

@@ -76,7 +76,12 @@ impl Torus {
     /// Panics if the cell is outside this torus.
     pub fn coords(self, cell: CellId) -> (u32, u32) {
         let i = cell.as_u32();
-        assert!(i < self.ncells(), "{cell} outside {}x{} torus", self.width, self.height);
+        assert!(
+            i < self.ncells(),
+            "{cell} outside {}x{} torus",
+            self.width,
+            self.height
+        );
         (i % self.width, i / self.width)
     }
 
@@ -187,7 +192,10 @@ mod tests {
     #[test]
     fn route_to_self_is_trivial() {
         let t = Torus::new(3, 3);
-        assert_eq!(t.route(CellId::new(4), CellId::new(4)), vec![CellId::new(4)]);
+        assert_eq!(
+            t.route(CellId::new(4), CellId::new(4)),
+            vec![CellId::new(4)]
+        );
     }
 
     #[test]

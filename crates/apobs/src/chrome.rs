@@ -1,0 +1,244 @@
+//! Chrome-trace-event JSON export.
+//!
+//! Produces the [Trace Event Format] consumed by Perfetto
+//! (<https://ui.perfetto.dev>) and `chrome://tracing`: one *process* per
+//! timeline source (emulator, each MLSim model), one *thread* (track) per
+//! `(cell, hardware unit)` pair, duration slices (`"ph":"X"`) for spans and
+//! instants (`"ph":"i"`) for point events. Slices carry their Figure-8
+//! bucket as the event category and a reserved color name, so the
+//! exec/rts/overhead/idle lanes read directly off the timeline.
+//!
+//! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+//!
+//! # Examples
+//!
+//! ```
+//! use apobs::{chrome_trace, Bucket, Timeline, TimelineEvent, Unit};
+//! use aputil::SimTime;
+//!
+//! let mut t = Timeline::new("emulator");
+//! t.events.push(TimelineEvent {
+//!     cell: 0, unit: Unit::Cpu, name: "work",
+//!     start: SimTime::ZERO, dur: Some(SimTime::from_nanos(2000)),
+//!     bucket: Bucket::Exec, arg: 100,
+//! });
+//! let json = chrome_trace(&[&t]);
+//! assert!(json.get("traceEvents").is_some());
+//! ```
+
+use crate::event::Unit;
+use crate::timeline::Timeline;
+use aputil::Json;
+use std::collections::BTreeSet;
+use std::io::Write;
+use std::path::Path;
+
+/// Thread id of a `(cell, unit)` track inside its process.
+fn tid(cell: u32, unit: Unit) -> u64 {
+    cell as u64 * Unit::ALL.len() as u64 + unit.index() as u64
+}
+
+fn micros(t: aputil::SimTime) -> Json {
+    // The format's `ts`/`dur` are microseconds; fractional values are
+    // allowed, preserving nanosecond resolution.
+    Json::F(t.as_nanos() as f64 / 1000.0)
+}
+
+/// Builds the Chrome-trace JSON document for the given timelines. Each
+/// timeline becomes its own process (`pid` = position + 1); events are
+/// sorted so every track's timestamps are monotonically non-decreasing.
+pub fn chrome_trace(timelines: &[&Timeline]) -> Json {
+    let mut events: Vec<Json> = Vec::new();
+    for (i, timeline) in timelines.iter().enumerate() {
+        let pid = i as u64 + 1;
+        events.push(Json::obj([
+            ("ph", Json::from("M")),
+            ("pid", Json::from(pid)),
+            ("name", Json::from("process_name")),
+            (
+                "args",
+                Json::obj([("name", Json::from(timeline.source.as_str()))]),
+            ),
+        ]));
+
+        // Name and order every track that has at least one event.
+        let tracks: BTreeSet<(u32, Unit)> =
+            timeline.events.iter().map(|e| (e.cell, e.unit)).collect();
+        for &(cell, unit) in &tracks {
+            let t = tid(cell, unit);
+            events.push(Json::obj([
+                ("ph", Json::from("M")),
+                ("pid", Json::from(pid)),
+                ("tid", Json::from(t)),
+                ("name", Json::from("thread_name")),
+                (
+                    "args",
+                    Json::obj([("name", Json::from(format!("cell{cell} {}", unit.label())))]),
+                ),
+            ]));
+            events.push(Json::obj([
+                ("ph", Json::from("M")),
+                ("pid", Json::from(pid)),
+                ("tid", Json::from(t)),
+                ("name", Json::from("thread_sort_index")),
+                ("args", Json::obj([("sort_index", Json::from(t))])),
+            ]));
+        }
+
+        let mut sorted = (*timeline).clone();
+        sorted.sort();
+        for e in &sorted.events {
+            let mut members = vec![
+                ("name".to_string(), Json::from(e.name)),
+                ("cat".to_string(), Json::from(e.bucket.label())),
+                ("pid".to_string(), Json::from(pid)),
+                ("tid".to_string(), Json::from(tid(e.cell, e.unit))),
+                ("ts".to_string(), micros(e.start)),
+            ];
+            match e.dur {
+                Some(d) => {
+                    members.insert(0, ("ph".to_string(), Json::from("X")));
+                    members.push(("dur".to_string(), micros(d)));
+                    members.push(("cname".to_string(), Json::from(e.bucket.chrome_color())));
+                }
+                None => {
+                    members.insert(0, ("ph".to_string(), Json::from("i")));
+                    // Thread-scoped instant.
+                    members.push(("s".to_string(), Json::from("t")));
+                }
+            }
+            members.push(("args".to_string(), Json::obj([("arg", Json::from(e.arg))])));
+            events.push(Json::Obj(members));
+        }
+    }
+    Json::obj([
+        ("traceEvents", Json::Arr(events)),
+        ("displayTimeUnit", Json::from("ms")),
+    ])
+}
+
+/// Writes the Chrome trace for `timelines` to `path`.
+pub fn write_chrome_trace(path: &Path, timelines: &[&Timeline]) -> std::io::Result<()> {
+    let json = chrome_trace(timelines);
+    let mut f = std::fs::File::create(path)?;
+    write!(f, "{json}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Bucket, TimelineEvent};
+    use aputil::SimTime;
+
+    fn sample_timeline() -> Timeline {
+        let mut t = Timeline::new("emulator");
+        // Deliberately emitted out of order to prove the exporter sorts.
+        let ev = |cell, unit, name, start_ns: u64, dur_ns: Option<u64>, bucket| TimelineEvent {
+            cell,
+            unit,
+            name,
+            start: SimTime::from_nanos(start_ns),
+            dur: dur_ns.map(SimTime::from_nanos),
+            bucket,
+            arg: 7,
+        };
+        t.events
+            .push(ev(0, Unit::Cpu, "wait_flag", 5000, Some(300), Bucket::Idle));
+        t.events
+            .push(ev(0, Unit::Cpu, "work", 0, Some(2000), Bucket::Exec));
+        t.events
+            .push(ev(1, Unit::SendDma, "send_dma", 100, Some(600), Bucket::Hw));
+        t.events
+            .push(ev(0, Unit::Cpu, "rts", 2000, Some(500), Bucket::Rts));
+        t.events
+            .push(ev(0, Unit::Queue, "enqueue", 40, None, Bucket::Hw));
+        t
+    }
+
+    #[test]
+    fn export_has_required_fields_and_monotonic_tracks() {
+        let t = sample_timeline();
+        let doc = chrome_trace(&[&t]);
+        let text = doc.to_string();
+        // Re-parse: the exported document must be valid JSON.
+        let parsed = Json::parse(&text).unwrap();
+        let events = parsed.get("traceEvents").and_then(Json::as_arr).unwrap();
+        assert!(!events.is_empty());
+
+        let mut last_ts: std::collections::HashMap<(u64, u64), f64> =
+            std::collections::HashMap::new();
+        let mut slices = 0;
+        let mut instants = 0;
+        for e in events {
+            let ph = e
+                .get("ph")
+                .and_then(Json::as_str)
+                .expect("every event has ph");
+            let pid = e
+                .get("pid")
+                .and_then(Json::as_u64)
+                .expect("every event has pid");
+            match ph {
+                "M" => continue,
+                "X" => {
+                    slices += 1;
+                    assert!(e.get("dur").and_then(Json::as_f64).unwrap() >= 0.0);
+                }
+                "i" => instants += 1,
+                other => panic!("unexpected ph {other}"),
+            }
+            let tid = e.get("tid").and_then(Json::as_u64).expect("tid");
+            let ts = e.get("ts").and_then(Json::as_f64).expect("ts");
+            let prev = last_ts.insert((pid, tid), ts).unwrap_or(f64::MIN);
+            assert!(
+                ts >= prev,
+                "track ({pid},{tid}) went backwards: {prev} -> {ts}"
+            );
+        }
+        assert_eq!(slices, 4);
+        assert_eq!(instants, 1);
+    }
+
+    #[test]
+    fn processes_and_threads_are_named() {
+        let t = sample_timeline();
+        let doc = chrome_trace(&[&t]);
+        let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        let proc_names: Vec<&str> = events
+            .iter()
+            .filter(|e| e.get("name").and_then(Json::as_str) == Some("process_name"))
+            .filter_map(|e| {
+                e.get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(Json::as_str)
+            })
+            .collect();
+        assert_eq!(proc_names, ["emulator"]);
+        let thread_names: Vec<&str> = events
+            .iter()
+            .filter(|e| e.get("name").and_then(Json::as_str) == Some("thread_name"))
+            .filter_map(|e| {
+                e.get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(Json::as_str)
+            })
+            .collect();
+        assert!(thread_names.contains(&"cell0 cpu"));
+        assert!(thread_names.contains(&"cell1 send-dma"));
+        assert!(thread_names.contains(&"cell0 msc-queue"));
+    }
+
+    #[test]
+    fn multiple_timelines_get_distinct_pids() {
+        let a = sample_timeline();
+        let mut b = sample_timeline();
+        b.source = "mlsim/ap1000+".to_string();
+        let doc = chrome_trace(&[&a, &b]);
+        let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        let pids: BTreeSet<u64> = events
+            .iter()
+            .filter_map(|e| e.get("pid").and_then(Json::as_u64))
+            .collect();
+        assert_eq!(pids.into_iter().collect::<Vec<_>>(), vec![1, 2]);
+    }
+}

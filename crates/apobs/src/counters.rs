@@ -1,0 +1,114 @@
+//! The unified hardware-counter block surfaced on `RunReport` and
+//! `ReplayResult`.
+
+use crate::hist::Hist;
+use aputil::Json;
+
+/// Hardware counters and log2 histograms collected during a run or replay.
+///
+/// Absorbs the formerly ad-hoc `queue_spills` / `ring_overflows` report
+/// fields and adds the distribution views the paper's analysis needs
+/// (message sizes for Table 3, wait latencies for Figure 7/8 reasoning).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// Messages that spilled out of an MSC+ command queue into DRAM (§4.1).
+    pub queue_spills: u64,
+    /// OS interrupts taken to refill spilled queues.
+    pub queue_refills: u64,
+    /// Ring-buffer overflows requiring an OS buffer allocation (§4.3).
+    pub ring_overflows: u64,
+    /// Payload bytes per T-net message.
+    pub msg_size: Hist,
+    /// Nanoseconds a cell spent blocked per flag wait.
+    pub flag_wait: Hist,
+    /// MSC+ command-queue depth observed at each enqueue.
+    pub queue_occupancy: Hist,
+    /// End-to-end T-net transit nanoseconds per message (prolog + hops +
+    /// serialization, including any contention stalls).
+    pub hop_latency: Hist,
+}
+
+impl Counters {
+    pub fn new() -> Self {
+        Counters::default()
+    }
+
+    /// Folds another counter block into this one.
+    pub fn merge(&mut self, other: &Counters) {
+        self.queue_spills += other.queue_spills;
+        self.queue_refills += other.queue_refills;
+        self.ring_overflows += other.ring_overflows;
+        self.msg_size.merge(&other.msg_size);
+        self.flag_wait.merge(&other.flag_wait);
+        self.queue_occupancy.merge(&other.queue_occupancy);
+        self.hop_latency.merge(&other.hop_latency);
+    }
+
+    /// JSON form for `--json` output.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("queue_spills", Json::from(self.queue_spills)),
+            ("queue_refills", Json::from(self.queue_refills)),
+            ("ring_overflows", Json::from(self.ring_overflows)),
+            ("msg_size_bytes", self.msg_size.to_json()),
+            ("flag_wait_ns", self.flag_wait.to_json()),
+            ("queue_occupancy", self.queue_occupancy.to_json()),
+            ("net_latency_ns", self.hop_latency.to_json()),
+        ])
+    }
+
+    /// Multi-line human rendering.
+    pub fn render(&self) -> String {
+        format!(
+            "queue spills {} (refills {}), ring overflows {}\n\
+             msg size   : {}\n\
+             flag wait  : {}\n\
+             queue depth: {}\n\
+             net latency: {}",
+            self.queue_spills,
+            self.queue_refills,
+            self.ring_overflows,
+            self.msg_size.render(),
+            self.flag_wait.render(),
+            self.queue_occupancy.render(),
+            self.hop_latency.render(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums_everything() {
+        let mut a = Counters::new();
+        a.queue_spills = 2;
+        a.msg_size.record(100);
+        let mut b = Counters::new();
+        b.queue_spills = 3;
+        b.ring_overflows = 1;
+        b.msg_size.record(200);
+        a.merge(&b);
+        assert_eq!(a.queue_spills, 5);
+        assert_eq!(a.ring_overflows, 1);
+        assert_eq!(a.msg_size.count(), 2);
+    }
+
+    #[test]
+    fn json_includes_all_counters() {
+        let c = Counters::new();
+        let j = c.to_json();
+        for key in [
+            "queue_spills",
+            "queue_refills",
+            "ring_overflows",
+            "msg_size_bytes",
+            "flag_wait_ns",
+            "queue_occupancy",
+            "net_latency_ns",
+        ] {
+            assert!(j.get(key).is_some(), "missing {key}");
+        }
+    }
+}

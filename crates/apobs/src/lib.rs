@@ -1,0 +1,100 @@
+//! # apobs — observability for the AP1000+ reproduction
+//!
+//! The instrumentation substrate the rest of the workspace reports
+//! through: a zero-overhead-when-disabled event [`Recorder`] producing
+//! sim-time [`TimelineEvent`]s, dependency-free log2-bucket histograms
+//! ([`Hist`]), the unified [`Counters`] block surfaced on run reports, and
+//! a Chrome-trace-event exporter ([`chrome_trace`]) whose output opens
+//! directly in Perfetto.
+//!
+//! The same event vocabulary is emitted by the `apcore` emulator kernel,
+//! the `apmsc`/`apnet` hardware models, and `mlsim` replay, so emulator
+//! and model timelines are directly comparable side by side.
+//!
+//! # Examples
+//!
+//! ```
+//! use apobs::{Bucket, Recorder, Timeline, Unit, chrome_trace};
+//! use aputil::SimTime;
+//!
+//! let mut rec = Recorder::enabled();
+//! rec.span(0, Unit::Cpu, "work", SimTime::ZERO, SimTime::from_nanos(500), Bucket::Exec, 25);
+//! rec.instant(0, Unit::Queue, "enqueue", SimTime::from_nanos(500), Bucket::Hw, 1);
+//! let timeline = Timeline::from_events("emulator", rec.take_events());
+//! let doc = chrome_trace(&[&timeline]);
+//! assert!(doc.to_string().contains("traceEvents"));
+//! ```
+
+pub mod chrome;
+pub mod counters;
+pub mod event;
+pub mod hist;
+pub mod recorder;
+pub mod timeline;
+
+pub use chrome::{chrome_trace, write_chrome_trace};
+pub use counters::Counters;
+pub use event::{Bucket, TimelineEvent, Unit};
+pub use hist::Hist;
+pub use recorder::Recorder;
+pub use timeline::Timeline;
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Histogram invariant: every sample lands in the bucket whose
+        /// range contains it, and count/sum/min/max agree with the samples.
+        #[test]
+        fn hist_matches_reference(samples in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+            let mut h = Hist::new();
+            for &s in &samples {
+                h.record(s);
+            }
+            prop_assert_eq!(h.count(), samples.len() as u64);
+            prop_assert_eq!(h.sum(), samples.iter().map(|&s| s as u128).sum::<u128>());
+            prop_assert_eq!(h.min(), *samples.iter().min().unwrap());
+            prop_assert_eq!(h.max(), *samples.iter().max().unwrap());
+            let total: u64 = (0..64).map(|i| h.bucket_count(i)).sum();
+            prop_assert_eq!(total, samples.len() as u64);
+        }
+
+        /// The Chrome exporter always yields parseable JSON with monotonic
+        /// per-track timestamps, for arbitrary event soups.
+        #[test]
+        fn chrome_export_always_parses(
+            evs in proptest::collection::vec(
+                (0u32..4, 0usize..5, 0u64..100_000, 0u64..5_000, any::<bool>()),
+                0..50,
+            )
+        ) {
+            let mut t = Timeline::new("fuzz");
+            for (cell, unit, start, dur, instant) in evs {
+                t.events.push(TimelineEvent {
+                    cell,
+                    unit: Unit::ALL[unit],
+                    name: "e",
+                    start: aputil::SimTime::from_nanos(start),
+                    dur: if instant { None } else { Some(aputil::SimTime::from_nanos(dur)) },
+                    bucket: Bucket::Hw,
+                    arg: 0,
+                });
+            }
+            let doc = chrome_trace(&[&t]);
+            let parsed = aputil::Json::parse(&doc.to_string()).unwrap();
+            let events = parsed.get("traceEvents").and_then(aputil::Json::as_arr).unwrap();
+            let mut last: std::collections::HashMap<u64, f64> = std::collections::HashMap::new();
+            for e in events {
+                if e.get("ph").and_then(aputil::Json::as_str) == Some("M") {
+                    continue;
+                }
+                let tid = e.get("tid").and_then(aputil::Json::as_u64).unwrap();
+                let ts = e.get("ts").and_then(aputil::Json::as_f64).unwrap();
+                let prev = last.insert(tid, ts).unwrap_or(f64::MIN);
+                prop_assert!(ts >= prev, "tid {} regressed {} -> {}", tid, prev, ts);
+            }
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! The event recorder: zero-overhead when disabled.
+//!
+//! A disabled [`Recorder`] is a single `bool` test per call site with no
+//! allocation and no buffer; the event arguments are never materialized
+//! because the inline check happens before any formatting or pushing.
+
+use crate::event::{Bucket, TimelineEvent, Unit};
+use aputil::SimTime;
+
+/// Collects [`TimelineEvent`]s while enabled; a no-op sink otherwise.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Recorder {
+    enabled: bool,
+    events: Vec<TimelineEvent>,
+}
+
+impl Recorder {
+    /// A recorder that drops everything (the default).
+    pub fn disabled() -> Self {
+        Recorder {
+            enabled: false,
+            events: Vec::new(),
+        }
+    }
+
+    /// A recorder that keeps events.
+    pub fn enabled() -> Self {
+        Recorder {
+            enabled: true,
+            events: Vec::new(),
+        }
+    }
+
+    pub fn new(enabled: bool) -> Self {
+        if enabled {
+            Recorder::enabled()
+        } else {
+            Recorder::disabled()
+        }
+    }
+
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records a duration slice.
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    pub fn span(
+        &mut self,
+        cell: u32,
+        unit: Unit,
+        name: &'static str,
+        start: SimTime,
+        dur: SimTime,
+        bucket: Bucket,
+        arg: u64,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        self.events.push(TimelineEvent {
+            cell,
+            unit,
+            name,
+            start,
+            dur: Some(dur),
+            bucket,
+            arg,
+        });
+    }
+
+    /// Records an instant event.
+    #[inline]
+    pub fn instant(
+        &mut self,
+        cell: u32,
+        unit: Unit,
+        name: &'static str,
+        at: SimTime,
+        bucket: Bucket,
+        arg: u64,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        self.events.push(TimelineEvent {
+            cell,
+            unit,
+            name,
+            start: at,
+            dur: None,
+            bucket,
+            arg,
+        });
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Takes the buffered events, leaving the recorder empty but keeping
+    /// its enabled state.
+    pub fn take_events(&mut self) -> Vec<TimelineEvent> {
+        std::mem::take(&mut self.events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_stores_nothing() {
+        let mut r = Recorder::disabled();
+        r.span(
+            0,
+            Unit::Cpu,
+            "work",
+            SimTime::ZERO,
+            SimTime::from_nanos(5),
+            Bucket::Exec,
+            1,
+        );
+        r.instant(0, Unit::Net, "hop", SimTime::ZERO, Bucket::Hw, 1);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn enabled_recorder_keeps_order() {
+        let mut r = Recorder::enabled();
+        r.span(
+            0,
+            Unit::Cpu,
+            "work",
+            SimTime::from_nanos(10),
+            SimTime::from_nanos(5),
+            Bucket::Exec,
+            0,
+        );
+        r.instant(
+            1,
+            Unit::Queue,
+            "enqueue",
+            SimTime::from_nanos(12),
+            Bucket::Hw,
+            3,
+        );
+        let evs = r.take_events();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].name, "work");
+        assert_eq!(evs[0].end(), SimTime::from_nanos(15));
+        assert_eq!(evs[1].dur, None);
+        assert!(r.is_empty());
+        assert!(r.is_enabled());
+    }
+}

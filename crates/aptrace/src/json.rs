@@ -1,0 +1,441 @@
+//! Versioned JSON serialization of [`Trace`]s.
+//!
+//! Traces are the interchange artifact between the `apcore` emulator (which
+//! records them) and `mlsim` (which replays them under different machine
+//! parameters), so the on-disk format carries an explicit header:
+//!
+//! ```json
+//! {"format": "aptrace", "version": 1, "ncells": 2, "pes": [[...], [...]]}
+//! ```
+//!
+//! [`Trace::from_json_str`] rejects documents whose `format` tag is wrong
+//! or whose `version` is newer than this library understands, so a trace
+//! written by a future revision fails loudly instead of replaying garbage.
+//!
+//! # Examples
+//!
+//! ```
+//! use aptrace::{Op, Trace};
+//! use aputil::CellId;
+//!
+//! let mut t = Trace::new(2);
+//! t.pe_mut(CellId::new(0)).push(Op::Work { flops: 42 });
+//! t.pe_mut(CellId::new(1)).push(Op::Barrier);
+//! let text = t.to_json_string();
+//! assert_eq!(Trace::from_json_str(&text).unwrap(), t);
+//! ```
+
+use crate::op::{Op, PeTrace, Trace};
+use aputil::{CellId, Json};
+
+/// Format tag in the trace header.
+pub const FORMAT: &str = "aptrace";
+/// Newest trace format version this library reads and the one it writes.
+pub const VERSION: u64 = 1;
+
+impl Op {
+    /// Encodes one operation as a tagged JSON object.
+    pub fn to_json(&self) -> Json {
+        match *self {
+            Op::Work { flops } => Json::obj([("op", Json::from("work")), ("flops", flops.into())]),
+            Op::Rts { units } => Json::obj([("op", Json::from("rts")), ("units", units.into())]),
+            Op::Put {
+                dst,
+                bytes,
+                stride,
+                ack,
+                send_flag,
+                recv_flag,
+            } => Json::obj([
+                ("op", Json::from("put")),
+                ("dst", dst.as_u32().into()),
+                ("bytes", bytes.into()),
+                ("stride", stride.into()),
+                ("ack", ack.into()),
+                ("send_flag", send_flag.into()),
+                ("recv_flag", recv_flag.into()),
+            ]),
+            Op::Get {
+                src,
+                bytes,
+                stride,
+                ack_probe,
+                send_flag,
+                recv_flag,
+            } => Json::obj([
+                ("op", Json::from("get")),
+                ("src", src.as_u32().into()),
+                ("bytes", bytes.into()),
+                ("stride", stride.into()),
+                ("ack_probe", ack_probe.into()),
+                ("send_flag", send_flag.into()),
+                ("recv_flag", recv_flag.into()),
+            ]),
+            Op::Send { dst, bytes } => Json::obj([
+                ("op", Json::from("send")),
+                ("dst", dst.as_u32().into()),
+                ("bytes", bytes.into()),
+            ]),
+            Op::Recv { src, bytes } => Json::obj([
+                ("op", Json::from("recv")),
+                ("src", src.as_u32().into()),
+                ("bytes", bytes.into()),
+            ]),
+            Op::WaitFlag { flag, target } => Json::obj([
+                ("op", Json::from("wait_flag")),
+                ("flag", flag.into()),
+                ("target", Json::from(target as u64)),
+            ]),
+            Op::Barrier => Json::obj([("op", Json::from("barrier"))]),
+            Op::Bcast { root, bytes } => Json::obj([
+                ("op", Json::from("bcast")),
+                ("root", root.as_u32().into()),
+                ("bytes", bytes.into()),
+            ]),
+            Op::RegStore { dst, reg } => Json::obj([
+                ("op", Json::from("reg_store")),
+                ("dst", dst.as_u32().into()),
+                ("reg", Json::from(reg as u64)),
+            ]),
+            Op::RegLoad { reg } => Json::obj([
+                ("op", Json::from("reg_load")),
+                ("reg", Json::from(reg as u64)),
+            ]),
+            Op::RemoteStore { dst, bytes } => Json::obj([
+                ("op", Json::from("remote_store")),
+                ("dst", dst.as_u32().into()),
+                ("bytes", bytes.into()),
+            ]),
+            Op::RemoteLoad { src, bytes } => Json::obj([
+                ("op", Json::from("remote_load")),
+                ("src", src.as_u32().into()),
+                ("bytes", bytes.into()),
+            ]),
+            Op::RemoteFence => Json::obj([("op", Json::from("remote_fence"))]),
+            Op::MarkGopScalar => Json::obj([("op", Json::from("mark_gop_scalar"))]),
+            Op::MarkGopVector => Json::obj([("op", Json::from("mark_gop_vector"))]),
+        }
+    }
+
+    /// Decodes one operation from its tagged JSON object.
+    pub fn from_json(j: &Json) -> Result<Op, String> {
+        let tag = j
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("op object missing \"op\" tag: {j}"))?;
+        let op = match tag {
+            "work" => Op::Work {
+                flops: field_u64(j, "flops")?,
+            },
+            "rts" => Op::Rts {
+                units: field_u64(j, "units")?,
+            },
+            "put" => Op::Put {
+                dst: field_cell(j, "dst")?,
+                bytes: field_u64(j, "bytes")?,
+                stride: field_bool(j, "stride")?,
+                ack: field_bool(j, "ack")?,
+                send_flag: field_u64(j, "send_flag")?,
+                recv_flag: field_u64(j, "recv_flag")?,
+            },
+            "get" => Op::Get {
+                src: field_cell(j, "src")?,
+                bytes: field_u64(j, "bytes")?,
+                stride: field_bool(j, "stride")?,
+                ack_probe: field_bool(j, "ack_probe")?,
+                send_flag: field_u64(j, "send_flag")?,
+                recv_flag: field_u64(j, "recv_flag")?,
+            },
+            "send" => Op::Send {
+                dst: field_cell(j, "dst")?,
+                bytes: field_u64(j, "bytes")?,
+            },
+            "recv" => Op::Recv {
+                src: field_cell(j, "src")?,
+                bytes: field_u64(j, "bytes")?,
+            },
+            "wait_flag" => Op::WaitFlag {
+                flag: field_u64(j, "flag")?,
+                target: field_u32(j, "target")?,
+            },
+            "barrier" => Op::Barrier,
+            "bcast" => Op::Bcast {
+                root: field_cell(j, "root")?,
+                bytes: field_u64(j, "bytes")?,
+            },
+            "reg_store" => Op::RegStore {
+                dst: field_cell(j, "dst")?,
+                reg: field_u16(j, "reg")?,
+            },
+            "reg_load" => Op::RegLoad {
+                reg: field_u16(j, "reg")?,
+            },
+            "remote_store" => Op::RemoteStore {
+                dst: field_cell(j, "dst")?,
+                bytes: field_u64(j, "bytes")?,
+            },
+            "remote_load" => Op::RemoteLoad {
+                src: field_cell(j, "src")?,
+                bytes: field_u64(j, "bytes")?,
+            },
+            "remote_fence" => Op::RemoteFence,
+            "mark_gop_scalar" => Op::MarkGopScalar,
+            "mark_gop_vector" => Op::MarkGopVector,
+            other => return Err(format!("unknown op tag {other:?}")),
+        };
+        Ok(op)
+    }
+}
+
+fn field_u64(j: &Json, key: &str) -> Result<u64, String> {
+    j.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("missing or non-integer field {key:?}"))
+}
+
+fn field_u32(j: &Json, key: &str) -> Result<u32, String> {
+    let v = field_u64(j, key)?;
+    u32::try_from(v).map_err(|_| format!("field {key:?} = {v} out of u32 range"))
+}
+
+fn field_u16(j: &Json, key: &str) -> Result<u16, String> {
+    let v = field_u64(j, key)?;
+    u16::try_from(v).map_err(|_| format!("field {key:?} = {v} out of u16 range"))
+}
+
+fn field_bool(j: &Json, key: &str) -> Result<bool, String> {
+    j.get(key)
+        .and_then(Json::as_bool)
+        .ok_or_else(|| format!("missing or non-bool field {key:?}"))
+}
+
+fn field_cell(j: &Json, key: &str) -> Result<CellId, String> {
+    field_u32(j, key).map(CellId::new)
+}
+
+impl Trace {
+    /// Encodes the whole trace, header included.
+    pub fn to_json(&self) -> Json {
+        let pes: Vec<Json> = self
+            .iter()
+            .map(|(_, pe)| Json::Arr(pe.ops.iter().map(Op::to_json).collect()))
+            .collect();
+        Json::obj([
+            ("format", Json::from(FORMAT)),
+            ("version", Json::from(VERSION)),
+            ("ncells", Json::from(self.ncells() as u64)),
+            ("pes", Json::Arr(pes)),
+        ])
+    }
+
+    /// The compact textual form of [`Trace::to_json`].
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_string()
+    }
+
+    /// Decodes a trace, validating the header.
+    pub fn from_json(j: &Json) -> Result<Trace, String> {
+        match j.get("format").and_then(Json::as_str) {
+            Some(FORMAT) => {}
+            Some(other) => return Err(format!("not an aptrace document (format {other:?})")),
+            None => return Err("missing \"format\" header".to_string()),
+        }
+        let version = field_u64(j, "version")?;
+        if version > VERSION {
+            return Err(format!(
+                "trace version {version} is newer than supported version {VERSION}"
+            ));
+        }
+        let ncells = field_u64(j, "ncells")? as usize;
+        if ncells == 0 {
+            return Err("trace header declares zero cells".to_string());
+        }
+        let pes = j
+            .get("pes")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| "missing \"pes\" array".to_string())?;
+        if pes.len() != ncells {
+            return Err(format!(
+                "header says {ncells} cells but \"pes\" has {} entries",
+                pes.len()
+            ));
+        }
+        let mut trace = Trace::new(ncells);
+        for (i, pe) in pes.iter().enumerate() {
+            let ops = pe
+                .as_arr()
+                .ok_or_else(|| format!("pe {i} is not an array"))?;
+            let decoded: Result<Vec<Op>, String> = ops.iter().map(Op::from_json).collect();
+            *trace.pe_mut(CellId::new(i as u32)) = PeTrace { ops: decoded? };
+        }
+        Ok(trace)
+    }
+
+    /// Parses the textual form produced by [`Trace::to_json_string`].
+    pub fn from_json_str(text: &str) -> Result<Trace, String> {
+        let j = Json::parse(text).map_err(|e| e.to_string())?;
+        Trace::from_json(&j)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> Trace {
+        let mut t = Trace::new(2);
+        let pe0 = t.pe_mut(CellId::new(0));
+        pe0.push(Op::Work { flops: 1000 });
+        pe0.push(Op::Put {
+            dst: CellId::new(1),
+            bytes: 8192,
+            stride: true,
+            ack: false,
+            send_flag: 3,
+            recv_flag: 4,
+        });
+        pe0.push(Op::WaitFlag { flag: 3, target: 1 });
+        pe0.push(Op::Barrier);
+        let pe1 = t.pe_mut(CellId::new(1));
+        pe1.push(Op::RegStore {
+            dst: CellId::new(0),
+            reg: 65535,
+        });
+        pe1.push(Op::RemoteFence);
+        pe1.push(Op::Barrier);
+        t
+    }
+
+    #[test]
+    fn header_fields_present() {
+        let j = sample_trace().to_json();
+        assert_eq!(j.get("format").and_then(Json::as_str), Some(FORMAT));
+        assert_eq!(j.get("version").and_then(Json::as_u64), Some(VERSION));
+        assert_eq!(j.get("ncells").and_then(Json::as_u64), Some(2));
+    }
+
+    #[test]
+    fn round_trip_preserves_trace() {
+        let t = sample_trace();
+        let back = Trace::from_json_str(&t.to_json_string()).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn rejects_wrong_format_and_newer_version() {
+        let err = Trace::from_json_str(r#"{"format":"other","version":1}"#).unwrap_err();
+        assert!(err.contains("not an aptrace document"), "{err}");
+        let err =
+            Trace::from_json_str(r#"{"format":"aptrace","version":999,"ncells":1,"pes":[[]]}"#)
+                .unwrap_err();
+        assert!(err.contains("newer"), "{err}");
+    }
+
+    #[test]
+    fn rejects_cell_count_mismatch() {
+        let err = Trace::from_json_str(r#"{"format":"aptrace","version":1,"ncells":2,"pes":[[]]}"#)
+            .unwrap_err();
+        assert!(err.contains("2 cells"), "{err}");
+    }
+
+    #[test]
+    fn rejects_unknown_op() {
+        let text = r#"{"format":"aptrace","version":1,"ncells":1,"pes":[[{"op":"warp"}]]}"#;
+        let err = Trace::from_json_str(text).unwrap_err();
+        assert!(err.contains("unknown op tag"), "{err}");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_cell() -> BoxedStrategy<CellId> {
+        (0u32..1024).prop_map(CellId::new).boxed()
+    }
+
+    fn arb_op() -> BoxedStrategy<Op> {
+        prop_oneof![
+            (0u64..1_000_000_000).prop_map(|flops| Op::Work { flops }),
+            (0u64..1_000_000).prop_map(|units| Op::Rts { units }),
+            (
+                arb_cell(),
+                0u64..1_000_000,
+                any::<bool>(),
+                any::<bool>(),
+                0u64..64,
+                0u64..64
+            )
+                .prop_map(|(dst, bytes, stride, ack, send_flag, recv_flag)| {
+                    Op::Put {
+                        dst,
+                        bytes,
+                        stride,
+                        ack,
+                        send_flag,
+                        recv_flag,
+                    }
+                }),
+            (
+                arb_cell(),
+                0u64..1_000_000,
+                any::<bool>(),
+                any::<bool>(),
+                0u64..64,
+                0u64..64
+            )
+                .prop_map(|(src, bytes, stride, ack_probe, send_flag, recv_flag)| {
+                    Op::Get {
+                        src,
+                        bytes,
+                        stride,
+                        ack_probe,
+                        send_flag,
+                        recv_flag,
+                    }
+                }),
+            (arb_cell(), 0u64..1_000_000).prop_map(|(dst, bytes)| Op::Send { dst, bytes }),
+            (arb_cell(), 0u64..1_000_000).prop_map(|(src, bytes)| Op::Recv { src, bytes }),
+            (0u64..64, 0u32..100).prop_map(|(flag, target)| Op::WaitFlag { flag, target }),
+            Just(Op::Barrier),
+            (arb_cell(), 0u64..1_000_000).prop_map(|(root, bytes)| Op::Bcast { root, bytes }),
+            (arb_cell(), any::<u16>()).prop_map(|(dst, reg)| Op::RegStore { dst, reg }),
+            any::<u16>().prop_map(|reg| Op::RegLoad { reg }),
+            (arb_cell(), 0u64..1_000_000).prop_map(|(dst, bytes)| Op::RemoteStore { dst, bytes }),
+            (arb_cell(), 0u64..1_000_000).prop_map(|(src, bytes)| Op::RemoteLoad { src, bytes }),
+            Just(Op::RemoteFence),
+            Just(Op::MarkGopScalar),
+            Just(Op::MarkGopVector),
+        ]
+        .boxed()
+    }
+
+    proptest! {
+        /// Every operation survives a JSON round trip unchanged.
+        #[test]
+        fn op_round_trips(op in arb_op()) {
+            let back = Op::from_json(&op.to_json()).unwrap();
+            prop_assert_eq!(back, op);
+        }
+
+        /// Whole traces — header, per-cell partition, op order — survive a
+        /// textual round trip unchanged.
+        #[test]
+        fn trace_round_trips(
+            pes in proptest::collection::vec(
+                proptest::collection::vec(arb_op(), 0..12),
+                1..6,
+            )
+        ) {
+            let mut t = Trace::new(pes.len());
+            for (i, ops) in pes.into_iter().enumerate() {
+                for op in ops {
+                    t.pe_mut(CellId::new(i as u32)).push(op);
+                }
+            }
+            let back = Trace::from_json_str(&t.to_json_string()).unwrap();
+            prop_assert_eq!(back, t);
+        }
+    }
+}

@@ -9,6 +9,7 @@
 //! (SEND / Gop / V Gop / Sync / PUT / PUTS / GET / GETS per PE and average
 //! message size).
 
+pub mod json;
 pub mod op;
 pub mod stats;
 

@@ -1,7 +1,6 @@
 //! Trace operations.
 
 use aputil::CellId;
-use serde::{Deserialize, Serialize};
 
 /// One recorded library-level operation of a cell program.
 ///
@@ -10,7 +9,7 @@ use serde::{Deserialize, Serialize};
 /// timing is entirely the business of the replaying model, which is what
 /// lets one trace be replayed under AP1000, AP1000★, and AP1000+
 /// parameters (§5).
-#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Debug)]
 pub enum Op {
     /// Pure computation measured in abstract floating-point operations;
     /// converted to time by the model's `computation_factor`.
@@ -152,7 +151,7 @@ impl Op {
 }
 
 /// The recorded operation sequence of one cell.
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct PeTrace {
     /// Program-ordered operations.
     pub ops: Vec<Op>,
@@ -179,7 +178,7 @@ impl PeTrace {
 /// assert_eq!(t.ncells(), 2);
 /// assert_eq!(t.pe(CellId::new(0)).ops.len(), 1);
 /// ```
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Trace {
     pes: Vec<PeTrace>,
 }
@@ -268,11 +267,5 @@ mod tests {
     #[should_panic(expected = "at least one")]
     fn empty_trace_panics() {
         let _ = Trace::new(0);
-    }
-
-    #[test]
-    fn trace_is_serializable() {
-        fn assert_serde<T: serde::Serialize + serde::de::DeserializeOwned>() {}
-        assert_serde::<Trace>();
     }
 }

@@ -87,7 +87,12 @@ impl AppStats {
                         }
                         s.putget_bytes += bytes;
                     }
-                    Op::Get { bytes, stride, ack_probe, .. } => {
+                    Op::Get {
+                        bytes,
+                        stride,
+                        ack_probe,
+                        ..
+                    } => {
                         if ack_probe {
                             s.ack_gets += 1;
                         } else {
@@ -144,7 +149,14 @@ mod tests {
     use aputil::CellId;
 
     fn put(bytes: u64, stride: bool, ack: bool) -> Op {
-        Op::Put { dst: CellId::new(0), bytes, stride, ack, send_flag: 0, recv_flag: 0 }
+        Op::Put {
+            dst: CellId::new(0),
+            bytes,
+            stride,
+            ack,
+            send_flag: 0,
+            recv_flag: 0,
+        }
     }
 
     fn get(bytes: u64, stride: bool, ack_probe: bool) -> Op {
@@ -169,7 +181,10 @@ mod tests {
             pe.push(get(50, true, false));
             pe.push(Op::Barrier);
             pe.push(Op::MarkGopScalar);
-            pe.push(Op::Send { dst: CellId::new(0), bytes: 8 });
+            pe.push(Op::Send {
+                dst: CellId::new(0),
+                bytes: 8,
+            });
             pe.push(Op::Work { flops: 10 });
         }
         let s = AppStats::from_trace(&t);
@@ -203,7 +218,10 @@ mod tests {
                 pe.push(Op::MarkGopVector);
                 // one PE per gop skips its send (ring closes)
                 if g % 16 != c as u64 % 16 {
-                    pe.push(Op::Send { dst: CellId::new((c + 1) % 16), bytes: 11200 });
+                    pe.push(Op::Send {
+                        dst: CellId::new((c + 1) % 16),
+                        bytes: 11200,
+                    });
                 }
             }
         }

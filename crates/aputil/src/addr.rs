@@ -7,7 +7,6 @@
 //! untranslated address to the DMA engines.
 
 use core::fmt;
-use serde::{Deserialize, Serialize};
 use core::ops::{Add, Sub};
 
 /// A logical (virtual) address in a cell's address space.
@@ -21,11 +20,11 @@ use core::ops::{Add, Sub};
 /// assert_eq!((base + 8).as_u64(), 0x1008);
 /// assert_eq!(base.offset_from(VAddr::new(0x0ff8)), 8);
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
 pub struct VAddr(u64);
 
 /// A physical address produced by MMU translation.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
 pub struct PAddr(u64);
 
 /// The conventional "null" logical address.

@@ -1,11 +1,132 @@
 //! The workspace-wide error type.
 
-use crate::{CellId, VAddr};
+use crate::{CellId, SimTime, VAddr};
 use core::fmt;
 use std::error::Error;
 
 /// Convenient result alias for fallible AP1000+ operations.
 pub type ApResult<T> = Result<T, ApError>;
+
+/// Why a cell was blocked when the machine deadlocked.
+#[derive(Clone, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum BlockReason {
+    /// Waiting for a completion flag to reach `target` (stuck at `current`).
+    FlagWait {
+        flag: VAddr,
+        current: u32,
+        target: u32,
+    },
+    /// Arrived at an S-net barrier other cells never reached.
+    Barrier,
+    /// Blocking RECEIVE with no matching ring-buffer message from `src`.
+    Recv { src: CellId },
+    /// SEND whose send-DMA completion never fired.
+    Send,
+    /// B-net broadcast collective missing participants.
+    Bcast,
+    /// Communication-register load waiting for a p-bit that never set.
+    RegLoad { reg: u16 },
+    /// DSM remote load whose reply never arrived.
+    RemoteLoad,
+    /// Remote-store fence with stores still unacknowledged.
+    RemoteFence { issued: u64, acked: u64 },
+    /// A reason the kernel did not classify further.
+    Other(&'static str),
+}
+
+impl fmt::Display for BlockReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BlockReason::FlagWait {
+                flag,
+                current,
+                target,
+            } => {
+                write!(f, "wait_flag({flag} = {current}, want {target})")
+            }
+            BlockReason::Barrier => write!(f, "barrier"),
+            BlockReason::Recv { src } => write!(f, "recv(from {src})"),
+            BlockReason::Send => write!(f, "send"),
+            BlockReason::Bcast => write!(f, "bcast"),
+            BlockReason::RegLoad { reg } => write!(f, "reg_load(reg {reg})"),
+            BlockReason::RemoteLoad => write!(f, "remote_load"),
+            BlockReason::RemoteFence { issued, acked } => {
+                write!(f, "remote_fence({acked}/{issued} acked)")
+            }
+            BlockReason::Other(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// One blocked cell's state at deadlock detection.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct BlockedCell {
+    /// Which cell.
+    pub cell: CellId,
+    /// What it was blocked on.
+    pub reason: BlockReason,
+    /// Simulated time at which it blocked.
+    pub since: SimTime,
+    /// Pending entries in its MSC+ transmit queues: `(queue name, depth)`,
+    /// only queues with work listed.
+    pub pending_tx: Vec<(&'static str, usize)>,
+}
+
+impl fmt::Display for BlockedCell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {} since {}", self.cell, self.reason, self.since)?;
+        if !self.pending_tx.is_empty() {
+            write!(f, " (pending:")?;
+            for (name, depth) in &self.pending_tx {
+                write!(f, " {name}={depth}")?;
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+/// Structured diagnostics carried by [`ApError::Deadlock`]: a snapshot of
+/// every still-blocked cell when the event queue drained with unfinished
+/// cells.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct DeadlockReport {
+    /// Simulated time at which deadlock was detected.
+    pub now: SimTime,
+    /// Cells in the machine.
+    pub total_cells: u32,
+    /// Cells whose programs ran to completion.
+    pub finished_cells: u32,
+    /// Per-cell blocked state, in cell order.
+    pub blocked: Vec<BlockedCell>,
+}
+
+impl DeadlockReport {
+    /// The blocked-state entry for `cell`, if that cell was blocked.
+    pub fn cell(&self, cell: CellId) -> Option<&BlockedCell> {
+        self.blocked.iter().find(|b| b.cell == cell)
+    }
+}
+
+impl fmt::Display for DeadlockReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} of {} cells never finished at {} [",
+            self.total_cells - self.finished_cells,
+            self.total_cells,
+            self.now
+        )?;
+        for (i, b) in self.blocked.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{b}")?;
+        }
+        write!(f, "]")
+    }
+}
 
 /// Errors raised by the machine model and runtime.
 ///
@@ -48,14 +169,21 @@ pub enum ApError {
         queue: &'static str,
     },
     /// The simulated program deadlocked: every cell is blocked and no events
-    /// remain.
-    Deadlock(String),
+    /// remain. Carries a per-cell snapshot of what each blocked cell was
+    /// waiting on.
+    Deadlock(Box<DeadlockReport>),
     /// A cell program panicked or exited abnormally.
     CellFailed {
         /// Which cell failed.
         cell: CellId,
         /// Panic payload or failure description.
         reason: String,
+    },
+    /// More than one cell program failed in the same run; every failure is
+    /// listed in cell order.
+    CellsFailed {
+        /// `(cell, reason)` for each failed cell.
+        failures: Vec<(CellId, String)>,
     },
 }
 
@@ -75,9 +203,16 @@ impl fmt::Display for ApError {
             ApError::QueueExhausted { queue } => {
                 write!(f, "{queue} queue and spill buffer exhausted")
             }
-            ApError::Deadlock(msg) => write!(f, "simulation deadlock: {msg}"),
+            ApError::Deadlock(report) => write!(f, "simulation deadlock: {report}"),
             ApError::CellFailed { cell, reason } => {
                 write!(f, "{cell} failed: {reason}")
+            }
+            ApError::CellsFailed { failures } => {
+                write!(f, "{} cells failed:", failures.len())?;
+                for (cell, reason) in failures {
+                    write!(f, " [{cell}: {reason}]")?;
+                }
+                Ok(())
             }
         }
     }

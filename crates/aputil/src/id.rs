@@ -1,7 +1,6 @@
 //! Cell (processing element) identifiers.
 
 use core::fmt;
-use serde::{Deserialize, Serialize};
 
 /// Identifier of one AP1000+ cell (processing element).
 ///
@@ -18,7 +17,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(c.index(), 3);
 /// assert_eq!(format!("{c}"), "cell3");
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
 pub struct CellId(u32);
 
 impl CellId {

@@ -21,9 +21,11 @@ pub mod addr;
 pub mod bytes;
 pub mod error;
 pub mod id;
+pub mod json;
 pub mod time;
 
 pub use addr::{PAddr, VAddr};
-pub use error::{ApError, ApResult};
+pub use error::{ApError, ApResult, BlockReason, BlockedCell, DeadlockReport};
 pub use id::CellId;
+pub use json::Json;
 pub use time::SimTime;

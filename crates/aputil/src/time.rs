@@ -7,7 +7,6 @@
 //! millions of events of a long simulation.
 
 use core::fmt;
-use serde::{Deserialize, Serialize};
 use core::iter::Sum;
 use core::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 
@@ -26,7 +25,7 @@ use core::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 /// let four_hops = hop * 4;
 /// assert_eq!(four_hops.as_micros_f64(), 0.64);
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(u64);
 
 impl SimTime {

@@ -143,7 +143,9 @@ fn bench_stride_ablation(c: &mut Criterion) {
         t_elem,
         t_elem.as_nanos() as f64 / t_stride.as_nanos() as f64
     );
-    c.bench_function("ablation/stride_column_host_cost", |b| b.iter(|| black_box(run(true))));
+    c.bench_function("ablation/stride_column_host_cost", |b| {
+        b.iter(|| black_box(run(true)))
+    });
 }
 
 criterion_group!(

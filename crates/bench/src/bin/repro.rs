@@ -7,21 +7,36 @@
 //! repro table2 [--scale s]     # speedups vs AP1000 (runs the suite)
 //! repro table3 [--scale s]     # per-PE communication statistics
 //! repro fig8   [--scale s]     # normalized execution-time breakdown
+//! repro fig8 --ascii           # the same as ASCII stacked bars
 //! repro all    [--scale s]     # everything above, one suite run
 //! ```
+//!
+//! Suite-running commands also accept `--json` (machine-readable rows on
+//! stdout) and `--trace-out FILE` (record sim-time event timelines on
+//! every emulator run and write one Chrome-trace JSON file, one process
+//! group per workload, viewable in Perfetto).
 //!
 //! `--scale test` uses small instances (seconds); the default `paper`
 //! scale uses the reduced-but-paper-shaped instances documented in
 //! DESIGN.md/EXPERIMENTS.md.
 
 use apbench::{
-    crosscheck, fig6, fig7, fig8, parse_scale, run_suite, table1, table2, table3,
+    crosscheck, fig6, fig7, fig8, fig8_ascii, parse_scale, run_suite, suite_json, table1, table2,
+    table3,
 };
+use std::path::Path;
 use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(String::as_str).unwrap_or("all");
+    let json_out = args.iter().any(|a| a == "--json");
+    let ascii = args.iter().any(|a| a == "--ascii");
+    let trace_out = args
+        .iter()
+        .position(|a| a == "--trace-out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
     match cmd {
         "table1" => print!("{}", table1()),
         "fig6" => print!("{}", fig6()),
@@ -40,13 +55,30 @@ fn main() {
         }
         "table2" | "table3" | "fig8" | "all" => {
             let scale = parse_scale(&args);
+            if trace_out.is_some() {
+                // Every machine the suite builds records its timeline.
+                apcore::set_timeline_default(true);
+            }
             eprintln!("running the application suite at {scale:?} scale...");
             let t0 = Instant::now();
             let rows = run_suite(scale);
-            eprintln!("suite done in {:.1}s (all results verified)", t0.elapsed().as_secs_f64());
+            eprintln!(
+                "suite done in {:.1}s (all results verified)",
+                t0.elapsed().as_secs_f64()
+            );
+            if let Some(path) = &trace_out {
+                let refs: Vec<&apobs::Timeline> = rows.iter().map(|r| &r.timeline).collect();
+                apobs::write_chrome_trace(Path::new(path), &refs).expect("write trace file");
+                eprintln!("wrote Chrome trace to {path}");
+            }
+            if json_out {
+                println!("{}", suite_json(&rows));
+                return;
+            }
             match cmd {
                 "table2" => print!("{}", table2(&rows)),
                 "table3" => print!("{}", table3(&rows)),
+                "fig8" if ascii => print!("{}", fig8_ascii(&rows)),
                 "fig8" => print!("{}", fig8(&rows)),
                 _ => {
                     print!("{}", table1());
@@ -61,13 +93,18 @@ fn main() {
                     println!();
                     print!("{}", fig8(&rows));
                     println!();
+                    print!("{}", fig8_ascii(&rows));
+                    println!();
                     print!("{}", crosscheck(&rows));
                 }
             }
         }
         other => {
             eprintln!("unknown command '{other}'");
-            eprintln!("usage: repro [table1|fig6|fig7|table2|table3|fig8|ablations|all] [--scale test|paper]");
+            eprintln!(
+                "usage: repro [table1|fig6|fig7|table2|table3|fig8|ablations|all] \
+                 [--scale test|paper] [--json] [--ascii] [--trace-out FILE]"
+            );
             std::process::exit(2);
         }
     }

@@ -7,7 +7,9 @@
 //! normalized time breakdown.
 
 use apapps::{standard_suite, Scale, Workload};
+use apobs::{Counters, Timeline};
 use aptrace::{AppStats, StatsRow};
+use aputil::Json;
 use mlsim::{fig8_rows, replay, speedup, Fig8Row, ModelParams, ReplayResult};
 
 /// Everything measured for one application.
@@ -28,13 +30,21 @@ pub struct ExperimentRow {
     /// Total simulated time reported by the machine emulator itself
     /// (hardware-level cross-check of the AP1000+ replay).
     pub emulator_total: aputil::SimTime,
+    /// Unified hardware counters from the emulator run.
+    pub counters: Counters,
+    /// Emulator event timeline, labeled with the workload name (empty
+    /// unless timeline recording was enabled, e.g. via `--trace-out`).
+    pub timeline: Timeline,
 }
 
 impl ExperimentRow {
     /// Table 2's two columns: speedup of the AP1000+ and of the AP1000★
     /// over the AP1000.
     pub fn table2(&self) -> (f64, f64) {
-        (speedup(&self.ap1000, &self.plus), speedup(&self.ap1000, &self.star))
+        (
+            speedup(&self.ap1000, &self.plus),
+            speedup(&self.ap1000, &self.star),
+        )
     }
 
     /// Figure 8's two bars (AP1000+ = 100%, then AP1000★).
@@ -42,6 +52,64 @@ impl ExperimentRow {
         let rows = fig8_rows(&self.plus, &[&self.plus, &self.star]);
         (rows[0], rows[1])
     }
+
+    /// Machine-readable form of everything in this row.
+    pub fn to_json(&self) -> Json {
+        let (sp_plus, sp_star) = self.table2();
+        let (f8_plus, f8_star) = self.fig8();
+        let fig8_json = |r: &Fig8Row| {
+            Json::obj(vec![
+                ("exec", Json::F(r.exec)),
+                ("rts", Json::F(r.rts)),
+                ("overhead", Json::F(r.overhead)),
+                ("idle", Json::F(r.idle)),
+                ("total", Json::F(r.total)),
+            ])
+        };
+        let replay_json = |r: &ReplayResult| {
+            Json::obj(vec![
+                ("model", Json::Str(r.model.clone())),
+                ("total_ns", Json::U(r.total.as_nanos())),
+            ])
+        };
+        Json::obj(vec![
+            ("app", Json::Str(self.name.to_string())),
+            ("pe", Json::U(self.pe as u64)),
+            (
+                "stats",
+                Json::obj(vec![
+                    ("send", Json::F(self.stats.send)),
+                    ("gop", Json::F(self.stats.gop)),
+                    ("vgop", Json::F(self.stats.vgop)),
+                    ("sync", Json::F(self.stats.sync)),
+                    ("put", Json::F(self.stats.put)),
+                    ("puts", Json::F(self.stats.puts)),
+                    ("get", Json::F(self.stats.get)),
+                    ("gets", Json::F(self.stats.gets)),
+                    ("msg_size", Json::F(self.stats.msg_size)),
+                ]),
+            ),
+            ("speedup_plus", Json::F(sp_plus)),
+            ("speedup_star", Json::F(sp_star)),
+            ("fig8_plus", fig8_json(&f8_plus)),
+            ("fig8_star", fig8_json(&f8_star)),
+            (
+                "models",
+                Json::Arr(vec![
+                    replay_json(&self.ap1000),
+                    replay_json(&self.star),
+                    replay_json(&self.plus),
+                ]),
+            ),
+            ("emulator_total_ns", Json::U(self.emulator_total.as_nanos())),
+            ("counters", self.counters.to_json()),
+        ])
+    }
+}
+
+/// JSON array of [`ExperimentRow::to_json`] for a whole suite run.
+pub fn suite_json(rows: &[ExperimentRow]) -> Json {
+    Json::Arr(rows.iter().map(|r| r.to_json()).collect())
 }
 
 /// Runs one workload end-to-end (emulate → verify → replay×3).
@@ -59,14 +127,21 @@ pub fn run_experiment(w: &dyn Workload) -> ExperimentRow {
         replay(&report.trace, &m)
             .unwrap_or_else(|e| panic!("{} failed replay under {}: {e}", w.name(), m.name))
     };
+    let ap1000 = run(ModelParams::ap1000());
+    let star = run(ModelParams::ap1000_star());
+    let plus = run(ModelParams::ap1000_plus());
+    let mut timeline = report.timeline;
+    timeline.source = w.name().to_string();
     ExperimentRow {
         name: w.name(),
         pe: w.pe(),
         stats,
-        ap1000: run(ModelParams::ap1000()),
-        star: run(ModelParams::ap1000_star()),
-        plus: run(ModelParams::ap1000_plus()),
+        ap1000,
+        star,
+        plus,
         emulator_total: report.total_time,
+        counters: report.counters,
+        timeline,
     }
 }
 
@@ -109,7 +184,9 @@ pub fn fig6() -> String {
 /// one PUT of `bytes` under both models.
 pub fn fig7(bytes: u64) -> String {
     let mut out = String::new();
-    out.push_str(&format!("Figure 7: PUT communication model ({bytes}-byte message)\n"));
+    out.push_str(&format!(
+        "Figure 7: PUT communication model ({bytes}-byte message)\n"
+    ));
     for m in [ModelParams::ap1000(), ModelParams::ap1000_plus()] {
         let send = m.send_cpu_overhead(bytes);
         let net = m.network_prolog
@@ -137,10 +214,16 @@ pub fn fig7(bytes: u64) -> String {
 pub fn table2(rows: &[ExperimentRow]) -> String {
     let mut s = String::new();
     s.push_str("Table 2: Performance simulation: speedup compared to AP1000\n");
-    s.push_str(&format!("{:10} {:>4} {:>9} {:>9}\n", "App", "PE", "AP1000+", "AP1000*"));
+    s.push_str(&format!(
+        "{:10} {:>4} {:>9} {:>9}\n",
+        "App", "PE", "AP1000+", "AP1000*"
+    ));
     for r in rows {
         let (plus, star) = r.table2();
-        s.push_str(&format!("{:10} {:>4} {:>9.2} {:>9.2}\n", r.name, r.pe, plus, star));
+        s.push_str(&format!(
+            "{:10} {:>4} {:>9.2} {:>9.2}\n",
+            r.name, r.pe, plus, star
+        ));
     }
     s
 }
@@ -184,11 +267,55 @@ pub fn fig8(rows: &[ExperimentRow]) -> String {
     s
 }
 
+/// Renders Figure 8 as horizontal ASCII stacked bars, one pair of bars
+/// per application, built from [`mlsim::fig8_rows`] percentages. The
+/// tallest bar spans the full width; everything else scales to it.
+pub fn fig8_ascii(rows: &[ExperimentRow]) -> String {
+    const WIDTH: f64 = 60.0;
+    let mut s = String::new();
+    s.push_str("Figure 8 (ASCII): normalized execution-time breakdown\n");
+    s.push_str("legend: #=exec r=rts o=overhead .=idle  (AP1000+ = 100)\n");
+    let tallest = rows
+        .iter()
+        .map(|r| {
+            let (p, st) = r.fig8();
+            p.stack().max(st.stack())
+        })
+        .fold(100.0_f64, f64::max);
+    let scale = WIDTH / tallest;
+    for r in rows {
+        let (p, st) = r.fig8();
+        for (label, row) in [("AP1000+", p), ("AP1000*", st)] {
+            let mut bar = String::new();
+            for (ch, val) in [
+                ('#', row.exec),
+                ('r', row.rts),
+                ('o', row.overhead),
+                ('.', row.idle),
+            ] {
+                let cols = (val * scale).round() as usize;
+                bar.extend(std::iter::repeat(ch).take(cols));
+            }
+            s.push_str(&format!(
+                "{:10} {:8} {:<62} {:>6.1}\n",
+                r.name,
+                label,
+                bar,
+                row.stack()
+            ));
+        }
+    }
+    s
+}
+
 /// Renders the emulator-vs-MLSim cross-check.
 pub fn crosscheck(rows: &[ExperimentRow]) -> String {
     let mut s = String::new();
     s.push_str("Cross-check: machine emulator vs MLSim(AP1000+) total time\n");
-    s.push_str(&format!("{:10} {:>14} {:>14} {:>7}\n", "App", "Emulator", "MLSim", "ratio"));
+    s.push_str(&format!(
+        "{:10} {:>14} {:>14} {:>7}\n",
+        "App", "Emulator", "MLSim", "ratio"
+    ));
     for r in rows {
         let ratio = r.emulator_total.as_nanos() as f64 / r.plus.total.as_nanos().max(1) as f64;
         s.push_str(&format!(
@@ -223,13 +350,20 @@ pub fn ablations(scale: Scale) -> String {
     // --- 1. CG ring streaming -----------------------------------------
     s.push_str("Ablation 1: CG vector-reduction ring — store-and-forward vs streamed\n");
     for streamed in [false, true] {
-        let cg = apapps::cg::Cg { streamed_ring: streamed, ..apapps::cg::Cg::new(scale) };
+        let cg = apapps::cg::Cg {
+            streamed_ring: streamed,
+            ..apapps::cg::Cg::new(scale)
+        };
         let report = cg.run().expect("CG failed");
         let plus = replay(&report.trace, &ModelParams::ap1000_plus()).expect("replay");
         let old = replay(&report.trace, &ModelParams::ap1000()).expect("replay");
         s.push_str(&format!(
             "  {:18} emulator {:>12}  AP1000+ {:>12}  speedup vs AP1000 {:>5.2}\n",
-            if streamed { "streamed ring" } else { "store-and-forward" },
+            if streamed {
+                "streamed ring"
+            } else {
+                "store-and-forward"
+            },
             report.total_time.to_string(),
             plus.total.to_string(),
             speedup(&old, &plus)
@@ -283,7 +417,9 @@ pub fn ablations(scale: Scale) -> String {
         apnet::Contention::Links,
     ] {
         let r = run_with(
-            MachineConfig::new(8).with_contention(contention).with_trace(false),
+            MachineConfig::new(8)
+                .with_contention(contention)
+                .with_trace(false),
             |cell| {
                 // All-to-all burst: worst case for port serialization.
                 let n = cell.ncells();
@@ -339,6 +475,33 @@ mod tests {
         // No communication: both models speed up by the processor factor.
         assert!((plus - 8.0).abs() < 0.2, "EP AP1000+ speedup {plus}");
         assert!((star - 8.0).abs() < 0.2, "EP AP1000* speedup {star}");
+    }
+
+    #[test]
+    fn fig8_ascii_bars_scale_with_totals() {
+        let row = run_experiment(&apapps::ep::Ep::new(Scale::Test));
+        let art = fig8_ascii(std::slice::from_ref(&row));
+        assert!(art.contains("legend"));
+        let bars: Vec<&str> = art.lines().skip(2).collect();
+        assert_eq!(bars.len(), 2, "one AP1000+ and one AP1000* bar");
+        // EP is compute-bound: the exec run dominates both bars.
+        for bar in bars {
+            let hashes = bar.matches('#').count();
+            let others = bar.matches('o').count() + bar.matches('.').count();
+            assert!(hashes > others, "EP bar should be mostly exec: {bar}");
+        }
+    }
+
+    #[test]
+    fn experiment_row_serializes_to_json() {
+        let row = run_experiment(&apapps::ep::Ep::new(Scale::Test));
+        let json = suite_json(std::slice::from_ref(&row)).to_string();
+        let parsed = aputil::Json::parse(&json).expect("row JSON parses");
+        let arr = parsed.as_arr().expect("array of rows");
+        let first = &arr[0];
+        assert_eq!(first.get("app").and_then(|j| j.as_str()), Some("EP"));
+        assert!(first.get("speedup_plus").is_some());
+        assert!(first.get("counters").is_some());
     }
 
     #[test]

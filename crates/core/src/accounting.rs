@@ -46,11 +46,14 @@ pub struct RunReport<T> {
     pub tnet: apnet::tnet::TNetStats,
     /// Number of S-net barrier epochs.
     pub barriers: u64,
-    /// Total messages that spilled out of an MSC+ queue into DRAM.
-    pub queue_spills: u64,
-    /// Times a ring buffer overflowed and the OS allocated a new one
-    /// (§4.3).
-    pub ring_overflows: u64,
+    /// Unified hardware counters: queue spills/refills, ring overflows,
+    /// and the message-size / flag-wait / queue-occupancy / net-latency
+    /// histograms.
+    pub counters: apobs::Counters,
+    /// Sim-time event timeline (empty unless
+    /// [`MachineConfig::record_timeline`](crate::MachineConfig) was set);
+    /// export with [`apobs::chrome_trace`].
+    pub timeline: apobs::Timeline,
 }
 
 impl<T> RunReport<T> {

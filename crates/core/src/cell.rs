@@ -91,10 +91,7 @@ impl Cell {
 
     /// Waits for the kernel's boot baton (called once before the program).
     pub(crate) fn wait_boot(&mut self) {
-        let r = self
-            .resume_rx
-            .recv()
-            .expect("machine stopped before boot");
+        let r = self.resume_rx.recv().expect("machine stopped before boot");
         debug_assert_eq!(r, Response::Unit);
         // The implicit acknowledge flag of the Ack & Barrier model (§2.2).
         self.ack_flag = self.alloc_bytes(4);

@@ -2,6 +2,24 @@
 
 use apnet::Contention;
 use aputil::SimTime;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Process-wide default for [`MachineConfig::record_timeline`], so CLI
+/// flags like `--trace-out` can switch every subsequently-built machine to
+/// timeline recording without threading a parameter through application
+/// code.
+static TIMELINE_DEFAULT: AtomicBool = AtomicBool::new(false);
+
+/// Sets the default value of [`MachineConfig::record_timeline`] for
+/// configurations created after this call.
+pub fn set_timeline_default(on: bool) {
+    TIMELINE_DEFAULT.store(on, Ordering::Relaxed);
+}
+
+/// The current process-wide timeline default.
+pub fn timeline_default() -> bool {
+    TIMELINE_DEFAULT.load(Ordering::Relaxed)
+}
 
 /// Hardware timing parameters of the emulated AP1000+ (per-cell MSC+/MC
 /// costs plus the network constants). Defaults follow the paper's AP1000+
@@ -112,6 +130,9 @@ pub struct MachineConfig {
     /// Record a probe trace while running (small overhead; required for
     /// MLSim replay and Table-3 statistics).
     pub record_trace: bool,
+    /// Record a sim-time event timeline (for Chrome-trace/Perfetto export).
+    /// Off by default: a disabled recorder is a single branch per event.
+    pub record_timeline: bool,
 }
 
 impl MachineConfig {
@@ -132,6 +153,7 @@ impl MachineConfig {
             hw: HwParams::default(),
             contention: Contention::None,
             record_trace: true,
+            record_timeline: timeline_default(),
         }
     }
 
@@ -156,6 +178,12 @@ impl MachineConfig {
     /// Enables or disables trace recording.
     pub fn with_trace(mut self, on: bool) -> Self {
         self.record_trace = on;
+        self
+    }
+
+    /// Enables or disables timeline (Chrome-trace) event recording.
+    pub fn with_timeline(mut self, on: bool) -> Self {
+        self.record_timeline = on;
         self
     }
 }

@@ -10,10 +10,11 @@
 
 use crate::machine::{ActiveTx, Machine, TxJob};
 use crate::request::{Mark, Request, Response};
-use apmsc::{Packet, HEADER_BYTES};
+use apmsc::{Packet, PushOutcome, HEADER_BYTES};
+use apobs::{Bucket, Unit};
 use apsim::{Clock, EventQueue};
-use aputil::{ApError, ApResult, CellId, SimTime, VAddr};
 use aptrace::Op;
+use aputil::{ApError, ApResult, BlockReason, BlockedCell, CellId, DeadlockReport, SimTime, VAddr};
 use crossbeam::channel::{Receiver, Sender};
 use std::collections::HashMap;
 
@@ -30,6 +31,15 @@ enum Ev {
     Arrive { dst: u32, pkt: Packet },
     /// `dst`'s receive DMA finished landing a packet.
     RecvDone { dst: u32, pkt: Packet },
+}
+
+/// Which of a cell's four MSC+ transmit queues to enqueue into.
+#[derive(Clone, Copy, Debug)]
+enum TxQueue {
+    User,
+    Remote,
+    GetReply,
+    RemoteReply,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -82,7 +92,13 @@ impl Kernel {
         let mut evq = EventQueue::new();
         // Boot: hand each cell its first baton at t = 0 in id order.
         for cell in 0..n as u32 {
-            evq.push(SimTime::ZERO, Ev::Wake { cell, resp: Response::Unit });
+            evq.push(
+                SimTime::ZERO,
+                Ev::Wake {
+                    cell,
+                    resp: Response::Unit,
+                },
+            );
         }
         Kernel {
             machine,
@@ -117,20 +133,91 @@ impl Kernel {
         }
         let n = self.machine.cells.len() as u32;
         if self.done < n {
-            let stuck: Vec<String> = self
-                .blocked
-                .iter()
-                .enumerate()
-                .filter_map(|(i, b)| b.map(|r| format!("cell{i}: {r}")))
-                .collect();
-            return Err(ApError::Deadlock(format!(
-                "{} of {} cells never finished [{}]",
-                n - self.done,
-                n,
-                stuck.join(", ")
-            )));
+            return Err(ApError::Deadlock(Box::new(self.deadlock_report())));
         }
         Ok(self.clock.now())
+    }
+
+    /// Snapshot of every still-blocked cell — why it is blocked, since
+    /// when, and what its MSC+ transmit queues still hold — assembled when
+    /// the event queue drains with unfinished cells.
+    fn deadlock_report(&self) -> DeadlockReport {
+        let now = self.clock.now();
+        let mut blocked = Vec::new();
+        for (i, slot) in self.blocked.iter().enumerate() {
+            let Some(label) = *slot else { continue };
+            let cell = i as u32;
+            let cid = CellId::new(cell);
+            let (reason, since) = match label {
+                "wait_flag" => match self.flag_waiters.iter().find(|((c, _), _)| *c == cell) {
+                    Some((&(_, flag), w)) => {
+                        let flag = VAddr::new(flag);
+                        let current = self.machine.read_flag(cid, flag).unwrap_or(0);
+                        (
+                            BlockReason::FlagWait {
+                                flag,
+                                current,
+                                target: w.target,
+                            },
+                            w.since,
+                        )
+                    }
+                    None => (BlockReason::Other("wait_flag"), now),
+                },
+                "barrier" => (
+                    BlockReason::Barrier,
+                    self.barrier_since.get(&cell).copied().unwrap_or(now),
+                ),
+                "recv" => match self.recv_waiters.get(&cell) {
+                    Some(w) => (BlockReason::Recv { src: w.src }, w.since),
+                    None => (BlockReason::Other("recv"), now),
+                },
+                "send" => (
+                    BlockReason::Send,
+                    self.send_waiters.get(&cell).copied().unwrap_or(now),
+                ),
+                "bcast" => {
+                    let since = self
+                        .bcast
+                        .as_ref()
+                        .and_then(|s| s.arrived.iter().find(|&&(c, _, _)| c == cell))
+                        .map(|&(_, _, t)| t)
+                        .unwrap_or(now);
+                    (BlockReason::Bcast, since)
+                }
+                "reg_load" => match self.reg_waiters.iter().find(|((c, _), _)| *c == cell) {
+                    Some((&(_, reg), &since)) => (BlockReason::RegLoad { reg }, since),
+                    None => (BlockReason::Other("reg_load"), now),
+                },
+                "remote_load" => (
+                    BlockReason::RemoteLoad,
+                    self.load_waiters.get(&cell).copied().unwrap_or(now),
+                ),
+                "remote_fence" => {
+                    let hw = &self.machine.cells[i];
+                    (
+                        BlockReason::RemoteFence {
+                            issued: hw.rstore_issued,
+                            acked: hw.rstore_acked,
+                        },
+                        self.fence_waiters.get(&cell).copied().unwrap_or(now),
+                    )
+                }
+                other => (BlockReason::Other(other), now),
+            };
+            blocked.push(BlockedCell {
+                cell: cid,
+                reason,
+                since,
+                pending_tx: self.machine.cells[i].pending_tx(),
+            });
+        }
+        DeadlockReport {
+            now,
+            total_cells: self.machine.cells.len() as u32,
+            finished_cells: self.done,
+            blocked,
+        }
     }
 
     fn now(&self) -> SimTime {
@@ -168,6 +255,27 @@ impl Kernel {
 
     fn block(&mut self, cell: u32, reason: &'static str) {
         self.blocked[cell as usize] = Some(reason);
+    }
+
+    /// Enqueues a transmit job, emitting the queue's enqueue/spill events.
+    fn push_tx(&mut self, cell: u32, queue: TxQueue, job: TxJob, at: SimTime) {
+        let hw = &mut self.machine.cells[cell as usize];
+        let q = match queue {
+            TxQueue::User => &mut hw.user_q,
+            TxQueue::Remote => &mut hw.remote_q,
+            TxQueue::GetReply => &mut hw.reply_get_q,
+            TxQueue::RemoteReply => &mut hw.reply_remote_q,
+        };
+        let outcome = q.push(job);
+        let depth = q.len() as u64;
+        self.machine
+            .obs
+            .instant(cell, Unit::Queue, "enqueue", at, Bucket::Hw, depth);
+        if outcome == PushOutcome::Spilled {
+            self.machine
+                .obs
+                .instant(cell, Unit::Queue, "spill", at, Bucket::Hw, depth);
+        }
     }
 
     // ---- event dispatch ------------------------------------------------
@@ -223,12 +331,18 @@ impl Kernel {
                 let t = hw_params.flop_time.saturating_mul(flops);
                 self.charge_exec(cell, t);
                 self.record(cell, Op::Work { flops });
+                self.machine
+                    .obs
+                    .span(cell, Unit::Cpu, "work", now, t, Bucket::Exec, flops);
                 self.wake_at(cell, now + t, Response::Unit);
             }
             Request::Rts { units } => {
                 let t = hw_params.rts_unit_time.saturating_mul(units);
                 self.charge_rts(cell, t);
                 self.record(cell, Op::Rts { units });
+                self.machine
+                    .obs
+                    .span(cell, Unit::Cpu, "rts", now, t, Bucket::Rts, units);
                 self.wake_at(cell, now + t, Response::Unit);
             }
             Request::Put(args) => {
@@ -246,8 +360,17 @@ impl Kernel {
                     },
                 );
                 self.charge_overhead(cell, hw_params.issue_time);
-                self.machine.cells[cell as usize].user_q.push(TxJob::Put(args));
+                self.machine.obs.span(
+                    cell,
+                    Unit::Cpu,
+                    "put_issue",
+                    now,
+                    hw_params.issue_time,
+                    Bucket::Overhead,
+                    args.size(),
+                );
                 let t = now + hw_params.issue_time;
+                self.push_tx(cell, TxQueue::User, TxJob::Put(args), t);
                 self.evq.push(t, Ev::SendPop { cell });
                 self.wake_at(cell, t, Response::Unit);
             }
@@ -266,16 +389,41 @@ impl Kernel {
                     },
                 );
                 self.charge_overhead(cell, hw_params.issue_time);
-                self.machine.cells[cell as usize].user_q.push(TxJob::GetReq(args));
+                self.machine.obs.span(
+                    cell,
+                    Unit::Cpu,
+                    "get_issue",
+                    now,
+                    hw_params.issue_time,
+                    Bucket::Overhead,
+                    if args.is_ack_probe() { 0 } else { args.size() },
+                );
                 let t = now + hw_params.issue_time;
+                self.push_tx(cell, TxQueue::User, TxJob::GetReq(args), t);
                 self.evq.push(t, Ev::SendPop { cell });
                 self.wake_at(cell, t, Response::Unit);
             }
             Request::WaitFlag { flag, target } => {
-                self.record(cell, Op::WaitFlag { flag: flag.as_u64(), target });
+                self.record(
+                    cell,
+                    Op::WaitFlag {
+                        flag: flag.as_u64(),
+                        target,
+                    },
+                );
                 let v = self.machine.read_flag(cid, flag)?;
                 if v >= target {
                     self.charge_overhead(cell, hw_params.flag_check_time);
+                    self.machine.flag_wait.record(0);
+                    self.machine.obs.span(
+                        cell,
+                        Unit::Cpu,
+                        "flag_check",
+                        now,
+                        hw_params.flag_check_time,
+                        Bucket::Overhead,
+                        flag.as_u64(),
+                    );
                     self.wake_at(cell, now + hw_params.flag_check_time, Response::Unit);
                 } else {
                     self.block(cell, "wait_flag");
@@ -291,12 +439,31 @@ impl Kernel {
             Request::Barrier => {
                 self.record(cell, Op::Barrier);
                 if let Some(release) = self.machine.snet.arrive(cid, now) {
+                    let epoch = self.machine.snet.epochs();
                     let waiters: Vec<(u32, SimTime)> = self.barrier_since.drain().collect();
                     for (c, since) in waiters {
                         self.add_idle(c, since, release);
+                        self.machine.obs.span(
+                            c,
+                            Unit::Cpu,
+                            "barrier",
+                            since,
+                            release.saturating_sub(since),
+                            Bucket::Idle,
+                            epoch,
+                        );
                         self.wake_at(c, release, Response::Unit);
                     }
                     self.add_idle(cell, now, release);
+                    self.machine.obs.span(
+                        cell,
+                        Unit::Cpu,
+                        "barrier",
+                        now,
+                        release.saturating_sub(now),
+                        Bucket::Idle,
+                        epoch,
+                    );
                     self.wake_at(cell, release, Response::Unit);
                 } else {
                     self.block(cell, "barrier");
@@ -307,16 +474,31 @@ impl Kernel {
                 self.machine.check_cell(dst)?;
                 self.record(cell, Op::Send { dst, bytes });
                 self.charge_overhead(cell, hw_params.send_call_time);
-                self.machine.cells[cell as usize].user_q.push(TxJob::Ring {
-                    dst,
-                    laddr,
+                self.machine.obs.span(
+                    cell,
+                    Unit::Cpu,
+                    "send_call",
+                    now,
+                    hw_params.send_call_time,
+                    Bucket::Overhead,
                     bytes,
-                    wake_sender: true,
-                });
+                );
+                self.push_tx(
+                    cell,
+                    TxQueue::User,
+                    TxJob::Ring {
+                        dst,
+                        laddr,
+                        bytes,
+                        wake_sender: true,
+                    },
+                    now + hw_params.send_call_time,
+                );
                 self.evq
                     .push(now + hw_params.send_call_time, Ev::SendPop { cell });
                 self.block(cell, "send");
-                self.send_waiters.insert(cell, now + hw_params.send_call_time);
+                self.send_waiters
+                    .insert(cell, now + hw_params.send_call_time);
             }
             Request::Recv { src, laddr, max } => {
                 self.machine.check_cell(src)?;
@@ -326,28 +508,58 @@ impl Kernel {
                     .iter()
                     .position(|(s, _)| *s == src)
                 {
-                    let (_, payload) =
-                        self.machine.cells[cell as usize].ring.remove(pos).expect("pos valid");
+                    let (_, payload) = self.machine.cells[cell as usize]
+                        .ring
+                        .remove(pos)
+                        .expect("pos valid");
                     self.complete_recv(cell, laddr, max, payload, now)?;
                 } else {
                     self.block(cell, "recv");
-                    self.recv_waiters
-                        .insert(cell, RecvWait { src, laddr, max, since: now });
+                    self.recv_waiters.insert(
+                        cell,
+                        RecvWait {
+                            src,
+                            laddr,
+                            max,
+                            since: now,
+                        },
+                    );
                 }
             }
             Request::RegStore { dst, reg, value } => {
                 self.machine.check_cell(dst)?;
                 self.record(cell, Op::RegStore { dst, reg });
                 self.charge_overhead(cell, hw_params.reg_store_time);
+                self.machine.obs.span(
+                    cell,
+                    Unit::Cpu,
+                    "reg_store",
+                    now,
+                    hw_params.reg_store_time,
+                    Bucket::Overhead,
+                    reg as u64,
+                );
                 if dst == cid {
                     self.reg_store_arrived(cell, reg, value, now + hw_params.reg_store_time)?;
                 } else {
-                    let pkt = Packet::RegStore { src: cid, reg, value };
-                    let arrival =
-                        self.machine
-                            .tnet
-                            .transfer(now + hw_params.reg_store_time, cid, dst, pkt.wire_bytes());
-                    self.evq.push(arrival, Ev::Arrive { dst: dst.as_u32(), pkt });
+                    let pkt = Packet::RegStore {
+                        src: cid,
+                        reg,
+                        value,
+                    };
+                    let arrival = self.machine.tnet.transfer(
+                        now + hw_params.reg_store_time,
+                        cid,
+                        dst,
+                        pkt.wire_bytes(),
+                    );
+                    self.evq.push(
+                        arrival,
+                        Ev::Arrive {
+                            dst: dst.as_u32(),
+                            pkt,
+                        },
+                    );
                 }
                 self.wake_at(cell, now + hw_params.reg_store_time, Response::Unit);
             }
@@ -355,6 +567,15 @@ impl Kernel {
                 self.record(cell, Op::RegLoad { reg });
                 if let Some(v) = self.machine.cells[cell as usize].regs.load(reg as usize) {
                     self.charge_overhead(cell, hw_params.reg_load_time);
+                    self.machine.obs.span(
+                        cell,
+                        Unit::Cpu,
+                        "reg_load",
+                        now,
+                        hw_params.reg_load_time,
+                        Bucket::Overhead,
+                        reg as u64,
+                    );
                     self.wake_at(cell, now + hw_params.reg_load_time, Response::Value(v));
                 } else {
                     self.block(cell, "reg_load");
@@ -392,16 +613,25 @@ impl Kernel {
                         .expect("root participated")
                         .1;
                     let payload = self.machine.read_v(state.root, root_laddr, state.bytes)?;
-                    let delivery = self.machine.bnet.broadcast(
-                        latest,
-                        state.root,
-                        state.bytes + HEADER_BYTES,
-                    );
+                    let delivery =
+                        self.machine
+                            .bnet
+                            .broadcast(latest, state.root, state.bytes + HEADER_BYTES);
+                    let bcast_bytes = state.bytes;
                     for (c, la, since) in state.arrived {
                         if c != state.root.as_u32() {
                             self.machine.write_v(CellId::new(c), la, &payload)?;
                         }
                         self.add_idle(c, since, delivery);
+                        self.machine.obs.span(
+                            c,
+                            Unit::Cpu,
+                            "bcast",
+                            since,
+                            delivery.saturating_sub(since),
+                            Bucket::Idle,
+                            bcast_bytes,
+                        );
                         self.wake_at(c, delivery, Response::Unit);
                     }
                 } else {
@@ -410,23 +640,50 @@ impl Kernel {
             }
             Request::RemoteStore { dst, offset, data } => {
                 self.machine.check_cell(dst)?;
-                self.record(cell, Op::RemoteStore { dst, bytes: data.len() as u64 });
-                let hw = &mut self.machine.cells[cell as usize];
-                hw.rstore_issued += 1;
+                self.record(
+                    cell,
+                    Op::RemoteStore {
+                        dst,
+                        bytes: data.len() as u64,
+                    },
+                );
                 let bytes = data.len() as u64;
-                hw.remote_q.push(TxJob::RemoteStoreTx { dst, offset, data });
-                let cost = hw_params.reg_store_time
-                    + hw_params.dma_per_byte.saturating_mul(bytes);
+                self.machine.cells[cell as usize].rstore_issued += 1;
+                self.push_tx(
+                    cell,
+                    TxQueue::Remote,
+                    TxJob::RemoteStoreTx { dst, offset, data },
+                    now,
+                );
+                let cost = hw_params.reg_store_time + hw_params.dma_per_byte.saturating_mul(bytes);
                 self.charge_overhead(cell, cost);
+                self.machine.obs.span(
+                    cell,
+                    Unit::Cpu,
+                    "remote_store",
+                    now,
+                    cost,
+                    Bucket::Overhead,
+                    bytes,
+                );
                 self.evq.push(now + cost, Ev::SendPop { cell });
                 self.wake_at(cell, now + cost, Response::Unit);
             }
             Request::RemoteLoad { dst, offset, len } => {
                 self.machine.check_cell(dst)?;
-                self.record(cell, Op::RemoteLoad { src: dst, bytes: len });
-                self.machine.cells[cell as usize]
-                    .remote_q
-                    .push(TxJob::RemoteLoadReqTx { dst, offset, len });
+                self.record(
+                    cell,
+                    Op::RemoteLoad {
+                        src: dst,
+                        bytes: len,
+                    },
+                );
+                self.push_tx(
+                    cell,
+                    TxQueue::Remote,
+                    TxJob::RemoteLoadReqTx { dst, offset, len },
+                    now,
+                );
                 self.evq.push(now, Ev::SendPop { cell });
                 self.block(cell, "remote_load");
                 self.load_waiters.insert(cell, now);
@@ -474,14 +731,18 @@ impl Kernel {
         let n = (payload.len() as u64).min(max);
         self.machine
             .write_v(CellId::new(cell), laddr, &payload[..n as usize])?;
-        let cost = self
-            .machine
-            .cfg
-            .hw
-            .recv_copy_per_byte
-            .saturating_mul(n)
+        let cost = self.machine.cfg.hw.recv_copy_per_byte.saturating_mul(n)
             + self.machine.cfg.hw.flag_check_time;
         self.charge_overhead(cell, cost);
+        self.machine.obs.span(
+            cell,
+            Unit::Cpu,
+            "recv_copy",
+            ready,
+            cost,
+            Bucket::Overhead,
+            n,
+        );
         self.wake_at(cell, ready + cost, Response::Len(n));
         Ok(())
     }
@@ -509,20 +770,41 @@ impl Kernel {
                 .os_interrupt_time
                 .saturating_mul(refills);
             self.charge_overhead(cell, service);
+            self.machine.obs.span(
+                cell,
+                Unit::Cpu,
+                "queue_refill",
+                now,
+                service,
+                Bucket::Overhead,
+                refills,
+            );
             now += service;
         }
+        let remaining = self.machine.cells[cell as usize].total_pending() as u64;
+        self.machine
+            .obs
+            .instant(cell, Unit::Queue, "dequeue", now, Bucket::Hw, remaining);
         let cid = CellId::new(cell);
         // Gather the payload (functionally instantaneous; timing charged
         // below as DMA duration).
         let (payload, items) = match &job {
-            TxJob::Put(a) => (self.machine.gather(cid, a.laddr, a.send_stride)?, a.send_stride.count),
+            TxJob::Put(a) => (
+                self.machine.gather(cid, a.laddr, a.send_stride)?,
+                a.send_stride.count,
+            ),
             TxJob::GetReq(_) => (Vec::new(), 1),
             TxJob::Ring { laddr, bytes, .. } => (self.machine.read_v(cid, *laddr, *bytes)?, 1),
-            TxJob::GetReply { raddr, send_stride, .. } => {
+            TxJob::GetReply {
+                raddr, send_stride, ..
+            } => {
                 if raddr.is_null() {
                     (Vec::new(), 1)
                 } else {
-                    (self.machine.gather(cid, *raddr, *send_stride)?, send_stride.count)
+                    (
+                        self.machine.gather(cid, *raddr, *send_stride)?,
+                        send_stride.count,
+                    )
                 }
             }
             TxJob::RemoteStoreTx { data, .. } => (data.clone(), 1),
@@ -531,6 +813,15 @@ impl Kernel {
             TxJob::RemoteAckTx { .. } => (Vec::new(), 1),
         };
         let dur = self.machine.dma_time(payload.len() as u64, items);
+        self.machine.obs.span(
+            cell,
+            Unit::SendDma,
+            "send_dma",
+            now,
+            dur,
+            Bucket::Hw,
+            payload.len() as u64,
+        );
         let hw = &mut self.machine.cells[cell as usize];
         hw.send_busy = true;
         hw.active_tx = Some(ActiveTx { job, payload });
@@ -572,12 +863,23 @@ impl Kernel {
                 };
                 self.inject(cid, a.src_cell, pkt);
             }
-            TxJob::Ring { dst, wake_sender, .. } => {
+            TxJob::Ring {
+                dst, wake_sender, ..
+            } => {
                 let pkt = Packet::RingMsg { src: cid, payload };
                 self.inject(cid, dst, pkt);
                 if wake_sender {
                     if let Some(since) = self.send_waiters.remove(&cell) {
                         self.add_idle(cell, since, now);
+                        self.machine.obs.span(
+                            cell,
+                            Unit::Cpu,
+                            "send_wait",
+                            since,
+                            now.saturating_sub(since),
+                            Bucket::Idle,
+                            0,
+                        );
                         self.wake_at(cell, now, Response::Unit);
                     }
                 }
@@ -632,11 +934,23 @@ impl Kernel {
         let now = self.now();
         if src == dst {
             // Loopback: the MSC+ short-circuits the network.
-            self.evq.push(now, Ev::Arrive { dst: dst.as_u32(), pkt });
+            self.evq.push(
+                now,
+                Ev::Arrive {
+                    dst: dst.as_u32(),
+                    pkt,
+                },
+            );
             return;
         }
         let arrival = self.machine.tnet.transfer(now, src, dst, pkt.wire_bytes());
-        self.evq.push(arrival, Ev::Arrive { dst: dst.as_u32(), pkt });
+        self.evq.push(
+            arrival,
+            Ev::Arrive {
+                dst: dst.as_u32(),
+                pkt,
+            },
+        );
     }
 
     // ---- hardware: receive path ------------------------------------------
@@ -657,22 +971,30 @@ impl Kernel {
                 // Enter the reply queue; the send controller answers
                 // automatically (§3.2 "the message handler must reply to
                 // the GET request automatically").
-                self.machine.cells[dst as usize].reply_get_q.push(TxJob::GetReply {
-                    requester: src,
-                    raddr,
-                    send_stride,
-                    send_flag,
-                    reply_laddr,
-                    reply_stride,
-                    reply_flag,
-                });
+                self.push_tx(
+                    dst,
+                    TxQueue::GetReply,
+                    TxJob::GetReply {
+                        requester: src,
+                        raddr,
+                        send_stride,
+                        send_flag,
+                        reply_laddr,
+                        reply_stride,
+                        reply_flag,
+                    },
+                    now,
+                );
                 self.evq.push(now, Ev::SendPop { cell: dst });
             }
             Packet::RemoteLoadReq { src, raddr, size } => {
                 let data = self.machine.dsm_read(did, raddr.as_u64(), size)?;
-                self.machine.cells[dst as usize]
-                    .reply_remote_q
-                    .push(TxJob::RemoteLoadReplyTx { dst: src, data });
+                self.push_tx(
+                    dst,
+                    TxQueue::RemoteReply,
+                    TxJob::RemoteLoadReplyTx { dst: src, data },
+                    now,
+                );
                 self.evq.push(now, Ev::SendPop { cell: dst });
             }
             Packet::RemoteStoreAck { .. } => {
@@ -681,6 +1003,15 @@ impl Kernel {
                 if hw.rstore_acked == hw.rstore_issued {
                     if let Some(since) = self.fence_waiters.remove(&dst) {
                         self.add_idle(dst, since, now);
+                        self.machine.obs.span(
+                            dst,
+                            Unit::Cpu,
+                            "remote_fence",
+                            since,
+                            now.saturating_sub(since),
+                            Bucket::Idle,
+                            0,
+                        );
                         self.wake_at(dst, now, Response::Unit);
                     }
                 }
@@ -691,6 +1022,15 @@ impl Kernel {
             Packet::RemoteLoadReply { payload, .. } => {
                 if let Some(since) = self.load_waiters.remove(&dst) {
                     self.add_idle(dst, since, now);
+                    self.machine.obs.span(
+                        dst,
+                        Unit::Cpu,
+                        "remote_load",
+                        since,
+                        now.saturating_sub(since),
+                        Bucket::Idle,
+                        payload.len() as u64,
+                    );
                     self.wake_at(dst, now, Response::Bytes(payload));
                 }
             }
@@ -704,8 +1044,18 @@ impl Kernel {
                     Packet::GetReply { recv_stride, .. } => recv_stride.count,
                     _ => 1,
                 };
-                let dur = self.machine.dma_time(data_pkt.payload_bytes(), items);
-                let (_, end) = self.machine.cells[dst as usize].recv_dma.reserve(now, dur);
+                let bytes = data_pkt.payload_bytes();
+                let dur = self.machine.dma_time(bytes, items);
+                let (start, end) = self.machine.cells[dst as usize].recv_dma.reserve(now, dur);
+                self.machine.obs.span(
+                    dst,
+                    Unit::RecvDma,
+                    "recv_dma",
+                    start,
+                    end.saturating_sub(start),
+                    Bucket::Hw,
+                    bytes,
+                );
                 self.evq.push(end, Ev::RecvDone { dst, pkt: data_pkt });
             }
         }
@@ -716,11 +1066,23 @@ impl Kernel {
         let now = self.now();
         let did = CellId::new(dst);
         match pkt {
-            Packet::PutData { raddr, recv_stride, recv_flag, payload, .. } => {
+            Packet::PutData {
+                raddr,
+                recv_stride,
+                recv_flag,
+                payload,
+                ..
+            } => {
                 self.machine.scatter(did, raddr, recv_stride, &payload)?;
                 self.bump_flag(dst, recv_flag)?;
             }
-            Packet::GetReply { laddr, recv_stride, recv_flag, payload, .. } => {
+            Packet::GetReply {
+                laddr,
+                recv_stride,
+                recv_flag,
+                payload,
+                ..
+            } => {
                 if !payload.is_empty() {
                     self.machine.scatter(did, laddr, recv_stride, &payload)?;
                 }
@@ -733,10 +1095,19 @@ impl Kernel {
                 // §4.3: a full ring buffer interrupts the OS to allocate a
                 // new one; the receiving CPU pays the service time.
                 if hw.ring_bytes > self.machine.cfg.hw.ring_capacity {
+                    let buffered = hw.ring_bytes;
                     hw.ring_bytes = 0; // fresh buffer
                     hw.ring_overflows += 1;
                     let service = self.machine.cfg.hw.os_interrupt_time;
                     self.charge_overhead(dst, service);
+                    self.machine.obs.instant(
+                        dst,
+                        Unit::Queue,
+                        "ring_overflow",
+                        now,
+                        Bucket::Hw,
+                        buffered,
+                    );
                 }
                 if let Some(w) = self.recv_waiters.get(&dst).cloned() {
                     if let Some(pos) = self.machine.cells[dst as usize]
@@ -750,15 +1121,31 @@ impl Kernel {
                             .remove(pos)
                             .expect("pos valid");
                         self.add_idle(dst, w.since, now);
+                        self.machine.obs.span(
+                            dst,
+                            Unit::Cpu,
+                            "recv_wait",
+                            w.since,
+                            now.saturating_sub(w.since),
+                            Bucket::Idle,
+                            payload.len() as u64,
+                        );
                         self.complete_recv(dst, w.laddr, w.max, payload, now)?;
                     }
                 }
             }
-            Packet::RemoteStore { src, raddr, payload } => {
+            Packet::RemoteStore {
+                src,
+                raddr,
+                payload,
+            } => {
                 self.machine.dsm_write(did, raddr.as_u64(), &payload)?;
-                self.machine.cells[dst as usize]
-                    .reply_remote_q
-                    .push(TxJob::RemoteAckTx { dst: src });
+                self.push_tx(
+                    dst,
+                    TxQueue::RemoteReply,
+                    TxJob::RemoteAckTx { dst: src },
+                    now,
+                );
                 self.evq.push(now, Ev::SendPop { cell: dst });
             }
             other => unreachable!("recv_done got non-payload packet {other:?}"),
@@ -780,6 +1167,17 @@ impl Kernel {
                 self.flag_waiters.remove(&key);
                 let check = self.machine.cfg.hw.flag_check_time;
                 self.add_idle(cell, w.since, now);
+                let waited = now.saturating_sub(w.since);
+                self.machine.flag_wait.record(waited.as_nanos());
+                self.machine.obs.span(
+                    cell,
+                    Unit::Cpu,
+                    "wait_flag",
+                    w.since,
+                    waited,
+                    Bucket::Idle,
+                    flag.as_u64(),
+                );
                 self.charge_overhead(cell, check);
                 self.wake_at(cell, now + check, Response::Unit);
             }
@@ -789,7 +1187,9 @@ impl Kernel {
 
     /// A communication-register store reached `cell` at `at`.
     fn reg_store_arrived(&mut self, cell: u32, reg: u16, value: u32, at: SimTime) -> ApResult<()> {
-        let clobbered = self.machine.cells[cell as usize].regs.store(reg as usize, value);
+        let clobbered = self.machine.cells[cell as usize]
+            .regs
+            .store(reg as usize, value);
         if clobbered {
             return Err(ApError::InvalidArg(format!(
                 "communication register {reg} on cell{cell} overwritten while p-bit set \
@@ -803,6 +1203,15 @@ impl Kernel {
                 .expect("p-bit just set");
             let cost = self.machine.cfg.hw.reg_load_time;
             self.add_idle(cell, since, at);
+            self.machine.obs.span(
+                cell,
+                Unit::Cpu,
+                "reg_load_wait",
+                since,
+                at.saturating_sub(since),
+                Bucket::Idle,
+                reg as u64,
+            );
             self.charge_overhead(cell, cost);
             self.wake_at(cell, at + cost, Response::Value(v));
         }

@@ -47,12 +47,15 @@ mod request;
 
 pub use accounting::{CellTimes, RunReport};
 pub use cell::{Cell, ReduceOp};
-pub use config::{HwParams, MachineConfig};
+pub use config::{set_timeline_default, timeline_default, HwParams, MachineConfig};
 pub use request::Mark;
 
 // Re-export the vocabulary types users need at the API boundary.
 pub use apmsc::StrideSpec;
-pub use aputil::{ApError, ApResult, CellId, SimTime, VAddr};
+pub use apobs::{Counters, Timeline};
+pub use aputil::{
+    ApError, ApResult, BlockReason, BlockedCell, CellId, DeadlockReport, SimTime, VAddr,
+};
 
 use crossbeam::channel::unbounded;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -134,29 +137,34 @@ where
     drop(resume_txs);
 
     let mut outputs = Vec::with_capacity(handles.len());
-    let mut thread_error: Option<(u32, String)> = None;
+    let mut failures: Vec<(CellId, String)> = Vec::new();
     for (id, h) in handles.into_iter().enumerate() {
         match h.join() {
             Ok(Ok(out)) => outputs.push(out),
-            Ok(Err(reason)) => {
-                thread_error.get_or_insert((id as u32, reason));
-            }
+            Ok(Err(reason)) => failures.push((CellId::new(id as u32), reason)),
             Err(_) => {
-                thread_error.get_or_insert((id as u32, "program thread panicked".to_string()));
+                failures.push((
+                    CellId::new(id as u32),
+                    "program thread panicked".to_string(),
+                ));
             }
         }
     }
 
     let total_time = run_result?;
-    if let Some((id, reason)) = thread_error {
-        return Err(ApError::CellFailed {
-            cell: CellId::new(id),
-            reason,
-        });
+    // Report every failed cell, not just the first one found.
+    match failures.len() {
+        0 => {}
+        1 => {
+            let (cell, reason) = failures.remove(0);
+            return Err(ApError::CellFailed { cell, reason });
+        }
+        _ => return Err(ApError::CellsFailed { failures }),
     }
 
-    let queue_spills = machine.cells.iter().map(|c| c.total_spills()).sum();
-    let ring_overflows = machine.cells.iter().map(|c| c.ring_overflows).sum();
+    let mut machine = machine;
+    let counters = machine.collect_counters();
+    let timeline = machine.take_timeline();
     Ok(RunReport {
         outputs,
         times: machine.times,
@@ -164,7 +172,7 @@ where
         trace: machine.trace,
         tnet: machine.tnet.stats(),
         barriers: machine.snet.epochs(),
-        queue_spills,
-        ring_overflows,
+        counters,
+        timeline,
     })
 }

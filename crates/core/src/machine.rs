@@ -36,7 +36,11 @@ pub(crate) enum TxJob {
         reply_flag: VAddr,
     },
     /// DSM remote store.
-    RemoteStoreTx { dst: CellId, offset: u64, data: Vec<u8> },
+    RemoteStoreTx {
+        dst: CellId,
+        offset: u64,
+        data: Vec<u8>,
+    },
     /// DSM remote load request.
     RemoteLoadReqTx { dst: CellId, offset: u64, len: u64 },
     /// DSM remote load reply.
@@ -133,6 +137,34 @@ impl CellHw {
             + self.reply_get_q.stats().spilled
             + self.reply_remote_q.stats().spilled
     }
+
+    /// Entries pending across the four send queues.
+    pub fn total_pending(&self) -> usize {
+        self.user_q.len() + self.remote_q.len() + self.reply_get_q.len() + self.reply_remote_q.len()
+    }
+
+    /// Non-empty send queues as `(name, depth)` pairs — the queue contents
+    /// part of a deadlock diagnostic.
+    pub fn pending_tx(&self) -> Vec<(&'static str, usize)> {
+        [
+            &self.user_q,
+            &self.remote_q,
+            &self.reply_get_q,
+            &self.reply_remote_q,
+        ]
+        .into_iter()
+        .filter(|q| !q.is_empty())
+        .map(|q| (q.name(), q.len()))
+        .collect()
+    }
+
+    /// Merges the four queues' occupancy histograms into `into`.
+    pub fn merge_occupancy(&self, into: &mut apobs::Hist) {
+        into.merge(self.user_q.occupancy());
+        into.merge(self.remote_q.occupancy());
+        into.merge(self.reply_get_q.occupancy());
+        into.merge(self.reply_remote_q.occupancy());
+    }
 }
 
 /// The whole machine.
@@ -145,6 +177,10 @@ pub(crate) struct Machine {
     pub dsm: DsmMap,
     pub times: Vec<CellTimes>,
     pub trace: aptrace::Trace,
+    /// Sim-time event recorder (no-op unless `cfg.record_timeline`).
+    pub obs: apobs::Recorder,
+    /// Nanoseconds blocked per flag wait (0 for waits satisfied on check).
+    pub flag_wait: apobs::Hist,
 }
 
 impl Machine {
@@ -155,14 +191,20 @@ impl Machine {
             per_hop: cfg.hw.net_per_hop,
             per_byte: cfg.hw.net_per_byte,
         };
+        let mut tnet = TNet::new(torus, tparams, cfg.contention);
+        if cfg.record_timeline {
+            tnet.enable_events();
+        }
         Machine {
             cells: (0..cfg.ncells).map(|_| CellHw::new(cfg.mem_size)).collect(),
-            tnet: TNet::new(torus, tparams, cfg.contention),
+            tnet,
             bnet: BNet::with_params(cfg.ncells, cfg.hw.net_prolog, cfg.hw.bnet_per_byte),
             snet: SNet::new(cfg.ncells, cfg.hw.barrier_latency),
             dsm: DsmMap::new(cfg.ncells, cfg.mem_size),
             times: vec![CellTimes::default(); cfg.ncells as usize],
             trace: aptrace::Trace::new(cfg.ncells as usize),
+            obs: apobs::Recorder::new(cfg.record_timeline),
+            flag_wait: apobs::Hist::new(),
             cfg,
         }
     }
@@ -281,10 +323,38 @@ impl Machine {
             .map_err(|e| Self::wrap(cell, e))
     }
 
+    /// Assembles the unified counter block from every hardware unit.
+    pub fn collect_counters(&self) -> apobs::Counters {
+        let mut c = apobs::Counters::new();
+        for hw in &self.cells {
+            c.queue_spills += hw.total_spills();
+            c.queue_refills += hw.total_refills();
+            c.ring_overflows += hw.ring_overflows;
+            hw.merge_occupancy(&mut c.queue_occupancy);
+        }
+        c.msg_size.merge(&self.tnet.obs().msg_size);
+        c.hop_latency.merge(&self.tnet.obs().latency);
+        c.flag_wait.merge(&self.flag_wait);
+        c
+    }
+
+    /// Drains the kernel and network event buffers into one sorted
+    /// timeline (empty unless `record_timeline` was set).
+    pub fn take_timeline(&mut self) -> apobs::Timeline {
+        let mut t = apobs::Timeline::from_events("emulator", self.obs.take_events());
+        t.extend(self.tnet.take_events());
+        t.sort();
+        t
+    }
+
     /// DMA duration for a payload with `items` stride descriptors.
     pub fn dma_time(&self, bytes: u64, items: u32) -> SimTime {
         self.cfg.hw.dma_set_time
             + self.cfg.hw.dma_per_byte.saturating_mul(bytes)
-            + self.cfg.hw.stride_item_time.saturating_mul(items.saturating_sub(1) as u64)
+            + self
+                .cfg
+                .hw
+                .stride_item_time
+                .saturating_mul(items.saturating_sub(1) as u64)
     }
 }

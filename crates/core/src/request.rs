@@ -42,7 +42,11 @@ pub(crate) enum Request {
     /// Enter the machine-wide S-net barrier.
     Barrier,
     /// Blocking SEND of `bytes` from `laddr` to `dst`'s ring buffer.
-    Send { dst: CellId, laddr: VAddr, bytes: u64 },
+    Send {
+        dst: CellId,
+        laddr: VAddr,
+        bytes: u64,
+    },
     /// Blocking RECEIVE of the next ring message from `src` into `laddr`
     /// (at most `max` bytes); responds [`Response::Len`].
     Recv { src: CellId, laddr: VAddr, max: u64 },
@@ -52,9 +56,17 @@ pub(crate) enum Request {
     RegLoad { reg: u16 },
     /// Collective B-net broadcast: `root`'s `bytes` at `laddr` land at
     /// every cell's `laddr`.
-    Bcast { root: CellId, laddr: VAddr, bytes: u64 },
+    Bcast {
+        root: CellId,
+        laddr: VAddr,
+        bytes: u64,
+    },
     /// Non-blocking remote store into `dst`'s shared-memory window.
-    RemoteStore { dst: CellId, offset: u64, data: Vec<u8> },
+    RemoteStore {
+        dst: CellId,
+        offset: u64,
+        data: Vec<u8>,
+    },
     /// Blocking remote load from `dst`'s shared-memory window.
     RemoteLoad { dst: CellId, offset: u64, len: u64 },
     /// Block until every issued remote store has been acknowledged.

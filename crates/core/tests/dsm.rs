@@ -32,7 +32,10 @@ fn remote_store_load_fence_round_trip() {
         sum
     })
     .unwrap();
-    assert_eq!(r.outputs, [6, 5, 4, 3].iter().map(|v| *v as u32).collect::<Vec<_>>());
+    assert_eq!(
+        r.outputs,
+        [6, 5, 4, 3].iter().map(|v| *v as u32).collect::<Vec<_>>()
+    );
 }
 
 #[test]
@@ -154,9 +157,13 @@ fn dsm_ops_are_traced_and_replayable() {
     .unwrap();
     // The trace carries the DSM ops and replays under every model.
     let ops = &r.trace.pe(aputil::CellId::new(0)).ops;
-    assert!(ops.iter().any(|o| matches!(o, aptrace::Op::RemoteStore { .. })));
+    assert!(ops
+        .iter()
+        .any(|o| matches!(o, aptrace::Op::RemoteStore { .. })));
     assert!(ops.iter().any(|o| matches!(o, aptrace::Op::RemoteFence)));
-    assert!(ops.iter().any(|o| matches!(o, aptrace::Op::RemoteLoad { .. })));
+    assert!(ops
+        .iter()
+        .any(|o| matches!(o, aptrace::Op::RemoteLoad { .. })));
     for m in [
         mlsim::ModelParams::ap1000(),
         mlsim::ModelParams::ap1000_star(),

@@ -1,7 +1,7 @@
 //! Error-path coverage: every §3.2 protection case and protocol misuse
 //! must surface as a structured error, never a hang or silent corruption.
 
-use apcore::{run_with, ApError, MachineConfig, ReduceOp, VAddr};
+use apcore::{run_with, ApError, BlockReason, CellId, MachineConfig, ReduceOp, VAddr};
 
 fn cfg(n: u32) -> MachineConfig {
     MachineConfig::new(n)
@@ -37,8 +37,8 @@ fn mismatched_put_strides_are_rejected() {
             1,
             buf,
             buf,
-            StrideSpec::new(8, 4, 16),  // 32 bytes
-            StrideSpec::new(8, 5, 16),  // 40 bytes
+            StrideSpec::new(8, 4, 16), // 32 bytes
+            StrideSpec::new(8, 5, 16), // 40 bytes
             VAddr::NULL,
             VAddr::NULL,
             false,
@@ -94,7 +94,10 @@ fn reduction_protocol_violation_is_detected() {
     .unwrap_err();
     match err {
         ApError::InvalidArg(msg) => {
-            assert!(msg.contains("p-bit") || msg.contains("register"), "msg: {msg}")
+            assert!(
+                msg.contains("p-bit") || msg.contains("register"),
+                "msg: {msg}"
+            )
         }
         // Depending on interleaving the reduction may also deadlock after
         // the stray value is consumed; both are structured failures.
@@ -141,15 +144,91 @@ fn recv_truncates_to_max() {
 
 #[test]
 fn allocation_exhaustion_is_reported() {
-    let err = run_with(cfg(1).with_mem_size(1 << 20), |cell| {
-        loop {
-            let _ = cell.alloc_bytes(1 << 19);
-        }
+    let err = run_with(cfg(1).with_mem_size(1 << 20), |cell| loop {
+        let _ = cell.alloc_bytes(1 << 19);
     })
     .unwrap_err();
     match err {
         ApError::InvalidArg(msg) => assert!(msg.contains("allocate"), "msg: {msg}"),
         other => panic!("expected allocation failure, got {other}"),
+    }
+}
+
+#[test]
+fn deadlock_report_carries_per_cell_diagnostics() {
+    // Cell 0 waits forever on a flag nobody bumps; cell 1 blocks in a
+    // barrier cell 0 never reaches. The report must name both cells with
+    // their precise block reasons.
+    let err = run_with(cfg(2), |cell| {
+        if cell.id() == 0 {
+            let flag = cell.alloc_flag();
+            cell.wait_flag(flag, 3);
+        } else {
+            cell.barrier();
+        }
+    })
+    .unwrap_err();
+    let report = match err {
+        ApError::Deadlock(report) => report,
+        other => panic!("expected Deadlock, got {other}"),
+    };
+    assert_eq!(report.total_cells, 2);
+    assert_eq!(report.finished_cells, 0);
+    assert_eq!(report.blocked.len(), 2);
+
+    let c0 = report.cell(CellId::new(0)).expect("cell 0 in report");
+    match c0.reason {
+        BlockReason::FlagWait {
+            current, target, ..
+        } => {
+            assert_eq!(current, 0, "flag was never bumped");
+            assert_eq!(target, 3);
+        }
+        ref other => panic!("cell 0 should block on a flag, got {other}"),
+    }
+    assert!(c0.pending_tx.is_empty(), "cell 0 issued no transfers");
+
+    let c1 = report.cell(CellId::new(1)).expect("cell 1 in report");
+    assert!(
+        matches!(c1.reason, BlockReason::Barrier),
+        "cell 1 should block in the barrier, got {}",
+        c1.reason
+    );
+
+    // The rendered form names the flag wait for log-grepping users.
+    let text = report.to_string();
+    assert!(text.contains("wait_flag"), "report text: {text}");
+    assert!(text.contains("barrier"), "report text: {text}");
+}
+
+#[test]
+fn deadlock_report_lists_pending_queue_contents() {
+    // Cell 0 PUTs to cell 1 and then waits on an ack flag that can never
+    // be bumped because the wait target exceeds the number of transfers.
+    let err = run_with(cfg(2), |cell| {
+        let buf = cell.alloc::<f64>(8);
+        let flag = cell.alloc_flag();
+        if cell.id() == 0 {
+            cell.put(1, buf, buf, 64, flag, VAddr::NULL, false);
+            cell.wait_flag(flag, 2); // only one PUT was issued
+        } else {
+            cell.wait_flag(flag, 1); // nobody PUTs to cell 1's flag
+        }
+    })
+    .unwrap_err();
+    let report = match err {
+        ApError::Deadlock(report) => report,
+        other => panic!("expected Deadlock, got {other}"),
+    };
+    let c0 = report.cell(CellId::new(0)).expect("cell 0 blocked");
+    match c0.reason {
+        BlockReason::FlagWait {
+            current, target, ..
+        } => {
+            assert_eq!(current, 1, "send-side ack arrived");
+            assert_eq!(target, 2);
+        }
+        ref other => panic!("cell 0 should block on the ack flag, got {other}"),
     }
 }
 

@@ -149,7 +149,15 @@ fn flags_count_multiple_messages() {
             let me = cell.id();
             let mine = cell.alloc::<f64>(1);
             cell.write_pod(mine, me as f64);
-            cell.put(0, slot + (me as u64 - 1) * 8, mine, 8, VAddr::NULL, flag, false);
+            cell.put(
+                0,
+                slot + (me as u64 - 1) * 8,
+                mine,
+                8,
+                VAddr::NULL,
+                flag,
+                false,
+            );
             0.0
         } else {
             cell.wait_flag(flag, 3);
@@ -173,7 +181,15 @@ fn ack_and_barrier_model_works() {
         cell.barrier();
         for k in 1..n {
             let dst = (me + k) % n;
-            cell.put(dst, inbox + (me as u64) * 8, outbox, 8, VAddr::NULL, VAddr::NULL, true);
+            cell.put(
+                dst,
+                inbox + (me as u64) * 8,
+                outbox,
+                8,
+                VAddr::NULL,
+                VAddr::NULL,
+                true,
+            );
         }
         cell.wait_acks();
         cell.barrier();
@@ -266,7 +282,11 @@ fn group_reduction_and_barrier() {
     // Two disjoint groups reduce independently (§2.3 group support).
     let r = run_with(cfg(8), |cell| {
         let me = cell.id();
-        let group: Vec<usize> = if me < 4 { (0..4).collect() } else { (4..8).collect() };
+        let group: Vec<usize> = if me < 4 {
+            (0..4).collect()
+        } else {
+            (4..8).collect()
+        };
         cell.group_barrier(&group);
         cell.group_reduce_f64(&group, me as f64, ReduceOp::Sum)
     })
@@ -371,7 +391,15 @@ fn page_fault_aborts_run() {
         let buf = cell.alloc::<f64>(1);
         let flag = cell.alloc_flag();
         // PUT from an unmapped local address: hardware protection fires.
-        cell.put(1, buf, VAddr::new(0x0dea_dbee_f000), 8, VAddr::NULL, flag, false);
+        cell.put(
+            1,
+            buf,
+            VAddr::new(0x0dea_dbee_f000),
+            8,
+            VAddr::NULL,
+            flag,
+            false,
+        );
         cell.wait_flag(flag, 1);
     })
     .unwrap_err();
@@ -387,7 +415,15 @@ fn remote_page_fault_detected_at_receiver() {
         if cell.id() == 0 {
             let buf = cell.alloc::<f64>(1);
             // Remote address far outside anything mapped on cell 1.
-            cell.put(1, VAddr::new(0xbad0_0000_0000), buf, 8, VAddr::NULL, VAddr::NULL, false);
+            cell.put(
+                1,
+                VAddr::new(0xbad0_0000_0000),
+                buf,
+                8,
+                VAddr::NULL,
+                VAddr::NULL,
+                false,
+            );
         }
         cell.barrier();
     })
@@ -418,7 +454,9 @@ fn deadlock_is_reported_not_hung() {
     })
     .unwrap_err();
     match err {
-        ApError::Deadlock(msg) => assert!(msg.contains("wait_flag"), "msg: {msg}"),
+        ApError::Deadlock(report) => {
+            assert!(report.to_string().contains("wait_flag"), "report: {report}")
+        }
         other => panic!("expected deadlock, got {other}"),
     }
 }
@@ -492,7 +530,10 @@ fn queue_overflow_spills_and_still_delivers() {
     .unwrap();
     let expect: Vec<f64> = (0..64).map(|i| i as f64).collect();
     assert_eq!(r.outputs[1], expect, "spilled commands must still run FIFO");
-    assert!(r.queue_spills > 0, "expected user send queue to spill");
+    assert!(
+        r.counters.queue_spills > 0,
+        "expected user send queue to spill"
+    );
 }
 
 #[test]
@@ -575,7 +616,7 @@ fn time_accounting_buckets_are_sane() {
         cell.work(1000);
         cell.rts(10);
         cell.barrier();
-        
+
         cell.reduce_sum_f64(1.0)
     })
     .unwrap();
@@ -583,7 +624,10 @@ fn time_accounting_buckets_are_sane() {
         assert_eq!(t.exec.as_nanos() % 20, 0, "exec is whole flops");
         assert!(t.exec.as_nanos() >= 1000 * 20);
         assert!(t.rts.as_nanos() >= 10 * 500);
-        assert!(t.finish >= t.accounted() - t.idle, "finish covers busy time");
+        assert!(
+            t.finish >= t.accounted() - t.idle,
+            "finish covers busy time"
+        );
     }
     assert!(r.total_time > aputil::SimTime::ZERO);
 }
@@ -634,7 +678,10 @@ fn tnet_stats_are_recorded() {
     assert!(r.tnet.messages >= 1);
     assert!(r.tnet.bytes >= 128);
     let row = aptrace::AppStats::from_trace(&r.trace).to_row();
-    assert!((row.msg_size - 128.0).abs() < 1e-9, "mean PUT/GET message size");
+    assert!(
+        (row.msg_size - 128.0).abs() < 1e-9,
+        "mean PUT/GET message size"
+    );
 }
 
 #[test]
@@ -672,7 +719,7 @@ fn queue_refill_interrupts_cost_time() {
             },
         )
         .unwrap();
-        assert!(r.queue_spills > 0, "burst must spill");
+        assert!(r.counters.queue_spills > 0, "burst must spill");
         r.total_time
     };
     let free = burst(0.0);
@@ -704,5 +751,54 @@ fn ring_buffer_overflow_interrupts_os() {
         cell.barrier();
     })
     .unwrap();
-    assert!(r.ring_overflows >= 1, "expected a ring overflow");
+    assert!(r.counters.ring_overflows >= 1, "expected a ring overflow");
+}
+
+#[test]
+fn timeline_records_events_and_counters_fill_histograms() {
+    let r = run_with(cfg(4).with_timeline(true), |cell| {
+        let buf = cell.alloc::<f64>(64);
+        let flag = cell.alloc_flag();
+        let n = cell.ncells();
+        cell.work(1000);
+        cell.barrier();
+        cell.put((cell.id() + 1) % n, buf, buf, 512, VAddr::NULL, flag, false);
+        cell.wait_flag(flag, 1);
+    })
+    .unwrap();
+
+    assert!(!r.timeline.is_empty(), "timeline recording was enabled");
+    let names: std::collections::HashSet<&str> = r.timeline.events.iter().map(|e| e.name).collect();
+    for expected in [
+        "work",
+        "barrier",
+        "put_issue",
+        "enqueue",
+        "send_dma",
+        "recv_dma",
+    ] {
+        assert!(
+            names.contains(expected),
+            "missing event {expected:?} in {names:?}"
+        );
+    }
+
+    // Histograms are always on, independent of the timeline switch.
+    assert_eq!(r.counters.msg_size.count(), 4, "one PUT per cell");
+    assert!(r.counters.flag_wait.count() >= 4, "one wait_flag per cell");
+    assert!(r.counters.queue_occupancy.count() > 0);
+    assert!(r.counters.hop_latency.count() > 0);
+}
+
+#[test]
+fn timeline_off_by_default_but_histograms_still_collected() {
+    let r = run_with(cfg(2), |cell| {
+        let buf = cell.alloc::<f64>(8);
+        let flag = cell.alloc_flag();
+        cell.put((cell.id() + 1) % 2, buf, buf, 64, VAddr::NULL, flag, false);
+        cell.wait_flag(flag, 1);
+    })
+    .unwrap();
+    assert!(r.timeline.is_empty(), "timeline must default off");
+    assert_eq!(r.counters.msg_size.count(), 2);
 }

@@ -49,5 +49,5 @@ pub mod replay;
 pub mod report;
 
 pub use params::ModelParams;
-pub use replay::{replay, PeBreakdown, ReplayError, ReplayResult};
+pub use replay::{replay, replay_observed, PeBreakdown, ReplayError, ReplayResult};
 pub use report::{fig8_rows, speedup, Fig8Row};

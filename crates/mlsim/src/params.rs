@@ -11,10 +11,9 @@
 //! 25 MB/s link cannot itself run at 20 MB/s).
 
 use aputil::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// One machine model: the parameter file MLSim is driven by.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ModelParams {
     /// Model name for reports.
     pub name: String,
@@ -187,9 +186,7 @@ impl ModelParams {
     /// "Interrupt reception overhead"; zero under hardware handling).
     pub fn recv_cpu_overhead(&self, bytes: u64) -> SimTime {
         if self.software_handling {
-            self.intr_rtc
-                + self.recv_msg_flush_per_byte.saturating_mul(bytes)
-                + self.recv_dma_set
+            self.intr_rtc + self.recv_msg_flush_per_byte.saturating_mul(bytes) + self.recv_dma_set
         } else {
             SimTime::ZERO
         }

@@ -13,6 +13,7 @@
 
 use crate::params::ModelParams;
 use apnet::{Contention, TNet, TNetParams, Torus};
+use apobs::{Bucket, Hist, Recorder, Unit};
 use apsim::{Clock, EventQueue, Resource};
 use aptrace::{Op, Trace};
 use aputil::{CellId, SimTime};
@@ -44,6 +45,14 @@ pub struct ReplayResult {
     pub per_pe: Vec<PeBreakdown>,
     /// Total execution time (max PE finish).
     pub total: SimTime,
+    /// Unified hardware counters (message-size, flag-wait, and network
+    /// latency histograms; the queue counters are only populated by the
+    /// machine emulator, which models the MSC+ queues).
+    pub counters: apobs::Counters,
+    /// Sim-time event timeline, using the same event vocabulary as the
+    /// emulator (empty unless replayed via [`replay_observed`] with
+    /// `record_timeline`); export with [`apobs::chrome_trace`].
+    pub timeline: apobs::Timeline,
 }
 
 impl ReplayResult {
@@ -84,20 +93,54 @@ const HEADER: u64 = 32;
 
 #[derive(Debug)]
 enum REv {
-    Step { pe: u32 },
-    PutArrive { dst: u32, bytes: u64, recv_flag: u64 },
-    GetArrive { dst: u32, requester: u32, bytes: u64, send_flag: u64, recv_flag: u64 },
-    RingArrive { dst: u32, src: u32, bytes: u64 },
-    RegArrive { dst: u32, reg: u16 },
-    FlagInc { pe: u32, flag: u64 },
+    Step {
+        pe: u32,
+    },
+    PutArrive {
+        dst: u32,
+        bytes: u64,
+        recv_flag: u64,
+    },
+    GetArrive {
+        dst: u32,
+        requester: u32,
+        bytes: u64,
+        send_flag: u64,
+        recv_flag: u64,
+    },
+    RingArrive {
+        dst: u32,
+        src: u32,
+        bytes: u64,
+    },
+    RegArrive {
+        dst: u32,
+        reg: u16,
+    },
+    FlagInc {
+        pe: u32,
+        flag: u64,
+    },
     /// DSM store landed at the owner; send the automatic acknowledge back.
-    RStoreArrive { dst: u32, src: u32, bytes: u64 },
+    RStoreArrive {
+        dst: u32,
+        src: u32,
+        bytes: u64,
+    },
     /// DSM store acknowledge returned to the issuing cell.
-    RAckArrive { dst: u32 },
+    RAckArrive {
+        dst: u32,
+    },
     /// DSM load request reached the owner.
-    RLoadArrive { dst: u32, requester: u32, bytes: u64 },
+    RLoadArrive {
+        dst: u32,
+        requester: u32,
+        bytes: u64,
+    },
     /// DSM load reply returned; unblock the loading cell.
-    RLoadReply { dst: u32 },
+    RLoadReply {
+        dst: u32,
+    },
 }
 
 struct Engine<'t> {
@@ -126,6 +169,8 @@ struct Engine<'t> {
     rstore_acked: Vec<u64>,
     fence_waiters: HashMap<u32, SimTime>,
     load_waiters: HashMap<u32, SimTime>,
+    obs: Recorder,
+    flag_wait: Hist,
 }
 
 /// Replays `trace` under model `params`.
@@ -135,6 +180,21 @@ struct Engine<'t> {
 /// [`ReplayError`] on malformed traces; traces recorded from successful
 /// `apcore` runs always replay cleanly.
 pub fn replay(trace: &Trace, params: &ModelParams) -> Result<ReplayResult, ReplayError> {
+    replay_observed(trace, params, false)
+}
+
+/// Replays `trace` under model `params`, optionally recording the
+/// sim-time event timeline (the same vocabulary the machine emulator
+/// emits, so both can be compared side by side in Perfetto).
+///
+/// # Errors
+///
+/// [`ReplayError`] on malformed traces.
+pub fn replay_observed(
+    trace: &Trace,
+    params: &ModelParams,
+    record_timeline: bool,
+) -> Result<ReplayResult, ReplayError> {
     let n = trace.ncells();
     let torus = Torus::for_cells(n as u32);
     let tparams = TNetParams {
@@ -142,12 +202,16 @@ pub fn replay(trace: &Trace, params: &ModelParams) -> Result<ReplayResult, Repla
         per_hop: params.network_delay,
         per_byte: params.network_msg_per_byte,
     };
+    let mut tnet = TNet::new(torus, tparams, Contention::None);
+    if record_timeline {
+        tnet.enable_events();
+    }
     let mut eng = Engine {
         p: params.clone(),
         trace,
         evq: EventQueue::new(),
         clock: Clock::new(),
-        tnet: TNet::new(torus, tparams, Contention::None),
+        tnet,
         pc: vec![0; n],
         cpu: vec![Resource::new(); n],
         send_engine: vec![Resource::new(); n],
@@ -168,6 +232,8 @@ pub fn replay(trace: &Trace, params: &ModelParams) -> Result<ReplayResult, Repla
         rstore_acked: vec![0; n],
         fence_waiters: HashMap::new(),
         load_waiters: HashMap::new(),
+        obs: Recorder::new(record_timeline),
+        flag_wait: Hist::new(),
     };
     for pe in 0..n as u32 {
         eng.evq.push(SimTime::ZERO, REv::Step { pe });
@@ -179,10 +245,19 @@ pub fn replay(trace: &Trace, params: &ModelParams) -> Result<ReplayResult, Repla
         .map(|b| b.finish)
         .max()
         .unwrap_or(SimTime::ZERO);
+    let mut counters = apobs::Counters::new();
+    counters.msg_size.merge(&eng.tnet.obs().msg_size);
+    counters.hop_latency.merge(&eng.tnet.obs().latency);
+    counters.flag_wait.merge(&eng.flag_wait);
+    let mut timeline = apobs::Timeline::from_events(params.name.clone(), eng.obs.take_events());
+    timeline.extend(eng.tnet.take_events());
+    timeline.sort();
     Ok(ReplayResult {
         model: params.name.clone(),
         per_pe: eng.bd,
         total,
+        counters,
+        timeline,
     })
 }
 
@@ -218,14 +293,30 @@ impl Engine<'_> {
     fn handle(&mut self, ev: REv) -> Result<(), ReplayError> {
         match ev {
             REv::Step { pe } => self.step(pe),
-            REv::PutArrive { dst, bytes, recv_flag } => {
+            REv::PutArrive {
+                dst,
+                bytes,
+                recv_flag,
+            } => {
                 let landed = self.receive_payload(dst, bytes);
                 if recv_flag != 0 {
-                    self.evq.push(landed, REv::FlagInc { pe: dst, flag: recv_flag });
+                    self.evq.push(
+                        landed,
+                        REv::FlagInc {
+                            pe: dst,
+                            flag: recv_flag,
+                        },
+                    );
                 }
                 Ok(())
             }
-            REv::GetArrive { dst, requester, bytes, send_flag, recv_flag } => {
+            REv::GetArrive {
+                dst,
+                requester,
+                bytes,
+                send_flag,
+                recv_flag,
+            } => {
                 // The owner's MSC+ (or interrupt handler) produces the reply.
                 // Under software handling the reply is issued from *inside*
                 // the interrupt handler — it pays header analysis, the
@@ -233,11 +324,12 @@ impl Engine<'_> {
                 // setup, but not the user-level SVC prolog/epilog of
                 // Figure 7 (the handler is already in the kernel).
                 let now = self.now();
-                let cpu_cost = self.p.recv_cpu_overhead(0) + if self.p.software_handling {
-                    self.p.put_msg_post_per_byte.saturating_mul(bytes) + self.p.put_dma_set
-                } else {
-                    SimTime::ZERO
-                };
+                let cpu_cost = self.p.recv_cpu_overhead(0)
+                    + if self.p.software_handling {
+                        self.p.put_msg_post_per_byte.saturating_mul(bytes) + self.p.put_dma_set
+                    } else {
+                        SimTime::ZERO
+                    };
                 let ready = if cpu_cost > SimTime::ZERO {
                     let (_, e) = self.cpu[dst as usize].reserve(now, cpu_cost);
                     self.bd[dst as usize].overhead += cpu_cost;
@@ -245,10 +337,16 @@ impl Engine<'_> {
                 } else {
                     now
                 };
-                let (_, depart) = self.send_engine[dst as usize]
-                    .reserve(ready, self.p.send_hw_latency(bytes));
+                let (_, depart) =
+                    self.send_engine[dst as usize].reserve(ready, self.p.send_hw_latency(bytes));
                 if send_flag != 0 {
-                    self.evq.push(depart, REv::FlagInc { pe: dst, flag: send_flag });
+                    self.evq.push(
+                        depart,
+                        REv::FlagInc {
+                            pe: dst,
+                            flag: send_flag,
+                        },
+                    );
                 }
                 let arrival = self.tnet.transfer(
                     depart,
@@ -258,7 +356,11 @@ impl Engine<'_> {
                 );
                 self.evq.push(
                     arrival,
-                    REv::PutArrive { dst: requester, bytes, recv_flag },
+                    REv::PutArrive {
+                        dst: requester,
+                        bytes,
+                        recv_flag,
+                    },
                 );
                 Ok(())
             }
@@ -271,7 +373,10 @@ impl Engine<'_> {
                 if let Some(&(wsrc, wbytes, since)) = self.recv_waiters.get(&dst) {
                     if wsrc == src {
                         self.recv_waiters.remove(&dst);
-                        let (r, b) = self.ring_ready.get_mut(&(dst, src)).expect("just pushed")
+                        let (r, b) = self
+                            .ring_ready
+                            .get_mut(&(dst, src))
+                            .expect("just pushed")
                             .pop_front()
                             .expect("just pushed");
                         let _ = wbytes;
@@ -288,6 +393,15 @@ impl Engine<'_> {
                         .get_mut(&(dst, reg))
                         .expect("just pushed")
                         .pop_front();
+                    self.obs.span(
+                        dst,
+                        Unit::Cpu,
+                        "reg_load_wait",
+                        since,
+                        now.saturating_sub(since),
+                        Bucket::Idle,
+                        reg as u64,
+                    );
                     self.bd[dst as usize].idle += now.saturating_sub(since);
                     let (_, e) = self.cpu[dst as usize].reserve(now, self.p.reg_load);
                     self.bd[dst as usize].overhead += self.p.reg_load;
@@ -299,8 +413,8 @@ impl Engine<'_> {
                 // Land the store (receive side), then the MSC+ replies with
                 // an acknowledge packet automatically (§4.2).
                 let landed = self.receive_payload(dst, bytes);
-                let (_, depart) = self.send_engine[dst as usize]
-                    .reserve(landed, self.p.send_hw_latency(0));
+                let (_, depart) =
+                    self.send_engine[dst as usize].reserve(landed, self.p.send_hw_latency(0));
                 let arrival =
                     self.tnet
                         .transfer(depart, CellId::new(dst), CellId::new(src), HEADER);
@@ -312,13 +426,26 @@ impl Engine<'_> {
                 self.rstore_acked[dst as usize] += 1;
                 if self.rstore_acked[dst as usize] == self.rstore_issued[dst as usize] {
                     if let Some(since) = self.fence_waiters.remove(&dst) {
+                        self.obs.span(
+                            dst,
+                            Unit::Cpu,
+                            "remote_fence",
+                            since,
+                            now.saturating_sub(since),
+                            Bucket::Idle,
+                            self.rstore_acked[dst as usize],
+                        );
                         self.bd[dst as usize].idle += now.saturating_sub(since);
                         self.advance(dst, now);
                     }
                 }
                 Ok(())
             }
-            REv::RLoadArrive { dst, requester, bytes } => {
+            REv::RLoadArrive {
+                dst,
+                requester,
+                bytes,
+            } => {
                 let now = self.now();
                 let serve = self.p.recv_cpu_overhead(0);
                 let ready = if serve > SimTime::ZERO {
@@ -328,8 +455,8 @@ impl Engine<'_> {
                 } else {
                     now
                 };
-                let (_, depart) = self.send_engine[dst as usize]
-                    .reserve(ready, self.p.send_hw_latency(bytes));
+                let (_, depart) =
+                    self.send_engine[dst as usize].reserve(ready, self.p.send_hw_latency(bytes));
                 let arrival = self.tnet.transfer(
                     depart,
                     CellId::new(dst),
@@ -342,6 +469,15 @@ impl Engine<'_> {
             REv::RLoadReply { dst } => {
                 let now = self.now();
                 if let Some(since) = self.load_waiters.remove(&dst) {
+                    self.obs.span(
+                        dst,
+                        Unit::Cpu,
+                        "remote_load",
+                        since,
+                        now.saturating_sub(since),
+                        Bucket::Idle,
+                        0,
+                    );
                     self.bd[dst as usize].idle += now.saturating_sub(since);
                     self.advance(dst, now);
                 }
@@ -355,7 +491,18 @@ impl Engine<'_> {
                     if count >= target {
                         self.flag_waiters.remove(&(pe, flag));
                         let now = self.now();
-                        self.bd[pe as usize].idle += now.saturating_sub(since);
+                        let waited = now.saturating_sub(since);
+                        self.flag_wait.record(waited.as_nanos());
+                        self.obs.span(
+                            pe,
+                            Unit::Cpu,
+                            "wait_flag",
+                            since,
+                            waited,
+                            Bucket::Idle,
+                            flag,
+                        );
+                        self.bd[pe as usize].idle += waited;
                         let (_, e) = self.cpu[pe as usize].reserve(now, self.p.flag_check);
                         self.bd[pe as usize].overhead += self.p.flag_check;
                         self.advance(pe, e);
@@ -373,21 +520,52 @@ impl Engine<'_> {
         let now = self.now();
         if self.p.software_handling {
             let service = self.p.recv_cpu_overhead(bytes);
-            let (_, e) = self.cpu[dst as usize].reserve(now, service);
+            let (s, e) = self.cpu[dst as usize].reserve(now, service);
+            self.obs.span(
+                dst,
+                Unit::Cpu,
+                "recv_intr",
+                s,
+                service,
+                Bucket::Overhead,
+                bytes,
+            );
             self.bd[dst as usize].overhead += service;
             e + self.p.put_msg_per_byte.saturating_mul(bytes)
         } else {
-            let (_, e) = self.recv_engine[dst as usize]
-                .reserve(now, self.p.recv_hw_latency(bytes));
+            let (s, e) = self.recv_engine[dst as usize].reserve(now, self.p.recv_hw_latency(bytes));
+            self.obs.span(
+                dst,
+                Unit::RecvDma,
+                "recv_dma",
+                s,
+                e.saturating_sub(s),
+                Bucket::Hw,
+                bytes,
+            );
             e
         }
     }
 
     fn finish_recv(&mut self, pe: u32, bytes: u64, since: SimTime, ready: SimTime) {
         let now = self.now().max(ready);
-        self.bd[pe as usize].idle += now.saturating_sub(since);
+        let waited = now.saturating_sub(since);
+        if waited > SimTime::ZERO {
+            self.obs.span(
+                pe,
+                Unit::Cpu,
+                "recv_wait",
+                since,
+                waited,
+                Bucket::Idle,
+                bytes,
+            );
+        }
+        self.bd[pe as usize].idle += waited;
         let copy = self.p.recv_copy_per_byte.saturating_mul(bytes) + self.p.flag_check;
-        let (_, e) = self.cpu[pe as usize].reserve(now, copy);
+        let (s, e) = self.cpu[pe as usize].reserve(now, copy);
+        self.obs
+            .span(pe, Unit::Cpu, "recv_copy", s, copy, Bucket::Overhead, bytes);
         self.bd[pe as usize].overhead += copy;
         self.advance(pe, e);
     }
@@ -410,7 +588,9 @@ impl Engine<'_> {
                 let dur = SimTime::from_nanos(
                     (self.p.flop_time().as_nanos() as f64 * flops as f64) as u64,
                 );
-                let (_, e) = self.cpu[pe as usize].reserve(t, dur);
+                let (s, e) = self.cpu[pe as usize].reserve(t, dur);
+                self.obs
+                    .span(pe, Unit::Cpu, "work", s, dur, Bucket::Exec, flops);
                 self.bd[pe as usize].exec += dur;
                 self.advance(pe, e);
             }
@@ -418,34 +598,71 @@ impl Engine<'_> {
                 let dur = SimTime::from_nanos(
                     (self.p.rts_time().as_nanos() as f64 * units as f64) as u64,
                 );
-                let (_, e) = self.cpu[pe as usize].reserve(t, dur);
+                let (s, e) = self.cpu[pe as usize].reserve(t, dur);
+                self.obs
+                    .span(pe, Unit::Cpu, "rts", s, dur, Bucket::Rts, units);
                 self.bd[pe as usize].rts += dur;
                 self.advance(pe, e);
             }
-            Op::Put { dst, bytes, send_flag, recv_flag, .. } => {
+            Op::Put {
+                dst,
+                bytes,
+                send_flag,
+                recv_flag,
+                ..
+            } => {
                 let over = self.p.send_cpu_overhead(bytes);
-                let (_, e) = self.cpu[pe as usize].reserve(t, over);
+                let (s, e) = self.cpu[pe as usize].reserve(t, over);
+                self.obs
+                    .span(pe, Unit::Cpu, "put_issue", s, over, Bucket::Overhead, bytes);
                 self.bd[pe as usize].overhead += over;
-                let (_, depart) = self.send_engine[pe as usize]
-                    .reserve(e, self.p.send_hw_latency(bytes));
+                let (ds, depart) =
+                    self.send_engine[pe as usize].reserve(e, self.p.send_hw_latency(bytes));
+                self.obs.span(
+                    pe,
+                    Unit::SendDma,
+                    "send_dma",
+                    ds,
+                    depart.saturating_sub(ds),
+                    Bucket::Hw,
+                    bytes,
+                );
                 if send_flag != 0 {
-                    self.evq.push(depart, REv::FlagInc { pe, flag: send_flag });
+                    self.evq.push(
+                        depart,
+                        REv::FlagInc {
+                            pe,
+                            flag: send_flag,
+                        },
+                    );
                 }
-                let arrival =
-                    self.tnet
-                        .transfer(depart, CellId::new(pe), dst, bytes + HEADER);
+                let arrival = self
+                    .tnet
+                    .transfer(depart, CellId::new(pe), dst, bytes + HEADER);
                 self.evq.push(
                     arrival,
-                    REv::PutArrive { dst: dst.as_u32(), bytes, recv_flag },
+                    REv::PutArrive {
+                        dst: dst.as_u32(),
+                        bytes,
+                        recv_flag,
+                    },
                 );
                 self.advance(pe, e);
             }
-            Op::Get { src, bytes, send_flag, recv_flag, .. } => {
+            Op::Get {
+                src,
+                bytes,
+                send_flag,
+                recv_flag,
+                ..
+            } => {
                 let over = self.p.send_cpu_overhead(0);
-                let (_, e) = self.cpu[pe as usize].reserve(t, over);
+                let (s, e) = self.cpu[pe as usize].reserve(t, over);
+                self.obs
+                    .span(pe, Unit::Cpu, "get_issue", s, over, Bucket::Overhead, bytes);
                 self.bd[pe as usize].overhead += over;
-                let (_, depart) = self.send_engine[pe as usize]
-                    .reserve(e, self.p.send_hw_latency(0));
+                let (_, depart) =
+                    self.send_engine[pe as usize].reserve(e, self.p.send_hw_latency(0));
                 let arrival = self.tnet.transfer(depart, CellId::new(pe), src, HEADER);
                 self.evq.push(
                     arrival,
@@ -461,19 +678,39 @@ impl Engine<'_> {
             }
             Op::Send { dst, bytes } => {
                 let over = self.p.send_call + self.p.send_cpu_overhead(bytes);
-                let (_, e) = self.cpu[pe as usize].reserve(t, over);
+                let (s, e) = self.cpu[pe as usize].reserve(t, over);
+                self.obs
+                    .span(pe, Unit::Cpu, "send_call", s, over, Bucket::Overhead, bytes);
                 self.bd[pe as usize].overhead += over;
-                let (_, depart) = self.send_engine[pe as usize]
-                    .reserve(e, self.p.send_hw_latency(bytes));
-                let arrival =
-                    self.tnet
-                        .transfer(depart, CellId::new(pe), dst, bytes + HEADER);
+                let (ds, depart) =
+                    self.send_engine[pe as usize].reserve(e, self.p.send_hw_latency(bytes));
+                self.obs.span(
+                    pe,
+                    Unit::SendDma,
+                    "send_dma",
+                    ds,
+                    depart.saturating_sub(ds),
+                    Bucket::Hw,
+                    bytes,
+                );
+                let arrival = self
+                    .tnet
+                    .transfer(depart, CellId::new(pe), dst, bytes + HEADER);
                 self.evq.push(
                     arrival,
-                    REv::RingArrive { dst: dst.as_u32(), src: pe, bytes },
+                    REv::RingArrive {
+                        dst: dst.as_u32(),
+                        src: pe,
+                        bytes,
+                    },
                 );
                 // Blocking SEND: the library waits for send completion.
-                self.bd[pe as usize].idle += depart.saturating_sub(e);
+                let blocked = depart.saturating_sub(e);
+                if blocked > SimTime::ZERO {
+                    self.obs
+                        .span(pe, Unit::Cpu, "send_wait", e, blocked, Bucket::Idle, bytes);
+                }
+                self.bd[pe as usize].idle += blocked;
                 self.advance(pe, e.max(depart));
             }
             Op::Recv { src, .. } => {
@@ -489,7 +726,17 @@ impl Engine<'_> {
             Op::WaitFlag { flag, target } => {
                 let have = self.flag_counts.get(&(pe, flag)).copied().unwrap_or(0);
                 if have >= target {
-                    let (_, e) = self.cpu[pe as usize].reserve(t, self.p.flag_check);
+                    self.flag_wait.record(0);
+                    let (s, e) = self.cpu[pe as usize].reserve(t, self.p.flag_check);
+                    self.obs.span(
+                        pe,
+                        Unit::Cpu,
+                        "flag_check",
+                        s,
+                        self.p.flag_check,
+                        Bucket::Overhead,
+                        flag,
+                    );
                     self.bd[pe as usize].overhead += self.p.flag_check;
                     self.advance(pe, e);
                 } else {
@@ -508,6 +755,15 @@ impl Engine<'_> {
                     let release = latest + self.p.barrier_latency;
                     let parts = std::mem::take(&mut self.barrier);
                     for (p, since) in parts {
+                        self.obs.span(
+                            p,
+                            Unit::Cpu,
+                            "barrier",
+                            since,
+                            release.saturating_sub(since),
+                            Bucket::Idle,
+                            0,
+                        );
                         self.bd[p as usize].idle += release.saturating_sub(since);
                         self.advance(p, release);
                     }
@@ -533,19 +789,43 @@ impl Engine<'_> {
                     let parts = std::mem::take(&mut self.bcast);
                     self.bcast_sig = None;
                     for (p, since) in parts {
+                        self.obs.span(
+                            p,
+                            Unit::Cpu,
+                            "bcast",
+                            since,
+                            delivery.saturating_sub(since),
+                            Bucket::Idle,
+                            bytes,
+                        );
                         self.bd[p as usize].idle += delivery.saturating_sub(since);
                         self.advance(p, delivery);
                     }
                 }
             }
             Op::RegStore { dst, reg } => {
-                let (_, e) = self.cpu[pe as usize].reserve(t, self.p.reg_store);
+                let (s, e) = self.cpu[pe as usize].reserve(t, self.p.reg_store);
+                self.obs.span(
+                    pe,
+                    Unit::Cpu,
+                    "reg_store",
+                    s,
+                    self.p.reg_store,
+                    Bucket::Overhead,
+                    reg as u64,
+                );
                 self.bd[pe as usize].overhead += self.p.reg_store;
                 if dst.as_u32() == pe {
                     self.evq.push(e, REv::RegArrive { dst: pe, reg });
                 } else {
                     let arrival = self.tnet.transfer(e, CellId::new(pe), dst, 4 + HEADER);
-                    self.evq.push(arrival, REv::RegArrive { dst: dst.as_u32(), reg });
+                    self.evq.push(
+                        arrival,
+                        REv::RegArrive {
+                            dst: dst.as_u32(),
+                            reg,
+                        },
+                    );
                 }
                 self.advance(pe, e);
             }
@@ -556,7 +836,16 @@ impl Engine<'_> {
                     Some(ready) => {
                         let start = t.max(ready);
                         self.bd[pe as usize].idle += ready.saturating_sub(t);
-                        let (_, e) = self.cpu[pe as usize].reserve(start, self.p.reg_load);
+                        let (s, e) = self.cpu[pe as usize].reserve(start, self.p.reg_load);
+                        self.obs.span(
+                            pe,
+                            Unit::Cpu,
+                            "reg_load",
+                            s,
+                            self.p.reg_load,
+                            Bucket::Overhead,
+                            reg as u64,
+                        );
                         self.bd[pe as usize].overhead += self.p.reg_load;
                         self.advance(pe, e);
                     }
@@ -573,17 +862,30 @@ impl Engine<'_> {
                 } else {
                     self.p.reg_store
                 };
-                let (_, e) = self.cpu[pe as usize].reserve(t, over);
+                let (s, e) = self.cpu[pe as usize].reserve(t, over);
+                self.obs.span(
+                    pe,
+                    Unit::Cpu,
+                    "remote_store",
+                    s,
+                    over,
+                    Bucket::Overhead,
+                    bytes,
+                );
                 self.bd[pe as usize].overhead += over;
                 self.rstore_issued[pe as usize] += 1;
-                let (_, depart) = self.send_engine[pe as usize]
-                    .reserve(e, self.p.send_hw_latency(bytes));
-                let arrival =
-                    self.tnet
-                        .transfer(depart, CellId::new(pe), dst, bytes + HEADER);
+                let (_, depart) =
+                    self.send_engine[pe as usize].reserve(e, self.p.send_hw_latency(bytes));
+                let arrival = self
+                    .tnet
+                    .transfer(depart, CellId::new(pe), dst, bytes + HEADER);
                 self.evq.push(
                     arrival,
-                    REv::RStoreArrive { dst: dst.as_u32(), src: pe, bytes },
+                    REv::RStoreArrive {
+                        dst: dst.as_u32(),
+                        src: pe,
+                        bytes,
+                    },
                 );
                 self.advance(pe, e);
             }
@@ -595,12 +897,16 @@ impl Engine<'_> {
                 };
                 let (_, e) = self.cpu[pe as usize].reserve(t, over);
                 self.bd[pe as usize].overhead += over;
-                let (_, depart) = self.send_engine[pe as usize]
-                    .reserve(e, self.p.send_hw_latency(0));
+                let (_, depart) =
+                    self.send_engine[pe as usize].reserve(e, self.p.send_hw_latency(0));
                 let arrival = self.tnet.transfer(depart, CellId::new(pe), src, HEADER);
                 self.evq.push(
                     arrival,
-                    REv::RLoadArrive { dst: src.as_u32(), requester: pe, bytes },
+                    REv::RLoadArrive {
+                        dst: src.as_u32(),
+                        requester: pe,
+                        bytes,
+                    },
                 );
                 self.load_waiters.insert(pe, t);
             }
@@ -656,7 +962,8 @@ mod tests {
     fn put_flag_chain_completes_and_hw_wins() {
         let mut t = Trace::new(2);
         t.pe_mut(CellId::new(0)).push(put(1, 1024, 7));
-        t.pe_mut(CellId::new(1)).push(Op::WaitFlag { flag: 7, target: 1 });
+        t.pe_mut(CellId::new(1))
+            .push(Op::WaitFlag { flag: 7, target: 1 });
         let old = replay(&t, &ModelParams::ap1000()).unwrap();
         let star = replay(&t, &ModelParams::ap1000_star()).unwrap();
         let plus = replay(&t, &ModelParams::ap1000_plus()).unwrap();
@@ -705,8 +1012,14 @@ mod tests {
     fn send_recv_dependency_orders_time() {
         let mut t = Trace::new(2);
         t.pe_mut(CellId::new(0)).push(Op::Work { flops: 50_000 });
-        t.pe_mut(CellId::new(0)).push(Op::Send { dst: CellId::new(1), bytes: 800 });
-        t.pe_mut(CellId::new(1)).push(Op::Recv { src: CellId::new(0), bytes: 800 });
+        t.pe_mut(CellId::new(0)).push(Op::Send {
+            dst: CellId::new(1),
+            bytes: 800,
+        });
+        t.pe_mut(CellId::new(1)).push(Op::Recv {
+            src: CellId::new(0),
+            bytes: 800,
+        });
         let r = replay(&t, &ModelParams::ap1000_plus()).unwrap();
         assert!(r.per_pe[1].idle > SimTime::from_nanos(50_000 * 20 / 2));
         assert!(r.per_pe[1].finish > r.per_pe[0].finish.saturating_sub(SimTime::from_micros(100)));
@@ -716,7 +1029,10 @@ mod tests {
     fn reg_protocol_round_trip() {
         let mut t = Trace::new(2);
         // PE0 stores to PE1's reg 3; PE1 loads it.
-        t.pe_mut(CellId::new(0)).push(Op::RegStore { dst: CellId::new(1), reg: 3 });
+        t.pe_mut(CellId::new(0)).push(Op::RegStore {
+            dst: CellId::new(1),
+            reg: 3,
+        });
         t.pe_mut(CellId::new(1)).push(Op::RegLoad { reg: 3 });
         let r = replay(&t, &ModelParams::ap1000_plus()).unwrap();
         assert!(r.per_pe[1].finish > SimTime::ZERO);
@@ -725,8 +1041,14 @@ mod tests {
     #[test]
     fn bcast_mismatch_is_detected() {
         let mut t = Trace::new(2);
-        t.pe_mut(CellId::new(0)).push(Op::Bcast { root: CellId::new(0), bytes: 8 });
-        t.pe_mut(CellId::new(1)).push(Op::Bcast { root: CellId::new(1), bytes: 8 });
+        t.pe_mut(CellId::new(0)).push(Op::Bcast {
+            root: CellId::new(0),
+            bytes: 8,
+        });
+        t.pe_mut(CellId::new(1)).push(Op::Bcast {
+            root: CellId::new(1),
+            bytes: 8,
+        });
         assert!(matches!(
             replay(&t, &ModelParams::ap1000_plus()),
             Err(ReplayError::Mismatch(_))
@@ -736,7 +1058,8 @@ mod tests {
     #[test]
     fn unmatched_wait_is_stuck_not_hang() {
         let mut t = Trace::new(2);
-        t.pe_mut(CellId::new(0)).push(Op::WaitFlag { flag: 9, target: 1 });
+        t.pe_mut(CellId::new(0))
+            .push(Op::WaitFlag { flag: 9, target: 1 });
         let err = replay(&t, &ModelParams::ap1000_plus()).unwrap_err();
         assert!(matches!(err, ReplayError::Stuck(_)));
     }
@@ -752,10 +1075,56 @@ mod tests {
             send_flag: 11,
             recv_flag: 12,
         });
-        t.pe_mut(CellId::new(0)).push(Op::WaitFlag { flag: 12, target: 1 });
-        t.pe_mut(CellId::new(1)).push(Op::WaitFlag { flag: 11, target: 1 });
+        t.pe_mut(CellId::new(0)).push(Op::WaitFlag {
+            flag: 12,
+            target: 1,
+        });
+        t.pe_mut(CellId::new(1)).push(Op::WaitFlag {
+            flag: 11,
+            target: 1,
+        });
         let r = replay(&t, &ModelParams::ap1000_plus()).unwrap();
-        assert!(r.per_pe[0].finish > r.per_pe[1].finish.saturating_sub(SimTime::from_micros(1000)));
+        assert!(
+            r.per_pe[0].finish
+                > r.per_pe[1]
+                    .finish
+                    .saturating_sub(SimTime::from_micros(1000))
+        );
+    }
+
+    #[test]
+    fn observed_replay_emits_emulator_vocabulary() {
+        let mut t = Trace::new(2);
+        t.pe_mut(CellId::new(0)).push(Op::Work { flops: 100 });
+        t.pe_mut(CellId::new(0)).push(put(1, 1024, 7));
+        t.pe_mut(CellId::new(0)).push(Op::Barrier);
+        t.pe_mut(CellId::new(1))
+            .push(Op::WaitFlag { flag: 7, target: 1 });
+        t.pe_mut(CellId::new(1)).push(Op::Barrier);
+        let r = replay_observed(&t, &ModelParams::ap1000_plus(), true).unwrap();
+        let names: std::collections::HashSet<&str> =
+            r.timeline.events.iter().map(|e| e.name).collect();
+        for expected in [
+            "work",
+            "put_issue",
+            "send_dma",
+            "recv_dma",
+            "wait_flag",
+            "barrier",
+        ] {
+            assert!(
+                names.contains(expected),
+                "missing {expected:?} in {names:?}"
+            );
+        }
+        // Histograms fill regardless of the timeline switch.
+        let off = replay(&t, &ModelParams::ap1000_plus()).unwrap();
+        assert!(off.timeline.is_empty(), "timeline must default off");
+        assert_eq!(off.counters.msg_size.count(), 1);
+        assert_eq!(off.counters.flag_wait.count(), 1);
+        // Same trace, same model: identical result modulo the timeline.
+        assert_eq!(off.per_pe, r.per_pe);
+        assert_eq!(off.total, r.total);
     }
 
     #[test]
@@ -766,7 +1135,8 @@ mod tests {
         t.pe_mut(CellId::new(0)).push(Op::Work { flops: 1000 });
         t.pe_mut(CellId::new(0)).push(put(1, 2048, 5));
         t.pe_mut(CellId::new(0)).push(Op::Barrier);
-        t.pe_mut(CellId::new(1)).push(Op::WaitFlag { flag: 5, target: 1 });
+        t.pe_mut(CellId::new(1))
+            .push(Op::WaitFlag { flag: 5, target: 1 });
         t.pe_mut(CellId::new(1)).push(Op::Barrier);
         for model in [ModelParams::ap1000(), ModelParams::ap1000_plus()] {
             let r = replay(&t, &model).unwrap();

@@ -72,6 +72,8 @@ mod tests {
                 finish: SimTime::from_micros(total_us),
             }],
             total: SimTime::from_micros(total_us),
+            counters: Default::default(),
+            timeline: Default::default(),
         }
     }
 

@@ -39,7 +39,8 @@ fn arb_trace() -> impl Strategy<Value = Trace> {
                         pe.push(Op::Barrier);
                     }
                 }
-                for _ in t.pe(CellId::new(i as u32))
+                for _ in t
+                    .pe(CellId::new(i as u32))
                     .ops
                     .iter()
                     .filter(|o| matches!(o, Op::Barrier))

@@ -51,5 +51,8 @@ fn main() {
         "simulated time {} | full-machine barriers used: {}",
         report.total_time, report.barriers
     );
-    assert_eq!(report.barriers, 0, "no S-net barriers — groups are software");
+    assert_eq!(
+        report.barriers, 0,
+        "no S-net barriers — groups are software"
+    );
 }

@@ -27,7 +27,15 @@ fn main() {
 
         // One-sided write to my right neighbour; its recv_flag increments
         // when the receive DMA lands the data (§4.1).
-        cell.put((me + 1) % n, inbox, outbox, 8, VAddr::NULL, recv_flag, false);
+        cell.put(
+            (me + 1) % n,
+            inbox,
+            outbox,
+            8,
+            VAddr::NULL,
+            recv_flag,
+            false,
+        );
         cell.wait_flag(recv_flag, 1);
         let from_left = cell.read_pod::<f64>(inbox);
 

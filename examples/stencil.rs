@@ -68,8 +68,16 @@ fn main() {
             }
             seen += incoming;
             cell.wait_flag(flag, seen);
-            let left = if me > 0 { cell.read_pod::<f64>(halo_left) } else { 0.0 };
-            let right = if me + 1 < p { cell.read_pod::<f64>(halo_right) } else { 0.0 };
+            let left = if me > 0 {
+                cell.read_pod::<f64>(halo_left)
+            } else {
+                0.0
+            };
+            let right = if me + 1 < p {
+                cell.read_pod::<f64>(halo_right)
+            } else {
+                0.0
+            };
 
             let old = t.clone();
             for i in 0..nb {

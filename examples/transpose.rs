@@ -27,7 +27,9 @@ fn run(stride: bool) -> (bool, aputil::SimTime) {
         let t = cell.alloc::<f64>(nb * N); // my rows of Aᵀ
         let flag = cell.alloc_flag();
 
-        let mine: Vec<f64> = (0..nb * N).map(|k| element(me * nb + k / N, k % N)).collect();
+        let mine: Vec<f64> = (0..nb * N)
+            .map(|k| element(me * nb + k / N, k % N))
+            .collect();
         cell.write_slice(a, &mine);
         cell.barrier();
 

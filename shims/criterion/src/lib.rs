@@ -1,0 +1,251 @@
+//! Offline stand-in for the slice of `criterion` this workspace uses.
+//!
+//! Implements `Criterion::bench_function`, benchmark groups with
+//! `sample_size`, `Bencher::iter`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros. Measurement is a simple
+//! calibrated-batch loop reporting mean ± stddev per iteration — enough to
+//! compare runs of the micro suite, with no statistics machinery or plots.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness handle, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    /// Wall-clock budget per benchmark (split across samples).
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_time: Duration::from_millis(300),
+            sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, self.measurement_time, self.sample_size, f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+}
+
+/// A named group of benchmarks (`emulate/EP`, `mlsim_replay/CG`, …).
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    measurement_time: Duration,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        run_one(&full, self.measurement_time, self.sample_size, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Passed to the closure of `bench_function`; the closure calls
+/// [`Bencher::iter`] with the code under test.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<Duration>,
+    mode: Mode,
+}
+
+enum Mode {
+    /// First call: find an iteration count that takes a measurable time.
+    Calibrate { measured: Option<(u64, Duration)> },
+    /// Subsequent calls: record one sample of `iters_per_sample` runs.
+    Measure,
+}
+
+impl Bencher {
+    pub fn iter<T, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> T,
+    {
+        match self.mode {
+            Mode::Calibrate { ref mut measured } => {
+                let mut iters = 1u64;
+                loop {
+                    let start = Instant::now();
+                    for _ in 0..iters {
+                        black_box(f());
+                    }
+                    let dt = start.elapsed();
+                    if dt >= Duration::from_micros(500) || iters >= 1 << 20 {
+                        *measured = Some((iters, dt));
+                        return;
+                    }
+                    iters *= 4;
+                }
+            }
+            Mode::Measure => {
+                let start = Instant::now();
+                for _ in 0..self.iters_per_sample {
+                    black_box(f());
+                }
+                self.samples.push(start.elapsed());
+            }
+        }
+    }
+}
+
+fn run_one<F>(name: &str, budget: Duration, sample_size: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // Calibration pass (also serves as warm-up).
+    let mut b = Bencher {
+        iters_per_sample: 1,
+        samples: Vec::new(),
+        mode: Mode::Calibrate { measured: None },
+    };
+    f(&mut b);
+    let (cal_iters, cal_time) = match b.mode {
+        Mode::Calibrate { measured: Some(m) } => m,
+        _ => {
+            println!("{name:<44} (no iter() call)");
+            return;
+        }
+    };
+    let per_iter = cal_time.as_secs_f64() / cal_iters as f64;
+    let per_sample = budget.as_secs_f64() / sample_size as f64;
+    let iters_per_sample = ((per_sample / per_iter) as u64).max(1);
+
+    let mut b = Bencher {
+        iters_per_sample,
+        samples: Vec::new(),
+        mode: Mode::Measure,
+    };
+    for _ in 0..sample_size {
+        f(&mut b);
+    }
+
+    let per_iter_ns: Vec<f64> = b
+        .samples
+        .iter()
+        .map(|d| d.as_secs_f64() * 1e9 / iters_per_sample as f64)
+        .collect();
+    let n = per_iter_ns.len() as f64;
+    let mean = per_iter_ns.iter().sum::<f64>() / n;
+    let var = per_iter_ns
+        .iter()
+        .map(|x| (x - mean) * (x - mean))
+        .sum::<f64>()
+        / n;
+    let sd = var.sqrt();
+    println!(
+        "{name:<44} time: {} ± {} ({} samples × {} iters)",
+        fmt_ns(mean),
+        fmt_ns(sd),
+        per_iter_ns.len(),
+        iters_per_sample
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Collects benchmark functions into a single runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emits `main` invoking each group, skipping work under `cargo test`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test` runs bench targets with `--test`; stay quick there.
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default();
+        c.measurement_time(Duration::from_millis(10)).sample_size(3);
+        let mut hit = false;
+        c.bench_function("smoke", |b| {
+            hit = true;
+            b.iter(|| black_box(2u64 + 2));
+        });
+        assert!(hit);
+    }
+
+    #[test]
+    fn groups_compose() {
+        let mut c = Criterion::default();
+        c.measurement_time(Duration::from_millis(10));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(2);
+        g.bench_function("one", |b| b.iter(|| black_box(1)));
+        g.finish();
+    }
+}

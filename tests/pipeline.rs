@@ -12,7 +12,9 @@ use mlsim::{replay, speedup, ModelParams};
 #[test]
 fn suite_runs_verifies_and_orders_models() {
     for w in standard_suite(Scale::Test) {
-        let report = w.run().unwrap_or_else(|e| panic!("{} failed: {e}", w.name()));
+        let report = w
+            .run()
+            .unwrap_or_else(|e| panic!("{} failed: {e}", w.name()));
         let plus = replay(&report.trace, &ModelParams::ap1000_plus()).unwrap();
         let star = replay(&report.trace, &ModelParams::ap1000_star()).unwrap();
         let old = replay(&report.trace, &ModelParams::ap1000()).unwrap();
@@ -78,15 +80,22 @@ fn pipeline_is_deterministic() {
 /// is slower on the AP1000+ and *much* slower under software handling.
 #[test]
 fn tomcatv_stride_ablation() {
-    let st = apapps::tomcatv::Tomcatv::new(Scale::Test, true).run().unwrap();
-    let no = apapps::tomcatv::Tomcatv::new(Scale::Test, false).run().unwrap();
+    let st = apapps::tomcatv::Tomcatv::new(Scale::Test, true)
+        .run()
+        .unwrap();
+    let no = apapps::tomcatv::Tomcatv::new(Scale::Test, false)
+        .run()
+        .unwrap();
     let plus_st = replay(&st.trace, &ModelParams::ap1000_plus()).unwrap();
     let plus_no = replay(&no.trace, &ModelParams::ap1000_plus()).unwrap();
     let star_st = replay(&st.trace, &ModelParams::ap1000_star()).unwrap();
     let star_no = replay(&no.trace, &ModelParams::ap1000_star()).unwrap();
     let plus_penalty = plus_no.total.as_nanos() as f64 / plus_st.total.as_nanos() as f64;
     let star_penalty = star_no.total.as_nanos() as f64 / star_st.total.as_nanos() as f64;
-    assert!(plus_penalty > 1.0, "no-stride must cost on AP1000+ ({plus_penalty:.2})");
+    assert!(
+        plus_penalty > 1.0,
+        "no-stride must cost on AP1000+ ({plus_penalty:.2})"
+    );
     assert!(
         star_penalty > plus_penalty,
         "software handling must amplify the no-stride penalty \
