@@ -154,6 +154,24 @@ impl TNet {
     ///
     /// Panics if `src` or `dst` are outside the torus.
     pub fn transfer(&mut self, now: SimTime, src: CellId, dst: CellId, size: u64) -> SimTime {
+        self.transfer_tagged(now, src, dst, size, 0)
+    }
+
+    /// Like [`TNet::transfer`], but tags the emitted timeline events with
+    /// transfer-chain id `tid` so the network leg joins the issuing
+    /// operation's causality chain (critical-path reconstruction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` or `dst` are outside the torus.
+    pub fn transfer_tagged(
+        &mut self,
+        now: SimTime,
+        src: CellId,
+        dst: CellId,
+        size: u64,
+        tid: u64,
+    ) -> SimTime {
         let hops = self.torus.hops(src, dst);
         let serialize = self.params.per_byte.saturating_mul(size);
         let mut depart = now;
@@ -169,7 +187,7 @@ impl TNet {
                 head = start + self.params.per_hop;
             }
             let arrival = head + serialize;
-            return self.finish(now, src, dst, hops, size, arrival);
+            return self.finish(now, src, dst, hops, size, arrival, tid);
         }
         if let Contention::Ports = self.contention {
             // Hold the sender's injection channel for the serialization
@@ -179,12 +197,13 @@ impl TNet {
             let head_at_dst = depart + self.params.prolog + self.params.per_hop * hops as u64;
             let (_, ej_end) = self.in_port[dst.index()].reserve(head_at_dst, serialize);
             let arrival = ej_end;
-            return self.finish(now, src, dst, hops, size, arrival);
+            return self.finish(now, src, dst, hops, size, arrival, tid);
         }
         let arrival = depart + self.params.prolog + self.params.per_hop * hops as u64 + serialize;
-        self.finish(now, src, dst, hops, size, arrival)
+        self.finish(now, src, dst, hops, size, arrival, tid)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn finish(
         &mut self,
         now: SimTime,
@@ -193,6 +212,7 @@ impl TNet {
         hops: u32,
         size: u64,
         arrival: SimTime,
+        tid: u64,
     ) -> SimTime {
         let slot = self.last_arrival.entry((src, dst)).or_insert(SimTime::ZERO);
         let arrival = arrival.max(*slot);
@@ -205,7 +225,7 @@ impl TNet {
             .latency
             .record(arrival.saturating_sub(now).as_nanos());
         if self.obs.recorder.is_enabled() {
-            self.obs.recorder.span(
+            self.obs.recorder.span_id(
                 src.as_u32(),
                 Unit::Net,
                 "transfer",
@@ -213,6 +233,7 @@ impl TNet {
                 arrival.saturating_sub(now),
                 Bucket::Hw,
                 size,
+                tid,
             );
             // Nominal head-advance times along the static route; contention
             // stalls show up as the gap to the delivery instant.
@@ -220,23 +241,25 @@ impl TNet {
             let head = now + self.params.prolog;
             for (k, cell) in route.iter().enumerate().skip(1) {
                 if *cell != dst {
-                    self.obs.recorder.instant(
+                    self.obs.recorder.instant_id(
                         cell.as_u32(),
                         Unit::Net,
                         "hop",
                         head + self.params.per_hop * k as u64,
                         Bucket::Hw,
                         size,
+                        tid,
                     );
                 }
             }
-            self.obs.recorder.instant(
+            self.obs.recorder.instant_id(
                 dst.as_u32(),
                 Unit::Net,
                 "deliver",
                 arrival,
                 Bucket::Hw,
                 size,
+                tid,
             );
         }
         arrival

@@ -20,7 +20,7 @@
 //! t.events.push(TimelineEvent {
 //!     cell: 0, unit: Unit::Cpu, name: "work",
 //!     start: SimTime::ZERO, dur: Some(SimTime::from_nanos(2000)),
-//!     bucket: Bucket::Exec, arg: 100,
+//!     bucket: Bucket::Exec, arg: 100, tid: 0,
 //! });
 //! let json = chrome_trace(&[&t]);
 //! assert!(json.get("traceEvents").is_some());
@@ -107,7 +107,13 @@ pub fn chrome_trace(timelines: &[&Timeline]) -> Json {
                     members.push(("s".to_string(), Json::from("t")));
                 }
             }
-            members.push(("args".to_string(), Json::obj([("arg", Json::from(e.arg))])));
+            let mut args = vec![("arg".to_string(), Json::from(e.arg))];
+            if e.tid != 0 {
+                // Transfer-chain id: lets Perfetto queries group one
+                // PUT/GET's issue→DMA→net→delivery events across tracks.
+                args.push(("xfer".to_string(), Json::from(e.tid)));
+            }
+            members.push(("args".to_string(), Json::Obj(args)));
             events.push(Json::Obj(members));
         }
     }
@@ -141,6 +147,7 @@ mod tests {
             dur: dur_ns.map(SimTime::from_nanos),
             bucket,
             arg: 7,
+            tid: 0,
         };
         t.events
             .push(ev(0, Unit::Cpu, "wait_flag", 5000, Some(300), Bucket::Idle));

@@ -2,6 +2,7 @@
 //! `ReplayResult`.
 
 use crate::hist::Hist;
+use crate::latency::SegmentHists;
 use aputil::Json;
 
 /// Hardware counters and log2 histograms collected during a run or replay.
@@ -26,6 +27,10 @@ pub struct Counters {
     /// End-to-end T-net transit nanoseconds per message (prolog + hops +
     /// serialization, including any contention stalls).
     pub hop_latency: Hist,
+    /// Figure-6 segment decomposition of every PUT's end-to-end latency.
+    pub put_lat: SegmentHists,
+    /// Same decomposition for GETs (request + reply legs combined).
+    pub get_lat: SegmentHists,
 }
 
 impl Counters {
@@ -42,6 +47,8 @@ impl Counters {
         self.flag_wait.merge(&other.flag_wait);
         self.queue_occupancy.merge(&other.queue_occupancy);
         self.hop_latency.merge(&other.hop_latency);
+        self.put_lat.merge(&other.put_lat);
+        self.get_lat.merge(&other.get_lat);
     }
 
     /// JSON form for `--json` output.
@@ -54,12 +61,14 @@ impl Counters {
             ("flag_wait_ns", self.flag_wait.to_json()),
             ("queue_occupancy", self.queue_occupancy.to_json()),
             ("net_latency_ns", self.hop_latency.to_json()),
+            ("put_latency", self.put_lat.to_json()),
+            ("get_latency", self.get_lat.to_json()),
         ])
     }
 
     /// Multi-line human rendering.
     pub fn render(&self) -> String {
-        format!(
+        let mut out = format!(
             "queue spills {} (refills {}), ring overflows {}\n\
              msg size   : {}\n\
              flag wait  : {}\n\
@@ -72,7 +81,22 @@ impl Counters {
             self.flag_wait.render(),
             self.queue_occupancy.render(),
             self.hop_latency.render(),
-        )
+        );
+        if self.put_lat.count() > 0 {
+            out.push_str(&format!(
+                "\nput latency ({} transfers):\n{}",
+                self.put_lat.count(),
+                self.put_lat.render()
+            ));
+        }
+        if self.get_lat.count() > 0 {
+            out.push_str(&format!(
+                "\nget latency ({} transfers):\n{}",
+                self.get_lat.count(),
+                self.get_lat.render()
+            ));
+        }
+        out
     }
 }
 

@@ -112,6 +112,13 @@ pub struct TimelineEvent {
     /// Free payload: bytes moved, flag value reached, queue depth, hop
     /// number — whatever quantifies the event.
     pub arg: u64,
+    /// Causality id: all events belonging to one logical transfer chain
+    /// (a PUT's issue→enqueue→DMA→injection→delivery→flag update, a GET's
+    /// request and reply legs, …) share one nonzero `tid`. On an
+    /// [`Bucket::Idle`] span a nonzero `tid` instead names the transfer
+    /// whose completion *released* the wait — the dependency edge the
+    /// critical-path walk follows. `0` means "no chain affiliation".
+    pub tid: u64,
 }
 
 impl TimelineEvent {

@@ -167,6 +167,47 @@ impl Hist {
         self.max
     }
 
+    /// An interpolated quantile (`q` in `[0, 1]`): finds the bucket
+    /// containing the q-th sample like [`Hist::quantile`], then places the
+    /// sample linearly inside the bucket's `[lo, hi)` range by its rank
+    /// among the bucket's occupants. The result is clamped to the observed
+    /// `[min, max]`, so `p(0.0) == min` and `p(1.0) == max` exactly.
+    pub fn p(&self, q: f64) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((self.n as f64 * q).ceil() as u64).clamp(1, self.n);
+        if rank == 1 {
+            return self.min() as f64;
+        }
+        if rank == self.n {
+            return self.max as f64;
+        }
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= rank {
+                let lo = Self::bucket_lo(i) as f64;
+                // Cap the open bucket 63 at the observed max instead of
+                // u64::MAX so interpolation stays meaningful.
+                let hi = if i == 63 {
+                    self.max as f64
+                } else {
+                    Self::bucket_hi(i) as f64
+                };
+                // Rank position within this bucket, in (0, 1].
+                let frac = (rank - seen) as f64 / c as f64;
+                let v = lo + frac * (hi - lo);
+                return v.clamp(self.min() as f64, self.max as f64);
+            }
+            seen += c;
+        }
+        self.max as f64
+    }
+
     /// Compact single-line rendering: `n=… mean=… max=…` plus an ASCII
     /// sparkline over the non-empty bucket range.
     pub fn render(&self) -> String {
@@ -206,6 +247,9 @@ impl Hist {
             ("min", Json::from(self.min())),
             ("max", Json::from(self.max())),
             ("mean", Json::from(self.mean())),
+            ("p50", Json::from(self.p(0.5))),
+            ("p90", Json::from(self.p(0.9))),
+            ("p99", Json::from(self.p(0.99))),
             (
                 "buckets",
                 Json::Arr(
@@ -273,6 +317,34 @@ mod tests {
         let med = h.quantile(0.5);
         assert!((256..=512).contains(&med), "median bucket lo {med}");
         assert!(h.quantile(1.0) >= 512);
+    }
+
+    #[test]
+    fn p_interpolates_within_buckets() {
+        let mut h = Hist::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.p(0.0), 1.0);
+        assert_eq!(h.p(1.0), 1000.0);
+        // Rank 500 lands in the [256, 512) bucket near its top.
+        let p50 = h.p(0.5);
+        assert!((450.0..=512.0).contains(&p50), "p50 {p50}");
+        let p90 = h.p(0.9);
+        assert!((512.0..=1000.0).contains(&p90), "p90 {p90}");
+        // Quantiles are monotone in q.
+        assert!(h.p(0.5) <= h.p(0.9) && h.p(0.9) <= h.p(0.99));
+    }
+
+    #[test]
+    fn p_on_degenerate_hists() {
+        let h = Hist::new();
+        assert_eq!(h.p(0.5), 0.0);
+        let mut one = Hist::new();
+        one.record(42);
+        assert_eq!(one.p(0.0), 42.0);
+        assert_eq!(one.p(0.5), 42.0);
+        assert_eq!(one.p(1.0), 42.0);
     }
 
     #[test]

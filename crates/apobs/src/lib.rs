@@ -27,15 +27,19 @@
 
 pub mod chrome;
 pub mod counters;
+pub mod critpath;
 pub mod event;
 pub mod hist;
+pub mod latency;
 pub mod recorder;
 pub mod timeline;
 
 pub use chrome::{chrome_trace, write_chrome_trace};
 pub use counters::Counters;
+pub use critpath::{critical_path, CritPath, CritStep, GatingOp};
 pub use event::{Bucket, TimelineEvent, Unit};
 pub use hist::Hist;
+pub use latency::{SegmentHists, XferKind, XferLat};
 pub use recorder::Recorder;
 pub use timeline::Timeline;
 
@@ -80,6 +84,7 @@ mod proptests {
                     dur: if instant { None } else { Some(aputil::SimTime::from_nanos(dur)) },
                     bucket: Bucket::Hw,
                     arg: 0,
+                    tid: 0,
                 });
             }
             let doc = chrome_trace(&[&t]);
@@ -95,6 +100,68 @@ mod proptests {
                 let prev = last.insert(tid, ts).unwrap_or(f64::MIN);
                 prop_assert!(ts >= prev, "tid {} regressed {} -> {}", tid, prev, ts);
             }
+        }
+
+        /// Critical-path invariants over arbitrary event soups: the path
+        /// is a valid chain (disjoint, chronologically ordered steps) and
+        /// the attribution is exact — step durations plus unattributed
+        /// time equal the run total, i.e. percentages sum to 100.
+        #[test]
+        fn critical_path_is_a_valid_exact_chain(
+            evs in proptest::collection::vec(
+                (0u32..4, 0usize..5, 0u64..100_000, 0u64..5_000, 0u64..4, 0usize..5),
+                1..60,
+            )
+        ) {
+            let mut t = Timeline::new("fuzz");
+            for (cell, unit, start, dur, tid, kind) in evs {
+                let bucket = [Bucket::Exec, Bucket::Rts, Bucket::Overhead, Bucket::Idle, Bucket::Hw][kind];
+                t.events.push(TimelineEvent {
+                    cell,
+                    unit: Unit::ALL[unit],
+                    name: "e",
+                    start: aputil::SimTime::from_nanos(start),
+                    dur: if kind == 4 && dur % 3 == 0 { None } else { Some(aputil::SimTime::from_nanos(dur)) },
+                    bucket,
+                    arg: 0,
+                    tid,
+                });
+            }
+            let p = critical_path(&t);
+            let total = t.events.iter().map(TimelineEvent::end).max().unwrap();
+            prop_assert_eq!(p.total, total);
+            for w in p.steps.windows(2) {
+                prop_assert!(w[0].end <= w[1].start, "steps overlap: {:?} then {:?}", w[0], w[1]);
+            }
+            prop_assert_eq!(p.attributed() + p.unattributed, p.total);
+        }
+
+        /// For a fully serialized trace (one cell, one unit, back-to-back
+        /// spans) the critical path is the whole trace: its length equals
+        /// the total run time with nothing unattributed.
+        #[test]
+        fn critical_path_of_serialized_trace_is_total(
+            durs in proptest::collection::vec(1u64..2_000, 1..40)
+        ) {
+            let mut t = Timeline::new("serial");
+            let mut at = 0u64;
+            for d in durs {
+                t.events.push(TimelineEvent {
+                    cell: 0,
+                    unit: Unit::Cpu,
+                    name: "work",
+                    start: aputil::SimTime::from_nanos(at),
+                    dur: Some(aputil::SimTime::from_nanos(d)),
+                    bucket: Bucket::Exec,
+                    arg: 0,
+                    tid: 0,
+                });
+                at += d;
+            }
+            let p = critical_path(&t);
+            prop_assert_eq!(p.total, aputil::SimTime::from_nanos(at));
+            prop_assert_eq!(p.attributed(), p.total);
+            prop_assert_eq!(p.unattributed, aputil::SimTime::ZERO);
         }
     }
 }

@@ -44,7 +44,7 @@ impl Recorder {
         self.enabled
     }
 
-    /// Records a duration slice.
+    /// Records a duration slice with no chain affiliation.
     #[inline]
     #[allow(clippy::too_many_arguments)]
     pub fn span(
@@ -57,6 +57,23 @@ impl Recorder {
         bucket: Bucket,
         arg: u64,
     ) {
+        self.span_id(cell, unit, name, start, dur, bucket, arg, 0);
+    }
+
+    /// Records a duration slice tagged with a transfer-chain id.
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    pub fn span_id(
+        &mut self,
+        cell: u32,
+        unit: Unit,
+        name: &'static str,
+        start: SimTime,
+        dur: SimTime,
+        bucket: Bucket,
+        arg: u64,
+        tid: u64,
+    ) {
         if !self.enabled {
             return;
         }
@@ -68,10 +85,11 @@ impl Recorder {
             dur: Some(dur),
             bucket,
             arg,
+            tid,
         });
     }
 
-    /// Records an instant event.
+    /// Records an instant event with no chain affiliation.
     #[inline]
     pub fn instant(
         &mut self,
@@ -81,6 +99,22 @@ impl Recorder {
         at: SimTime,
         bucket: Bucket,
         arg: u64,
+    ) {
+        self.instant_id(cell, unit, name, at, bucket, arg, 0);
+    }
+
+    /// Records an instant event tagged with a transfer-chain id.
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    pub fn instant_id(
+        &mut self,
+        cell: u32,
+        unit: Unit,
+        name: &'static str,
+        at: SimTime,
+        bucket: Bucket,
+        arg: u64,
+        tid: u64,
     ) {
         if !self.enabled {
             return;
@@ -93,6 +127,7 @@ impl Recorder {
             dur: None,
             bucket,
             arg,
+            tid,
         });
     }
 

@@ -9,34 +9,92 @@
 //! repro fig8   [--scale s]     # normalized execution-time breakdown
 //! repro fig8 --ascii           # the same as ASCII stacked bars
 //! repro all    [--scale s]     # everything above, one suite run
+//! repro bench  --bench-out F   # versioned machine-readable bench report
+//! repro compare BASE CUR       # diff two bench reports, exit 1 on regression
 //! ```
 //!
 //! Suite-running commands also accept `--json` (machine-readable rows on
-//! stdout) and `--trace-out FILE` (record sim-time event timelines on
+//! stdout), `--trace-out FILE` (record sim-time event timelines on
 //! every emulator run and write one Chrome-trace JSON file, one process
-//! group per workload, viewable in Perfetto).
+//! group per workload, viewable in Perfetto), `--bench-out FILE` (write
+//! the versioned bench report documented in DESIGN.md; implies timeline
+//! recording so critical-path and divergence sections are populated;
+//! `--rev REV` stamps a revision into it), `--markdown` (GitHub-flavored
+//! tables instead of plain text) and `--md-out FILE` (write the full
+//! Markdown report, e.g. into `results/`).
+//!
+//! `repro compare BASE CUR [--threshold PCT]` exits nonzero when any
+//! app's emulator or model total in CUR is more than PCT percent (default
+//! 10) slower than in BASE — the perf-regression gate CI runs against
+//! `results/BENCH_baseline.json`.
 //!
 //! `--scale test` uses small instances (seconds); the default `paper`
 //! scale uses the reduced-but-paper-shaped instances documented in
 //! DESIGN.md/EXPERIMENTS.md.
 
 use apbench::{
-    crosscheck, fig6, fig7, fig8, fig8_ascii, parse_scale, run_suite, suite_json, table1, table2,
-    table3,
+    compare_reports, crosscheck, fig6, fig7, fig8, fig8_ascii, markdown_report, parse_scale,
+    report, run_suite, suite_json, table1, table2, table3, write_bench_report,
 };
 use std::path::Path;
 use std::time::Instant;
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn compare_cmd(args: &[String]) -> ! {
+    let paths: Vec<&String> = args
+        .iter()
+        .skip(1)
+        .take_while(|a| !a.starts_with("--"))
+        .collect();
+    let [base_path, cur_path] = paths[..] else {
+        eprintln!("usage: repro compare BASELINE.json CURRENT.json [--threshold PCT]");
+        std::process::exit(2);
+    };
+    let threshold: f64 = flag_value(args, "--threshold")
+        .and_then(|s| match s.parse() {
+            Ok(t) => Some(t),
+            Err(_) => {
+                eprintln!("--threshold takes a number, got '{s}'");
+                std::process::exit(2);
+            }
+        })
+        .unwrap_or(10.0);
+    let fail = |msg: String| -> ! {
+        eprintln!("{msg}");
+        std::process::exit(2);
+    };
+    let load = |path: &String| {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| fail(format!("cannot read {path}: {e}")));
+        aputil::Json::parse(&text).unwrap_or_else(|e| fail(format!("cannot parse {path}: {e}")))
+    };
+    match compare_reports(&load(base_path), &load(cur_path), threshold) {
+        Ok(cmp) => {
+            print!("{}", cmp.render());
+            std::process::exit(if cmp.pass() { 0 } else { 1 });
+        }
+        Err(e) => {
+            eprintln!("compare failed: {e}");
+            std::process::exit(2);
+        }
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(String::as_str).unwrap_or("all");
     let json_out = args.iter().any(|a| a == "--json");
     let ascii = args.iter().any(|a| a == "--ascii");
-    let trace_out = args
-        .iter()
-        .position(|a| a == "--trace-out")
-        .and_then(|i| args.get(i + 1))
-        .cloned();
+    let markdown = args.iter().any(|a| a == "--markdown");
+    let trace_out = flag_value(&args, "--trace-out");
+    let bench_out = flag_value(&args, "--bench-out");
+    let md_out = flag_value(&args, "--md-out");
     match cmd {
         "table1" => print!("{}", table1()),
         "fig6" => print!("{}", fig6()),
@@ -53,10 +111,16 @@ fn main() {
             let scale = parse_scale(&args);
             print!("{}", apbench::ablations(scale));
         }
-        "table2" | "table3" | "fig8" | "all" => {
+        "compare" => compare_cmd(&args),
+        "table2" | "table3" | "fig8" | "all" | "bench" => {
             let scale = parse_scale(&args);
-            if trace_out.is_some() {
-                // Every machine the suite builds records its timeline.
+            if cmd == "bench" && bench_out.is_none() {
+                eprintln!("usage: repro bench --bench-out FILE [--scale test|paper] [--rev REV]");
+                std::process::exit(2);
+            }
+            if trace_out.is_some() || bench_out.is_some() {
+                // Every machine the suite builds records its timeline (the
+                // bench report needs it for critical-path and divergence).
                 apcore::set_timeline_default(true);
             }
             eprintln!("running the application suite at {scale:?} scale...");
@@ -71,15 +135,30 @@ fn main() {
                 apobs::write_chrome_trace(Path::new(path), &refs).expect("write trace file");
                 eprintln!("wrote Chrome trace to {path}");
             }
+            if let Some(path) = &bench_out {
+                let rev = flag_value(&args, "--rev");
+                write_bench_report(Path::new(path), &rows, scale, rev.as_deref())
+                    .expect("write bench report");
+                eprintln!("wrote bench report to {path}");
+            }
+            if let Some(path) = &md_out {
+                std::fs::write(path, markdown_report(&rows, scale)).expect("write markdown");
+                eprintln!("wrote Markdown report to {path}");
+            }
             if json_out {
                 println!("{}", suite_json(&rows));
                 return;
             }
             match cmd {
+                "bench" => {}
+                "table2" if markdown => print!("{}", report::table2_markdown(&rows)),
                 "table2" => print!("{}", table2(&rows)),
+                "table3" if markdown => print!("{}", report::table3_markdown(&rows)),
                 "table3" => print!("{}", table3(&rows)),
+                "fig8" if markdown => print!("{}", report::fig8_markdown(&rows)),
                 "fig8" if ascii => print!("{}", fig8_ascii(&rows)),
                 "fig8" => print!("{}", fig8(&rows)),
+                "all" if markdown => print!("{}", markdown_report(&rows, scale)),
                 _ => {
                     print!("{}", table1());
                     println!();
@@ -102,8 +181,9 @@ fn main() {
         other => {
             eprintln!("unknown command '{other}'");
             eprintln!(
-                "usage: repro [table1|fig6|fig7|table2|table3|fig8|ablations|all] \
-                 [--scale test|paper] [--json] [--ascii] [--trace-out FILE]"
+                "usage: repro [table1|fig6|fig7|table2|table3|fig8|ablations|all|bench|compare] \
+                 [--scale test|paper] [--json] [--ascii] [--markdown] [--trace-out FILE] \
+                 [--bench-out FILE] [--rev REV] [--md-out FILE] [--threshold PCT]"
             );
             std::process::exit(2);
         }

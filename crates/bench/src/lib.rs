@@ -7,10 +7,19 @@
 //! normalized time breakdown.
 
 use apapps::{standard_suite, Scale, Workload};
-use apobs::{Counters, Timeline};
+use apobs::{Counters, CritPath, Timeline};
 use aptrace::{AppStats, StatsRow};
 use aputil::Json;
-use mlsim::{fig8_rows, replay, speedup, Fig8Row, ModelParams, ReplayResult};
+use mlsim::{
+    fig8_rows, replay, replay_observed, speedup, DivergenceReport, Fig8Row, ModelParams,
+    ReplayResult,
+};
+
+pub mod report;
+pub use report::{
+    bench_report, compare_reports, markdown_report, write_bench_report, CompareReport, Regression,
+    BENCH_SCHEMA, BENCH_SCHEMA_VERSION,
+};
 
 /// Everything measured for one application.
 pub struct ExperimentRow {
@@ -35,6 +44,12 @@ pub struct ExperimentRow {
     /// Emulator event timeline, labeled with the workload name (empty
     /// unless timeline recording was enabled, e.g. via `--trace-out`).
     pub timeline: Timeline,
+    /// Critical path extracted from the emulator timeline (`None` unless
+    /// timeline recording was enabled).
+    pub critpath: Option<CritPath>,
+    /// Emulator-vs-MLSim(AP1000+) per-op divergence (`None` unless
+    /// timeline recording was enabled).
+    pub divergence: Option<DivergenceReport>,
 }
 
 impl ExperimentRow {
@@ -72,7 +87,7 @@ impl ExperimentRow {
                 ("total_ns", Json::U(r.total.as_nanos())),
             ])
         };
-        Json::obj(vec![
+        let mut members = vec![
             ("app", Json::Str(self.name.to_string())),
             ("pe", Json::U(self.pe as u64)),
             (
@@ -103,7 +118,14 @@ impl ExperimentRow {
             ),
             ("emulator_total_ns", Json::U(self.emulator_total.as_nanos())),
             ("counters", self.counters.to_json()),
-        ])
+        ];
+        if let Some(cp) = &self.critpath {
+            members.push(("critical_path", cp.to_json()));
+        }
+        if let Some(d) = &self.divergence {
+            members.push(("divergence", d.to_json()));
+        }
+        Json::obj(members)
     }
 }
 
@@ -129,9 +151,20 @@ pub fn run_experiment(w: &dyn Workload) -> ExperimentRow {
     };
     let ap1000 = run(ModelParams::ap1000());
     let star = run(ModelParams::ap1000_star());
-    let plus = run(ModelParams::ap1000_plus());
+    // If the emulator recorded its timeline, have the AP1000+ replay record
+    // one too so the run can be analyzed (critical path, divergence).
+    let analyze = !report.timeline.events.is_empty();
+    let plus = if analyze {
+        replay_observed(&report.trace, &ModelParams::ap1000_plus(), true)
+            .unwrap_or_else(|e| panic!("{} failed replay under ap1000+: {e}", w.name()))
+    } else {
+        run(ModelParams::ap1000_plus())
+    };
     let mut timeline = report.timeline;
     timeline.source = w.name().to_string();
+    let critpath = analyze.then(|| apobs::critical_path(&timeline));
+    let divergence = analyze
+        .then(|| mlsim::divergence(&timeline, &plus.timeline, &report.counters, &plus.counters));
     ExperimentRow {
         name: w.name(),
         pe: w.pe(),
@@ -142,6 +175,8 @@ pub fn run_experiment(w: &dyn Workload) -> ExperimentRow {
         emulator_total: report.total_time,
         counters: report.counters,
         timeline,
+        critpath,
+        divergence,
     }
 }
 
@@ -502,6 +537,52 @@ mod tests {
         assert_eq!(first.get("app").and_then(|j| j.as_str()), Some("EP"));
         assert!(first.get("speedup_plus").is_some());
         assert!(first.get("counters").is_some());
+    }
+
+    #[test]
+    fn tomcatv_critical_path_covers_the_whole_run() {
+        // Acceptance: with timelines on, the reported critical path's total
+        // equals the run's simulated total time, and the bench report
+        // carries critical-path + per-segment latency + Figure-8 data.
+        apcore::set_timeline_default(true);
+        let row = run_experiment(&apapps::tomcatv::Tomcatv::new(Scale::Test, true));
+        let cp = row.critpath.as_ref().expect("critical path computed");
+        assert_eq!(
+            cp.total, row.emulator_total,
+            "critical-path total must equal the emulator's simulated time"
+        );
+        assert!(!cp.steps.is_empty());
+        let d = row.divergence.as_ref().expect("divergence computed");
+        assert!(d.model_total.as_nanos() > 0);
+
+        let doc = bench_report(std::slice::from_ref(&row), Scale::Test, Some("deadbeef"));
+        let parsed = Json::parse(&doc.to_string()).expect("bench report parses");
+        assert_eq!(
+            parsed.get("schema").and_then(Json::as_str),
+            Some(report::BENCH_SCHEMA)
+        );
+        assert_eq!(parsed.get("version").and_then(Json::as_u64), Some(1));
+        assert_eq!(parsed.get("rev").and_then(Json::as_str), Some("deadbeef"));
+        let app = &parsed.get("apps").and_then(Json::as_arr).unwrap()[0];
+        assert!(app.get("fig8_plus").is_some());
+        assert!(app.get("critical_path").is_some());
+        assert!(app.get("divergence").is_some());
+        let put = app
+            .get("counters")
+            .and_then(|c| c.get("put_latency"))
+            .expect("per-segment put latency");
+        let total_hist = put.get("total").expect("total segment");
+        assert!(total_hist.get("p50_ns").is_some() && total_hist.get("p99_ns").is_some());
+    }
+
+    #[test]
+    fn markdown_tables_are_gfm() {
+        let row = run_experiment(&apapps::ep::Ep::new(Scale::Test));
+        let md = markdown_report(std::slice::from_ref(&row), Scale::Test);
+        assert!(md.contains("## Table 2"));
+        assert!(md.contains("| App | PE | AP1000+ | AP1000* |"));
+        assert!(md.contains("| EP |"));
+        assert!(md.contains("| --- |"));
     }
 
     #[test]

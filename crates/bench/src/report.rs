@@ -1,0 +1,350 @@
+//! Versioned machine-readable bench reports and the regression comparer.
+//!
+//! `repro --bench-out BENCH_<rev>.json` serializes a whole suite run —
+//! Table-2/3 numbers, Figure-8 rows, per-segment PUT/GET latency
+//! histograms, critical-path attribution and the emulator-vs-MLSim
+//! divergence — under a versioned schema, seeding the repo's performance
+//! trajectory. `repro compare <base.json> <current.json>` diffs two such
+//! reports and exits nonzero when any total regresses past a threshold;
+//! CI runs it against the checked-in `results/BENCH_baseline.json`.
+//!
+//! The schema is documented in DESIGN.md §"Bench report schema".
+
+use crate::ExperimentRow;
+use apapps::Scale;
+use aputil::Json;
+use std::path::Path;
+
+/// Schema identifier stamped into every bench report.
+pub const BENCH_SCHEMA: &str = "ap1000plus.bench";
+/// Current schema version. Bump on breaking layout changes; `compare`
+/// refuses to diff reports whose versions differ.
+pub const BENCH_SCHEMA_VERSION: u64 = 1;
+
+/// Builds the versioned bench-report document for a suite run.
+pub fn bench_report(rows: &[ExperimentRow], scale: Scale, rev: Option<&str>) -> Json {
+    let mut members = vec![
+        ("schema", Json::from(BENCH_SCHEMA)),
+        ("version", Json::from(BENCH_SCHEMA_VERSION)),
+        (
+            "scale",
+            Json::from(format!("{scale:?}").to_ascii_lowercase()),
+        ),
+    ];
+    if let Some(rev) = rev {
+        members.push(("rev", Json::from(rev)));
+    }
+    members.push(("apps", crate::suite_json(rows)));
+    Json::obj(members)
+}
+
+/// Writes [`bench_report`] to `path`.
+pub fn write_bench_report(
+    path: &Path,
+    rows: &[ExperimentRow],
+    scale: Scale,
+    rev: Option<&str>,
+) -> std::io::Result<()> {
+    std::fs::write(path, bench_report(rows, scale, rev).to_string())
+}
+
+/// One metric that got slower than the baseline allows.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Regression {
+    /// Application (Table-2 row) the metric belongs to.
+    pub app: String,
+    /// Metric name (`emulator_total_ns` or `<model> total_ns`).
+    pub metric: String,
+    /// Baseline nanoseconds.
+    pub base_ns: u64,
+    /// Current nanoseconds.
+    pub cur_ns: u64,
+}
+
+impl Regression {
+    /// Slowdown over baseline, in percent.
+    pub fn pct(&self) -> f64 {
+        (self.cur_ns as f64 / self.base_ns as f64 - 1.0) * 100.0
+    }
+}
+
+/// Outcome of diffing two bench reports.
+#[derive(Clone, Debug, Default)]
+pub struct CompareReport {
+    /// Threshold the comparison ran with, in percent.
+    pub threshold_pct: f64,
+    /// Metrics compared across the two reports.
+    pub checked: usize,
+    /// Metrics beyond the threshold, worst first.
+    pub regressions: Vec<Regression>,
+    /// Apps present in the baseline but absent from the current report.
+    pub missing_apps: Vec<String>,
+}
+
+impl CompareReport {
+    /// True when nothing regressed and no app disappeared.
+    pub fn pass(&self) -> bool {
+        self.regressions.is_empty() && self.missing_apps.is_empty()
+    }
+
+    /// Human rendering, one line per finding.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "compared {} metrics at +{:.1}% threshold: {}\n",
+            self.checked,
+            self.threshold_pct,
+            if self.pass() { "PASS" } else { "FAIL" }
+        );
+        for app in &self.missing_apps {
+            out.push_str(&format!("  MISSING  {app}: not in current report\n"));
+        }
+        for r in &self.regressions {
+            out.push_str(&format!(
+                "  REGRESSION  {} {}: {} -> {} ns (+{:.1}%)\n",
+                r.app,
+                r.metric,
+                r.base_ns,
+                r.cur_ns,
+                r.pct()
+            ));
+        }
+        out
+    }
+}
+
+fn app_metrics(app: &Json) -> Vec<(String, u64)> {
+    let mut m = Vec::new();
+    if let Some(v) = app.get("emulator_total_ns").and_then(Json::as_u64) {
+        m.push(("emulator_total_ns".to_string(), v));
+    }
+    if let Some(models) = app.get("models").and_then(Json::as_arr) {
+        for model in models {
+            if let (Some(name), Some(total)) = (
+                model.get("model").and_then(Json::as_str),
+                model.get("total_ns").and_then(Json::as_u64),
+            ) {
+                m.push((format!("{name} total_ns"), total));
+            }
+        }
+    }
+    m
+}
+
+fn check_schema(doc: &Json, which: &str) -> Result<(), String> {
+    match doc.get("schema").and_then(Json::as_str) {
+        Some(BENCH_SCHEMA) => {}
+        other => return Err(format!("{which}: not a {BENCH_SCHEMA} report ({other:?})")),
+    }
+    match doc.get("version").and_then(Json::as_u64) {
+        Some(BENCH_SCHEMA_VERSION) => Ok(()),
+        other => Err(format!(
+            "{which}: schema version {other:?}, expected {BENCH_SCHEMA_VERSION}"
+        )),
+    }
+}
+
+/// Diffs two bench reports. A metric regresses when
+/// `current > baseline * (1 + threshold_pct/100)`; apps in the baseline
+/// but missing from the current report also fail the comparison. Errors
+/// on schema/version mismatch.
+pub fn compare_reports(
+    base: &Json,
+    current: &Json,
+    threshold_pct: f64,
+) -> Result<CompareReport, String> {
+    check_schema(base, "baseline")?;
+    check_schema(current, "current")?;
+    let apps = |doc: &Json, which: &str| -> Result<Vec<Json>, String> {
+        doc.get("apps")
+            .and_then(Json::as_arr)
+            .map(<[Json]>::to_vec)
+            .ok_or_else(|| format!("{which}: no apps array"))
+    };
+    let base_apps = apps(base, "baseline")?;
+    let cur_apps = apps(current, "current")?;
+    let name_of = |app: &Json| {
+        app.get("app")
+            .and_then(Json::as_str)
+            .unwrap_or("?")
+            .to_string()
+    };
+    let mut out = CompareReport {
+        threshold_pct,
+        ..CompareReport::default()
+    };
+    let limit = 1.0 + threshold_pct / 100.0;
+    for b in &base_apps {
+        let name = name_of(b);
+        let Some(c) = cur_apps.iter().find(|c| name_of(c) == name) else {
+            out.missing_apps.push(name);
+            continue;
+        };
+        let cur_metrics = app_metrics(c);
+        for (metric, base_ns) in app_metrics(b) {
+            let Some((_, cur_ns)) = cur_metrics.iter().find(|(m, _)| *m == metric) else {
+                continue;
+            };
+            out.checked += 1;
+            if base_ns > 0 && *cur_ns as f64 > base_ns as f64 * limit {
+                out.regressions.push(Regression {
+                    app: name.clone(),
+                    metric,
+                    base_ns,
+                    cur_ns: *cur_ns,
+                });
+            }
+        }
+    }
+    out.regressions.sort_by(|a, b| {
+        b.pct()
+            .partial_cmp(&a.pct())
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.app.cmp(&b.app))
+    });
+    Ok(out)
+}
+
+/// Table 2 as a GitHub-flavored-Markdown table.
+pub fn table2_markdown(rows: &[ExperimentRow]) -> String {
+    let mut s = String::new();
+    s.push_str("| App | PE | AP1000+ | AP1000* |\n");
+    s.push_str("| --- | ---: | ---: | ---: |\n");
+    for r in rows {
+        let (plus, star) = r.table2();
+        s.push_str(&format!(
+            "| {} | {} | {plus:.2} | {star:.2} |\n",
+            r.name, r.pe
+        ));
+    }
+    s
+}
+
+/// Table 3 as a GitHub-flavored-Markdown table.
+pub fn table3_markdown(rows: &[ExperimentRow]) -> String {
+    let mut s = String::new();
+    s.push_str("| App | PE | SEND | Gop | VGop | Sync | PUT | PUTS | GET | GETS | MsgBytes |\n");
+    s.push_str("| --- | ---: | ---: | ---: | ---: | ---: | ---: | ---: | ---: | ---: | ---: |\n");
+    for r in rows {
+        let t = &r.stats;
+        s.push_str(&format!(
+            "| {} | {} | {:.1} | {:.1} | {:.1} | {:.1} | {:.1} | {:.1} | {:.1} | {:.1} | {:.1} |\n",
+            r.name, r.pe, t.send, t.gop, t.vgop, t.sync, t.put, t.puts, t.get, t.gets, t.msg_size
+        ));
+    }
+    s
+}
+
+/// Figure 8 as a GitHub-flavored-Markdown table (normalized to
+/// AP1000+ = 100).
+pub fn fig8_markdown(rows: &[ExperimentRow]) -> String {
+    let mut s = String::new();
+    s.push_str("| App | Model | Exec | RTS | Overhead | Idle | Total |\n");
+    s.push_str("| --- | --- | ---: | ---: | ---: | ---: | ---: |\n");
+    for r in rows {
+        let (p, st) = r.fig8();
+        for (label, row) in [("AP1000+", p), ("AP1000*", st)] {
+            s.push_str(&format!(
+                "| {} | {label} | {:.1} | {:.1} | {:.1} | {:.1} | {:.1} |\n",
+                r.name, row.exec, row.rts, row.overhead, row.idle, row.total
+            ));
+        }
+    }
+    s
+}
+
+/// The full Markdown report (Table 2, Table 3, Figure 8) for `results/`.
+pub fn markdown_report(rows: &[ExperimentRow], scale: Scale) -> String {
+    format!(
+        "# AP1000+ reproduction results ({scale:?} scale)\n\n\
+         ## Table 2: speedup vs AP1000\n\n{}\n\
+         ## Table 3: application statistics (per PE)\n\n{}\n\
+         ## Figure 8: normalized execution-time breakdown (AP1000+ = 100)\n\n{}",
+        table2_markdown(rows),
+        table3_markdown(rows),
+        fig8_markdown(rows)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn app_json(name: &str, emu_ns: u64, plus_ns: u64) -> Json {
+        Json::obj(vec![
+            ("app", Json::from(name)),
+            ("emulator_total_ns", Json::from(emu_ns)),
+            (
+                "models",
+                Json::Arr(vec![Json::obj(vec![
+                    ("model", Json::from("ap1000+")),
+                    ("total_ns", Json::from(plus_ns)),
+                ])]),
+            ),
+        ])
+    }
+
+    fn report_json(apps: Vec<Json>) -> Json {
+        Json::obj(vec![
+            ("schema", Json::from(BENCH_SCHEMA)),
+            ("version", Json::from(BENCH_SCHEMA_VERSION)),
+            ("scale", Json::from("test")),
+            ("apps", Json::Arr(apps)),
+        ])
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let r = report_json(vec![app_json("EP", 1000, 500)]);
+        let cmp = compare_reports(&r, &r, 10.0).unwrap();
+        assert!(cmp.pass());
+        assert_eq!(cmp.checked, 2);
+    }
+
+    #[test]
+    fn injected_slowdown_fails_and_ranks_worst_first() {
+        let base = report_json(vec![app_json("EP", 1000, 500), app_json("CG", 2000, 900)]);
+        // EP emulator +50%, CG model +20%; CG emulator improves.
+        let cur = report_json(vec![app_json("EP", 1500, 500), app_json("CG", 1800, 1080)]);
+        let cmp = compare_reports(&base, &cur, 10.0).unwrap();
+        assert!(!cmp.pass());
+        assert_eq!(cmp.regressions.len(), 2);
+        assert_eq!(cmp.regressions[0].app, "EP");
+        assert_eq!(cmp.regressions[0].metric, "emulator_total_ns");
+        assert!((cmp.regressions[0].pct() - 50.0).abs() < 1e-9);
+        assert_eq!(cmp.regressions[1].app, "CG");
+        assert!(cmp.render().contains("REGRESSION"));
+    }
+
+    #[test]
+    fn threshold_tolerates_small_slowdowns() {
+        let base = report_json(vec![app_json("EP", 1000, 500)]);
+        let cur = report_json(vec![app_json("EP", 1090, 540)]);
+        assert!(compare_reports(&base, &cur, 10.0).unwrap().pass());
+        assert!(!compare_reports(&base, &cur, 5.0).unwrap().pass());
+    }
+
+    #[test]
+    fn missing_app_fails() {
+        let base = report_json(vec![app_json("EP", 1000, 500), app_json("CG", 2000, 900)]);
+        let cur = report_json(vec![app_json("EP", 1000, 500)]);
+        let cmp = compare_reports(&base, &cur, 10.0).unwrap();
+        assert!(!cmp.pass());
+        assert_eq!(cmp.missing_apps, ["CG"]);
+    }
+
+    #[test]
+    fn schema_mismatch_is_an_error() {
+        let good = report_json(vec![]);
+        let bad = Json::obj(vec![
+            ("schema", Json::from("something.else")),
+            ("version", Json::from(1u64)),
+        ]);
+        assert!(compare_reports(&bad, &good, 10.0).is_err());
+        let wrong_version = Json::obj(vec![
+            ("schema", Json::from(BENCH_SCHEMA)),
+            ("version", Json::from(99u64)),
+            ("apps", Json::Arr(vec![])),
+        ]);
+        assert!(compare_reports(&good, &wrong_version, 10.0).is_err());
+    }
+}

@@ -8,10 +8,10 @@
 //! tie-breaking, so a given program and configuration always produces the
 //! identical execution.
 
-use crate::machine::{ActiveTx, Machine, TxJob};
+use crate::machine::{ActiveTx, Machine, TxEntry, TxJob};
 use crate::request::{Mark, Request, Response};
 use apmsc::{Packet, PushOutcome, HEADER_BYTES};
-use apobs::{Bucket, Unit};
+use apobs::{Bucket, Unit, XferKind, XferLat};
 use apsim::{Clock, EventQueue};
 use aptrace::Op;
 use aputil::{ApError, ApResult, BlockReason, BlockedCell, CellId, DeadlockReport, SimTime, VAddr};
@@ -27,10 +27,10 @@ enum Ev {
     SendPop { cell: u32 },
     /// `cell`'s send DMA finished its active job.
     SendDone { cell: u32 },
-    /// A packet reached `dst`'s MSC+.
-    Arrive { dst: u32, pkt: Packet },
+    /// A packet reached `dst`'s MSC+ (`tid` = transfer-chain id).
+    Arrive { dst: u32, pkt: Packet, tid: u64 },
     /// `dst`'s receive DMA finished landing a packet.
-    RecvDone { dst: u32, pkt: Packet },
+    RecvDone { dst: u32, pkt: Packet, tid: u64 },
 }
 
 /// Which of a cell's four MSC+ transmit queues to enqueue into.
@@ -40,6 +40,27 @@ enum TxQueue {
     Remote,
     GetReply,
     RemoteReply,
+}
+
+/// An in-flight transfer's latency record plus its attribution cursor —
+/// the sim time up to which the end-to-end latency has been segmented.
+/// Stages that overlap earlier ones (the emulator lets a DMA start while
+/// the issuing CPU span is still open) charge only the uncovered
+/// remainder, so the segments stay contiguous and sum exactly to the
+/// total.
+struct InFlight {
+    x: XferLat,
+    cursor: SimTime,
+}
+
+/// Figure-6 latency segment a stage charges its time to.
+#[derive(Clone, Copy, Debug)]
+enum Seg {
+    Issue,
+    Queue,
+    Dma,
+    Net,
+    Delivery,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -78,6 +99,8 @@ pub(crate) struct Kernel {
     load_waiters: HashMap<u32, SimTime>,
     send_waiters: HashMap<u32, SimTime>,
     barrier_since: HashMap<u32, SimTime>,
+    /// In-flight PUT/GET Figure-6 latency decompositions, by transfer id.
+    xfers: HashMap<u64, InFlight>,
     bcast: Option<BcastState>,
     done: u32,
 }
@@ -114,6 +137,7 @@ impl Kernel {
             load_waiters: HashMap::new(),
             send_waiters: HashMap::new(),
             barrier_since: HashMap::new(),
+            xfers: HashMap::new(),
             bcast: None,
             done: 0,
         }
@@ -258,7 +282,7 @@ impl Kernel {
     }
 
     /// Enqueues a transmit job, emitting the queue's enqueue/spill events.
-    fn push_tx(&mut self, cell: u32, queue: TxQueue, job: TxJob, at: SimTime) {
+    fn push_tx(&mut self, cell: u32, queue: TxQueue, tid: u64, job: TxJob, at: SimTime) {
         let hw = &mut self.machine.cells[cell as usize];
         let q = match queue {
             TxQueue::User => &mut hw.user_q,
@@ -266,15 +290,53 @@ impl Kernel {
             TxQueue::GetReply => &mut hw.reply_get_q,
             TxQueue::RemoteReply => &mut hw.reply_remote_q,
         };
-        let outcome = q.push(job);
+        let outcome = q.push_at(TxEntry { tid, job }, at);
         let depth = q.len() as u64;
         self.machine
             .obs
-            .instant(cell, Unit::Queue, "enqueue", at, Bucket::Hw, depth);
+            .instant_id(cell, Unit::Queue, "enqueue", at, Bucket::Hw, depth, tid);
         if outcome == PushOutcome::Spilled {
             self.machine
                 .obs
-                .instant(cell, Unit::Queue, "spill", at, Bucket::Hw, depth);
+                .instant_id(cell, Unit::Queue, "spill", at, Bucket::Hw, depth, tid);
+        }
+    }
+
+    /// Advances transfer `tid`'s attribution cursor to `to`, charging the
+    /// uncovered time to segment `seg`.
+    fn charge_xfer(&mut self, tid: u64, seg: Seg, to: SimTime) {
+        let Some(f) = self.xfers.get_mut(&tid) else {
+            return;
+        };
+        let d = to.saturating_sub(f.cursor);
+        match seg {
+            Seg::Issue => f.x.issue += d,
+            Seg::Queue => f.x.queue += d,
+            Seg::Dma => f.x.dma += d,
+            Seg::Net => f.x.net += d,
+            Seg::Delivery => f.x.delivery += d,
+        }
+        f.cursor += d;
+    }
+
+    /// Completes the latency record of transfer `tid` at `end` and folds
+    /// it into the machine's per-segment histograms.
+    fn finish_xfer(&mut self, tid: u64, end: SimTime) {
+        let Some(InFlight { mut x, cursor }) = self.xfers.remove(&tid) else {
+            return;
+        };
+        // In the rare overlapped case the issue span can retire after the
+        // payload lands; the op is only complete once both have.
+        x.end = end.max(cursor);
+        debug_assert_eq!(
+            x.segment_sum(),
+            x.total(),
+            "transfer {tid} segments do not cover its latency: {x:?}"
+        );
+        match x.kind {
+            XferKind::Put => self.machine.put_lat.record(&x),
+            XferKind::Get => self.machine.get_lat.record(&x),
+            XferKind::Other => {}
         }
     }
 
@@ -285,8 +347,8 @@ impl Kernel {
             Ev::Wake { cell, resp } => self.deliver_and_take(cell, resp),
             Ev::SendPop { cell } => self.send_pop(cell),
             Ev::SendDone { cell } => self.send_done(cell),
-            Ev::Arrive { dst, pkt } => self.arrive(dst, pkt),
-            Ev::RecvDone { dst, pkt } => self.recv_done(dst, pkt),
+            Ev::Arrive { dst, pkt, tid } => self.arrive(dst, pkt, tid),
+            Ev::RecvDone { dst, pkt, tid } => self.recv_done(dst, pkt, tid),
         }
     }
 
@@ -360,7 +422,16 @@ impl Kernel {
                     },
                 );
                 self.charge_overhead(cell, hw_params.issue_time);
-                self.machine.obs.span(
+                let tid = self.machine.alloc_tid();
+                self.xfers.insert(
+                    tid,
+                    InFlight {
+                        x: XferLat::new(XferKind::Put, args.size(), now),
+                        cursor: now,
+                    },
+                );
+                self.charge_xfer(tid, Seg::Issue, now + hw_params.issue_time);
+                self.machine.obs.span_id(
                     cell,
                     Unit::Cpu,
                     "put_issue",
@@ -368,9 +439,10 @@ impl Kernel {
                     hw_params.issue_time,
                     Bucket::Overhead,
                     args.size(),
+                    tid,
                 );
                 let t = now + hw_params.issue_time;
-                self.push_tx(cell, TxQueue::User, TxJob::Put(args), t);
+                self.push_tx(cell, TxQueue::User, tid, TxJob::Put(args), t);
                 self.evq.push(t, Ev::SendPop { cell });
                 self.wake_at(cell, t, Response::Unit);
             }
@@ -389,17 +461,28 @@ impl Kernel {
                     },
                 );
                 self.charge_overhead(cell, hw_params.issue_time);
-                self.machine.obs.span(
+                let bytes = if args.is_ack_probe() { 0 } else { args.size() };
+                let tid = self.machine.alloc_tid();
+                self.xfers.insert(
+                    tid,
+                    InFlight {
+                        x: XferLat::new(XferKind::Get, bytes, now),
+                        cursor: now,
+                    },
+                );
+                self.charge_xfer(tid, Seg::Issue, now + hw_params.issue_time);
+                self.machine.obs.span_id(
                     cell,
                     Unit::Cpu,
                     "get_issue",
                     now,
                     hw_params.issue_time,
                     Bucket::Overhead,
-                    if args.is_ack_probe() { 0 } else { args.size() },
+                    bytes,
+                    tid,
                 );
                 let t = now + hw_params.issue_time;
-                self.push_tx(cell, TxQueue::User, TxJob::GetReq(args), t);
+                self.push_tx(cell, TxQueue::User, tid, TxJob::GetReq(args), t);
                 self.evq.push(t, Ev::SendPop { cell });
                 self.wake_at(cell, t, Response::Unit);
             }
@@ -474,7 +557,8 @@ impl Kernel {
                 self.machine.check_cell(dst)?;
                 self.record(cell, Op::Send { dst, bytes });
                 self.charge_overhead(cell, hw_params.send_call_time);
-                self.machine.obs.span(
+                let tid = self.machine.alloc_tid();
+                self.machine.obs.span_id(
                     cell,
                     Unit::Cpu,
                     "send_call",
@@ -482,10 +566,12 @@ impl Kernel {
                     hw_params.send_call_time,
                     Bucket::Overhead,
                     bytes,
+                    tid,
                 );
                 self.push_tx(
                     cell,
                     TxQueue::User,
+                    tid,
                     TxJob::Ring {
                         dst,
                         laddr,
@@ -530,7 +616,8 @@ impl Kernel {
                 self.machine.check_cell(dst)?;
                 self.record(cell, Op::RegStore { dst, reg });
                 self.charge_overhead(cell, hw_params.reg_store_time);
-                self.machine.obs.span(
+                let tid = self.machine.alloc_tid();
+                self.machine.obs.span_id(
                     cell,
                     Unit::Cpu,
                     "reg_store",
@@ -538,26 +625,29 @@ impl Kernel {
                     hw_params.reg_store_time,
                     Bucket::Overhead,
                     reg as u64,
+                    tid,
                 );
                 if dst == cid {
-                    self.reg_store_arrived(cell, reg, value, now + hw_params.reg_store_time)?;
+                    self.reg_store_arrived(cell, reg, value, now + hw_params.reg_store_time, tid)?;
                 } else {
                     let pkt = Packet::RegStore {
                         src: cid,
                         reg,
                         value,
                     };
-                    let arrival = self.machine.tnet.transfer(
+                    let arrival = self.machine.tnet.transfer_tagged(
                         now + hw_params.reg_store_time,
                         cid,
                         dst,
                         pkt.wire_bytes(),
+                        tid,
                     );
                     self.evq.push(
                         arrival,
                         Ev::Arrive {
                             dst: dst.as_u32(),
                             pkt,
+                            tid,
                         },
                     );
                 }
@@ -649,15 +739,17 @@ impl Kernel {
                 );
                 let bytes = data.len() as u64;
                 self.machine.cells[cell as usize].rstore_issued += 1;
+                let tid = self.machine.alloc_tid();
                 self.push_tx(
                     cell,
                     TxQueue::Remote,
+                    tid,
                     TxJob::RemoteStoreTx { dst, offset, data },
                     now,
                 );
                 let cost = hw_params.reg_store_time + hw_params.dma_per_byte.saturating_mul(bytes);
                 self.charge_overhead(cell, cost);
-                self.machine.obs.span(
+                self.machine.obs.span_id(
                     cell,
                     Unit::Cpu,
                     "remote_store",
@@ -665,6 +757,7 @@ impl Kernel {
                     cost,
                     Bucket::Overhead,
                     bytes,
+                    tid,
                 );
                 self.evq.push(now + cost, Ev::SendPop { cell });
                 self.wake_at(cell, now + cost, Response::Unit);
@@ -678,9 +771,11 @@ impl Kernel {
                         bytes: len,
                     },
                 );
+                let tid = self.machine.alloc_tid();
                 self.push_tx(
                     cell,
                     TxQueue::Remote,
+                    tid,
                     TxJob::RemoteLoadReqTx { dst, offset, len },
                     now,
                 );
@@ -755,9 +850,10 @@ impl Kernel {
             return Ok(());
         }
         let refills_before = self.machine.cells[cell as usize].total_refills();
-        let Some(job) = self.machine.cells[cell as usize].pop_tx() else {
+        let Some((entry, _waited)) = self.machine.cells[cell as usize].pop_tx_at(now) else {
             return Ok(());
         };
+        let TxEntry { tid, job } = entry;
         // Queue-overflow recovery: reloading spilled entries from DRAM
         // interrupts the operating system (§4.1) — the CPU pays the
         // service time and the DMA start is pushed back behind it.
@@ -770,7 +866,7 @@ impl Kernel {
                 .os_interrupt_time
                 .saturating_mul(refills);
             self.charge_overhead(cell, service);
-            self.machine.obs.span(
+            self.machine.obs.span_id(
                 cell,
                 Unit::Cpu,
                 "queue_refill",
@@ -778,13 +874,21 @@ impl Kernel {
                 service,
                 Bucket::Overhead,
                 refills,
+                tid,
             );
             now += service;
         }
         let remaining = self.machine.cells[cell as usize].total_pending() as u64;
-        self.machine
-            .obs
-            .instant(cell, Unit::Queue, "dequeue", now, Bucket::Hw, remaining);
+        self.machine.obs.instant_id(
+            cell,
+            Unit::Queue,
+            "dequeue",
+            now,
+            Bucket::Hw,
+            remaining,
+            tid,
+        );
+        self.charge_xfer(tid, Seg::Queue, now);
         let cid = CellId::new(cell);
         // Gather the payload (functionally instantaneous; timing charged
         // below as DMA duration).
@@ -813,7 +917,8 @@ impl Kernel {
             TxJob::RemoteAckTx { .. } => (Vec::new(), 1),
         };
         let dur = self.machine.dma_time(payload.len() as u64, items);
-        self.machine.obs.span(
+        self.charge_xfer(tid, Seg::Dma, now + dur);
+        self.machine.obs.span_id(
             cell,
             Unit::SendDma,
             "send_dma",
@@ -821,10 +926,11 @@ impl Kernel {
             dur,
             Bucket::Hw,
             payload.len() as u64,
+            tid,
         );
         let hw = &mut self.machine.cells[cell as usize];
         hw.send_busy = true;
-        hw.active_tx = Some(ActiveTx { job, payload });
+        hw.active_tx = Some(ActiveTx { tid, job, payload });
         self.evq.push(now + dur, Ev::SendDone { cell });
         Ok(())
     }
@@ -832,7 +938,7 @@ impl Kernel {
     fn send_done(&mut self, cell: u32) -> ApResult<()> {
         let now = self.now();
         let cid = CellId::new(cell);
-        let ActiveTx { job, payload } = {
+        let ActiveTx { tid, job, payload } = {
             let hw = &mut self.machine.cells[cell as usize];
             hw.send_busy = false;
             hw.active_tx.take().expect("send_done without active job")
@@ -841,7 +947,7 @@ impl Kernel {
         self.evq.push(now, Ev::SendPop { cell });
         match job {
             TxJob::Put(a) => {
-                self.bump_flag(cell, a.send_flag)?;
+                self.bump_flag(cell, a.send_flag, tid, Unit::SendDma)?;
                 let pkt = Packet::PutData {
                     src: cid,
                     raddr: a.raddr,
@@ -849,7 +955,7 @@ impl Kernel {
                     recv_flag: a.recv_flag,
                     payload,
                 };
-                self.inject(cid, a.dst, pkt);
+                self.inject(cid, a.dst, pkt, tid);
             }
             TxJob::GetReq(a) => {
                 let pkt = Packet::GetReq {
@@ -861,17 +967,17 @@ impl Kernel {
                     reply_stride: a.recv_stride,
                     reply_flag: a.recv_flag,
                 };
-                self.inject(cid, a.src_cell, pkt);
+                self.inject(cid, a.src_cell, pkt, tid);
             }
             TxJob::Ring {
                 dst, wake_sender, ..
             } => {
                 let pkt = Packet::RingMsg { src: cid, payload };
-                self.inject(cid, dst, pkt);
+                self.inject(cid, dst, pkt, tid);
                 if wake_sender {
                     if let Some(since) = self.send_waiters.remove(&cell) {
                         self.add_idle(cell, since, now);
-                        self.machine.obs.span(
+                        self.machine.obs.span_id(
                             cell,
                             Unit::Cpu,
                             "send_wait",
@@ -879,6 +985,7 @@ impl Kernel {
                             now.saturating_sub(since),
                             Bucket::Idle,
                             0,
+                            tid,
                         );
                         self.wake_at(cell, now, Response::Unit);
                     }
@@ -892,7 +999,7 @@ impl Kernel {
                 reply_flag,
                 ..
             } => {
-                self.bump_flag(cell, send_flag)?;
+                self.bump_flag(cell, send_flag, tid, Unit::SendDma)?;
                 let pkt = Packet::GetReply {
                     src: cid,
                     laddr: reply_laddr,
@@ -900,7 +1007,7 @@ impl Kernel {
                     recv_flag: reply_flag,
                     payload,
                 };
-                self.inject(cid, requester, pkt);
+                self.inject(cid, requester, pkt, tid);
             }
             TxJob::RemoteStoreTx { dst, offset, .. } => {
                 let pkt = Packet::RemoteStore {
@@ -908,7 +1015,7 @@ impl Kernel {
                     raddr: VAddr::new(offset),
                     payload,
                 };
-                self.inject(cid, dst, pkt);
+                self.inject(cid, dst, pkt, tid);
             }
             TxJob::RemoteLoadReqTx { dst, offset, len } => {
                 let pkt = Packet::RemoteLoadReq {
@@ -916,46 +1023,44 @@ impl Kernel {
                     raddr: VAddr::new(offset),
                     size: len,
                 };
-                self.inject(cid, dst, pkt);
+                self.inject(cid, dst, pkt, tid);
             }
             TxJob::RemoteLoadReplyTx { dst, .. } => {
                 let pkt = Packet::RemoteLoadReply { src: cid, payload };
-                self.inject(cid, dst, pkt);
+                self.inject(cid, dst, pkt, tid);
             }
             TxJob::RemoteAckTx { dst } => {
                 let pkt = Packet::RemoteStoreAck { src: cid };
-                self.inject(cid, dst, pkt);
+                self.inject(cid, dst, pkt, tid);
             }
         }
         Ok(())
     }
 
-    fn inject(&mut self, src: CellId, dst: CellId, pkt: Packet) {
+    fn inject(&mut self, src: CellId, dst: CellId, pkt: Packet, tid: u64) {
         let now = self.now();
-        if src == dst {
+        let arrival = if src == dst {
             // Loopback: the MSC+ short-circuits the network.
-            self.evq.push(
-                now,
-                Ev::Arrive {
-                    dst: dst.as_u32(),
-                    pkt,
-                },
-            );
-            return;
-        }
-        let arrival = self.machine.tnet.transfer(now, src, dst, pkt.wire_bytes());
+            now
+        } else {
+            self.machine
+                .tnet
+                .transfer_tagged(now, src, dst, pkt.wire_bytes(), tid)
+        };
+        self.charge_xfer(tid, Seg::Net, arrival);
         self.evq.push(
             arrival,
             Ev::Arrive {
                 dst: dst.as_u32(),
                 pkt,
+                tid,
             },
         );
     }
 
     // ---- hardware: receive path ------------------------------------------
 
-    fn arrive(&mut self, dst: u32, pkt: Packet) -> ApResult<()> {
+    fn arrive(&mut self, dst: u32, pkt: Packet, tid: u64) -> ApResult<()> {
         let now = self.now();
         let did = CellId::new(dst);
         match pkt {
@@ -974,6 +1079,7 @@ impl Kernel {
                 self.push_tx(
                     dst,
                     TxQueue::GetReply,
+                    tid,
                     TxJob::GetReply {
                         requester: src,
                         raddr,
@@ -992,6 +1098,7 @@ impl Kernel {
                 self.push_tx(
                     dst,
                     TxQueue::RemoteReply,
+                    tid,
                     TxJob::RemoteLoadReplyTx { dst: src, data },
                     now,
                 );
@@ -1003,7 +1110,7 @@ impl Kernel {
                 if hw.rstore_acked == hw.rstore_issued {
                     if let Some(since) = self.fence_waiters.remove(&dst) {
                         self.add_idle(dst, since, now);
-                        self.machine.obs.span(
+                        self.machine.obs.span_id(
                             dst,
                             Unit::Cpu,
                             "remote_fence",
@@ -1011,18 +1118,19 @@ impl Kernel {
                             now.saturating_sub(since),
                             Bucket::Idle,
                             0,
+                            tid,
                         );
                         self.wake_at(dst, now, Response::Unit);
                     }
                 }
             }
             Packet::RegStore { reg, value, .. } => {
-                self.reg_store_arrived(dst, reg, value, now)?;
+                self.reg_store_arrived(dst, reg, value, now, tid)?;
             }
             Packet::RemoteLoadReply { payload, .. } => {
                 if let Some(since) = self.load_waiters.remove(&dst) {
                     self.add_idle(dst, since, now);
-                    self.machine.obs.span(
+                    self.machine.obs.span_id(
                         dst,
                         Unit::Cpu,
                         "remote_load",
@@ -1030,6 +1138,7 @@ impl Kernel {
                         now.saturating_sub(since),
                         Bucket::Idle,
                         payload.len() as u64,
+                        tid,
                     );
                     self.wake_at(dst, now, Response::Bytes(payload));
                 }
@@ -1047,7 +1156,8 @@ impl Kernel {
                 let bytes = data_pkt.payload_bytes();
                 let dur = self.machine.dma_time(bytes, items);
                 let (start, end) = self.machine.cells[dst as usize].recv_dma.reserve(now, dur);
-                self.machine.obs.span(
+                self.charge_xfer(tid, Seg::Delivery, end);
+                self.machine.obs.span_id(
                     dst,
                     Unit::RecvDma,
                     "recv_dma",
@@ -1055,14 +1165,22 @@ impl Kernel {
                     end.saturating_sub(start),
                     Bucket::Hw,
                     bytes,
+                    tid,
                 );
-                self.evq.push(end, Ev::RecvDone { dst, pkt: data_pkt });
+                self.evq.push(
+                    end,
+                    Ev::RecvDone {
+                        dst,
+                        pkt: data_pkt,
+                        tid,
+                    },
+                );
             }
         }
         Ok(())
     }
 
-    fn recv_done(&mut self, dst: u32, pkt: Packet) -> ApResult<()> {
+    fn recv_done(&mut self, dst: u32, pkt: Packet, tid: u64) -> ApResult<()> {
         let now = self.now();
         let did = CellId::new(dst);
         match pkt {
@@ -1074,7 +1192,8 @@ impl Kernel {
                 ..
             } => {
                 self.machine.scatter(did, raddr, recv_stride, &payload)?;
-                self.bump_flag(dst, recv_flag)?;
+                self.bump_flag(dst, recv_flag, tid, Unit::RecvDma)?;
+                self.finish_xfer(tid, now);
             }
             Packet::GetReply {
                 laddr,
@@ -1086,7 +1205,8 @@ impl Kernel {
                 if !payload.is_empty() {
                     self.machine.scatter(did, laddr, recv_stride, &payload)?;
                 }
-                self.bump_flag(dst, recv_flag)?;
+                self.bump_flag(dst, recv_flag, tid, Unit::RecvDma)?;
+                self.finish_xfer(tid, now);
             }
             Packet::RingMsg { src, payload } => {
                 let hw = &mut self.machine.cells[dst as usize];
@@ -1121,7 +1241,7 @@ impl Kernel {
                             .remove(pos)
                             .expect("pos valid");
                         self.add_idle(dst, w.since, now);
-                        self.machine.obs.span(
+                        self.machine.obs.span_id(
                             dst,
                             Unit::Cpu,
                             "recv_wait",
@@ -1129,6 +1249,7 @@ impl Kernel {
                             now.saturating_sub(w.since),
                             Bucket::Idle,
                             payload.len() as u64,
+                            tid,
                         );
                         self.complete_recv(dst, w.laddr, w.max, payload, now)?;
                     }
@@ -1143,6 +1264,7 @@ impl Kernel {
                 self.push_tx(
                     dst,
                     TxQueue::RemoteReply,
+                    tid,
                     TxJob::RemoteAckTx { dst: src },
                     now,
                 );
@@ -1156,11 +1278,22 @@ impl Kernel {
     // ---- flags and registers ---------------------------------------------
 
     /// Fetch-and-increment `flag` on `cell` and wake a satisfied waiter.
-    fn bump_flag(&mut self, cell: u32, flag: VAddr) -> ApResult<()> {
+    /// `tid` and `unit` identify the transfer chain and hardware unit
+    /// performing the update, so the release is attributable.
+    fn bump_flag(&mut self, cell: u32, flag: VAddr, tid: u64, unit: Unit) -> ApResult<()> {
         let now = self.now();
         let Some(new) = self.machine.incr_flag(CellId::new(cell), flag)? else {
             return Ok(());
         };
+        self.machine.obs.instant_id(
+            cell,
+            unit,
+            "flag_update",
+            now,
+            Bucket::Hw,
+            flag.as_u64(),
+            tid,
+        );
         let key = (cell, flag.as_u64());
         if let Some(w) = self.flag_waiters.get(&key).copied() {
             if new >= w.target {
@@ -1169,7 +1302,7 @@ impl Kernel {
                 self.add_idle(cell, w.since, now);
                 let waited = now.saturating_sub(w.since);
                 self.machine.flag_wait.record(waited.as_nanos());
-                self.machine.obs.span(
+                self.machine.obs.span_id(
                     cell,
                     Unit::Cpu,
                     "wait_flag",
@@ -1177,6 +1310,7 @@ impl Kernel {
                     waited,
                     Bucket::Idle,
                     flag.as_u64(),
+                    tid,
                 );
                 self.charge_overhead(cell, check);
                 self.wake_at(cell, now + check, Response::Unit);
@@ -1186,7 +1320,14 @@ impl Kernel {
     }
 
     /// A communication-register store reached `cell` at `at`.
-    fn reg_store_arrived(&mut self, cell: u32, reg: u16, value: u32, at: SimTime) -> ApResult<()> {
+    fn reg_store_arrived(
+        &mut self,
+        cell: u32,
+        reg: u16,
+        value: u32,
+        at: SimTime,
+        tid: u64,
+    ) -> ApResult<()> {
         let clobbered = self.machine.cells[cell as usize]
             .regs
             .store(reg as usize, value);
@@ -1203,7 +1344,7 @@ impl Kernel {
                 .expect("p-bit just set");
             let cost = self.machine.cfg.hw.reg_load_time;
             self.add_idle(cell, since, at);
-            self.machine.obs.span(
+            self.machine.obs.span_id(
                 cell,
                 Unit::Cpu,
                 "reg_load_wait",
@@ -1211,6 +1352,7 @@ impl Kernel {
                 at.saturating_sub(since),
                 Bucket::Idle,
                 reg as u64,
+                tid,
             );
             self.charge_overhead(cell, cost);
             self.wake_at(cell, at + cost, Response::Value(v));

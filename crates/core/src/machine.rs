@@ -49,10 +49,19 @@ pub(crate) enum TxJob {
     RemoteAckTx { dst: CellId },
 }
 
+/// A transmit job queued with the id of the transfer chain it belongs to
+/// (0 for operations latency attribution does not follow).
+#[derive(Clone, Debug)]
+pub(crate) struct TxEntry {
+    pub tid: u64,
+    pub job: TxJob,
+}
+
 /// A transmit job popped from a queue with its gathered payload, occupying
 /// the send DMA engine.
 #[derive(Clone, Debug)]
 pub(crate) struct ActiveTx {
+    pub tid: u64,
     pub job: TxJob,
     pub payload: Vec<u8>,
 }
@@ -64,14 +73,14 @@ pub(crate) struct CellHw {
     pub flag_unit: FlagUnit,
     pub regs: CommRegs,
     /// User PUT/GET sends (§4.1: user send queue).
-    pub user_q: HwQueue<TxJob>,
+    pub user_q: HwQueue<TxEntry>,
     /// System PUT/GET sends (kept for fidelity; used by DSM remote access
     /// initiation).
-    pub remote_q: HwQueue<TxJob>,
+    pub remote_q: HwQueue<TxEntry>,
     /// GET replies.
-    pub reply_get_q: HwQueue<TxJob>,
+    pub reply_get_q: HwQueue<TxEntry>,
     /// Remote-load replies ("remote load replies precede GET replies").
-    pub reply_remote_q: HwQueue<TxJob>,
+    pub reply_remote_q: HwQueue<TxEntry>,
     pub send_busy: bool,
     pub active_tx: Option<ActiveTx>,
     pub recv_dma: Resource,
@@ -109,15 +118,16 @@ impl CellHw {
         }
     }
 
-    /// Pops the highest-priority pending transmit job. Priority (§4.1):
+    /// Pops the highest-priority pending transmit job at time `now`,
+    /// returning it with how long it sat queued. Priority (§4.1):
     /// remote-load replies, then remote access, then GET replies, then
     /// user sends.
-    pub fn pop_tx(&mut self) -> Option<TxJob> {
+    pub fn pop_tx_at(&mut self, now: SimTime) -> Option<(TxEntry, SimTime)> {
         self.reply_remote_q
-            .pop()
-            .or_else(|| self.remote_q.pop())
-            .or_else(|| self.reply_get_q.pop())
-            .or_else(|| self.user_q.pop())
+            .pop_at(now)
+            .or_else(|| self.remote_q.pop_at(now))
+            .or_else(|| self.reply_get_q.pop_at(now))
+            .or_else(|| self.user_q.pop_at(now))
     }
 
     /// Total OS refill interrupts across the four queues (§4.1: "When
@@ -181,6 +191,12 @@ pub(crate) struct Machine {
     pub obs: apobs::Recorder,
     /// Nanoseconds blocked per flag wait (0 for waits satisfied on check).
     pub flag_wait: apobs::Hist,
+    /// Figure-6 segment decomposition of every completed PUT.
+    pub put_lat: apobs::SegmentHists,
+    /// Same for GETs (request + reply legs combined).
+    pub get_lat: apobs::SegmentHists,
+    /// Next transfer-chain id (`alloc_tid` starts at 1; 0 = untracked).
+    next_tid: u64,
 }
 
 impl Machine {
@@ -205,8 +221,17 @@ impl Machine {
             trace: aptrace::Trace::new(cfg.ncells as usize),
             obs: apobs::Recorder::new(cfg.record_timeline),
             flag_wait: apobs::Hist::new(),
+            put_lat: apobs::SegmentHists::new(),
+            get_lat: apobs::SegmentHists::new(),
+            next_tid: 0,
             cfg,
         }
+    }
+
+    /// Allocates a fresh nonzero transfer-chain id.
+    pub fn alloc_tid(&mut self) -> u64 {
+        self.next_tid += 1;
+        self.next_tid
     }
 
     pub fn check_cell(&self, cell: CellId) -> ApResult<()> {
@@ -335,6 +360,8 @@ impl Machine {
         c.msg_size.merge(&self.tnet.obs().msg_size);
         c.hop_latency.merge(&self.tnet.obs().latency);
         c.flag_wait.merge(&self.flag_wait);
+        c.put_lat.merge(&self.put_lat);
+        c.get_lat.merge(&self.get_lat);
         c
     }
 

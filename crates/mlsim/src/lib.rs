@@ -44,10 +44,12 @@
 //! assert!(old.total > plus.total, "hardware handling must be faster");
 //! ```
 
+pub mod divergence;
 pub mod params;
 pub mod replay;
 pub mod report;
 
+pub use divergence::{divergence, DivergenceReport, DivergenceRow, SegmentDelta};
 pub use params::ModelParams;
 pub use replay::{replay, replay_observed, PeBreakdown, ReplayError, ReplayResult};
 pub use report::{fig8_rows, speedup, Fig8Row};

@@ -13,7 +13,7 @@
 
 use crate::params::ModelParams;
 use apnet::{Contention, TNet, TNetParams, Torus};
-use apobs::{Bucket, Hist, Recorder, Unit};
+use apobs::{Bucket, Hist, Recorder, SegmentHists, Unit, XferKind, XferLat};
 use apsim::{Clock, EventQueue, Resource};
 use aptrace::{Op, Trace};
 use aputil::{CellId, SimTime};
@@ -100,6 +100,7 @@ enum REv {
         dst: u32,
         bytes: u64,
         recv_flag: u64,
+        tid: u64,
     },
     GetArrive {
         dst: u32,
@@ -107,6 +108,7 @@ enum REv {
         bytes: u64,
         send_flag: u64,
         recv_flag: u64,
+        tid: u64,
     },
     RingArrive {
         dst: u32,
@@ -120,6 +122,7 @@ enum REv {
     FlagInc {
         pe: u32,
         flag: u64,
+        tid: u64,
     },
     /// DSM store landed at the owner; send the automatic acknowledge back.
     RStoreArrive {
@@ -141,6 +144,23 @@ enum REv {
     RLoadReply {
         dst: u32,
     },
+}
+
+/// An in-flight transfer's latency record plus its attribution cursor
+/// (same contiguous-segments scheme as the emulator kernel).
+struct InFlight {
+    x: XferLat,
+    cursor: SimTime,
+}
+
+/// Figure-6 latency segment a replay stage charges its time to.
+#[derive(Clone, Copy, Debug)]
+enum Seg {
+    Issue,
+    Queue,
+    Dma,
+    Net,
+    Delivery,
 }
 
 struct Engine<'t> {
@@ -171,6 +191,10 @@ struct Engine<'t> {
     load_waiters: HashMap<u32, SimTime>,
     obs: Recorder,
     flag_wait: Hist,
+    next_tid: u64,
+    xfers: HashMap<u64, InFlight>,
+    put_lat: SegmentHists,
+    get_lat: SegmentHists,
 }
 
 /// Replays `trace` under model `params`.
@@ -234,6 +258,10 @@ pub fn replay_observed(
         load_waiters: HashMap::new(),
         obs: Recorder::new(record_timeline),
         flag_wait: Hist::new(),
+        next_tid: 0,
+        xfers: HashMap::new(),
+        put_lat: SegmentHists::new(),
+        get_lat: SegmentHists::new(),
     };
     for pe in 0..n as u32 {
         eng.evq.push(SimTime::ZERO, REv::Step { pe });
@@ -249,6 +277,8 @@ pub fn replay_observed(
     counters.msg_size.merge(&eng.tnet.obs().msg_size);
     counters.hop_latency.merge(&eng.tnet.obs().latency);
     counters.flag_wait.merge(&eng.flag_wait);
+    counters.put_lat.merge(&eng.put_lat);
+    counters.get_lat.merge(&eng.get_lat);
     let mut timeline = apobs::Timeline::from_events(params.name.clone(), eng.obs.take_events());
     timeline.extend(eng.tnet.take_events());
     timeline.sort();
@@ -290,6 +320,49 @@ impl Engine<'_> {
         self.evq.push(at, REv::Step { pe });
     }
 
+    /// Allocates a fresh nonzero transfer-chain id.
+    fn alloc_tid(&mut self) -> u64 {
+        self.next_tid += 1;
+        self.next_tid
+    }
+
+    /// Advances transfer `tid`'s attribution cursor to `to`, charging the
+    /// uncovered time to segment `seg` (see the emulator kernel's
+    /// identically-named helper).
+    fn charge_xfer(&mut self, tid: u64, seg: Seg, to: SimTime) {
+        let Some(f) = self.xfers.get_mut(&tid) else {
+            return;
+        };
+        let d = to.saturating_sub(f.cursor);
+        match seg {
+            Seg::Issue => f.x.issue += d,
+            Seg::Queue => f.x.queue += d,
+            Seg::Dma => f.x.dma += d,
+            Seg::Net => f.x.net += d,
+            Seg::Delivery => f.x.delivery += d,
+        }
+        f.cursor += d;
+    }
+
+    /// Completes transfer `tid` at `end`, folding it into the per-segment
+    /// histograms.
+    fn finish_xfer(&mut self, tid: u64, end: SimTime) {
+        let Some(InFlight { mut x, cursor }) = self.xfers.remove(&tid) else {
+            return;
+        };
+        x.end = end.max(cursor);
+        debug_assert_eq!(
+            x.segment_sum(),
+            x.total(),
+            "replayed transfer {tid} segments do not cover its latency: {x:?}"
+        );
+        match x.kind {
+            XferKind::Put => self.put_lat.record(&x),
+            XferKind::Get => self.get_lat.record(&x),
+            XferKind::Other => {}
+        }
+    }
+
     fn handle(&mut self, ev: REv) -> Result<(), ReplayError> {
         match ev {
             REv::Step { pe } => self.step(pe),
@@ -297,14 +370,18 @@ impl Engine<'_> {
                 dst,
                 bytes,
                 recv_flag,
+                tid,
             } => {
-                let landed = self.receive_payload(dst, bytes);
+                let landed = self.receive_payload(dst, bytes, tid);
+                self.charge_xfer(tid, Seg::Delivery, landed);
+                self.finish_xfer(tid, landed);
                 if recv_flag != 0 {
                     self.evq.push(
                         landed,
                         REv::FlagInc {
                             pe: dst,
                             flag: recv_flag,
+                            tid,
                         },
                     );
                 }
@@ -316,6 +393,7 @@ impl Engine<'_> {
                 bytes,
                 send_flag,
                 recv_flag,
+                tid,
             } => {
                 // The owner's MSC+ (or interrupt handler) produces the reply.
                 // Under software handling the reply is issued from *inside*
@@ -337,35 +415,42 @@ impl Engine<'_> {
                 } else {
                     now
                 };
-                let (_, depart) =
+                self.charge_xfer(tid, Seg::Issue, ready);
+                let (rs, depart) =
                     self.send_engine[dst as usize].reserve(ready, self.p.send_hw_latency(bytes));
+                self.charge_xfer(tid, Seg::Queue, rs);
+                self.charge_xfer(tid, Seg::Dma, depart);
                 if send_flag != 0 {
                     self.evq.push(
                         depart,
                         REv::FlagInc {
                             pe: dst,
                             flag: send_flag,
+                            tid,
                         },
                     );
                 }
-                let arrival = self.tnet.transfer(
+                let arrival = self.tnet.transfer_tagged(
                     depart,
                     CellId::new(dst),
                     CellId::new(requester),
                     bytes + HEADER,
+                    tid,
                 );
+                self.charge_xfer(tid, Seg::Net, arrival);
                 self.evq.push(
                     arrival,
                     REv::PutArrive {
                         dst: requester,
                         bytes,
                         recv_flag,
+                        tid,
                     },
                 );
                 Ok(())
             }
             REv::RingArrive { dst, src, bytes } => {
-                let ready = self.receive_payload(dst, bytes);
+                let ready = self.receive_payload(dst, bytes, 0);
                 self.ring_ready
                     .entry((dst, src))
                     .or_default()
@@ -412,7 +497,7 @@ impl Engine<'_> {
             REv::RStoreArrive { dst, src, bytes } => {
                 // Land the store (receive side), then the MSC+ replies with
                 // an acknowledge packet automatically (§4.2).
-                let landed = self.receive_payload(dst, bytes);
+                let landed = self.receive_payload(dst, bytes, 0);
                 let (_, depart) =
                     self.send_engine[dst as usize].reserve(landed, self.p.send_hw_latency(0));
                 let arrival =
@@ -483,17 +568,19 @@ impl Engine<'_> {
                 }
                 Ok(())
             }
-            REv::FlagInc { pe, flag } => {
+            REv::FlagInc { pe, flag, tid } => {
+                let now = self.now();
+                self.obs
+                    .instant_id(pe, Unit::Cpu, "flag_update", now, Bucket::Hw, flag, tid);
                 let c = self.flag_counts.entry((pe, flag)).or_insert(0);
                 *c += 1;
                 let count = *c;
                 if let Some(&(target, since)) = self.flag_waiters.get(&(pe, flag)) {
                     if count >= target {
                         self.flag_waiters.remove(&(pe, flag));
-                        let now = self.now();
                         let waited = now.saturating_sub(since);
                         self.flag_wait.record(waited.as_nanos());
-                        self.obs.span(
+                        self.obs.span_id(
                             pe,
                             Unit::Cpu,
                             "wait_flag",
@@ -501,6 +588,7 @@ impl Engine<'_> {
                             waited,
                             Bucket::Idle,
                             flag,
+                            tid,
                         );
                         self.bd[pe as usize].idle += waited;
                         let (_, e) = self.cpu[pe as usize].reserve(now, self.p.flag_check);
@@ -516,12 +604,12 @@ impl Engine<'_> {
     /// Models landing a payload at `dst`: interrupt service (software
     /// handling) or receive engine (hardware). Returns the time the data
     /// and its flag are usable.
-    fn receive_payload(&mut self, dst: u32, bytes: u64) -> SimTime {
+    fn receive_payload(&mut self, dst: u32, bytes: u64, tid: u64) -> SimTime {
         let now = self.now();
         if self.p.software_handling {
             let service = self.p.recv_cpu_overhead(bytes);
             let (s, e) = self.cpu[dst as usize].reserve(now, service);
-            self.obs.span(
+            self.obs.span_id(
                 dst,
                 Unit::Cpu,
                 "recv_intr",
@@ -529,12 +617,13 @@ impl Engine<'_> {
                 service,
                 Bucket::Overhead,
                 bytes,
+                tid,
             );
             self.bd[dst as usize].overhead += service;
             e + self.p.put_msg_per_byte.saturating_mul(bytes)
         } else {
             let (s, e) = self.recv_engine[dst as usize].reserve(now, self.p.recv_hw_latency(bytes));
-            self.obs.span(
+            self.obs.span_id(
                 dst,
                 Unit::RecvDma,
                 "recv_dma",
@@ -542,6 +631,7 @@ impl Engine<'_> {
                 e.saturating_sub(s),
                 Bucket::Hw,
                 bytes,
+                tid,
             );
             e
         }
@@ -612,13 +702,32 @@ impl Engine<'_> {
                 ..
             } => {
                 let over = self.p.send_cpu_overhead(bytes);
+                let tid = self.alloc_tid();
+                self.xfers.insert(
+                    tid,
+                    InFlight {
+                        x: XferLat::new(XferKind::Put, bytes, t),
+                        cursor: t,
+                    },
+                );
                 let (s, e) = self.cpu[pe as usize].reserve(t, over);
-                self.obs
-                    .span(pe, Unit::Cpu, "put_issue", s, over, Bucket::Overhead, bytes);
+                self.charge_xfer(tid, Seg::Issue, e);
+                self.obs.span_id(
+                    pe,
+                    Unit::Cpu,
+                    "put_issue",
+                    s,
+                    over,
+                    Bucket::Overhead,
+                    bytes,
+                    tid,
+                );
                 self.bd[pe as usize].overhead += over;
                 let (ds, depart) =
                     self.send_engine[pe as usize].reserve(e, self.p.send_hw_latency(bytes));
-                self.obs.span(
+                self.charge_xfer(tid, Seg::Queue, ds);
+                self.charge_xfer(tid, Seg::Dma, depart);
+                self.obs.span_id(
                     pe,
                     Unit::SendDma,
                     "send_dma",
@@ -626,6 +735,7 @@ impl Engine<'_> {
                     depart.saturating_sub(ds),
                     Bucket::Hw,
                     bytes,
+                    tid,
                 );
                 if send_flag != 0 {
                     self.evq.push(
@@ -633,18 +743,21 @@ impl Engine<'_> {
                         REv::FlagInc {
                             pe,
                             flag: send_flag,
+                            tid,
                         },
                     );
                 }
-                let arrival = self
-                    .tnet
-                    .transfer(depart, CellId::new(pe), dst, bytes + HEADER);
+                let arrival =
+                    self.tnet
+                        .transfer_tagged(depart, CellId::new(pe), dst, bytes + HEADER, tid);
+                self.charge_xfer(tid, Seg::Net, arrival);
                 self.evq.push(
                     arrival,
                     REv::PutArrive {
                         dst: dst.as_u32(),
                         bytes,
                         recv_flag,
+                        tid,
                     },
                 );
                 self.advance(pe, e);
@@ -657,13 +770,35 @@ impl Engine<'_> {
                 ..
             } => {
                 let over = self.p.send_cpu_overhead(0);
+                let tid = self.alloc_tid();
+                self.xfers.insert(
+                    tid,
+                    InFlight {
+                        x: XferLat::new(XferKind::Get, bytes, t),
+                        cursor: t,
+                    },
+                );
                 let (s, e) = self.cpu[pe as usize].reserve(t, over);
-                self.obs
-                    .span(pe, Unit::Cpu, "get_issue", s, over, Bucket::Overhead, bytes);
+                self.charge_xfer(tid, Seg::Issue, e);
+                self.obs.span_id(
+                    pe,
+                    Unit::Cpu,
+                    "get_issue",
+                    s,
+                    over,
+                    Bucket::Overhead,
+                    bytes,
+                    tid,
+                );
                 self.bd[pe as usize].overhead += over;
-                let (_, depart) =
+                let (rs, depart) =
                     self.send_engine[pe as usize].reserve(e, self.p.send_hw_latency(0));
-                let arrival = self.tnet.transfer(depart, CellId::new(pe), src, HEADER);
+                self.charge_xfer(tid, Seg::Queue, rs);
+                self.charge_xfer(tid, Seg::Dma, depart);
+                let arrival = self
+                    .tnet
+                    .transfer_tagged(depart, CellId::new(pe), src, HEADER, tid);
+                self.charge_xfer(tid, Seg::Net, arrival);
                 self.evq.push(
                     arrival,
                     REv::GetArrive {
@@ -672,6 +807,7 @@ impl Engine<'_> {
                         bytes,
                         send_flag,
                         recv_flag,
+                        tid,
                     },
                 );
                 self.advance(pe, e);
