@@ -1,0 +1,434 @@
+//! Standalone RON-style reproducers.
+//!
+//! Every shrunk failure is emitted as a small, human-editable text file
+//! (`tests/corpus/*.ron` at the repository root) that [`from_ron`] parses
+//! back into the exact [`FuzzProgram`]. Hand-rolled on purpose: the
+//! workspace is offline, and the subset needed here — nested structs,
+//! enums with named fields, integer/bool/string literals, `//` comments,
+//! trailing commas — is small.
+
+use crate::program::{Action, FuzzProgram, StrideMode};
+use std::fmt::Write as _;
+
+/// Renders a program as RON text.
+pub fn to_ron(p: &FuzzProgram) -> String {
+    let mut s = String::new();
+    s.push_str("(\n");
+    let _ = writeln!(s, "    seed: {},", p.seed);
+    let _ = writeln!(s, "    ncells: {},", p.ncells);
+    let _ = writeln!(s, "    region: {},", p.region);
+    match &p.expect_error {
+        None => s.push_str("    expect_error: None,\n"),
+        Some(e) => {
+            let _ = writeln!(s, "    expect_error: Some(\"{e}\"),");
+        }
+    }
+    s.push_str("    rounds: [\n");
+    for round in &p.rounds {
+        s.push_str("        [\n");
+        for a in round {
+            let _ = writeln!(s, "            {},", action_ron(a));
+        }
+        s.push_str("        ],\n");
+    }
+    s.push_str("    ],\n)\n");
+    s
+}
+
+fn action_ron(a: &Action) -> String {
+    match a {
+        Action::Put {
+            src,
+            dst,
+            src_off,
+            item,
+            count,
+            extra,
+            mode,
+            flag_send,
+            flag_recv,
+            ack,
+        } => format!(
+            "Put(src: {src}, dst: {dst}, src_off: {src_off}, item: {item}, count: {count}, \
+             extra: {extra}, mode: {mode:?}, flag_send: {flag_send}, flag_recv: {flag_recv}, \
+             ack: {ack})"
+        ),
+        Action::Get {
+            owner,
+            reader,
+            src_off,
+            item,
+            count,
+            extra,
+            mode,
+            flag_send,
+            flag_recv,
+        } => format!(
+            "Get(owner: {owner}, reader: {reader}, src_off: {src_off}, item: {item}, \
+             count: {count}, extra: {extra}, mode: {mode:?}, flag_send: {flag_send}, \
+             flag_recv: {flag_recv})"
+        ),
+        Action::Send {
+            src,
+            dst,
+            src_off,
+            bytes,
+        } => format!("Send(src: {src}, dst: {dst}, src_off: {src_off}, bytes: {bytes})"),
+        Action::Bcast { root, bytes } => format!("Bcast(root: {root}, bytes: {bytes})"),
+        Action::RStore {
+            src,
+            owner,
+            bytes,
+            pattern,
+        } => format!("RStore(src: {src}, owner: {owner}, bytes: {bytes}, pattern: {pattern})"),
+        Action::RLoad {
+            reader,
+            owner,
+            off,
+            bytes,
+        } => format!("RLoad(reader: {reader}, owner: {owner}, off: {off}, bytes: {bytes})"),
+        Action::Work { cell, flops } => format!("Work(cell: {cell}, flops: {flops})"),
+        Action::BadPutEmpty { src, dst } => format!("BadPutEmpty(src: {src}, dst: {dst})"),
+        Action::BadPutOverlap { src, dst } => format!("BadPutOverlap(src: {src}, dst: {dst})"),
+        Action::BadGetMismatch { reader, owner } => {
+            format!("BadGetMismatch(reader: {reader}, owner: {owner})")
+        }
+    }
+}
+
+/// Parses RON text produced by [`to_ron`] (or hand-written in the same
+/// dialect) back into a program.
+///
+/// # Errors
+///
+/// A message with the byte offset of the first syntax problem.
+pub fn from_ron(text: &str) -> Result<FuzzProgram, String> {
+    let mut p = Parser {
+        s: text.as_bytes(),
+        i: 0,
+    };
+    let prog = p.program()?;
+    p.ws();
+    if p.i != p.s.len() {
+        return Err(p.err("trailing input"));
+    }
+    Ok(prog)
+}
+
+struct Parser<'a> {
+    s: &'a [u8],
+    i: usize,
+}
+
+/// One parsed `name: value` field.
+enum Val {
+    Int(i64),
+    Word(String),
+}
+
+impl Parser<'_> {
+    fn err(&self, what: &str) -> String {
+        format!("ron parse error at byte {}: {what}", self.i)
+    }
+
+    fn ws(&mut self) {
+        loop {
+            while self.i < self.s.len() && self.s[self.i].is_ascii_whitespace() {
+                self.i += 1;
+            }
+            if self.s[self.i..].starts_with(b"//") {
+                while self.i < self.s.len() && self.s[self.i] != b'\n' {
+                    self.i += 1;
+                }
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), String> {
+        self.ws();
+        if self.i < self.s.len() && self.s[self.i] == c {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", c as char)))
+        }
+    }
+
+    fn peek(&mut self, c: u8) -> bool {
+        self.ws();
+        self.i < self.s.len() && self.s[self.i] == c
+    }
+
+    fn word(&mut self) -> Result<String, String> {
+        self.ws();
+        let start = self.i;
+        while self.i < self.s.len()
+            && (self.s[self.i].is_ascii_alphanumeric() || self.s[self.i] == b'_')
+        {
+            self.i += 1;
+        }
+        if self.i == start {
+            return Err(self.err("expected identifier"));
+        }
+        Ok(String::from_utf8_lossy(&self.s[start..self.i]).into_owned())
+    }
+
+    fn int(&mut self) -> Result<i64, String> {
+        self.ws();
+        let start = self.i;
+        if self.i < self.s.len() && self.s[self.i] == b'-' {
+            self.i += 1;
+        }
+        while self.i < self.s.len() && self.s[self.i].is_ascii_digit() {
+            self.i += 1;
+        }
+        std::str::from_utf8(&self.s[start..self.i])
+            .ok()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| self.err("expected integer"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let start = self.i;
+        while self.i < self.s.len() && self.s[self.i] != b'"' {
+            self.i += 1;
+        }
+        let out = String::from_utf8_lossy(&self.s[start..self.i]).into_owned();
+        self.eat(b'"')?;
+        Ok(out)
+    }
+
+    /// `name: value` pairs inside `( ... )`, any order, trailing comma ok.
+    fn fields(&mut self) -> Result<Vec<(String, Val)>, String> {
+        self.eat(b'(')?;
+        let mut out = Vec::new();
+        while !self.peek(b')') {
+            let name = self.word()?;
+            self.eat(b':')?;
+            self.ws();
+            let val = if self.i < self.s.len()
+                && (self.s[self.i] == b'-' || self.s[self.i].is_ascii_digit())
+            {
+                Val::Int(self.int()?)
+            } else {
+                Val::Word(self.word()?)
+            };
+            out.push((name, val));
+            if self.peek(b',') {
+                self.i += 1;
+            }
+        }
+        self.eat(b')')?;
+        Ok(out)
+    }
+
+    fn program(&mut self) -> Result<FuzzProgram, String> {
+        self.eat(b'(')?;
+        let (mut seed, mut ncells, mut region) = (None, None, None);
+        let mut expect_error = None;
+        let mut rounds = None;
+        while !self.peek(b')') {
+            let name = self.word()?;
+            self.eat(b':')?;
+            match name.as_str() {
+                "seed" => seed = Some(self.int()? as u64),
+                "ncells" => ncells = Some(self.int()? as u32),
+                "region" => region = Some(self.int()? as u64),
+                "expect_error" => match self.word()?.as_str() {
+                    "None" => {}
+                    "Some" => {
+                        self.eat(b'(')?;
+                        expect_error = Some(self.string()?);
+                        self.eat(b')')?;
+                    }
+                    w => return Err(self.err(&format!("expected None/Some, got `{w}`"))),
+                },
+                "rounds" => rounds = Some(self.rounds()?),
+                other => return Err(self.err(&format!("unknown field `{other}`"))),
+            }
+            if self.peek(b',') {
+                self.i += 1;
+            }
+        }
+        self.eat(b')')?;
+        Ok(FuzzProgram {
+            seed: seed.ok_or_else(|| self.err("missing seed"))?,
+            ncells: ncells.ok_or_else(|| self.err("missing ncells"))?,
+            region: region.ok_or_else(|| self.err("missing region"))?,
+            expect_error,
+            rounds: rounds.ok_or_else(|| self.err("missing rounds"))?,
+        })
+    }
+
+    fn rounds(&mut self) -> Result<Vec<Vec<Action>>, String> {
+        self.eat(b'[')?;
+        let mut rounds = Vec::new();
+        while !self.peek(b']') {
+            self.eat(b'[')?;
+            let mut round = Vec::new();
+            while !self.peek(b']') {
+                round.push(self.action()?);
+                if self.peek(b',') {
+                    self.i += 1;
+                }
+            }
+            self.eat(b']')?;
+            rounds.push(round);
+            if self.peek(b',') {
+                self.i += 1;
+            }
+        }
+        self.eat(b']')?;
+        Ok(rounds)
+    }
+
+    fn action(&mut self) -> Result<Action, String> {
+        let variant = self.word()?;
+        let at = self.i;
+        let fields = self.fields()?;
+        let get = |name: &str| -> Result<i64, String> {
+            fields
+                .iter()
+                .find(|(n, _)| n == name)
+                .and_then(|(_, v)| match v {
+                    Val::Int(i) => Some(*i),
+                    Val::Word(_) => None,
+                })
+                .ok_or(format!(
+                    "ron parse error at byte {at}: {variant} needs integer field `{name}`"
+                ))
+        };
+        let get_word = |name: &str| -> Result<&str, String> {
+            fields
+                .iter()
+                .find(|(n, _)| n == name)
+                .and_then(|(_, v)| match v {
+                    Val::Word(w) => Some(w.as_str()),
+                    Val::Int(_) => None,
+                })
+                .ok_or(format!(
+                    "ron parse error at byte {at}: {variant} needs word field `{name}`"
+                ))
+        };
+        let mode = |w: &str| -> Result<StrideMode, String> {
+            match w {
+                "Contig" => Ok(StrideMode::Contig),
+                "Stride" => Ok(StrideMode::Stride),
+                "SendStride" => Ok(StrideMode::SendStride),
+                "RecvStride" => Ok(StrideMode::RecvStride),
+                other => Err(format!("unknown stride mode `{other}`")),
+            }
+        };
+        Ok(match variant.as_str() {
+            "Put" => Action::Put {
+                src: get("src")? as u32,
+                dst: get("dst")? as u32,
+                src_off: get("src_off")? as u32,
+                item: get("item")? as u32,
+                count: get("count")? as u32,
+                extra: get("extra")? as u32,
+                mode: mode(get_word("mode")?)?,
+                flag_send: get("flag_send")? as i8,
+                flag_recv: get("flag_recv")? as i8,
+                ack: get_word("ack")? == "true",
+            },
+            "Get" => Action::Get {
+                owner: get("owner")? as u32,
+                reader: get("reader")? as u32,
+                src_off: get("src_off")? as u32,
+                item: get("item")? as u32,
+                count: get("count")? as u32,
+                extra: get("extra")? as u32,
+                mode: mode(get_word("mode")?)?,
+                flag_send: get("flag_send")? as i8,
+                flag_recv: get("flag_recv")? as i8,
+            },
+            "Send" => Action::Send {
+                src: get("src")? as u32,
+                dst: get("dst")? as u32,
+                src_off: get("src_off")? as u32,
+                bytes: get("bytes")? as u32,
+            },
+            "Bcast" => Action::Bcast {
+                root: get("root")? as u32,
+                bytes: get("bytes")? as u32,
+            },
+            "RStore" => Action::RStore {
+                src: get("src")? as u32,
+                owner: get("owner")? as u32,
+                bytes: get("bytes")? as u32,
+                pattern: get("pattern")? as u32,
+            },
+            "RLoad" => Action::RLoad {
+                reader: get("reader")? as u32,
+                owner: get("owner")? as u32,
+                off: get("off")? as u32,
+                bytes: get("bytes")? as u32,
+            },
+            "Work" => Action::Work {
+                cell: get("cell")? as u32,
+                flops: get("flops")? as u32,
+            },
+            "BadPutEmpty" => Action::BadPutEmpty {
+                src: get("src")? as u32,
+                dst: get("dst")? as u32,
+            },
+            "BadPutOverlap" => Action::BadPutOverlap {
+                src: get("src")? as u32,
+                dst: get("dst")? as u32,
+            },
+            "BadGetMismatch" => Action::BadGetMismatch {
+                reader: get("reader")? as u32,
+                owner: get("owner")? as u32,
+            },
+            other => return Err(format!("unknown action `{other}`")),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::gen_program;
+
+    #[test]
+    fn round_trips_generated_programs() {
+        for seed in 0..50 {
+            let p = gen_program(seed, 7);
+            let text = to_ron(&p);
+            let back = from_ron(&text).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{text}"));
+            assert_eq!(p, back, "seed {seed} round-trip\n{text}");
+        }
+    }
+
+    #[test]
+    fn parses_hand_written_dialect() {
+        let text = r#"
+            // a comment
+            (
+                seed: 7, ncells: 3, region: 4096,
+                expect_error: Some("overlap"),
+                rounds: [[
+                    BadPutOverlap(dst: 1, src: 0),
+                    Work(cell: 2, flops: 10),
+                ]],
+            )
+        "#;
+        let p = from_ron(text).unwrap();
+        assert_eq!(p.ncells, 3);
+        assert_eq!(p.expect_error.as_deref(), Some("overlap"));
+        assert_eq!(p.total_actions(), 2);
+    }
+
+    #[test]
+    fn reports_errors_with_position() {
+        let err = from_ron("(seed: x)").unwrap_err();
+        assert!(err.contains("byte"), "err: {err}");
+        assert!(from_ron("(seed: 1, ncells: 2, rounds: [])")
+            .unwrap_err()
+            .contains("missing region"));
+    }
+}

@@ -1,0 +1,151 @@
+//! Failure minimization.
+//!
+//! Greedy delta-debugging over the action list: first drop whole rounds,
+//! then individual actions, re-running the full differential check on
+//! every candidate. A candidate is accepted only when it fails with the
+//! *same violation category* as the original (the text before the first
+//! `:` — see [`crate::runner::category`]), so shrinking cannot wander
+//! from the bug being minimized onto an unrelated one. Every candidate is
+//! re-planned from scratch, and the plan synthesizes all waits and
+//! barriers, so no candidate can deadlock — removal is always safe.
+
+use crate::program::FuzzProgram;
+use crate::runner::category;
+
+/// A minimized failure.
+pub struct Shrunk {
+    /// The smallest failing program found.
+    pub program: FuzzProgram,
+    /// Its violation string.
+    pub violation: String,
+    /// Candidate executions spent.
+    pub attempts: usize,
+}
+
+/// Bisection budget: candidate runs before giving up on further
+/// minimization (each run is a full machine emulation).
+const MAX_ATTEMPTS: usize = 300;
+
+/// Shrinks `prog`, whose run produced `violation`, re-checking candidates
+/// with `check` (returns `Some(violation)` when a candidate still fails).
+pub fn shrink<F>(prog: &FuzzProgram, violation: &str, mut check: F) -> Shrunk
+where
+    F: FnMut(&FuzzProgram) -> Option<String>,
+{
+    let want = category(violation).to_string();
+    let mut best = prog.clone();
+    let mut best_violation = violation.to_string();
+    let mut attempts = 0;
+    let mut try_candidate = |cand: &FuzzProgram, attempts: &mut usize| -> Option<String> {
+        if *attempts >= MAX_ATTEMPTS {
+            return None;
+        }
+        *attempts += 1;
+        check(cand).filter(|v| category(v) == want)
+    };
+    // Phase 1: drop whole rounds.
+    let mut progress = true;
+    while progress && best.rounds.len() > 1 {
+        progress = false;
+        for r in (0..best.rounds.len()).rev() {
+            let mut cand = best.clone();
+            cand.rounds.remove(r);
+            if let Some(v) = try_candidate(&cand, &mut attempts) {
+                best = cand;
+                best_violation = v;
+                progress = true;
+                break;
+            }
+        }
+    }
+    // Phase 2: drop individual actions.
+    progress = true;
+    while progress {
+        progress = false;
+        'outer: for r in 0..best.rounds.len() {
+            for a in (0..best.rounds[r].len()).rev() {
+                let mut cand = best.clone();
+                cand.rounds[r].remove(a);
+                if cand.total_actions() == 0 {
+                    continue;
+                }
+                if let Some(v) = try_candidate(&cand, &mut attempts) {
+                    best = cand;
+                    best_violation = v;
+                    progress = true;
+                    break 'outer;
+                }
+            }
+        }
+    }
+    // Drop rounds emptied by phase 2 (keeps the reproducer tidy; cannot
+    // change behavior: an empty round is waits-free and adds one barrier).
+    if best.rounds.len() > 1 {
+        let mut cand = best.clone();
+        cand.rounds.retain(|r| !r.is_empty());
+        if !cand.rounds.is_empty() && cand.rounds.len() < best.rounds.len() {
+            if let Some(v) = try_candidate(&cand, &mut attempts) {
+                best = cand;
+                best_violation = v;
+            }
+        }
+    }
+    Shrunk {
+        program: best,
+        violation: best_violation,
+        attempts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::Action;
+
+    fn toy(rounds: Vec<Vec<Action>>) -> FuzzProgram {
+        FuzzProgram {
+            seed: 1,
+            ncells: 2,
+            region: 4096,
+            expect_error: None,
+            rounds,
+        }
+    }
+
+    #[test]
+    fn shrinks_to_the_single_guilty_action() {
+        let guilty = Action::Work { cell: 0, flops: 99 };
+        let noise = Action::Work { cell: 1, flops: 1 };
+        let prog = toy(vec![
+            vec![noise, noise, guilty, noise],
+            vec![noise, noise],
+            vec![noise, guilty],
+        ]);
+        // Fake checker: fails while any flops==99 action remains.
+        let s = shrink(&prog, "toy-bug: flops 99", |p| {
+            p.rounds
+                .iter()
+                .flatten()
+                .any(|a| matches!(a, Action::Work { flops: 99, .. }))
+                .then(|| "toy-bug: flops 99".to_string())
+        });
+        assert_eq!(s.program.total_actions(), 1);
+        assert_eq!(s.program.rounds.len(), 1);
+        assert!(matches!(
+            s.program.rounds[0][0],
+            Action::Work { flops: 99, .. }
+        ));
+        assert!(s.attempts <= MAX_ATTEMPTS);
+    }
+
+    #[test]
+    fn category_mismatch_is_not_accepted() {
+        let a = Action::Work { cell: 0, flops: 7 };
+        let prog = toy(vec![vec![a, a]]);
+        // Candidates fail with a different category: no shrink happens.
+        let s = shrink(&prog, "original-bug: x", |_| {
+            Some("different-bug: y".to_string())
+        });
+        assert_eq!(s.program.total_actions(), 2);
+    }
+}

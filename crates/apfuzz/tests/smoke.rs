@@ -1,0 +1,78 @@
+//! The fuzz smoke suite: hundreds of random programs across several
+//! machine sizes (including a prime and the degenerate 1-cell machine),
+//! each checked against the memory oracle, the planned op counts, the
+//! latency-segment identity, and the MLSim replay — see the `apfuzz`
+//! crate docs for the full invariant list.
+//!
+//! On failure the program is shrunk and printed as a standalone RON
+//! reproducer; set `APFUZZ_WRITE_CORPUS=1` to also write it into the
+//! repository-root `tests/corpus/` directory for permanent regression
+//! coverage. Scale the sweep up with `APFUZZ_SEEDS=<n>` (default 70 per
+//! machine size, ~210 programs, well under the 30 s smoke budget).
+
+use apfuzz::{gen_big_chunk, gen_program, run_program, shrink, to_ron, FuzzProgram, Plan};
+
+fn check(prog: &FuzzProgram) {
+    let Err(violation) = run_program(prog) else {
+        return;
+    };
+    let shrunk = shrink(prog, &violation, |p| run_program(p).err());
+    let mut min = shrunk.program;
+    // Refresh the recorded expectation so the reproducer documents what
+    // the *minimized* program demands.
+    min.expect_error = Plan::build(&min).expect_error.clone();
+    let ron = to_ron(&min);
+    if std::env::var("APFUZZ_WRITE_CORPUS").as_deref() == Ok("1") {
+        let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/corpus");
+        std::fs::create_dir_all(dir).expect("create corpus dir");
+        let path = format!("{dir}/shrunk-seed{}-n{}.ron", min.seed, min.ncells);
+        std::fs::write(&path, &ron).expect("write corpus file");
+        eprintln!("wrote reproducer to {path}");
+    }
+    panic!(
+        "fuzz violation (seed {}, ncells {}): {}\n\
+         shrunk to {} action(s) after {} candidate run(s):\n{ron}",
+        prog.seed,
+        prog.ncells,
+        shrunk.violation,
+        min.total_actions(),
+        shrunk.attempts,
+    );
+}
+
+fn seeds_per_size() -> u64 {
+    std::env::var("APFUZZ_SEEDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(70)
+}
+
+/// The main sweep: random programs on a power-of-two, a prime, and an
+/// odd-composite machine.
+#[test]
+fn fuzz_random_programs() {
+    for ncells in [4u32, 7, 9] {
+        for seed in 0..seeds_per_size() {
+            check(&gen_program(seed, ncells));
+        }
+    }
+}
+
+/// Degenerate and awkward machine sizes: a single cell (every transfer is
+/// a loopback), a pair, and sizes whose torus is non-square.
+#[test]
+fn fuzz_edge_machine_sizes() {
+    for (ncells, seeds) in [(1u32, 8u64), (2, 8), (12, 5), (13, 5)] {
+        for seed in 0..seeds {
+            check(&gen_program(0xED6E ^ seed, ncells));
+        }
+    }
+}
+
+/// One program whose PUT exceeds the 4 MB DMA limit: exercises the
+/// transparent chunking path (three in-order chunks, flags and the
+/// acknowledge riding the last one) at full differential depth.
+#[test]
+fn fuzz_big_chunk_program() {
+    check(&gen_big_chunk(2026));
+}

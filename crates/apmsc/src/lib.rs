@@ -24,6 +24,6 @@ pub mod queue;
 pub mod stride;
 
 pub use encode::{decode, encodable, encode, DecodeError};
-pub use message::{Command, GetArgs, Packet, PutArgs, HEADER_BYTES};
+pub use message::{Command, GetArgs, Packet, PutArgs, HEADER_BYTES, MAX_DMA_BYTES};
 pub use queue::{HwQueue, PushOutcome, QueueStats};
 pub use stride::StrideSpec;

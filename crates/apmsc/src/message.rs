@@ -117,6 +117,10 @@ impl GetArgs {
 pub const MAX_DMA_BYTES: u64 = 4 << 20;
 
 fn validate_pair(send: StrideSpec, recv: StrideSpec) -> Result<(), String> {
+    // The specs themselves may be hand-built (the 8-word command image is
+    // plain memory), so validate each side before comparing them.
+    send.check().map_err(|e| format!("send stride: {e}"))?;
+    recv.check().map_err(|e| format!("recv stride: {e}"))?;
     let total = send.total_bytes();
     if total == 0 {
         return Err("zero-length transfer".to_string());
@@ -326,6 +330,35 @@ mod tests {
             StrideSpec::contiguous(4 << 20),
         );
         assert!(max_ok.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_hand_built_degenerate_strides() {
+        // Fields are public, so an argument block can carry specs that
+        // StrideSpec::new would have refused; validation must catch them.
+        let zero_item = StrideSpec {
+            item_size: 0,
+            count: 4,
+            skip: 8,
+        };
+        let bad = put(zero_item, StrideSpec::contiguous(1));
+        assert!(bad.validate().unwrap_err().starts_with("send stride:"));
+        let overlap = StrideSpec {
+            item_size: 16,
+            count: 2,
+            skip: 8,
+        };
+        let bad = put(StrideSpec::contiguous(32), overlap);
+        let err = bad.validate().unwrap_err();
+        assert!(err.starts_with("recv stride:") && err.contains("overlap"));
+        // count == 0 on either side is an empty stream: rejected as a
+        // zero-length transfer, not an assert deep in the DMA path.
+        let empty = StrideSpec::new(8, 0, 8);
+        let bad = put(empty, empty);
+        assert!(bad.validate().unwrap_err().contains("zero-length"));
+        // A mismatched empty side reports the mismatch.
+        let bad = put(StrideSpec::contiguous(8), empty);
+        assert!(bad.validate().unwrap_err().contains("recv side 0"));
     }
 
     #[test]

@@ -18,6 +18,19 @@ use aputil::VAddr;
 /// `skip == item_size` (or `count == 1`) degenerates to a contiguous
 /// block.
 ///
+/// `count == 0` consistently describes an *empty* stream:
+/// [`StrideSpec::total_bytes`] and [`StrideSpec::span_bytes`] are 0,
+/// [`gather`] produces no bytes and [`scatter`] writes none. Issue-time
+/// validation rejects empty transfers (a zero-length PUT/GET is a program
+/// error), but the spec itself stays well-defined so hand-built argument
+/// blocks fail validation instead of tripping asserts deep in the DMA
+/// path.
+///
+/// The fields are public (the 8-word command image is just memory on the
+/// real machine), so degenerate specs can be constructed without going
+/// through [`StrideSpec::new`]; [`StrideSpec::check`] is the non-panicking
+/// validation the MSC+ applies before activating DMA.
+///
 /// # Examples
 ///
 /// ```
@@ -46,29 +59,74 @@ impl StrideSpec {
     /// Panics if `item_size` is 0, or `count > 1` with `skip < item_size`
     /// (overlapping items).
     pub fn new(item_size: u32, count: u32, skip: u32) -> Self {
-        assert!(item_size > 0, "stride item_size must be nonzero");
-        assert!(
-            count <= 1 || skip >= item_size,
-            "stride items overlap: skip {skip} < item_size {item_size}"
-        );
-        StrideSpec {
+        let spec = StrideSpec {
             item_size,
             count,
             skip,
+        };
+        if let Err(e) = spec.check() {
+            panic!("{e}");
         }
+        spec
+    }
+
+    /// Validates a (possibly hand-constructed) spec the way the MSC+
+    /// does before activating DMA, without panicking.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first problem found: zero `item_size`, or
+    /// overlapping items (`count > 1` with `skip < item_size`).
+    pub fn check(&self) -> Result<(), String> {
+        if self.item_size == 0 {
+            return Err("stride item_size must be nonzero".to_string());
+        }
+        if self.count > 1 && self.skip < self.item_size {
+            return Err(format!(
+                "stride items overlap: skip {} < item_size {}",
+                self.skip, self.item_size
+            ));
+        }
+        Ok(())
     }
 
     /// A contiguous block of `bytes` bytes as a single-item "stride".
     ///
     /// # Panics
     ///
-    /// Panics if `bytes` is 0 or exceeds `u32::MAX`.
+    /// Panics if `bytes` is 0 or exceeds `u32::MAX` (the descriptor's
+    /// field width); use [`StrideSpec::try_contiguous`] where the size is
+    /// not statically known, or let the `Cell` PUT/GET API chunk large
+    /// transfers transparently.
     pub fn contiguous(bytes: u64) -> Self {
-        assert!(
-            bytes > 0 && bytes <= u32::MAX as u64,
-            "bad contiguous size {bytes}"
-        );
-        StrideSpec::new(bytes as u32, 1, bytes as u32)
+        match StrideSpec::try_contiguous(bytes) {
+            Ok(s) => s,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`StrideSpec::contiguous`]: a single-item stride of
+    /// `bytes` bytes.
+    ///
+    /// # Errors
+    ///
+    /// `bytes == 0` (empty transfers are rejected at issue time) or
+    /// `bytes > u32::MAX` (the descriptor stores sizes in 4-byte words of
+    /// the 8-word command image; larger transfers must be chunked).
+    pub fn try_contiguous(bytes: u64) -> Result<Self, String> {
+        if bytes == 0 {
+            return Err("bad contiguous size 0".to_string());
+        }
+        if bytes > u32::MAX as u64 {
+            return Err(format!(
+                "contiguous block of {bytes} bytes exceeds the u32 descriptor range"
+            ));
+        }
+        Ok(StrideSpec {
+            item_size: bytes as u32,
+            count: 1,
+            skip: bytes as u32,
+        })
     }
 
     /// Total payload bytes the spec describes.
@@ -220,6 +278,65 @@ mod tests {
     #[should_panic(expected = "overlap")]
     fn overlapping_stride_panics() {
         let _ = StrideSpec::new(16, 2, 8);
+    }
+
+    #[test]
+    fn count_zero_is_a_consistent_empty_stream() {
+        let (mut mmu, mut mem, base) = setup();
+        let empty = StrideSpec::new(8, 0, 8);
+        assert_eq!(empty.total_bytes(), 0);
+        assert_eq!(empty.span_bytes(), 0);
+        assert!(empty.is_contiguous());
+        assert!(empty.check().is_ok(), "count 0 is well-formed, just empty");
+        let (bytes, misses) = gather(&mut mmu, &mem, base, empty).unwrap();
+        assert!(bytes.is_empty());
+        assert_eq!(misses, 0);
+        // Scatter of the matching (empty) payload writes nothing.
+        let before = read_virtual(&mut mmu, &mem, base, 16).unwrap().data;
+        scatter(&mut mmu, &mut mem, base, empty, &[]).unwrap();
+        let after = read_virtual(&mut mmu, &mem, base, 16).unwrap().data;
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn check_rejects_hand_built_degenerate_specs() {
+        let zero_item = StrideSpec {
+            item_size: 0,
+            count: 3,
+            skip: 8,
+        };
+        assert!(zero_item.check().unwrap_err().contains("nonzero"));
+        let overlap = StrideSpec {
+            item_size: 16,
+            count: 2,
+            skip: 8,
+        };
+        assert!(overlap.check().unwrap_err().contains("overlap"));
+        // skip < item_size is fine when there is at most one item.
+        let single = StrideSpec {
+            item_size: 16,
+            count: 1,
+            skip: 0,
+        };
+        assert!(single.check().is_ok());
+    }
+
+    #[test]
+    fn try_contiguous_bounds() {
+        assert!(StrideSpec::try_contiguous(0).is_err());
+        assert!(StrideSpec::try_contiguous(u32::MAX as u64).is_ok());
+        let err = StrideSpec::try_contiguous(u32::MAX as u64 + 1).unwrap_err();
+        assert!(err.contains("exceeds"), "unexpected message: {err}");
+        assert_eq!(
+            StrideSpec::try_contiguous(4096).unwrap(),
+            StrideSpec::contiguous(4096)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn contiguous_beyond_u32_panics_with_clear_message() {
+        let _ = StrideSpec::contiguous(u32::MAX as u64 + 1);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! barriers are built in software on communication registers (see
 //! `apcore`).
 
-use aputil::{CellId, SimTime};
+use aputil::{ApError, ApResult, CellId, SimTime};
 
 /// The machine-wide hardware barrier.
 ///
@@ -23,8 +23,8 @@ use aputil::{CellId, SimTime};
 /// use aputil::{CellId, SimTime};
 ///
 /// let mut s = SNet::new(2, SimTime::from_micros(1));
-/// assert_eq!(s.arrive(CellId::new(0), SimTime::from_nanos(100)), None);
-/// let release = s.arrive(CellId::new(1), SimTime::from_nanos(500)).unwrap();
+/// assert_eq!(s.arrive(CellId::new(0), SimTime::from_nanos(100)).unwrap(), None);
+/// let release = s.arrive(CellId::new(1), SimTime::from_nanos(500)).unwrap().unwrap();
 /// assert_eq!(release.as_nanos(), 1500);
 /// ```
 #[derive(Clone, Debug)]
@@ -53,7 +53,7 @@ impl SNet {
         }
     }
 
-    /// Number of completed barrier epochs.
+    /// Number of completed barrier epochs (wraps around at `u64::MAX`).
     pub fn epochs(&self) -> u64 {
         self.epochs
     }
@@ -67,17 +67,30 @@ impl SNet {
     /// `Some(release_time)` when this arrival completes the barrier (the
     /// caller releases *all* cells at that time), `None` otherwise.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `cell` is out of range or arrives twice in one epoch —
-    /// barrier semantics make a double arrival a program error.
-    pub fn arrive(&mut self, cell: CellId, now: SimTime) -> Option<SimTime> {
+    /// [`ApError::BarrierMisuse`] if `cell` is outside this S-net or
+    /// arrives twice before the barrier fires — both indicate a kernel
+    /// bug, and the barrier bookkeeping is left untouched so diagnostics
+    /// can still read it.
+    pub fn arrive(&mut self, cell: CellId, now: SimTime) -> ApResult<Option<SimTime>> {
         let idx = cell.index();
-        assert!(idx < self.waiting.len(), "{cell} outside this S-net");
-        assert!(
-            !self.waiting[idx],
-            "{cell} entered the barrier twice in one epoch"
-        );
+        if idx >= self.waiting.len() {
+            return Err(ApError::BarrierMisuse {
+                cell,
+                detail: format!("cell outside this {}-cell S-net", self.waiting.len()),
+            });
+        }
+        if self.waiting[idx] {
+            return Err(ApError::BarrierMisuse {
+                cell,
+                detail: format!(
+                    "entered the barrier twice in one epoch ({} of {} cells waiting)",
+                    self.arrived,
+                    self.waiting.len()
+                ),
+            });
+        }
         self.waiting[idx] = true;
         self.arrived += 1;
         self.latest = self.latest.max(now);
@@ -86,10 +99,10 @@ impl SNet {
             self.waiting.fill(false);
             self.arrived = 0;
             self.latest = SimTime::ZERO;
-            self.epochs += 1;
-            Some(release)
+            self.epochs = self.epochs.wrapping_add(1);
+            Ok(Some(release))
         } else {
-            None
+            Ok(None)
         }
     }
 }
@@ -105,10 +118,10 @@ mod tests {
     #[test]
     fn releases_at_latest_plus_latency() {
         let mut s = SNet::new(3, ns(10));
-        assert_eq!(s.arrive(CellId::new(2), ns(300)), None);
-        assert_eq!(s.arrive(CellId::new(0), ns(100)), None);
+        assert_eq!(s.arrive(CellId::new(2), ns(300)).unwrap(), None);
+        assert_eq!(s.arrive(CellId::new(0), ns(100)).unwrap(), None);
         assert_eq!(s.waiting_count(), 2);
-        assert_eq!(s.arrive(CellId::new(1), ns(200)), Some(ns(310)));
+        assert_eq!(s.arrive(CellId::new(1), ns(200)).unwrap(), Some(ns(310)));
         assert_eq!(s.epochs(), 1);
         assert_eq!(s.waiting_count(), 0);
     }
@@ -116,32 +129,58 @@ mod tests {
     #[test]
     fn epochs_are_independent() {
         let mut s = SNet::new(2, ns(5));
-        s.arrive(CellId::new(0), ns(10));
-        assert_eq!(s.arrive(CellId::new(1), ns(20)), Some(ns(25)));
+        s.arrive(CellId::new(0), ns(10)).unwrap();
+        assert_eq!(s.arrive(CellId::new(1), ns(20)).unwrap(), Some(ns(25)));
         // Second epoch starts clean; earlier latest must not leak.
-        s.arrive(CellId::new(1), ns(30));
-        assert_eq!(s.arrive(CellId::new(0), ns(40)), Some(ns(45)));
+        s.arrive(CellId::new(1), ns(30)).unwrap();
+        assert_eq!(s.arrive(CellId::new(0), ns(40)).unwrap(), Some(ns(45)));
         assert_eq!(s.epochs(), 2);
     }
 
     #[test]
     fn single_cell_barrier_fires_immediately() {
         let mut s = SNet::new(1, ns(7));
-        assert_eq!(s.arrive(CellId::new(0), ns(1)), Some(ns(8)));
+        assert_eq!(s.arrive(CellId::new(0), ns(1)).unwrap(), Some(ns(8)));
     }
 
     #[test]
-    #[should_panic(expected = "twice")]
-    fn double_arrival_panics() {
+    fn double_arrival_is_a_structured_error() {
         let mut s = SNet::new(2, ns(1));
-        s.arrive(CellId::new(0), ns(1));
-        s.arrive(CellId::new(0), ns(2));
+        s.arrive(CellId::new(0), ns(1)).unwrap();
+        let err = s.arrive(CellId::new(0), ns(2)).unwrap_err();
+        match &err {
+            ApError::BarrierMisuse { cell, detail } => {
+                assert_eq!(*cell, CellId::new(0));
+                assert!(detail.contains("twice"), "unexpected detail: {detail}");
+            }
+            other => panic!("expected BarrierMisuse, got {other:?}"),
+        }
+        // The bookkeeping survives the error: the barrier can still fire.
+        assert_eq!(s.waiting_count(), 1);
+        assert_eq!(s.arrive(CellId::new(1), ns(3)).unwrap(), Some(ns(4)));
+        assert_eq!(s.epochs(), 1);
     }
 
     #[test]
-    #[should_panic(expected = "outside")]
-    fn out_of_range_panics() {
+    fn out_of_range_is_a_structured_error() {
         let mut s = SNet::new(2, ns(1));
-        s.arrive(CellId::new(3), ns(1));
+        let err = s.arrive(CellId::new(3), ns(1)).unwrap_err();
+        assert!(matches!(err, ApError::BarrierMisuse { .. }));
+        assert!(err.to_string().contains("outside"));
+        assert_eq!(s.waiting_count(), 0);
+    }
+
+    #[test]
+    fn epoch_counter_rolls_over_without_disturbing_the_barrier() {
+        let mut s = SNet::new(2, ns(1));
+        s.epochs = u64::MAX;
+        s.arrive(CellId::new(0), ns(5)).unwrap();
+        assert_eq!(s.arrive(CellId::new(1), ns(5)).unwrap(), Some(ns(6)));
+        assert_eq!(s.epochs(), 0, "epoch counter wraps");
+        // The epoch after the rollover is fully functional.
+        s.arrive(CellId::new(1), ns(7)).unwrap();
+        assert_eq!(s.arrive(CellId::new(0), ns(9)).unwrap(), Some(ns(10)));
+        assert_eq!(s.epochs(), 1);
+        assert_eq!(s.waiting_count(), 0);
     }
 }

@@ -94,6 +94,9 @@ impl Torus {
     /// ties (exactly half way) route in the positive direction, which keeps
     /// routing static.
     fn delta(from: u32, to: u32, dim: u32) -> i64 {
+        // Widen to u64: `to + dim` overflows u32 for dims near u32::MAX
+        // (an N×1 torus of a huge prime cell count reaches this).
+        let (from, to, dim) = (from as u64, to as u64, dim as u64);
         let fwd = (to + dim - from) % dim; // steps in + direction
         let bwd = dim - fwd; // steps in - direction (if fwd != 0)
         if fwd == 0 {
@@ -202,6 +205,65 @@ mod tests {
     #[should_panic(expected = "outside")]
     fn coords_out_of_range_panics() {
         Torus::new(2, 2).coords(CellId::new(4));
+    }
+
+    #[test]
+    fn delta_survives_u32_max_sized_dims() {
+        // `to + dim` exceeds u32::MAX here; the math must widen.
+        let t = Torus::new(u32::MAX, 1);
+        assert_eq!(t.hops(CellId::new(0), CellId::new(u32::MAX - 1)), 1);
+        assert_eq!(t.hops(CellId::new(u32::MAX - 1), CellId::new(0)), 1);
+        assert_eq!(t.hops(CellId::new(1), CellId::new(u32::MAX - 2)), 3);
+        assert_eq!(
+            t.hops(CellId::new(0), CellId::new(u32::MAX / 2)),
+            u32::MAX / 2
+        );
+    }
+
+    #[test]
+    fn prime_cell_counts_route_on_nx1_tori() {
+        for n in [2u32, 3, 5, 7, 11, 13] {
+            let t = Torus::for_cells(n);
+            assert_eq!(t.dims(), (n, 1), "{n} cells should give an Nx1 torus");
+            for a in 0..n {
+                for b in 0..n {
+                    let (src, dst) = (CellId::new(a), CellId::new(b));
+                    let route = t.route(src, dst);
+                    assert_eq!(route.first(), Some(&src));
+                    assert_eq!(route.last(), Some(&dst));
+                    assert_eq!(
+                        route.len() as u32 - 1,
+                        t.hops(src, dst),
+                        "route/hops disagree for {a}->{b} on {n}x1"
+                    );
+                    assert_eq!(t.hops(src, dst), t.hops(dst, src));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn half_way_ties_route_positive_in_both_dims() {
+        // On an even-sided torus the exact-half-way displacement is a tie;
+        // both directions must break it the same (positive) way or routing
+        // stops being static.
+        let t = Torus::new(6, 4);
+        let src = t.cell_at(1, 1);
+        let dst = t.cell_at(4, 3); // dx = 3 = 6/2, dy = 2 = 4/2: ties in both
+        assert_eq!(t.hops(src, dst), 5);
+        assert_eq!(t.hops(dst, src), 5);
+        let fwd = t.route(src, dst);
+        assert_eq!(fwd.len(), 6);
+        // X first, stepping in the positive direction.
+        assert_eq!(fwd[1], t.cell_at(2, 1));
+        assert_eq!(fwd[3], t.cell_at(4, 1));
+        // Y also positive.
+        assert_eq!(fwd[4], t.cell_at(4, 2));
+        // The reverse route ties the same way: positive steps from dst.
+        let back = t.route(dst, src);
+        assert_eq!(back.len(), 6);
+        assert_eq!(back[1], t.cell_at(5, 3));
+        assert_eq!(back[4], t.cell_at(1, 0));
     }
 }
 

@@ -13,5 +13,5 @@ pub mod json;
 pub mod op;
 pub mod stats;
 
-pub use op::{Op, PeTrace, Trace};
+pub use op::{Op, OpCounts, PeTrace, Trace};
 pub use stats::{AppStats, StatsRow};

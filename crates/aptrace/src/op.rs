@@ -231,6 +231,62 @@ impl Trace {
     pub fn total_ops(&self) -> usize {
         self.pes.iter().map(|p| p.ops.len()).sum()
     }
+
+    /// Per-class operation totals across all cells — what differential
+    /// checkers compare against the program that generated the trace.
+    pub fn op_counts(&self) -> OpCounts {
+        let mut c = OpCounts::default();
+        for pe in &self.pes {
+            for op in &pe.ops {
+                match op {
+                    Op::Work { .. } => c.works += 1,
+                    Op::Rts { .. } => c.rts += 1,
+                    Op::Put { .. } => c.puts += 1,
+                    Op::Get { ack_probe, .. } => {
+                        if *ack_probe {
+                            c.ack_probes += 1;
+                        } else {
+                            c.gets += 1;
+                        }
+                    }
+                    Op::Send { .. } => c.sends += 1,
+                    Op::Recv { .. } => c.recvs += 1,
+                    Op::WaitFlag { .. } => c.flag_waits += 1,
+                    Op::Barrier => c.barriers += 1,
+                    Op::Bcast { .. } => c.bcasts += 1,
+                    Op::RegStore { .. } => c.reg_stores += 1,
+                    Op::RegLoad { .. } => c.reg_loads += 1,
+                    Op::RemoteStore { .. } => c.remote_stores += 1,
+                    Op::RemoteLoad { .. } => c.remote_loads += 1,
+                    Op::RemoteFence => c.fences += 1,
+                    Op::MarkGopScalar | Op::MarkGopVector => c.marks += 1,
+                }
+            }
+        }
+        c
+    }
+}
+
+/// Whole-trace operation totals, one field per [`Op`] class (GETs split
+/// into data GETs and acknowledge probes, the same split Table 3 makes).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OpCounts {
+    pub works: u64,
+    pub rts: u64,
+    pub puts: u64,
+    pub gets: u64,
+    pub ack_probes: u64,
+    pub sends: u64,
+    pub recvs: u64,
+    pub flag_waits: u64,
+    pub barriers: u64,
+    pub bcasts: u64,
+    pub reg_stores: u64,
+    pub reg_loads: u64,
+    pub remote_stores: u64,
+    pub remote_loads: u64,
+    pub fences: u64,
+    pub marks: u64,
 }
 
 #[cfg(test)]

@@ -185,6 +185,24 @@ pub enum ApError {
         /// `(cell, reason)` for each failed cell.
         failures: Vec<(CellId, String)>,
     },
+    /// The S-net barrier protocol was violated: a cell arrived twice in one
+    /// epoch, or a cell outside the machine arrived. Barrier entry is
+    /// driven by the kernel, so this indicates a kernel or runtime bug
+    /// rather than a user-program error.
+    BarrierMisuse {
+        /// The offending cell.
+        cell: CellId,
+        /// What it did wrong.
+        detail: String,
+    },
+    /// A run completed but hardware or bookkeeping state was left behind —
+    /// queued transmit entries, a busy send DMA, blocked-cell records, or
+    /// unfinished transfer-latency attributions. Indicates a kernel
+    /// accounting bug, never a program error.
+    StateLeak {
+        /// Every leak found, `;`-separated.
+        detail: String,
+    },
 }
 
 impl fmt::Display for ApError {
@@ -213,6 +231,12 @@ impl fmt::Display for ApError {
                     write!(f, " [{cell}: {reason}]")?;
                 }
                 Ok(())
+            }
+            ApError::BarrierMisuse { cell, detail } => {
+                write!(f, "S-net barrier misuse by {cell}: {detail}")
+            }
+            ApError::StateLeak { detail } => {
+                write!(f, "state leaked past end of run: {detail}")
             }
         }
     }

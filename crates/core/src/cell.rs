@@ -10,7 +10,7 @@
 //! at zero simulated cost.
 
 use crate::request::{Mark, Request, Response};
-use apmsc::{GetArgs, PutArgs, StrideSpec};
+use apmsc::{GetArgs, PutArgs, StrideSpec, MAX_DMA_BYTES};
 use aputil::bytes::{decode_slice, encode_slice, Pod};
 use aputil::{CellId, VAddr};
 use crossbeam::channel::{Receiver, Sender};
@@ -219,6 +219,14 @@ impl Cell {
     /// increment at the respective DMA completions; pass [`VAddr::NULL`]
     /// for "no flag". With `ack`, an acknowledge GET probe is issued after
     /// the PUT (§4.1); await it with [`Cell::wait_acks`].
+    ///
+    /// Transfers larger than one DMA operation (4 MB, §4.1) are split
+    /// into maximal chunks, issued in order. The in-order T-net delivers
+    /// the chunks in issue order, so the flags and the acknowledge probe
+    /// ride only on the *last* chunk and still signal completion of the
+    /// whole transfer — each flag increments exactly once per `put` call.
+    /// A zero-byte `put` is rejected by issue-time validation like any
+    /// other empty transfer.
     #[allow(clippy::too_many_arguments)] // §3.1's own argument list
     pub fn put(
         &mut self,
@@ -230,16 +238,41 @@ impl Cell {
         recv_flag: VAddr,
         ack: bool,
     ) {
-        self.put_stride(
-            dst,
-            raddr,
-            laddr,
-            StrideSpec::contiguous(bytes),
-            StrideSpec::contiguous(bytes),
-            send_flag,
-            recv_flag,
-            ack,
-        );
+        for (off, spec, last) in Self::dma_chunks(bytes) {
+            self.put_stride(
+                dst,
+                raddr + off,
+                laddr + off,
+                spec,
+                spec,
+                if last { send_flag } else { VAddr::NULL },
+                if last { recv_flag } else { VAddr::NULL },
+                ack && last,
+            );
+        }
+    }
+
+    /// Splits a contiguous transfer into `(offset, spec, is_last)` DMA
+    /// chunks of at most [`MAX_DMA_BYTES`]. Zero bytes yields one empty
+    /// (`count == 0`) chunk so issue-time validation reports the
+    /// zero-length transfer instead of a panic in spec construction.
+    fn dma_chunks(bytes: u64) -> Vec<(u64, StrideSpec, bool)> {
+        if bytes == 0 {
+            let empty = StrideSpec {
+                item_size: 1,
+                count: 0,
+                skip: 1,
+            };
+            return vec![(0, empty, true)];
+        }
+        let mut chunks = Vec::new();
+        let mut off = 0;
+        while off < bytes {
+            let len = (bytes - off).min(MAX_DMA_BYTES);
+            chunks.push((off, StrideSpec::contiguous(len), off + len == bytes));
+            off += len;
+        }
+        chunks
     }
 
     /// Strided PUT: gathers `send` at `laddr`, scatters `recv` at `raddr`
@@ -289,6 +322,10 @@ impl Cell {
     /// into local `laddr` (§3.1). Non-blocking: completion is observed via
     /// `recv_flag` (local, incremented when the reply lands); `send_flag`
     /// increments on the remote cell when the reply leaves it.
+    ///
+    /// Like [`Cell::put`], transfers beyond the 4 MB DMA limit are split
+    /// into in-order chunks with both flags riding on the last one, so
+    /// each flag increments exactly once per `get` call.
     pub fn get(
         &mut self,
         src: usize,
@@ -298,15 +335,17 @@ impl Cell {
         send_flag: VAddr,
         recv_flag: VAddr,
     ) {
-        self.get_stride(
-            src,
-            raddr,
-            laddr,
-            StrideSpec::contiguous(bytes),
-            StrideSpec::contiguous(bytes),
-            send_flag,
-            recv_flag,
-        );
+        for (off, spec, last) in Self::dma_chunks(bytes) {
+            self.get_stride(
+                src,
+                raddr + off,
+                laddr + off,
+                spec,
+                spec,
+                if last { send_flag } else { VAddr::NULL },
+                if last { recv_flag } else { VAddr::NULL },
+            );
+        }
     }
 
     /// Strided GET (§3.1 `get_stride`).

@@ -159,7 +159,51 @@ impl Kernel {
         if self.done < n {
             return Err(ApError::Deadlock(Box::new(self.deadlock_report())));
         }
+        self.check_drained()?;
         Ok(self.clock.now())
+    }
+
+    /// Verifies that a completed run left no hardware or bookkeeping state
+    /// behind: no queued transmit entries, no busy send DMA, no in-flight
+    /// latency attributions, no blocked-cell records, no half-finished
+    /// collective. Undelivered ring-buffer messages are *not* a leak — a
+    /// program may legitimately finish without receiving every SEND.
+    fn check_drained(&self) -> ApResult<()> {
+        let mut leaks = Vec::new();
+        for (i, hw) in self.machine.cells.iter().enumerate() {
+            let pending = hw.total_pending();
+            if pending > 0 {
+                leaks.push(format!("cell{i}: {pending} queued tx entries"));
+            }
+            if hw.send_busy || hw.active_tx.is_some() {
+                leaks.push(format!("cell{i}: send DMA still active"));
+            }
+        }
+        if !self.xfers.is_empty() {
+            let mut tids: Vec<u64> = self.xfers.keys().copied().collect();
+            tids.sort_unstable();
+            leaks.push(format!("unfinished transfer attributions (tids {tids:?})"));
+        }
+        let blocked_records = self.flag_waiters.len()
+            + self.recv_waiters.len()
+            + self.reg_waiters.len()
+            + self.fence_waiters.len()
+            + self.load_waiters.len()
+            + self.send_waiters.len()
+            + self.barrier_since.len();
+        if blocked_records > 0 {
+            leaks.push(format!("{blocked_records} blocked-cell records"));
+        }
+        if self.bcast.is_some() {
+            leaks.push("incomplete bcast collective".to_string());
+        }
+        if leaks.is_empty() {
+            Ok(())
+        } else {
+            Err(ApError::StateLeak {
+                detail: leaks.join("; "),
+            })
+        }
     }
 
     /// Snapshot of every still-blocked cell — why it is blocked, since
@@ -521,7 +565,7 @@ impl Kernel {
             }
             Request::Barrier => {
                 self.record(cell, Op::Barrier);
-                if let Some(release) = self.machine.snet.arrive(cid, now) {
+                if let Some(release) = self.machine.snet.arrive(cid, now)? {
                     let epoch = self.machine.snet.epochs();
                     let waiters: Vec<(u32, SimTime)> = self.barrier_since.drain().collect();
                     for (c, since) in waiters {
@@ -1062,47 +1106,23 @@ impl Kernel {
 
     fn arrive(&mut self, dst: u32, pkt: Packet, tid: u64) -> ApResult<()> {
         let now = self.now();
-        let did = CellId::new(dst);
         match pkt {
-            Packet::GetReq {
-                src,
-                raddr,
-                send_stride,
-                send_flag,
-                reply_laddr,
-                reply_stride,
-                reply_flag,
-            } => {
-                // Enter the reply queue; the send controller answers
-                // automatically (§3.2 "the message handler must reply to
-                // the GET request automatically").
-                self.push_tx(
-                    dst,
-                    TxQueue::GetReply,
-                    tid,
-                    TxJob::GetReply {
-                        requester: src,
-                        raddr,
-                        send_stride,
-                        send_flag,
-                        reply_laddr,
-                        reply_stride,
-                        reply_flag,
-                    },
-                    now,
-                );
-                self.evq.push(now, Ev::SendPop { cell: dst });
-            }
-            Packet::RemoteLoadReq { src, raddr, size } => {
-                let data = self.machine.dsm_read(did, raddr.as_u64(), size)?;
-                self.push_tx(
-                    dst,
-                    TxQueue::RemoteReply,
-                    tid,
-                    TxJob::RemoteLoadReplyTx { dst: src, data },
-                    now,
-                );
-                self.evq.push(now, Ev::SendPop { cell: dst });
+            pkt @ (Packet::GetReq { .. } | Packet::RemoteLoadReq { .. }) => {
+                // The MSC+ message handler serves arrivals strictly in
+                // order: a request may not be answered before every
+                // earlier-arriving payload has been deposited by the
+                // receive DMA. That ordering is what makes the §4.1
+                // acknowledge scheme sound — a PUT's ack-probe reply must
+                // not overtake the PUT data it acknowledges — and is
+                // equally what lets a DSM remote load observe an
+                // earlier-arriving remote store. A zero-duration receive
+                // reservation places the request behind all queued
+                // deliveries without consuming DMA bandwidth.
+                let (_, end) = self.machine.cells[dst as usize]
+                    .recv_dma
+                    .reserve(now, SimTime::ZERO);
+                self.charge_xfer(tid, Seg::Delivery, end);
+                self.evq.push(end, Ev::RecvDone { dst, pkt, tid });
             }
             Packet::RemoteStoreAck { .. } => {
                 let hw = &mut self.machine.cells[dst as usize];
@@ -1184,6 +1204,46 @@ impl Kernel {
         let now = self.now();
         let did = CellId::new(dst);
         match pkt {
+            Packet::GetReq {
+                src,
+                raddr,
+                send_stride,
+                send_flag,
+                reply_laddr,
+                reply_stride,
+                reply_flag,
+            } => {
+                // Enter the reply queue; the send controller answers
+                // automatically (§3.2 "the message handler must reply to
+                // the GET request automatically").
+                self.push_tx(
+                    dst,
+                    TxQueue::GetReply,
+                    tid,
+                    TxJob::GetReply {
+                        requester: src,
+                        raddr,
+                        send_stride,
+                        send_flag,
+                        reply_laddr,
+                        reply_stride,
+                        reply_flag,
+                    },
+                    now,
+                );
+                self.evq.push(now, Ev::SendPop { cell: dst });
+            }
+            Packet::RemoteLoadReq { src, raddr, size } => {
+                let data = self.machine.dsm_read(did, raddr.as_u64(), size)?;
+                self.push_tx(
+                    dst,
+                    TxQueue::RemoteReply,
+                    tid,
+                    TxJob::RemoteLoadReplyTx { dst: src, data },
+                    now,
+                );
+                self.evq.push(now, Ev::SendPop { cell: dst });
+            }
             Packet::PutData {
                 raddr,
                 recv_stride,

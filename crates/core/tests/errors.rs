@@ -53,14 +53,82 @@ fn mismatched_put_strides_are_rejected() {
 
 #[test]
 fn oversized_dma_is_rejected() {
+    use apcore::StrideSpec;
+    // The contiguous `put` API chunks transparently (next test), but an
+    // explicit stride spec beyond the 4 MB single-DMA maximum of §4.1
+    // must still be rejected.
     let err = run_with(cfg(2).with_mem_size(32 << 20), |cell| {
         let buf = cell.alloc_bytes(8 << 20);
-        // 8 MB exceeds the 4 MB single-DMA maximum of §4.1.
-        cell.put(1, buf, buf, 8 << 20, VAddr::NULL, VAddr::NULL, false);
+        cell.put_stride(
+            1,
+            buf,
+            buf,
+            StrideSpec::new(1 << 20, 8, 1 << 20),
+            StrideSpec::new(1 << 20, 8, 1 << 20),
+            VAddr::NULL,
+            VAddr::NULL,
+            false,
+        );
     })
     .unwrap_err();
     match err {
         ApError::InvalidArg(msg) => assert!(msg.contains("4 MB"), "msg: {msg}"),
+        other => panic!("expected InvalidArg, got {other}"),
+    }
+}
+
+#[test]
+fn large_put_chunks_at_dma_limit() {
+    // A 9 MB contiguous put splits into 4 + 4 + 1 MB chunks; the in-order
+    // T-net delivers them in sequence, the recv flag rides the last chunk
+    // and bumps exactly once, and every byte lands intact.
+    const BYTES: u64 = 9 << 20;
+    let r = run_with(cfg(2).with_mem_size(32 << 20), |cell| {
+        let buf = cell.alloc_bytes(BYTES);
+        let flag = cell.alloc_flag();
+        let words = (BYTES / 8) as usize;
+        if cell.id() == 0 {
+            let data: Vec<u64> = (0..words as u64)
+                .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                .collect();
+            cell.write_slice(buf, &data);
+            cell.put(1, buf, buf, BYTES, VAddr::NULL, flag, false);
+            cell.barrier();
+            0u64
+        } else {
+            cell.wait_flag(flag, 1);
+            let got: Vec<u64> = cell.read_slice(buf, words);
+            let ok = got
+                .iter()
+                .enumerate()
+                .all(|(i, &w)| w == (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let flag_val = cell.read_flag(flag) as u64;
+            cell.barrier();
+            u64::from(ok) | (flag_val << 1)
+        }
+    })
+    .unwrap();
+    assert_eq!(r.outputs[1] & 1, 1, "payload corrupted across chunks");
+    assert_eq!(r.outputs[1] >> 1, 1, "recv flag must bump exactly once");
+    let puts: usize = r
+        .trace
+        .pe(CellId::new(0))
+        .ops
+        .iter()
+        .filter(|op| matches!(op, aptrace::Op::Put { .. }))
+        .count();
+    assert_eq!(puts, 3, "9 MB should issue as three DMA chunks");
+}
+
+#[test]
+fn zero_byte_get_is_rejected() {
+    let err = run_with(cfg(2), |cell| {
+        let buf = cell.alloc::<f64>(1);
+        cell.get(1, buf, buf, 0, VAddr::NULL, VAddr::NULL);
+    })
+    .unwrap_err();
+    match err {
+        ApError::InvalidArg(msg) => assert!(msg.contains("zero-length"), "msg: {msg}"),
         other => panic!("expected InvalidArg, got {other}"),
     }
 }

@@ -438,8 +438,12 @@ fn zero_length_put_is_rejected() {
         cell.put(1, buf, buf, 0, VAddr::NULL, VAddr::NULL, false);
     })
     .unwrap_err();
-    // StrideSpec::contiguous(0) panics inside the program -> CellFailed.
-    assert!(matches!(err, ApError::CellFailed { .. }), "got {err}");
+    // Issue-time validation rejects the empty transfer with a structured
+    // error instead of panicking the cell in spec construction.
+    match err {
+        ApError::InvalidArg(msg) => assert!(msg.contains("zero-length"), "msg: {msg}"),
+        other => panic!("expected InvalidArg, got {other}"),
+    }
 }
 
 #[test]

@@ -206,6 +206,54 @@ impl DivergenceReport {
         ])
     }
 
+    /// Structural sanity check used by differential fuzzing: both
+    /// simulators replay the *same* trace, so for every event class whose
+    /// span count is fixed by the trace (one span per traced op —
+    /// timing-dependent classes like `wait_flag` are excluded), the counts
+    /// must agree exactly, and every segment mean must be a finite,
+    /// non-negative number. Timing *differences* are expected (that is the
+    /// report's whole purpose); count or shape differences mean one side
+    /// dropped or invented an operation.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first structural problem found.
+    pub fn check(&self) -> Result<(), String> {
+        // One span per traced op under both the emulator and the replay.
+        const COUNT_STABLE: &[&str] = &[
+            "work",
+            "rts",
+            "put_issue",
+            "get_issue",
+            "send_call",
+            "barrier",
+            "bcast",
+            "reg_store",
+            "remote_store",
+        ];
+        for row in &self.ops {
+            if COUNT_STABLE.contains(&row.name.as_str()) && row.emulator_count != row.model_count {
+                return Err(format!(
+                    "op `{}` span count diverged: emulator {} vs model {}",
+                    row.name, row.emulator_count, row.model_count
+                ));
+            }
+        }
+        for (kind, rows) in [("put", &self.put_segments), ("get", &self.get_segments)] {
+            for d in rows.iter() {
+                for (side, mean) in [("emulator", d.emulator_mean), ("model", d.model_mean)] {
+                    if !mean.is_finite() || mean < 0.0 {
+                        return Err(format!(
+                            "{kind} segment `{}` has a bad {side} mean: {mean}",
+                            d.segment
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Human rendering: the top disagreements, widest first.
     pub fn render(&self, k: usize) -> String {
         let mut out = format!(
@@ -279,6 +327,27 @@ mod tests {
         assert_eq!(names, ["recv_intr", "queue_refill"]);
         assert_eq!(d.ops[1].model, SimTime::ZERO);
         assert!(d.ops[0].ratio().is_infinite());
+    }
+
+    #[test]
+    fn check_catches_count_divergence_on_stable_ops() {
+        let mut emu = Timeline::new("emulator");
+        span(&mut emu, 0, "put_issue", 0, 10);
+        span(&mut emu, 0, "put_issue", 10, 10);
+        span(&mut emu, 0, "wait_flag", 20, 5);
+        let mut model = Timeline::new("m");
+        span(&mut model, 0, "put_issue", 0, 30);
+        span(&mut model, 0, "put_issue", 30, 30);
+        // wait_flag count differs, but it is timing-dependent: allowed.
+        let c = apobs::Counters::new();
+        let d = divergence(&emu, &model, &c, &c);
+        assert!(d.check().is_ok(), "{:?}", d.check());
+
+        let mut short = Timeline::new("m");
+        span(&mut short, 0, "put_issue", 0, 30);
+        let d = divergence(&emu, &short, &c, &c);
+        let err = d.check().unwrap_err();
+        assert!(err.contains("put_issue"), "err: {err}");
     }
 
     #[test]

@@ -1,0 +1,99 @@
+//! Replays the checked-in fuzz regression corpus (`tests/corpus/*.ron`).
+//!
+//! Every file is a standalone reproducer for a bug the differential
+//! fuzzer once caught (shrunk and annotated) or a hand-written edge case
+//! worth pinning forever. Each gets its own named `#[test]` so a
+//! regression names the exact scenario that broke, and a completeness
+//! test fails when a corpus file is added without its named test (or a
+//! test outlives its file).
+
+use std::path::{Path, PathBuf};
+
+fn corpus_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
+}
+
+/// Replays one corpus file through the full differential pipeline.
+fn replay(name: &str) {
+    let path = corpus_dir().join(name);
+    let text =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    let prog = apfuzz::from_ron(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+    if let Err(violation) = apfuzz::run_program(&prog) {
+        panic!("corpus regression in {name}: {violation}");
+    }
+}
+
+/// Every corpus file must appear here; `corpus_is_fully_replayed` below
+/// enforces the correspondence in both directions.
+const CORPUS: &[&str] = &[
+    "ack-overtake-unflagged-put.ron",
+    "chunked-put-over-4mb.ron",
+    "nonsquare-torus-long-haul.ron",
+    "overlapping-stride-rejected.ron",
+    "prime-cells-mixed-traffic.ron",
+    "single-cell-loopback.ron",
+    "stride-total-mismatch-rejected.ron",
+    "zero-length-put-rejected.ron",
+];
+
+#[test]
+fn corpus_ack_overtake_unflagged_put() {
+    replay("ack-overtake-unflagged-put.ron");
+}
+
+#[test]
+fn corpus_chunked_put_over_4mb() {
+    replay("chunked-put-over-4mb.ron");
+}
+
+#[test]
+fn corpus_nonsquare_torus_long_haul() {
+    replay("nonsquare-torus-long-haul.ron");
+}
+
+#[test]
+fn corpus_overlapping_stride_rejected() {
+    replay("overlapping-stride-rejected.ron");
+}
+
+#[test]
+fn corpus_prime_cells_mixed_traffic() {
+    replay("prime-cells-mixed-traffic.ron");
+}
+
+#[test]
+fn corpus_single_cell_loopback() {
+    replay("single-cell-loopback.ron");
+}
+
+#[test]
+fn corpus_stride_total_mismatch_rejected() {
+    replay("stride-total-mismatch-rejected.ron");
+}
+
+#[test]
+fn corpus_zero_length_put_rejected() {
+    replay("zero-length-put-rejected.ron");
+}
+
+/// The directory listing and the `CORPUS` table must agree exactly, so a
+/// shrunk reproducer dropped into `tests/corpus/` cannot be silently
+/// forgotten (and a deleted file cannot leave a dangling test).
+#[test]
+fn corpus_is_fully_replayed() {
+    let mut on_disk: Vec<String> = std::fs::read_dir(corpus_dir())
+        .expect("read corpus dir")
+        .map(|e| e.expect("dir entry").file_name().into_string().unwrap())
+        .filter(|n| n.ends_with(".ron"))
+        .collect();
+    on_disk.sort();
+    let mut listed: Vec<String> = CORPUS.iter().map(|s| s.to_string()).collect();
+    listed.sort();
+    assert_eq!(
+        on_disk, listed,
+        "tests/corpus/*.ron and the CORPUS table in tests/fuzz_corpus.rs \
+         are out of sync: add a named #[test] (and a CORPUS entry) for \
+         every new reproducer"
+    );
+}
