@@ -6,6 +6,7 @@
 //! controller injects into the T-net, and what the receive controller
 //! parses on the other side.
 
+use crate::payload::Payload;
 use crate::stride::StrideSpec;
 use aputil::{CellId, VAddr};
 
@@ -173,7 +174,7 @@ pub enum Packet {
         /// Receiver flag (0 = none).
         recv_flag: VAddr,
         /// The gathered payload bytes.
-        payload: Vec<u8>,
+        payload: Payload,
     },
     /// GET request: no payload, asks the remote MSC+ to reply.
     GetReq {
@@ -203,14 +204,14 @@ pub enum Packet {
         /// Requester flag (0 = none).
         recv_flag: VAddr,
         /// Gathered payload (empty for an ack probe).
-        payload: Vec<u8>,
+        payload: Payload,
     },
     /// SEND-model message bound for the destination's ring buffer (§4.3).
     RingMsg {
         /// Sending cell.
         src: CellId,
         /// Message body.
-        payload: Vec<u8>,
+        payload: Payload,
     },
     /// Hardware-generated remote store (distributed shared memory, §4.2).
     RemoteStore {
@@ -219,7 +220,7 @@ pub enum Packet {
         /// Local physical offset at the owner (already DSM-resolved).
         raddr: VAddr,
         /// The stored bytes.
-        payload: Vec<u8>,
+        payload: Payload,
     },
     /// Acknowledge for a remote store (automatic, §4.2).
     RemoteStoreAck {
@@ -240,7 +241,7 @@ pub enum Packet {
         /// Owner cell that served the load.
         src: CellId,
         /// The loaded bytes.
-        payload: Vec<u8>,
+        payload: Payload,
     },
     /// Store into a remote cell's communication register (§4.4: the
     /// registers live in shared memory space, so a store to one is a small
@@ -399,7 +400,7 @@ mod tests {
             raddr: VAddr::new(0x100),
             recv_stride: StrideSpec::contiguous(100),
             recv_flag: VAddr::NULL,
-            payload: vec![0u8; 100],
+            payload: Payload::from(vec![0u8; 100]),
         };
         assert_eq!(p.payload_bytes(), 100);
         assert_eq!(p.wire_bytes(), 100 + HEADER_BYTES);

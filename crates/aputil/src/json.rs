@@ -141,7 +141,12 @@ impl Json {
     pub fn as_u64(&self) -> Option<u64> {
         match self {
             Json::U(v) => Some(*v),
-            Json::F(f) if *f >= 0.0 && f.fract() == 0.0 && *f <= u64::MAX as f64 => Some(*f as u64),
+            // Strict upper bound: `u64::MAX as f64` rounds up to 2^64, so a
+            // `<=` comparison would admit a float of exactly 2^64 whose
+            // `as u64` cast silently saturates to `u64::MAX`. Every integral
+            // float strictly below 2^64 (the largest is 2^64 - 2048)
+            // converts exactly.
+            Json::F(f) if *f >= 0.0 && f.fract() == 0.0 && *f < u64::MAX as f64 => Some(*f as u64),
             _ => None,
         }
     }
@@ -497,6 +502,28 @@ mod tests {
         let big = u64::MAX - 1;
         let v = Json::from(big);
         assert_eq!(Json::parse(&v.to_string()).unwrap().as_u64(), Some(big));
+    }
+
+    #[test]
+    fn as_u64_float_boundaries() {
+        // 2^64 is exactly representable as f64 and is out of range: the
+        // old `<= u64::MAX as f64` bound let it through and the cast
+        // saturated to u64::MAX.
+        let two_pow_64 = 18446744073709551616.0_f64;
+        assert_eq!(Json::F(two_pow_64).as_u64(), None);
+        assert_eq!(Json::F(two_pow_64 * 2.0).as_u64(), None);
+        // The largest representable f64 below 2^64 (2^64 - 2048) converts
+        // exactly.
+        let below = 18446744073709549568.0_f64;
+        assert!(below < two_pow_64);
+        assert_eq!(Json::F(below).as_u64(), Some(18446744073709549568));
+        // Ordinary integral floats, zero, and rejections stay as before.
+        assert_eq!(Json::F(42.0).as_u64(), Some(42));
+        assert_eq!(Json::F(0.0).as_u64(), Some(0));
+        assert_eq!(Json::F(-1.0).as_u64(), None);
+        assert_eq!(Json::F(1.5).as_u64(), None);
+        assert_eq!(Json::F(f64::NAN).as_u64(), None);
+        assert_eq!(Json::F(f64::INFINITY).as_u64(), None);
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! repro all    [--scale s]     # everything above, one suite run
 //! repro bench  --bench-out F   # versioned machine-readable bench report
 //! repro compare BASE CUR       # diff two bench reports, exit 1 on regression
+//! repro sweep  --bench-out F   # parallel app × size × factor grid sweep
 //! ```
 //!
 //! Suite-running commands also accept `--json` (machine-readable rows on
@@ -28,13 +29,21 @@
 //! 10) slower than in BASE — the perf-regression gate CI runs against
 //! `results/BENCH_baseline.json`.
 //!
+//! `repro sweep --bench-out FILE [--apps A,B] [--sizes default,4,8]
+//! [--factors 0.5,1.0] [--threads N] [--scale test|paper] [--rev REV]`
+//! fans the app × machine-size × computation-factor grid across N host
+//! threads (default: all cores) and writes the merged `ap1000plus.bench`
+//! report in deterministic grid order — byte-identical for any N. Failed
+//! grid points are reported on stderr and make the command exit 1.
+//!
 //! `--scale test` uses small instances (seconds); the default `paper`
 //! scale uses the reduced-but-paper-shaped instances documented in
 //! DESIGN.md/EXPERIMENTS.md.
 
 use apbench::{
-    compare_reports, crosscheck, fig6, fig7, fig8, fig8_ascii, markdown_report, parse_scale,
-    report, run_suite, suite_json, table1, table2, table3, write_bench_report,
+    bench_report, compare_reports, crosscheck, fig6, fig7, fig8, fig8_ascii, markdown_report,
+    parse_scale, report, run_suite, run_sweep, suite_json, table1, table2, table3,
+    write_bench_report, SweepConfig, SWEEP_APPS,
 };
 use std::path::Path;
 use std::time::Instant;
@@ -86,6 +95,89 @@ fn compare_cmd(args: &[String]) -> ! {
     }
 }
 
+fn sweep_cmd(args: &[String]) -> ! {
+    let Some(out_path) = flag_value(args, "--bench-out") else {
+        eprintln!(
+            "usage: repro sweep --bench-out FILE [--apps A,B,..] [--sizes default,4,8] \
+             [--factors 0.5,1.0] [--threads N] [--scale test|paper] [--rev REV] [--markdown]"
+        );
+        std::process::exit(2);
+    };
+    let bad = |msg: String| -> ! {
+        eprintln!("{msg}");
+        std::process::exit(2);
+    };
+    let apps: Vec<String> = match flag_value(args, "--apps") {
+        Some(list) => list.split(',').map(str::to_string).collect(),
+        None => SWEEP_APPS.iter().map(|s| s.to_string()).collect(),
+    };
+    let sizes: Vec<Option<u32>> = match flag_value(args, "--sizes") {
+        Some(list) => list
+            .split(',')
+            .map(|s| match s {
+                "default" => None,
+                n => Some(
+                    n.parse()
+                        .unwrap_or_else(|_| bad(format!("--sizes takes PE counts, got '{n}'"))),
+                ),
+            })
+            .collect(),
+        None => vec![None],
+    };
+    let factors: Vec<f64> = match flag_value(args, "--factors") {
+        Some(list) => list
+            .split(',')
+            .map(|s| {
+                s.parse()
+                    .unwrap_or_else(|_| bad(format!("--factors takes numbers, got '{s}'")))
+            })
+            .collect(),
+        None => vec![1.0],
+    };
+    let threads: usize = match flag_value(args, "--threads") {
+        Some(s) => s
+            .parse()
+            .unwrap_or_else(|_| bad(format!("--threads takes a count, got '{s}'"))),
+        None => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+    };
+    let cfg = SweepConfig {
+        scale: parse_scale(args),
+        apps,
+        sizes,
+        factors,
+        threads,
+    };
+    let grid_len = cfg.grid().len();
+    eprintln!(
+        "sweeping {grid_len} grid points ({} apps x {} sizes x {} factors) on {} threads at \
+         {:?} scale...",
+        cfg.apps.len(),
+        cfg.sizes.len(),
+        cfg.factors.len(),
+        cfg.threads,
+        cfg.scale
+    );
+    let t0 = Instant::now();
+    let out = run_sweep(&cfg);
+    eprintln!(
+        "sweep done in {:.1}s: {} points ok, {} failed",
+        t0.elapsed().as_secs_f64(),
+        out.rows.len(),
+        out.failures.len()
+    );
+    let rev = flag_value(args, "--rev");
+    let doc = bench_report(&out.rows, cfg.scale, rev.as_deref());
+    std::fs::write(&out_path, doc.to_string()).expect("write sweep report");
+    eprintln!("wrote sweep report to {out_path}");
+    if args.iter().any(|a| a == "--markdown") {
+        print!("{}", report::table2_markdown(&out.rows));
+    }
+    for f in &out.failures {
+        eprintln!("  FAILED  {f}");
+    }
+    std::process::exit(if out.failures.is_empty() { 0 } else { 1 });
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(String::as_str).unwrap_or("all");
@@ -112,6 +204,7 @@ fn main() {
             print!("{}", apbench::ablations(scale));
         }
         "compare" => compare_cmd(&args),
+        "sweep" => sweep_cmd(&args),
         "table2" | "table3" | "fig8" | "all" | "bench" => {
             let scale = parse_scale(&args);
             if cmd == "bench" && bench_out.is_none() {
@@ -181,9 +274,10 @@ fn main() {
         other => {
             eprintln!("unknown command '{other}'");
             eprintln!(
-                "usage: repro [table1|fig6|fig7|table2|table3|fig8|ablations|all|bench|compare] \
-                 [--scale test|paper] [--json] [--ascii] [--markdown] [--trace-out FILE] \
-                 [--bench-out FILE] [--rev REV] [--md-out FILE] [--threshold PCT]"
+                "usage: repro [table1|fig6|fig7|table2|table3|fig8|ablations|all|bench|compare|\
+                 sweep] [--scale test|paper] [--json] [--ascii] [--markdown] [--trace-out FILE] \
+                 [--bench-out FILE] [--rev REV] [--md-out FILE] [--threshold PCT] [--apps A,B] \
+                 [--sizes default,4] [--factors 0.5,1.0] [--threads N]"
             );
             std::process::exit(2);
         }

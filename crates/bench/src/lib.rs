@@ -16,15 +16,18 @@ use mlsim::{
 };
 
 pub mod report;
+pub mod sweep;
 pub use report::{
     bench_report, compare_reports, markdown_report, write_bench_report, CompareReport, Regression,
     BENCH_SCHEMA, BENCH_SCHEMA_VERSION,
 };
+pub use sweep::{run_sweep, SweepConfig, SweepOutcome, SweepPoint, SWEEP_APPS};
 
 /// Everything measured for one application.
 pub struct ExperimentRow {
-    /// Table row label.
-    pub name: &'static str,
+    /// Table row label (a Table-2 name, or a sweep point label like
+    /// `"CG pe16 cf0.50"`).
+    pub name: String,
     /// PE count.
     pub pe: u32,
     /// Table-3 statistics from the trace.
@@ -50,6 +53,12 @@ pub struct ExperimentRow {
     /// Emulator-vs-MLSim(AP1000+) per-op divergence (`None` unless
     /// timeline recording was enabled).
     pub divergence: Option<DivergenceReport>,
+    /// Host wall-clock milliseconds spent on this experiment (emulate +
+    /// replays). Filled by [`run_suite`], left `None` by the sweep
+    /// driver. Informational only: it appears in `--json` output but is
+    /// stripped from the versioned bench report so baselines and sweep
+    /// outputs stay byte-reproducible; `repro compare` never reads it.
+    pub host_ms: Option<f64>,
 }
 
 impl ExperimentRow {
@@ -70,6 +79,13 @@ impl ExperimentRow {
 
     /// Machine-readable form of everything in this row.
     pub fn to_json(&self) -> Json {
+        self.to_json_with_host(true)
+    }
+
+    /// [`to_json`](Self::to_json) with `host_ms` optionally left out —
+    /// the versioned bench report strips it so baselines and sweep
+    /// outputs are byte-reproducible across machines and runs.
+    pub(crate) fn to_json_with_host(&self, include_host: bool) -> Json {
         let (sp_plus, sp_star) = self.table2();
         let (f8_plus, f8_star) = self.fig8();
         let fig8_json = |r: &Fig8Row| {
@@ -88,7 +104,7 @@ impl ExperimentRow {
             ])
         };
         let mut members = vec![
-            ("app", Json::Str(self.name.to_string())),
+            ("app", Json::Str(self.name.clone())),
             ("pe", Json::U(self.pe as u64)),
             (
                 "stats",
@@ -124,6 +140,11 @@ impl ExperimentRow {
         }
         if let Some(d) = &self.divergence {
             members.push(("divergence", d.to_json()));
+        }
+        if include_host {
+            if let Some(ms) = self.host_ms {
+                members.push(("host_ms", Json::F(ms)));
+            }
         }
         Json::obj(members)
     }
@@ -166,7 +187,7 @@ pub fn run_experiment(w: &dyn Workload) -> ExperimentRow {
     let divergence = analyze
         .then(|| mlsim::divergence(&timeline, &plus.timeline, &report.counters, &plus.counters));
     ExperimentRow {
-        name: w.name(),
+        name: w.name().to_string(),
         pe: w.pe(),
         stats,
         ap1000,
@@ -177,15 +198,47 @@ pub fn run_experiment(w: &dyn Workload) -> ExperimentRow {
         timeline,
         critpath,
         divergence,
+        host_ms: None,
     }
 }
 
-/// Runs the full suite at `scale`.
+/// Runs the full suite at `scale`, fanning the workloads across host
+/// threads (each simulation is fully independent). Rows come back in
+/// Table-2 order regardless of completion order, and every simulated
+/// number is identical to a serial run — only host wall-clock changes.
 pub fn run_suite(scale: Scale) -> Vec<ExperimentRow> {
-    standard_suite(scale)
-        .iter()
-        .map(|w| run_experiment(w.as_ref()))
-        .collect()
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let suite = standard_suite(scale);
+    let n = suite.len();
+    let workers = std::thread::available_parallelism()
+        .map_or(1, std::num::NonZeroUsize::get)
+        .min(n)
+        .max(1);
+    let next = AtomicUsize::new(0);
+    let mut collected: Vec<(usize, ExperimentRow)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(w) = suite.get(i) else { break };
+                        let t0 = std::time::Instant::now();
+                        let mut row = run_experiment(w.as_ref());
+                        row.host_ms = Some(t0.elapsed().as_secs_f64() * 1e3);
+                        out.push((i, row));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("suite worker panicked"))
+            .collect()
+    });
+    collected.sort_by_key(|&(i, _)| i);
+    collected.into_iter().map(|(_, r)| r).collect()
 }
 
 /// Renders Table 1 (AP1000+ specifications).
@@ -329,7 +382,7 @@ pub fn fig8_ascii(rows: &[ExperimentRow]) -> String {
                 ('.', row.idle),
             ] {
                 let cols = (val * scale).round() as usize;
-                bar.extend(std::iter::repeat(ch).take(cols));
+                bar.extend(std::iter::repeat_n(ch, cols));
             }
             s.push_str(&format!(
                 "{:10} {:8} {:<62} {:>6.1}\n",

@@ -34,7 +34,13 @@ pub fn bench_report(rows: &[ExperimentRow], scale: Scale, rev: Option<&str>) -> 
     if let Some(rev) = rev {
         members.push(("rev", Json::from(rev)));
     }
-    members.push(("apps", crate::suite_json(rows)));
+    // Strip host wall-clock from the versioned report: baselines are
+    // checked in and sweep outputs are compared byte-for-byte across
+    // thread counts, so only simulated (reproducible) numbers belong.
+    members.push((
+        "apps",
+        Json::Arr(rows.iter().map(|r| r.to_json_with_host(false)).collect()),
+    ));
     Json::obj(members)
 }
 
@@ -62,9 +68,23 @@ pub struct Regression {
 }
 
 impl Regression {
-    /// Slowdown over baseline, in percent.
+    /// Slowdown over baseline, in percent. A zero-ns baseline has no
+    /// finite slowdown: any nonzero current value is reported as
+    /// `f64::INFINITY` (and regresses at every threshold); zero-to-zero
+    /// is 0%.
     pub fn pct(&self) -> f64 {
+        if self.base_ns == 0 {
+            return if self.cur_ns == 0 { 0.0 } else { f64::INFINITY };
+        }
         (self.cur_ns as f64 / self.base_ns as f64 - 1.0) * 100.0
+    }
+
+    fn pct_display(&self) -> String {
+        if self.pct().is_infinite() {
+            "new cost on a 0 ns baseline".to_string()
+        } else {
+            format!("+{:.1}%", self.pct())
+        }
     }
 }
 
@@ -100,12 +120,12 @@ impl CompareReport {
         }
         for r in &self.regressions {
             out.push_str(&format!(
-                "  REGRESSION  {} {}: {} -> {} ns (+{:.1}%)\n",
+                "  REGRESSION  {} {}: {} -> {} ns ({})\n",
                 r.app,
                 r.metric,
                 r.base_ns,
                 r.cur_ns,
-                r.pct()
+                r.pct_display()
             ));
         }
         out
@@ -185,7 +205,14 @@ pub fn compare_reports(
                 continue;
             };
             out.checked += 1;
-            if base_ns > 0 && *cur_ns as f64 > base_ns as f64 * limit {
+            // A 0 ns baseline can't scale by a percentage threshold: any
+            // nonzero current value is new cost and regresses outright.
+            let regressed = if base_ns == 0 {
+                *cur_ns > 0
+            } else {
+                *cur_ns as f64 > base_ns as f64 * limit
+            };
+            if regressed {
                 out.regressions.push(Regression {
                     app: name.clone(),
                     metric,
@@ -321,6 +348,37 @@ mod tests {
         let cur = report_json(vec![app_json("EP", 1090, 540)]);
         assert!(compare_reports(&base, &cur, 10.0).unwrap().pass());
         assert!(!compare_reports(&base, &cur, 5.0).unwrap().pass());
+    }
+
+    #[test]
+    fn zero_baseline_regresses_on_any_new_cost() {
+        let base = report_json(vec![app_json("EP", 0, 0)]);
+        let cur = report_json(vec![app_json("EP", 1, 0)]);
+        let cmp = compare_reports(&base, &cur, 10.0).unwrap();
+        assert!(!cmp.pass(), "new cost on a 0 ns baseline must regress");
+        assert_eq!(cmp.regressions.len(), 1);
+        let r = &cmp.regressions[0];
+        assert!(r.pct().is_infinite() && r.pct() > 0.0);
+        // No inf/NaN leaks into the rendering.
+        let rendered = cmp.render();
+        assert!(rendered.contains("0 ns baseline"), "{rendered}");
+        assert!(
+            !rendered.contains("inf") && !rendered.contains("NaN"),
+            "{rendered}"
+        );
+        // Zero-to-zero is not a regression.
+        let cmp = compare_reports(&base, &base, 10.0).unwrap();
+        assert!(cmp.pass());
+        assert_eq!(
+            Regression {
+                app: "EP".into(),
+                metric: "emulator_total_ns".into(),
+                base_ns: 0,
+                cur_ns: 0,
+            }
+            .pct(),
+            0.0
+        );
     }
 
     #[test]

@@ -58,6 +58,10 @@ pub struct Cell {
     ncells: u32,
     req_tx: Sender<(u32, Request)>,
     resume_rx: Receiver<Response>,
+    /// Posted asynchronous requests not yet shipped to the kernel. Every
+    /// one resolves to [`Response::Unit`], so nothing is lost by batching
+    /// them with the next synchronous call into one host round trip.
+    pending: Vec<Request>,
     ack_flag: VAddr,
     acks_issued: u32,
     scratch: VAddr,
@@ -79,6 +83,7 @@ impl Cell {
             ncells,
             req_tx,
             resume_rx,
+            pending: Vec::new(),
             ack_flag: VAddr::NULL,
             acks_issued: 0,
             scratch: VAddr::NULL,
@@ -99,14 +104,37 @@ impl Cell {
 
     /// Signals program completion (called once after the program).
     pub(crate) fn finish(&mut self) {
-        let _ = self.req_tx.send((self.id.as_u32(), Request::Finish));
+        let req = self.flushed(Request::Finish);
+        let _ = self.req_tx.send((self.id.as_u32(), req));
     }
 
     pub(crate) fn fail(&mut self, reason: String) {
-        let _ = self.req_tx.send((self.id.as_u32(), Request::Fail(reason)));
+        let req = self.flushed(Request::Fail(reason));
+        let _ = self.req_tx.send((self.id.as_u32(), req));
+    }
+
+    /// Wraps `last` together with any posted requests, preserving program
+    /// order. Finish/Fail also flush this way, so even a program that ends
+    /// on an asynchronous call retires everything it issued.
+    fn flushed(&mut self, last: Request) -> Request {
+        if self.pending.is_empty() {
+            last
+        } else {
+            let mut reqs = std::mem::take(&mut self.pending);
+            reqs.push(last);
+            Request::Batch(reqs)
+        }
+    }
+
+    /// Queues an asynchronous request (response is always `Unit`) to ride
+    /// along with the next synchronous call — no host round trip of its
+    /// own. The kernel dispatches it at the same simulated time either way.
+    fn post(&mut self, req: Request) {
+        self.pending.push(req);
     }
 
     fn call(&mut self, req: Request) -> Response {
+        let req = self.flushed(req);
         self.req_tx
             .send((self.id.as_u32(), req))
             .expect("machine stopped");
@@ -167,7 +195,7 @@ impl Cell {
     /// pair with [`Cell::work`] to account for the computation that
     /// produced the data).
     pub fn write_slice<T: Pod>(&mut self, addr: VAddr, data: &[T]) {
-        self.call(Request::WriteMem {
+        self.post(Request::WriteMem {
             addr,
             data: encode_slice(data),
         });
@@ -199,7 +227,7 @@ impl Cell {
     /// Spends CPU time for `flops` abstract floating-point operations.
     pub fn work(&mut self, flops: u64) {
         if flops > 0 {
-            self.call(Request::Work { flops });
+            self.post(Request::Work { flops });
         }
     }
 
@@ -207,7 +235,7 @@ impl Cell {
     /// conversion, stride-pattern discovery — §2.1).
     pub fn rts(&mut self, units: u64) {
         if units > 0 {
-            self.call(Request::Rts { units });
+            self.post(Request::Rts { units });
         }
     }
 
@@ -289,7 +317,7 @@ impl Cell {
         recv_flag: VAddr,
         ack: bool,
     ) {
-        self.call(Request::Put(PutArgs {
+        self.post(Request::Put(PutArgs {
             dst: CellId::new(dst as u32),
             raddr,
             laddr,
@@ -306,7 +334,7 @@ impl Cell {
             // returns only after the PUT has been received.
             let ack_flag = self.ack_flag;
             self.acks_issued += 1;
-            self.call(Request::Get(GetArgs {
+            self.post(Request::Get(GetArgs {
                 src_cell: CellId::new(dst as u32),
                 raddr: VAddr::NULL,
                 laddr: VAddr::NULL,
@@ -360,7 +388,7 @@ impl Cell {
         send_flag: VAddr,
         recv_flag: VAddr,
     ) {
-        self.call(Request::Get(GetArgs {
+        self.post(Request::Get(GetArgs {
             src_cell: CellId::new(src as u32),
             raddr,
             laddr,
@@ -481,7 +509,7 @@ impl Cell {
     /// Stores `value` into communication register `reg` of cell `dst`
     /// (non-blocking; the registers live in shared memory space).
     pub fn reg_store(&mut self, dst: usize, reg: u16, value: u32) {
-        self.call(Request::RegStore {
+        self.post(Request::RegStore {
             dst: CellId::new(dst as u32),
             reg,
             value,
@@ -537,7 +565,7 @@ impl Cell {
     ///
     /// Panics if this cell is not in `group`.
     pub fn group_reduce_f64(&mut self, group: &[usize], x: f64, op: ReduceOp) -> f64 {
-        self.call(Request::Mark(Mark::GopScalar));
+        self.post(Request::Mark(Mark::GopScalar));
         let pos = group
             .iter()
             .position(|&c| c == self.id())
@@ -586,7 +614,7 @@ impl Cell {
     /// "V Gop" in Table 3; the ring SENDs appear as SEND ops, matching how
     /// the paper's CG numbers relate (365.6 SENDs = 390 VGops × 15/16).
     pub fn reduce_vec_sum_f64(&mut self, xs: &mut [f64]) {
-        self.call(Request::Mark(Mark::GopVector));
+        self.post(Request::Mark(Mark::GopVector));
         let n = xs.len();
         let bytes = (n * 8) as u64;
         let me = self.id();
@@ -621,13 +649,13 @@ impl Cell {
     /// collectives built directly on the primitives; the built-in
     /// [`Cell::reduce_f64`] family marks automatically.
     pub fn mark_gop_scalar(&mut self) {
-        self.call(Request::Mark(Mark::GopScalar));
+        self.post(Request::Mark(Mark::GopScalar));
     }
 
     /// Records a vector global-operation marker (Table 3 "V Gop"); see
     /// [`Cell::mark_gop_scalar`].
     pub fn mark_gop_vector(&mut self) {
-        self.call(Request::Mark(Mark::GopVector));
+        self.post(Request::Mark(Mark::GopVector));
     }
 
     // ---- distributed shared memory (§4.2) -------------------------------------
@@ -636,7 +664,7 @@ impl Cell {
     /// shared-memory window. Completion is detected with
     /// [`Cell::remote_fence`] (automatic acknowledge packets).
     pub fn remote_store(&mut self, dst: usize, offset: u64, data: &[u8]) {
-        self.call(Request::RemoteStore {
+        self.post(Request::RemoteStore {
             dst: CellId::new(dst as u32),
             offset,
             data: data.to_vec(),

@@ -10,7 +10,7 @@
 
 use crate::machine::{ActiveTx, Machine, TxEntry, TxJob};
 use crate::request::{Mark, Request, Response};
-use apmsc::{Packet, PushOutcome, HEADER_BYTES};
+use apmsc::{Packet, Payload, PushOutcome, HEADER_BYTES};
 use apobs::{Bucket, Unit, XferKind, XferLat};
 use apsim::{Clock, EventQueue};
 use aptrace::Op;
@@ -63,18 +63,39 @@ enum Seg {
     Delivery,
 }
 
-#[derive(Clone, Copy, Debug)]
-struct FlagWait {
-    target: u32,
-    since: SimTime,
-}
-
+/// Why a cell is blocked, with everything needed to wake it. A blocked
+/// cell waits on exactly one thing, so one slot per cell replaces the old
+/// per-reason maps: a wakeup is an indexed slot probe instead of a keyed
+/// (or, for the deadlock report, linear) map search, and iteration for
+/// the barrier release runs in cell-id order — deterministic, unlike
+/// draining a hash map.
 #[derive(Clone, Debug)]
-struct RecvWait {
-    src: CellId,
-    laddr: VAddr,
-    max: u64,
-    since: SimTime,
+enum Waiter {
+    /// `wait_flag` until the flag at `flag` reaches `target`.
+    Flag {
+        flag: u64,
+        target: u32,
+        since: SimTime,
+    },
+    /// Blocking RECEIVE from `src`.
+    Recv {
+        src: CellId,
+        laddr: VAddr,
+        max: u64,
+        since: SimTime,
+    },
+    /// Blocking communication-register load (p-bit retry).
+    Reg { reg: u16, since: SimTime },
+    /// `remote_fence` until all remote stores are acknowledged.
+    Fence { since: SimTime },
+    /// Blocking DSM remote load.
+    Load { since: SimTime },
+    /// Blocking SEND, until the send DMA drains the buffer.
+    Send { since: SimTime },
+    /// Arrived at the S-net barrier.
+    Barrier { since: SimTime },
+    /// Arrived at the B-net broadcast collective.
+    Bcast { since: SimTime },
 }
 
 #[derive(Clone, Debug)]
@@ -90,15 +111,13 @@ pub(crate) struct Kernel {
     clock: Clock,
     resume_tx: Vec<Sender<Response>>,
     req_rx: Receiver<(u32, Request)>,
-    /// Human-readable block reason per cell (None = runnable/done).
-    blocked: Vec<Option<&'static str>>,
-    flag_waiters: HashMap<(u32, u64), FlagWait>,
-    recv_waiters: HashMap<u32, RecvWait>,
-    reg_waiters: HashMap<(u32, u16), SimTime>,
-    fence_waiters: HashMap<u32, SimTime>,
-    load_waiters: HashMap<u32, SimTime>,
-    send_waiters: HashMap<u32, SimTime>,
-    barrier_since: HashMap<u32, SimTime>,
+    /// Per-cell block state (`None` = runnable or done).
+    waiters: Vec<Option<Waiter>>,
+    /// Posted (asynchronous) requests a cell batched with its next
+    /// synchronous call, not yet retired. Dispatched one per wake, at
+    /// exactly the times the unbatched protocol would have — the channel
+    /// round trip is skipped, not the simulated schedule.
+    pending: Vec<std::collections::VecDeque<Request>>,
     /// In-flight PUT/GET Figure-6 latency decompositions, by transfer id.
     xfers: HashMap<u64, InFlight>,
     bcast: Option<BcastState>,
@@ -129,14 +148,8 @@ impl Kernel {
             clock: Clock::new(),
             resume_tx,
             req_rx,
-            blocked: vec![None; n],
-            flag_waiters: HashMap::new(),
-            recv_waiters: HashMap::new(),
-            reg_waiters: HashMap::new(),
-            fence_waiters: HashMap::new(),
-            load_waiters: HashMap::new(),
-            send_waiters: HashMap::new(),
-            barrier_since: HashMap::new(),
+            waiters: vec![None; n],
+            pending: vec![std::collections::VecDeque::new(); n],
             xfers: HashMap::new(),
             bcast: None,
             done: 0,
@@ -184,15 +197,13 @@ impl Kernel {
             tids.sort_unstable();
             leaks.push(format!("unfinished transfer attributions (tids {tids:?})"));
         }
-        let blocked_records = self.flag_waiters.len()
-            + self.recv_waiters.len()
-            + self.reg_waiters.len()
-            + self.fence_waiters.len()
-            + self.load_waiters.len()
-            + self.send_waiters.len()
-            + self.barrier_since.len();
+        let blocked_records = self.waiters.iter().flatten().count();
         if blocked_records > 0 {
             leaks.push(format!("{blocked_records} blocked-cell records"));
+        }
+        let undispatched: usize = self.pending.iter().map(|q| q.len()).sum();
+        if undispatched > 0 {
+            leaks.push(format!("{undispatched} undispatched batched requests"));
         }
         if self.bcast.is_some() {
             leaks.push("incomplete bcast collective".to_string());
@@ -212,66 +223,42 @@ impl Kernel {
     fn deadlock_report(&self) -> DeadlockReport {
         let now = self.clock.now();
         let mut blocked = Vec::new();
-        for (i, slot) in self.blocked.iter().enumerate() {
-            let Some(label) = *slot else { continue };
-            let cell = i as u32;
-            let cid = CellId::new(cell);
-            let (reason, since) = match label {
-                "wait_flag" => match self.flag_waiters.iter().find(|((c, _), _)| *c == cell) {
-                    Some((&(_, flag), w)) => {
-                        let flag = VAddr::new(flag);
-                        let current = self.machine.read_flag(cid, flag).unwrap_or(0);
-                        (
-                            BlockReason::FlagWait {
-                                flag,
-                                current,
-                                target: w.target,
-                            },
-                            w.since,
-                        )
-                    }
-                    None => (BlockReason::Other("wait_flag"), now),
-                },
-                "barrier" => (
-                    BlockReason::Barrier,
-                    self.barrier_since.get(&cell).copied().unwrap_or(now),
-                ),
-                "recv" => match self.recv_waiters.get(&cell) {
-                    Some(w) => (BlockReason::Recv { src: w.src }, w.since),
-                    None => (BlockReason::Other("recv"), now),
-                },
-                "send" => (
-                    BlockReason::Send,
-                    self.send_waiters.get(&cell).copied().unwrap_or(now),
-                ),
-                "bcast" => {
-                    let since = self
-                        .bcast
-                        .as_ref()
-                        .and_then(|s| s.arrived.iter().find(|&&(c, _, _)| c == cell))
-                        .map(|&(_, _, t)| t)
-                        .unwrap_or(now);
-                    (BlockReason::Bcast, since)
+        for (i, slot) in self.waiters.iter().enumerate() {
+            let Some(w) = slot else { continue };
+            let cid = CellId::new(i as u32);
+            let (reason, since) = match *w {
+                Waiter::Flag {
+                    flag,
+                    target,
+                    since,
+                } => {
+                    let flag = VAddr::new(flag);
+                    let current = self.machine.read_flag(cid, flag).unwrap_or(0);
+                    (
+                        BlockReason::FlagWait {
+                            flag,
+                            current,
+                            target,
+                        },
+                        since,
+                    )
                 }
-                "reg_load" => match self.reg_waiters.iter().find(|((c, _), _)| *c == cell) {
-                    Some((&(_, reg), &since)) => (BlockReason::RegLoad { reg }, since),
-                    None => (BlockReason::Other("reg_load"), now),
-                },
-                "remote_load" => (
-                    BlockReason::RemoteLoad,
-                    self.load_waiters.get(&cell).copied().unwrap_or(now),
-                ),
-                "remote_fence" => {
+                Waiter::Barrier { since } => (BlockReason::Barrier, since),
+                Waiter::Recv { src, since, .. } => (BlockReason::Recv { src }, since),
+                Waiter::Send { since } => (BlockReason::Send, since),
+                Waiter::Bcast { since } => (BlockReason::Bcast, since),
+                Waiter::Reg { reg, since } => (BlockReason::RegLoad { reg }, since),
+                Waiter::Load { since } => (BlockReason::RemoteLoad, since),
+                Waiter::Fence { since } => {
                     let hw = &self.machine.cells[i];
                     (
                         BlockReason::RemoteFence {
                             issued: hw.rstore_issued,
                             acked: hw.rstore_acked,
                         },
-                        self.fence_waiters.get(&cell).copied().unwrap_or(now),
+                        since,
                     )
                 }
-                other => (BlockReason::Other(other), now),
             };
             blocked.push(BlockedCell {
                 cell: cid,
@@ -317,12 +304,20 @@ impl Kernel {
     }
 
     fn wake_at(&mut self, cell: u32, at: SimTime, resp: Response) {
-        self.blocked[cell as usize] = None;
+        self.waiters[cell as usize] = None;
         self.evq.push(at, Ev::Wake { cell, resp });
     }
 
-    fn block(&mut self, cell: u32, reason: &'static str) {
-        self.blocked[cell as usize] = Some(reason);
+    /// Removes and returns cell's waiter if `pred` accepts it. The O(1)
+    /// wakeup probe: arrival paths check the one slot a blocked cell can
+    /// occupy instead of scanning waiter maps.
+    fn take_waiter_if(&mut self, cell: u32, pred: impl FnOnce(&Waiter) -> bool) -> Option<Waiter> {
+        let slot = &mut self.waiters[cell as usize];
+        if slot.as_ref().is_some_and(pred) {
+            slot.take()
+        } else {
+            None
+        }
     }
 
     /// Enqueues a transmit job, emitting the queue's enqueue/spill events.
@@ -397,6 +392,21 @@ impl Kernel {
     }
 
     fn deliver_and_take(&mut self, cell: u32, resp: Response) -> ApResult<()> {
+        // Batched fast path: if the cell posted async requests ahead of its
+        // last synchronous one, dispatch the next of those directly instead
+        // of a host channel round trip. Every posted request resolves to
+        // `Response::Unit`, and dispatching here — at the same wake event
+        // where the unbatched kernel would have delivered that Unit and read
+        // the request back off the channel — reproduces the unbatched event
+        // order and sim times exactly.
+        if let Some(req) = self.pending[cell as usize].pop_front() {
+            debug_assert_eq!(
+                resp,
+                Response::Unit,
+                "batched request for cell {cell} would have dropped a non-unit response"
+            );
+            return self.dispatch(cell, req);
+        }
         self.resume_tx[cell as usize]
             .send(resp)
             .map_err(|_| ApError::CellFailed {
@@ -418,6 +428,20 @@ impl Kernel {
         let hw_params = self.machine.cfg.hw;
         let cid = CellId::new(cell);
         match req {
+            Request::Batch(reqs) => {
+                // A run of posted async requests with the cell's next
+                // synchronous request appended last. Queue them and start on
+                // the first; `deliver_and_take` drains the rest one per wake,
+                // at exactly the sim times the unbatched protocol would have
+                // dispatched them.
+                let q = &mut self.pending[cell as usize];
+                debug_assert!(q.is_empty(), "cell {cell} sent a batch with one pending");
+                q.extend(reqs);
+                let Some(first) = q.pop_front() else {
+                    return Err(ApError::InvalidArg(format!("{cid} sent an empty batch")));
+                };
+                return self.dispatch(cell, first);
+            }
             Request::Alloc { bytes } => {
                 let hw = &mut self.machine.cells[cell as usize];
                 let addr = hw.mmu.map_anywhere(bytes).map_err(|_| {
@@ -553,9 +577,11 @@ impl Kernel {
                     );
                     self.wake_at(cell, now + hw_params.flag_check_time, Response::Unit);
                 } else {
-                    self.block(cell, "wait_flag");
-                    self.flag_waiters
-                        .insert((cell, flag.as_u64()), FlagWait { target, since: now });
+                    self.waiters[cell as usize] = Some(Waiter::Flag {
+                        flag: flag.as_u64(),
+                        target,
+                        since: now,
+                    });
                 }
             }
             Request::ReadFlag { flag } => {
@@ -567,7 +593,16 @@ impl Kernel {
                 self.record(cell, Op::Barrier);
                 if let Some(release) = self.machine.snet.arrive(cid, now)? {
                     let epoch = self.machine.snet.epochs();
-                    let waiters: Vec<(u32, SimTime)> = self.barrier_since.drain().collect();
+                    // Release earlier arrivals in cell-id order (the arriving
+                    // cell last) — deterministic, unlike the hash-map drain
+                    // this replaces.
+                    let mut waiters: Vec<(u32, SimTime)> = Vec::new();
+                    for (i, slot) in self.waiters.iter_mut().enumerate() {
+                        if let Some(Waiter::Barrier { since }) = slot {
+                            waiters.push((i as u32, *since));
+                            *slot = None;
+                        }
+                    }
                     for (c, since) in waiters {
                         self.add_idle(c, since, release);
                         self.machine.obs.span(
@@ -593,8 +628,7 @@ impl Kernel {
                     );
                     self.wake_at(cell, release, Response::Unit);
                 } else {
-                    self.block(cell, "barrier");
-                    self.barrier_since.insert(cell, now);
+                    self.waiters[cell as usize] = Some(Waiter::Barrier { since: now });
                 }
             }
             Request::Send { dst, laddr, bytes } => {
@@ -626,34 +660,24 @@ impl Kernel {
                 );
                 self.evq
                     .push(now + hw_params.send_call_time, Ev::SendPop { cell });
-                self.block(cell, "send");
-                self.send_waiters
-                    .insert(cell, now + hw_params.send_call_time);
+                self.waiters[cell as usize] = Some(Waiter::Send {
+                    since: now + hw_params.send_call_time,
+                });
             }
             Request::Recv { src, laddr, max } => {
                 self.machine.check_cell(src)?;
                 self.record(cell, Op::Recv { src, bytes: max });
-                if let Some(pos) = self.machine.cells[cell as usize]
-                    .ring
-                    .iter()
-                    .position(|(s, _)| *s == src)
+                if let Some(payload) =
+                    self.machine.cells[cell as usize].ring[src.index()].pop_front()
                 {
-                    let (_, payload) = self.machine.cells[cell as usize]
-                        .ring
-                        .remove(pos)
-                        .expect("pos valid");
                     self.complete_recv(cell, laddr, max, payload, now)?;
                 } else {
-                    self.block(cell, "recv");
-                    self.recv_waiters.insert(
-                        cell,
-                        RecvWait {
-                            src,
-                            laddr,
-                            max,
-                            since: now,
-                        },
-                    );
+                    self.waiters[cell as usize] = Some(Waiter::Recv {
+                        src,
+                        laddr,
+                        max,
+                        since: now,
+                    });
                 }
             }
             Request::RegStore { dst, reg, value } => {
@@ -712,8 +736,7 @@ impl Kernel {
                     );
                     self.wake_at(cell, now + hw_params.reg_load_time, Response::Value(v));
                 } else {
-                    self.block(cell, "reg_load");
-                    self.reg_waiters.insert((cell, reg), now);
+                    self.waiters[cell as usize] = Some(Waiter::Reg { reg, since: now });
                 }
             }
             Request::Bcast { root, laddr, bytes } => {
@@ -769,7 +792,7 @@ impl Kernel {
                         self.wake_at(c, delivery, Response::Unit);
                     }
                 } else {
-                    self.block(cell, "bcast");
+                    self.waiters[cell as usize] = Some(Waiter::Bcast { since: now });
                 }
             }
             Request::RemoteStore { dst, offset, data } => {
@@ -788,7 +811,11 @@ impl Kernel {
                     cell,
                     TxQueue::Remote,
                     tid,
-                    TxJob::RemoteStoreTx { dst, offset, data },
+                    TxJob::RemoteStoreTx {
+                        dst,
+                        offset,
+                        data: Payload::from(data),
+                    },
                     now,
                 );
                 let cost = hw_params.reg_store_time + hw_params.dma_per_byte.saturating_mul(bytes);
@@ -824,8 +851,7 @@ impl Kernel {
                     now,
                 );
                 self.evq.push(now, Ev::SendPop { cell });
-                self.block(cell, "remote_load");
-                self.load_waiters.insert(cell, now);
+                self.waiters[cell as usize] = Some(Waiter::Load { since: now });
             }
             Request::RemoteFence => {
                 self.record(cell, Op::RemoteFence);
@@ -833,8 +859,7 @@ impl Kernel {
                 if hw.rstore_acked == hw.rstore_issued {
                     self.wake_at(cell, now, Response::Unit);
                 } else {
-                    self.block(cell, "remote_fence");
-                    self.fence_waiters.insert(cell, now);
+                    self.waiters[cell as usize] = Some(Waiter::Fence { since: now });
                 }
             }
             Request::Mark(m) => {
@@ -850,7 +875,7 @@ impl Kernel {
             }
             Request::Finish => {
                 self.machine.times[cell as usize].finish = now;
-                self.blocked[cell as usize] = None;
+                self.waiters[cell as usize] = None;
                 self.done += 1;
             }
         }
@@ -862,7 +887,7 @@ impl Kernel {
         cell: u32,
         laddr: VAddr,
         max: u64,
-        payload: Vec<u8>,
+        payload: Payload,
         ready: SimTime,
     ) -> ApResult<()> {
         let hw = &mut self.machine.cells[cell as usize];
@@ -934,31 +959,35 @@ impl Kernel {
         );
         self.charge_xfer(tid, Seg::Queue, now);
         let cid = CellId::new(cell);
-        // Gather the payload (functionally instantaneous; timing charged
-        // below as DMA duration).
+        // Gather the payload into one shared buffer (functionally
+        // instantaneous; timing charged below as DMA duration). This is
+        // the only copy out of simulated memory: every later station —
+        // packet, ring buffer, delivery — shares the same allocation.
         let (payload, items) = match &job {
             TxJob::Put(a) => (
-                self.machine.gather(cid, a.laddr, a.send_stride)?,
+                Payload::from(self.machine.gather(cid, a.laddr, a.send_stride)?),
                 a.send_stride.count,
             ),
-            TxJob::GetReq(_) => (Vec::new(), 1),
-            TxJob::Ring { laddr, bytes, .. } => (self.machine.read_v(cid, *laddr, *bytes)?, 1),
+            TxJob::GetReq(_) => (Payload::empty(), 1),
+            TxJob::Ring { laddr, bytes, .. } => {
+                (Payload::from(self.machine.read_v(cid, *laddr, *bytes)?), 1)
+            }
             TxJob::GetReply {
                 raddr, send_stride, ..
             } => {
                 if raddr.is_null() {
-                    (Vec::new(), 1)
+                    (Payload::empty(), 1)
                 } else {
                     (
-                        self.machine.gather(cid, *raddr, *send_stride)?,
+                        Payload::from(self.machine.gather(cid, *raddr, *send_stride)?),
                         send_stride.count,
                     )
                 }
             }
             TxJob::RemoteStoreTx { data, .. } => (data.clone(), 1),
-            TxJob::RemoteLoadReqTx { .. } => (Vec::new(), 1),
+            TxJob::RemoteLoadReqTx { .. } => (Payload::empty(), 1),
             TxJob::RemoteLoadReplyTx { data, .. } => (data.clone(), 1),
-            TxJob::RemoteAckTx { .. } => (Vec::new(), 1),
+            TxJob::RemoteAckTx { .. } => (Payload::empty(), 1),
         };
         let dur = self.machine.dma_time(payload.len() as u64, items);
         self.charge_xfer(tid, Seg::Dma, now + dur);
@@ -1019,7 +1048,9 @@ impl Kernel {
                 let pkt = Packet::RingMsg { src: cid, payload };
                 self.inject(cid, dst, pkt, tid);
                 if wake_sender {
-                    if let Some(since) = self.send_waiters.remove(&cell) {
+                    if let Some(Waiter::Send { since }) =
+                        self.take_waiter_if(cell, |w| matches!(w, Waiter::Send { .. }))
+                    {
                         self.add_idle(cell, since, now);
                         self.machine.obs.span_id(
                             cell,
@@ -1128,7 +1159,9 @@ impl Kernel {
                 let hw = &mut self.machine.cells[dst as usize];
                 hw.rstore_acked += 1;
                 if hw.rstore_acked == hw.rstore_issued {
-                    if let Some(since) = self.fence_waiters.remove(&dst) {
+                    if let Some(Waiter::Fence { since }) =
+                        self.take_waiter_if(dst, |w| matches!(w, Waiter::Fence { .. }))
+                    {
                         self.add_idle(dst, since, now);
                         self.machine.obs.span_id(
                             dst,
@@ -1148,7 +1181,9 @@ impl Kernel {
                 self.reg_store_arrived(dst, reg, value, now, tid)?;
             }
             Packet::RemoteLoadReply { payload, .. } => {
-                if let Some(since) = self.load_waiters.remove(&dst) {
+                if let Some(Waiter::Load { since }) =
+                    self.take_waiter_if(dst, |w| matches!(w, Waiter::Load { .. }))
+                {
                     self.add_idle(dst, since, now);
                     self.machine.obs.span_id(
                         dst,
@@ -1160,7 +1195,9 @@ impl Kernel {
                         payload.len() as u64,
                         tid,
                     );
-                    self.wake_at(dst, now, Response::Bytes(payload));
+                    // The one delivery-side copy: the bytes leave the
+                    // shared buffer for the caller.
+                    self.wake_at(dst, now, Response::Bytes(payload.to_vec()));
                 }
             }
             data_pkt @ (Packet::PutData { .. }
@@ -1234,7 +1271,7 @@ impl Kernel {
                 self.evq.push(now, Ev::SendPop { cell: dst });
             }
             Packet::RemoteLoadReq { src, raddr, size } => {
-                let data = self.machine.dsm_read(did, raddr.as_u64(), size)?;
+                let data = Payload::from(self.machine.dsm_read(did, raddr.as_u64(), size)?);
                 self.push_tx(
                     dst,
                     TxQueue::RemoteReply,
@@ -1271,7 +1308,7 @@ impl Kernel {
             Packet::RingMsg { src, payload } => {
                 let hw = &mut self.machine.cells[dst as usize];
                 hw.ring_bytes += payload.len() as u64;
-                hw.ring.push_back((src, payload));
+                hw.ring[src.index()].push_back(payload);
                 // §4.3: a full ring buffer interrupts the OS to allocate a
                 // new one; the receiving CPU pays the service time.
                 if hw.ring_bytes > self.machine.cfg.hw.ring_capacity {
@@ -1289,30 +1326,32 @@ impl Kernel {
                         buffered,
                     );
                 }
-                if let Some(w) = self.recv_waiters.get(&dst).cloned() {
-                    if let Some(pos) = self.machine.cells[dst as usize]
-                        .ring
-                        .iter()
-                        .position(|(s, _)| *s == w.src)
-                    {
-                        self.recv_waiters.remove(&dst);
-                        let (_, payload) = self.machine.cells[dst as usize]
-                            .ring
-                            .remove(pos)
-                            .expect("pos valid");
-                        self.add_idle(dst, w.since, now);
-                        self.machine.obs.span_id(
-                            dst,
-                            Unit::Cpu,
-                            "recv_wait",
-                            w.since,
-                            now.saturating_sub(w.since),
-                            Bucket::Idle,
-                            payload.len() as u64,
-                            tid,
-                        );
-                        self.complete_recv(dst, w.laddr, w.max, payload, now)?;
-                    }
+                // A blocked receiver found its source queue empty, so the
+                // only message that can satisfy it is the one just pushed.
+                if let Some(Waiter::Recv {
+                    src: wsrc,
+                    laddr,
+                    max,
+                    since,
+                }) = self.take_waiter_if(
+                    dst,
+                    |w| matches!(w, Waiter::Recv { src: s, .. } if *s == src),
+                ) {
+                    let payload = self.machine.cells[dst as usize].ring[wsrc.index()]
+                        .pop_front()
+                        .expect("message just queued for the waiting receiver");
+                    self.add_idle(dst, since, now);
+                    self.machine.obs.span_id(
+                        dst,
+                        Unit::Cpu,
+                        "recv_wait",
+                        since,
+                        now.saturating_sub(since),
+                        Bucket::Idle,
+                        payload.len() as u64,
+                        tid,
+                    );
+                    self.complete_recv(dst, laddr, max, payload, now)?;
                 }
             }
             Packet::RemoteStore {
@@ -1354,27 +1393,27 @@ impl Kernel {
             flag.as_u64(),
             tid,
         );
-        let key = (cell, flag.as_u64());
-        if let Some(w) = self.flag_waiters.get(&key).copied() {
-            if new >= w.target {
-                self.flag_waiters.remove(&key);
-                let check = self.machine.cfg.hw.flag_check_time;
-                self.add_idle(cell, w.since, now);
-                let waited = now.saturating_sub(w.since);
-                self.machine.flag_wait.record(waited.as_nanos());
-                self.machine.obs.span_id(
-                    cell,
-                    Unit::Cpu,
-                    "wait_flag",
-                    w.since,
-                    waited,
-                    Bucket::Idle,
-                    flag.as_u64(),
-                    tid,
-                );
-                self.charge_overhead(cell, check);
-                self.wake_at(cell, now + check, Response::Unit);
-            }
+        let flag_u = flag.as_u64();
+        if let Some(Waiter::Flag { since, .. }) = self.take_waiter_if(
+            cell,
+            |w| matches!(w, Waiter::Flag { flag: f, target, .. } if *f == flag_u && new >= *target),
+        ) {
+            let check = self.machine.cfg.hw.flag_check_time;
+            self.add_idle(cell, since, now);
+            let waited = now.saturating_sub(since);
+            self.machine.flag_wait.record(waited.as_nanos());
+            self.machine.obs.span_id(
+                cell,
+                Unit::Cpu,
+                "wait_flag",
+                since,
+                waited,
+                Bucket::Idle,
+                flag_u,
+                tid,
+            );
+            self.charge_overhead(cell, check);
+            self.wake_at(cell, now + check, Response::Unit);
         }
         Ok(())
     }
@@ -1397,7 +1436,10 @@ impl Kernel {
                  (reduction protocol violation)"
             )));
         }
-        if let Some(since) = self.reg_waiters.remove(&(cell, reg)) {
+        if let Some(Waiter::Reg { since, .. }) = self.take_waiter_if(
+            cell,
+            |w| matches!(w, Waiter::Reg { reg: r, .. } if *r == reg),
+        ) {
             let v = self.machine.cells[cell as usize]
                 .regs
                 .load(reg as usize)

@@ -4,7 +4,7 @@ use crate::accounting::CellTimes;
 use crate::config::MachineConfig;
 use apmem::{CommRegs, DsmMap, FlagUnit, MemError, Memory, Mmu};
 use apmsc::stride;
-use apmsc::{dma, GetArgs, HwQueue, PutArgs, StrideSpec};
+use apmsc::{dma, GetArgs, HwQueue, Payload, PutArgs, StrideSpec};
 use apnet::{BNet, SNet, TNet, TNetParams, Torus};
 use apsim::Resource;
 use aputil::{ApError, ApResult, CellId, SimTime, VAddr};
@@ -39,12 +39,12 @@ pub(crate) enum TxJob {
     RemoteStoreTx {
         dst: CellId,
         offset: u64,
-        data: Vec<u8>,
+        data: Payload,
     },
     /// DSM remote load request.
     RemoteLoadReqTx { dst: CellId, offset: u64, len: u64 },
     /// DSM remote load reply.
-    RemoteLoadReplyTx { dst: CellId, data: Vec<u8> },
+    RemoteLoadReplyTx { dst: CellId, data: Payload },
     /// Automatic acknowledge of a received remote store.
     RemoteAckTx { dst: CellId },
 }
@@ -63,7 +63,7 @@ pub(crate) struct TxEntry {
 pub(crate) struct ActiveTx {
     pub tid: u64,
     pub job: TxJob,
-    pub payload: Vec<u8>,
+    pub payload: Payload,
 }
 
 /// One cell's hardware state.
@@ -84,8 +84,11 @@ pub(crate) struct CellHw {
     pub send_busy: bool,
     pub active_tx: Option<ActiveTx>,
     pub recv_dma: Resource,
-    /// Arrived ring-buffer messages: `(src, payload)`.
-    pub ring: VecDeque<(CellId, Vec<u8>)>,
+    /// Arrived ring-buffer messages, indexed by sending cell so the
+    /// RECEIVE path matches a source without scanning unrelated traffic
+    /// (each source's messages stay FIFO, which is all the in-order T-net
+    /// guarantees anyway).
+    pub ring: Vec<VecDeque<Payload>>,
     /// Bytes currently buffered in the ring.
     pub ring_bytes: u64,
     /// Times the ring exceeded its capacity (§4.3 OS allocations).
@@ -97,7 +100,7 @@ pub(crate) struct CellHw {
 }
 
 impl CellHw {
-    fn new(mem_size: u64) -> Self {
+    fn new(mem_size: u64, ncells: u32) -> Self {
         CellHw {
             mmu: Mmu::new(mem_size),
             mem: Memory::new(mem_size),
@@ -110,7 +113,7 @@ impl CellHw {
             send_busy: false,
             active_tx: None,
             recv_dma: Resource::new(),
-            ring: VecDeque::new(),
+            ring: vec![VecDeque::new(); ncells as usize],
             ring_bytes: 0,
             ring_overflows: 0,
             rstore_issued: 0,
@@ -212,7 +215,9 @@ impl Machine {
             tnet.enable_events();
         }
         Machine {
-            cells: (0..cfg.ncells).map(|_| CellHw::new(cfg.mem_size)).collect(),
+            cells: (0..cfg.ncells)
+                .map(|_| CellHw::new(cfg.mem_size, cfg.ncells))
+                .collect(),
             tnet,
             bnet: BNet::with_params(cfg.ncells, cfg.hw.net_prolog, cfg.hw.bnet_per_byte),
             snet: SNet::new(cfg.ncells, cfg.hw.barrier_latency),

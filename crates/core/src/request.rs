@@ -21,6 +21,12 @@ pub enum Mark {
 /// A cell program's request to the kernel.
 #[derive(Clone, Debug)]
 pub(crate) enum Request {
+    /// A run of posted asynchronous requests (each answered by
+    /// [`Response::Unit`]) with the cell's next synchronous request
+    /// appended last. One host round trip carries the whole run; the
+    /// kernel dispatches the entries one per wake, at exactly the sim
+    /// times the one-request-per-trip protocol would have.
+    Batch(Vec<Request>),
     /// Allocate zeroed logical memory; responds [`Response::Addr`].
     Alloc { bytes: u64 },
     /// Read simulated memory (data plane, zero simulated time).

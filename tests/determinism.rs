@@ -1,0 +1,71 @@
+//! Determinism suite for the hot-path overhaul.
+//!
+//! The zero-copy payload path, the indexed waiter slots, the request
+//! batching and the parallel sweep driver are all host-side mechanics:
+//! none of them may move a single simulated nanosecond. Two pins enforce
+//! that:
+//!
+//! * the Table-2 suite's final emulator times at test scale are frozen to
+//!   the values the pre-overhaul kernel produced (the fuzz corpus in
+//!   `tests/fuzz_corpus.rs` separately replays its reproducers through
+//!   the full differential referees);
+//! * an `apsweep` grid run on 1 thread and on N threads serializes to
+//!   byte-identical bench-report JSON.
+//!
+//! If an *intentional* timing-model change moves the suite times, update
+//! the constants here in the same commit and say why.
+
+use apapps::{standard_suite, Scale};
+use apbench::{bench_report, run_sweep, SweepConfig};
+
+/// Final simulated time of each Table-2 workload at test scale, pinned
+/// to the pre-zero-copy kernel's output.
+const FINAL_TIMES_NS: &[(&str, u64)] = &[
+    ("EP", 512_000),
+    ("CG", 3_727_248),
+    ("FT", 660_112),
+    ("SP", 10_464_120),
+    ("TC st", 2_145_696),
+    ("TC no st", 4_141_128),
+    ("MatMul", 492_016),
+    ("SCG", 4_617_904),
+];
+
+#[test]
+fn suite_final_times_are_unchanged() {
+    for w in standard_suite(Scale::Test) {
+        let report = w
+            .run()
+            .unwrap_or_else(|e| panic!("{} failed on the emulator: {e}", w.name()));
+        let want = FINAL_TIMES_NS
+            .iter()
+            .find(|(n, _)| *n == w.name())
+            .unwrap_or_else(|| panic!("no pinned time for {}", w.name()))
+            .1;
+        assert_eq!(
+            report.total_time.as_nanos(),
+            want,
+            "{}: simulated final time moved — the hot path must not \
+             change simulation results",
+            w.name()
+        );
+    }
+}
+
+#[test]
+fn sweep_is_thread_count_invariant() {
+    let cfg = |threads| SweepConfig {
+        scale: Scale::Test,
+        apps: vec!["EP".into(), "CG".into()],
+        sizes: vec![None, Some(4)],
+        factors: vec![0.25, 1.0],
+        threads,
+    };
+    let serial = run_sweep(&cfg(1));
+    let parallel = run_sweep(&cfg(8));
+    assert!(serial.failures.is_empty(), "{:?}", serial.failures);
+    assert!(parallel.failures.is_empty(), "{:?}", parallel.failures);
+    let a = bench_report(&serial.rows, Scale::Test, Some("pin")).to_string();
+    let b = bench_report(&parallel.rows, Scale::Test, Some("pin")).to_string();
+    assert_eq!(a, b, "sweep output must not depend on thread count");
+}
