@@ -36,7 +36,7 @@ pub mod sp;
 pub mod tomcatv;
 pub mod util;
 
-use apcore::{ApResult, RunReport};
+use apcore::{ApError, ApResult, FaultSpec, RunReport};
 
 /// Problem-size presets.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -58,6 +58,21 @@ pub trait Workload: Send + Sync {
     fn is_vpp(&self) -> bool;
     /// Runs on the emulator; `Ok` implies the numerical result verified.
     fn run(&self) -> ApResult<RunReport<()>>;
+
+    /// Like [`run`](Workload::run), but under a deterministic fault
+    /// schedule: a survived run returns `Ok` with a verified numerical
+    /// result and the [`apcore::FaultReport`](aputil::FaultReport) in
+    /// [`RunReport::fault`]; an unsurvivable schedule aborts with a
+    /// structured error. Workloads opt in (CG, the paper's communication
+    /// worst case, is the reference implementation); the default reports
+    /// that fault injection is not wired up for this application.
+    fn run_faulted(&self, faults: &FaultSpec) -> ApResult<RunReport<()>> {
+        let _ = faults;
+        Err(ApError::InvalidArg(format!(
+            "{}: fault injection is not wired up for this workload",
+            self.name()
+        )))
+    }
 }
 
 /// The paper's application list at the given scale, in Table-2 order:
@@ -90,5 +105,13 @@ mod tests {
         // Language split per §5.2: five VPP Fortran + TOMCATV twice, two C.
         let vpp: Vec<bool> = suite.iter().map(|w| w.is_vpp()).collect();
         assert_eq!(vpp, [true, true, true, true, true, true, false, false]);
+    }
+
+    #[test]
+    fn run_faulted_defaults_to_a_structured_unsupported_error() {
+        let err = ep::Ep::new(Scale::Test)
+            .run_faulted(&FaultSpec::quiet())
+            .unwrap_err();
+        assert!(err.to_string().contains("not wired up"), "{err}");
     }
 }

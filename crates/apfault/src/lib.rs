@@ -1,0 +1,33 @@
+//! Deterministic fault injection for the AP1000+ emulator.
+//!
+//! The paper's hardware assumes the T-net and B-net never lose, delay, or
+//! corrupt a packet and that cells never die. This crate supplies the
+//! adversary that assumption hides: a seed-driven **fault schedule**
+//! ([`FaultSpec`]) of link outages, per-pair delays, payload corruption,
+//! B-net outages, and fail-stop cell crashes — all expressed in
+//! *simulated* time so an injected run is exactly as reproducible as a
+//! fault-free one — plus the bookkeeping the recovery layer in
+//! `core::kernel` needs:
+//!
+//! - [`RecoveryParams`] — ack timeout, capped exponential backoff, retry
+//!   budget for the sequence-numbered ack/retry protocol;
+//! - [`FaultPlan`] — the runtime state of one schedule (which outages have
+//!   been discovered, how many corruptions remain) feeding a
+//!   [`aputil::FaultReport`];
+//! - [`ReplayGuard`] — `(src, seq)` dedup making retried PUT delivery
+//!   idempotent: a duplicate can neither double-scatter nor
+//!   double-increment a flag.
+//!
+//! Schedules serialize to the same hand-editable RON dialect the fuzzer
+//! uses ([`to_ron`]/[`from_ron`]), and [`FaultSpec::random`] derives a
+//! whole schedule from one seed for the chaos fuzzer.
+
+pub mod plan;
+pub mod replay;
+pub mod ron;
+pub mod spec;
+
+pub use plan::{FaultPlan, RouteVerdict};
+pub use replay::ReplayGuard;
+pub use ron::{from_ron, to_ron};
+pub use spec::{FaultEvent, FaultKind, FaultSpec, RecoveryParams};

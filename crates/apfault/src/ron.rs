@@ -1,0 +1,343 @@
+//! RON serialization of fault schedules.
+//!
+//! Same hand-rolled dialect as the fuzzer's reproducers: nested structs,
+//! enums with named fields, integers, `//` comments, trailing commas. All
+//! times are written as integer nanoseconds (`*_ns`) so specs stay exact
+//! and diff-able.
+
+use crate::spec::{FaultEvent, FaultKind, FaultSpec, RecoveryParams};
+use aputil::{CellId, SimTime};
+use std::fmt::Write as _;
+
+/// Renders a schedule as RON text; [`from_ron`] parses it back exactly.
+pub fn to_ron(spec: &FaultSpec) -> String {
+    let mut s = String::new();
+    s.push_str("(\n");
+    match spec.seed {
+        None => s.push_str("    seed: None,\n"),
+        Some(seed) => {
+            let _ = writeln!(s, "    seed: Some({seed}),");
+        }
+    }
+    let _ = writeln!(
+        s,
+        "    recovery: (ack_timeout_ns: {}, backoff_cap_ns: {}, max_retries: {}),",
+        spec.recovery.ack_timeout.as_nanos(),
+        spec.recovery.backoff_cap.as_nanos(),
+        spec.recovery.max_retries,
+    );
+    s.push_str("    events: [\n");
+    for e in &spec.events {
+        let kind = match e.kind {
+            FaultKind::LinkDown { from, to } => {
+                format!("LinkDown(from: {}, to: {})", from.index(), to.index())
+            }
+            FaultKind::Delay { src, dst, extra } => format!(
+                "Delay(src: {}, dst: {}, extra_ns: {})",
+                src.index(),
+                dst.index(),
+                extra.as_nanos()
+            ),
+            FaultKind::Corrupt { src, dst, count } => format!(
+                "Corrupt(src: {}, dst: {}, count: {count})",
+                src.index(),
+                dst.index()
+            ),
+            FaultKind::Crash { cell } => format!("Crash(cell: {})", cell.index()),
+            FaultKind::BnetDown => "BnetDown()".to_string(),
+        };
+        let _ = writeln!(
+            s,
+            "        (from_ns: {}, until_ns: {}, kind: {kind}),",
+            e.from.as_nanos(),
+            e.until.as_nanos(),
+        );
+    }
+    s.push_str("    ],\n)\n");
+    s
+}
+
+/// Parses RON text produced by [`to_ron`] (or hand-written in the same
+/// dialect) back into a schedule.
+///
+/// # Errors
+///
+/// A message with the byte offset of the first syntax problem.
+pub fn from_ron(text: &str) -> Result<FaultSpec, String> {
+    let mut p = Parser {
+        s: text.as_bytes(),
+        i: 0,
+    };
+    let spec = p.spec()?;
+    p.ws();
+    if p.i != p.s.len() {
+        return Err(p.err("trailing input"));
+    }
+    Ok(spec)
+}
+
+struct Parser<'a> {
+    s: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, what: &str) -> String {
+        format!("fault spec parse error at byte {}: {what}", self.i)
+    }
+
+    fn ws(&mut self) {
+        loop {
+            while self.i < self.s.len() && self.s[self.i].is_ascii_whitespace() {
+                self.i += 1;
+            }
+            if self.s[self.i..].starts_with(b"//") {
+                while self.i < self.s.len() && self.s[self.i] != b'\n' {
+                    self.i += 1;
+                }
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), String> {
+        self.ws();
+        if self.i < self.s.len() && self.s[self.i] == c {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", c as char)))
+        }
+    }
+
+    fn peek(&mut self, c: u8) -> bool {
+        self.ws();
+        self.i < self.s.len() && self.s[self.i] == c
+    }
+
+    fn word(&mut self) -> Result<String, String> {
+        self.ws();
+        let start = self.i;
+        while self.i < self.s.len()
+            && (self.s[self.i].is_ascii_alphanumeric() || self.s[self.i] == b'_')
+        {
+            self.i += 1;
+        }
+        if self.i == start {
+            return Err(self.err("expected identifier"));
+        }
+        Ok(String::from_utf8_lossy(&self.s[start..self.i]).into_owned())
+    }
+
+    fn int(&mut self) -> Result<u64, String> {
+        self.ws();
+        let start = self.i;
+        while self.i < self.s.len() && self.s[self.i].is_ascii_digit() {
+            self.i += 1;
+        }
+        std::str::from_utf8(&self.s[start..self.i])
+            .ok()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| self.err("expected unsigned integer"))
+    }
+
+    /// `name: int` pairs inside `( ... )`, any order, trailing comma ok.
+    fn int_fields(&mut self) -> Result<Vec<(String, u64)>, String> {
+        self.eat(b'(')?;
+        let mut out = Vec::new();
+        while !self.peek(b')') {
+            let name = self.word()?;
+            self.eat(b':')?;
+            out.push((name, self.int()?));
+            if self.peek(b',') {
+                self.i += 1;
+            }
+        }
+        self.eat(b')')?;
+        Ok(out)
+    }
+
+    fn spec(&mut self) -> Result<FaultSpec, String> {
+        self.eat(b'(')?;
+        let mut seed = None;
+        let mut recovery = RecoveryParams::default();
+        let mut events = None;
+        while !self.peek(b')') {
+            let name = self.word()?;
+            self.eat(b':')?;
+            match name.as_str() {
+                "seed" => match self.word()?.as_str() {
+                    "None" => {}
+                    "Some" => {
+                        self.eat(b'(')?;
+                        seed = Some(self.int()?);
+                        self.eat(b')')?;
+                    }
+                    w => return Err(self.err(&format!("expected None/Some, got `{w}`"))),
+                },
+                "recovery" => {
+                    let at = self.i;
+                    for (field, v) in self.int_fields()? {
+                        match field.as_str() {
+                            "ack_timeout_ns" => recovery.ack_timeout = SimTime::from_nanos(v),
+                            "backoff_cap_ns" => recovery.backoff_cap = SimTime::from_nanos(v),
+                            "max_retries" => recovery.max_retries = v as u32,
+                            other => {
+                                return Err(format!(
+                                    "fault spec parse error at byte {at}: \
+                                     unknown recovery field `{other}`"
+                                ))
+                            }
+                        }
+                    }
+                }
+                "events" => events = Some(self.events()?),
+                other => return Err(self.err(&format!("unknown field `{other}`"))),
+            }
+            if self.peek(b',') {
+                self.i += 1;
+            }
+        }
+        self.eat(b')')?;
+        Ok(FaultSpec {
+            seed,
+            recovery,
+            events: events.ok_or_else(|| self.err("missing events"))?,
+        })
+    }
+
+    fn events(&mut self) -> Result<Vec<FaultEvent>, String> {
+        self.eat(b'[')?;
+        let mut out = Vec::new();
+        while !self.peek(b']') {
+            out.push(self.event()?);
+            if self.peek(b',') {
+                self.i += 1;
+            }
+        }
+        self.eat(b']')?;
+        Ok(out)
+    }
+
+    fn event(&mut self) -> Result<FaultEvent, String> {
+        self.eat(b'(')?;
+        let (mut from, mut until, mut kind) = (None, None, None);
+        while !self.peek(b')') {
+            let name = self.word()?;
+            self.eat(b':')?;
+            match name.as_str() {
+                "from_ns" => from = Some(SimTime::from_nanos(self.int()?)),
+                "until_ns" => until = Some(SimTime::from_nanos(self.int()?)),
+                "kind" => kind = Some(self.kind()?),
+                other => return Err(self.err(&format!("unknown event field `{other}`"))),
+            }
+            if self.peek(b',') {
+                self.i += 1;
+            }
+        }
+        self.eat(b')')?;
+        Ok(FaultEvent {
+            from: from.ok_or_else(|| self.err("event missing from_ns"))?,
+            until: until.ok_or_else(|| self.err("event missing until_ns"))?,
+            kind: kind.ok_or_else(|| self.err("event missing kind"))?,
+        })
+    }
+
+    fn kind(&mut self) -> Result<FaultKind, String> {
+        let variant = self.word()?;
+        let at = self.i;
+        let fields = self.int_fields()?;
+        let get = |name: &str| -> Result<u64, String> {
+            fields
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+                .ok_or(format!(
+                    "fault spec parse error at byte {at}: {variant} needs field `{name}`"
+                ))
+        };
+        Ok(match variant.as_str() {
+            "LinkDown" => FaultKind::LinkDown {
+                from: CellId::new(get("from")? as u32),
+                to: CellId::new(get("to")? as u32),
+            },
+            "Delay" => FaultKind::Delay {
+                src: CellId::new(get("src")? as u32),
+                dst: CellId::new(get("dst")? as u32),
+                extra: SimTime::from_nanos(get("extra_ns")?),
+            },
+            "Corrupt" => FaultKind::Corrupt {
+                src: CellId::new(get("src")? as u32),
+                dst: CellId::new(get("dst")? as u32),
+                count: get("count")? as u32,
+            },
+            "Crash" => FaultKind::Crash {
+                cell: CellId::new(get("cell")? as u32),
+            },
+            "BnetDown" => FaultKind::BnetDown,
+            other => return Err(format!("unknown fault kind `{other}`")),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_random_specs() {
+        for seed in 0..40 {
+            for survivable in [true, false] {
+                let spec = FaultSpec::random(seed, 16, survivable);
+                let text = to_ron(&spec);
+                let back = from_ron(&text).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{text}"));
+                assert_eq!(spec, back, "seed {seed} round-trip\n{text}");
+            }
+        }
+    }
+
+    #[test]
+    fn parses_hand_written_dialect() {
+        let text = r#"
+            // one transient outage plus a corrupted packet
+            (
+                seed: None,
+                recovery: (ack_timeout_ns: 1000, max_retries: 3),
+                events: [
+                    (from_ns: 100, until_ns: 900, kind: LinkDown(to: 2, from: 1)),
+                    (from_ns: 0, until_ns: 500, kind: Corrupt(src: 0, dst: 3, count: 1)),
+                    (from_ns: 50, until_ns: 60, kind: BnetDown()),
+                ],
+            )
+        "#;
+        let spec = from_ron(text).unwrap();
+        assert_eq!(spec.seed, None);
+        assert_eq!(spec.recovery.max_retries, 3);
+        assert_eq!(spec.recovery.ack_timeout.as_nanos(), 1000);
+        // Unspecified recovery fields keep their defaults.
+        assert_eq!(
+            spec.recovery.backoff_cap,
+            RecoveryParams::default().backoff_cap
+        );
+        assert_eq!(spec.events.len(), 3);
+        assert!(matches!(
+            spec.events[0].kind,
+            FaultKind::LinkDown { from, to } if from.index() == 1 && to.index() == 2
+        ));
+        assert!(spec.is_survivable());
+    }
+
+    #[test]
+    fn reports_errors_with_position() {
+        assert!(from_ron("(seed: x)").unwrap_err().contains("byte"));
+        assert!(
+            from_ron("(events: [(from_ns: 1, until_ns: 2, kind: Nope())])")
+                .unwrap_err()
+                .contains("unknown fault kind")
+        );
+        assert!(from_ron("(seed: None)")
+            .unwrap_err()
+            .contains("missing events"));
+    }
+}

@@ -25,6 +25,13 @@
 //! strides, mismatched send/recv totals — must instead abort with the
 //! documented structured error.
 //!
+//! A fourth referee, the **chaos referee** ([`chaos`]), replays generated
+//! programs under deterministic fault-injection schedules: survivable
+//! schedules must still pass the memory oracle byte-exactly (retries,
+//! detours, and duplicate suppression are invisible to program memory),
+//! unsurvivable ones must abort with a structured fault error, and the
+//! same (program, schedule) pair must verdict byte-identically every run.
+//!
 //! Failing seeds are minimized by [`shrink`] (delta debugging over the
 //! action list; every candidate is re-planned, so no candidate can
 //! deadlock) and emitted as standalone [`ron`] reproducers for the
@@ -38,6 +45,7 @@
 //! run_program(&gen_program(1, 4)).unwrap();
 //! ```
 
+pub mod chaos;
 pub mod generate;
 pub mod oracle;
 pub mod plan;
@@ -46,6 +54,7 @@ pub mod ron;
 pub mod runner;
 pub mod shrink;
 
+pub use chaos::{run_chaos, ChaosVerdict};
 pub use generate::{gen_big_chunk, gen_program};
 pub use plan::Plan;
 pub use program::{Action, FuzzProgram, StrideMode};

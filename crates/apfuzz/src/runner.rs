@@ -79,7 +79,7 @@ pub fn run_program(prog: &FuzzProgram) -> Result<(), String> {
 /// makes generated programs deadlock-free: no blocking operation ever
 /// precedes the non-blocking issues it depends on, and the blocking
 /// operations appear in the same relative order on every cell.
-fn execute(plan: &Plan, seed: u64, read_dsm: bool, cell: &mut apcore::Cell) -> CellOut {
+pub(crate) fn execute(plan: &Plan, seed: u64, read_dsm: bool, cell: &mut apcore::Cell) -> CellOut {
     let me = cell.id() as u32;
     let region_b = cell.alloc_bytes(plan.region);
     let flags_b = cell.alloc_bytes(4 * FLAG_SLOTS as u64);
@@ -313,17 +313,20 @@ fn first_diff(a: &[u8], b: &[u8]) -> Option<usize> {
     a.iter().zip(b).position(|(x, y)| x != y)
 }
 
-#[allow(clippy::too_many_lines)]
-fn check(
+/// Checks the final machine state — destination bytes, flag counts, DSM
+/// window, remote-load results — of every cell against the independent
+/// oracle. This is the fault-invariant half of [`check`]: the chaos
+/// referee reuses it verbatim, because retries, detours, and duplicate
+/// suppression must be invisible to the program's memory.
+pub(crate) fn check_state(
     plan: &Plan,
     seed: u64,
     read_dsm: bool,
-    report: &apcore::RunReport<CellOut>,
+    outputs: &[CellOut],
 ) -> Result<(), String> {
     let want: Expectation = oracle::expectation(plan, seed);
-    let n = plan.ncells as usize;
     // 1. Every destination byte matches the oracle.
-    for (c, out) in report.outputs.iter().enumerate() {
+    for (c, out) in outputs.iter().enumerate() {
         if let Some(at) = first_diff(&out.region, &want.region[c]) {
             let (got, exp) = (out.region.get(at).copied(), want.region[c].get(at).copied());
             return Err(fail(
@@ -357,6 +360,18 @@ fn check(
             ));
         }
     }
+    Ok(())
+}
+
+#[allow(clippy::too_many_lines)]
+fn check(
+    plan: &Plan,
+    seed: u64,
+    read_dsm: bool,
+    report: &apcore::RunReport<CellOut>,
+) -> Result<(), String> {
+    let n = plan.ncells as usize;
+    check_state(plan, seed, read_dsm, &report.outputs)?;
     // 3. Barrier epochs agree with the round structure.
     let rounds = plan.rounds.len() as u64;
     if report.barriers != rounds + 1 {

@@ -1,0 +1,55 @@
+//! The chaos smoke suite: a (program seed × fault seed) grid of random
+//! fuzz programs under random fault schedules, checked by the chaos
+//! referee — survivable schedules must complete with oracle-verified
+//! memory and byte-identical fault reports across repeated runs;
+//! unsurvivable schedules must abort with a structured fault error, never
+//! hang or corrupt memory. Scale the grid up with
+//! `APFUZZ_CHAOS_SEEDS=<n>` (program seeds per machine size; default 4,
+//! three schedules each, well under the smoke budget).
+
+use apcore::FaultSpec;
+use apfuzz::{gen_program, run_chaos, ChaosVerdict};
+
+const FAULT_SEEDS: u64 = 3;
+
+fn seeds_per_size() -> u64 {
+    std::env::var("APFUZZ_CHAOS_SEEDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4)
+}
+
+#[test]
+fn chaos_survivable_grid() {
+    for ncells in [4u32, 9] {
+        for seed in 0..seeds_per_size() {
+            let prog = gen_program(seed, ncells);
+            for fault_seed in 0..FAULT_SEEDS {
+                let spec = FaultSpec::random(fault_seed, ncells, true);
+                let v = run_chaos(&prog, &spec).unwrap_or_else(|e| {
+                    panic!("seed {seed} ncells {ncells} fault {fault_seed}: {e}")
+                });
+                assert!(
+                    matches!(v, ChaosVerdict::Survived { .. }),
+                    "seed {seed} ncells {ncells} fault {fault_seed}: \
+                     survivable schedule aborted: {v:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn chaos_unsurvivable_grid() {
+    for seed in 0..seeds_per_size() {
+        let prog = gen_program(0xC4A05 ^ seed, 4);
+        for fault_seed in 0..FAULT_SEEDS {
+            let spec = FaultSpec::random(fault_seed, 4, false);
+            // Ok(Aborted) = the crash landed and the abort was structured;
+            // Ok(Survived) = the program finished before the crash fired.
+            // Either meets the contract — an Err means it was violated.
+            run_chaos(&prog, &spec)
+                .unwrap_or_else(|e| panic!("seed {seed} fault {fault_seed}: {e}"));
+        }
+    }
+}

@@ -24,7 +24,7 @@ pub mod payload;
 pub mod queue;
 pub mod stride;
 
-pub use encode::{decode, encodable, encode, DecodeError};
+pub use encode::{checksum, decode, encodable, encode, DecodeError};
 pub use message::{Command, GetArgs, Packet, PutArgs, HEADER_BYTES, MAX_DMA_BYTES};
 pub use payload::Payload;
 pub use queue::{HwQueue, PushOutcome, QueueStats};

@@ -291,6 +291,37 @@ impl Packet {
     pub fn wire_bytes(&self) -> u64 {
         HEADER_BYTES + self.payload_bytes()
     }
+
+    /// The payload bytes the envelope checksum covers (empty for
+    /// payload-free packets; a `RegStore`'s value travels in the header).
+    pub fn payload_slice(&self) -> &[u8] {
+        match self {
+            Packet::PutData { payload, .. }
+            | Packet::GetReply { payload, .. }
+            | Packet::RingMsg { payload, .. }
+            | Packet::RemoteStore { payload, .. }
+            | Packet::RemoteLoadReply { payload, .. } => payload,
+            Packet::GetReq { .. }
+            | Packet::RemoteStoreAck { .. }
+            | Packet::RemoteLoadReq { .. }
+            | Packet::RegStore { .. } => &[],
+        }
+    }
+
+    /// Static name of the packet kind, for per-op retry attribution.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Packet::PutData { .. } => "PutData",
+            Packet::GetReq { .. } => "GetReq",
+            Packet::GetReply { .. } => "GetReply",
+            Packet::RingMsg { .. } => "RingMsg",
+            Packet::RemoteStore { .. } => "RemoteStore",
+            Packet::RemoteStoreAck { .. } => "RemoteStoreAck",
+            Packet::RemoteLoadReq { .. } => "RemoteLoadReq",
+            Packet::RemoteLoadReply { .. } => "RemoteLoadReply",
+            Packet::RegStore { .. } => "RegStore",
+        }
+    }
 }
 
 #[cfg(test)]

@@ -21,5 +21,5 @@ pub mod torus;
 
 pub use bnet::BNet;
 pub use snet::SNet;
-pub use tnet::{Contention, TNet, TNetParams};
+pub use tnet::{Contention, Delivery, TNet, TNetParams};
 pub use torus::Torus;

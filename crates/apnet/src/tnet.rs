@@ -18,6 +18,7 @@
 //!   time, so bursts to one destination queue up.
 
 use crate::torus::Torus;
+use apfault::{FaultPlan, RouteVerdict};
 use apobs::{Bucket, Hist, Recorder, TimelineEvent, Unit};
 use apsim::Resource;
 use aputil::{CellId, SimTime};
@@ -60,6 +61,22 @@ pub enum Contention {
     /// serially-occupied 25 MB/s channel: messages crossing a shared link
     /// queue behind each other (wormhole head-of-line blocking).
     Links,
+}
+
+/// Outcome of a transfer attempted under a fault plan.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Delivery {
+    /// The packet reached its destination.
+    Delivered {
+        /// Arrival time at the destination.
+        at: SimTime,
+        /// `true` if it travelled the Y-then-X detour around a known
+        /// link outage.
+        detoured: bool,
+    },
+    /// The packet was lost (undiscovered outage, or the detour was also
+    /// down); the sender's ack timeout recovers it.
+    Dropped,
 }
 
 /// Aggregate T-net statistics.
@@ -187,7 +204,7 @@ impl TNet {
                 head = start + self.params.per_hop;
             }
             let arrival = head + serialize;
-            return self.finish(now, src, dst, hops, size, arrival, tid);
+            return self.finish(now, src, dst, hops, size, arrival, tid, None);
         }
         if let Contention::Ports = self.contention {
             // Hold the sender's injection channel for the serialization
@@ -197,10 +214,105 @@ impl TNet {
             let head_at_dst = depart + self.params.prolog + self.params.per_hop * hops as u64;
             let (_, ej_end) = self.in_port[dst.index()].reserve(head_at_dst, serialize);
             let arrival = ej_end;
-            return self.finish(now, src, dst, hops, size, arrival, tid);
+            return self.finish(now, src, dst, hops, size, arrival, tid, None);
         }
         let arrival = depart + self.params.prolog + self.params.per_hop * hops as u64 + serialize;
-        self.finish(now, src, dst, hops, size, arrival, tid)
+        self.finish(now, src, dst, hops, size, arrival, tid, None)
+    }
+
+    /// Like [`TNet::transfer_tagged`], but consulting a [`FaultPlan`]:
+    /// link outages on the static route drop the first crossing and steer
+    /// later packets onto the Y-then-X detour, and injected per-pair
+    /// delays stretch the arrival. The fault-free entry points never call
+    /// this, so their timing is untouched by the fault layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` or `dst` are outside the torus.
+    pub fn transfer_faulty(
+        &mut self,
+        now: SimTime,
+        src: CellId,
+        dst: CellId,
+        size: u64,
+        tid: u64,
+        plan: &mut FaultPlan,
+    ) -> Delivery {
+        let primary = self.torus.route(src, dst);
+        let (route, detoured) = match plan.route_verdict(&primary, now, false) {
+            RouteVerdict::Deliver => (primary, false),
+            RouteVerdict::Drop => {
+                self.note_drop(src, now, size, tid);
+                return Delivery::Dropped;
+            }
+            RouteVerdict::Detour => {
+                let alt = self.torus.route_yx(src, dst);
+                match plan.route_verdict(&alt, now, true) {
+                    RouteVerdict::Deliver => {
+                        plan.report.detours += 1;
+                        (alt, true)
+                    }
+                    _ => {
+                        // Same-row/column pairs have no distinct detour;
+                        // the retry protocol waits the outage out.
+                        self.note_drop(src, now, size, tid);
+                        return Delivery::Dropped;
+                    }
+                }
+            }
+        };
+        let hops = (route.len() - 1) as u32;
+        let serialize = self.params.per_byte.saturating_mul(size);
+        let arrival = match self.contention {
+            Contention::Links => {
+                let mut head = now + self.params.prolog;
+                for pair in route.windows(2) {
+                    let link = self.links.entry((pair[0], pair[1])).or_default();
+                    let (start, _) = link.reserve(head, serialize);
+                    head = start + self.params.per_hop;
+                }
+                head + serialize
+            }
+            Contention::Ports => {
+                let (_, inj_end) = self.out_port[src.index()].reserve(now, serialize);
+                let depart = inj_end - serialize;
+                let head_at_dst = depart + self.params.prolog + self.params.per_hop * hops as u64;
+                let (_, ej_end) = self.in_port[dst.index()].reserve(head_at_dst, serialize);
+                ej_end
+            }
+            Contention::None => {
+                now + self.params.prolog + self.params.per_hop * hops as u64 + serialize
+            }
+        };
+        let arrival = arrival + plan.delay(src, dst, now);
+        if detoured && self.obs.recorder.is_enabled() {
+            self.obs.recorder.instant_id(
+                src.as_u32(),
+                Unit::Net,
+                "detour",
+                now,
+                Bucket::Hw,
+                size,
+                tid,
+            );
+        }
+        let at = self.finish(now, src, dst, hops, size, arrival, tid, Some(&route));
+        Delivery::Delivered { at, detoured }
+    }
+
+    /// Marks a packet lost in the network on the timeline.
+    fn note_drop(&mut self, src: CellId, now: SimTime, size: u64, tid: u64) {
+        if self.obs.recorder.is_enabled() {
+            self.obs.recorder.instant_id(
+                src.as_u32(),
+                Unit::Net,
+                "drop",
+                now,
+                Bucket::Hw,
+                size,
+                tid,
+            );
+        }
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -213,6 +325,7 @@ impl TNet {
         size: u64,
         arrival: SimTime,
         tid: u64,
+        route: Option<&[CellId]>,
     ) -> SimTime {
         let slot = self.last_arrival.entry((src, dst)).or_insert(SimTime::ZERO);
         let arrival = arrival.max(*slot);
@@ -235,9 +348,17 @@ impl TNet {
                 size,
                 tid,
             );
-            // Nominal head-advance times along the static route; contention
-            // stalls show up as the gap to the delivery instant.
-            let route = self.torus.route(src, dst);
+            // Nominal head-advance times along the static route (or the
+            // detour actually taken); contention stalls show up as the gap
+            // to the delivery instant.
+            let computed;
+            let route = match route {
+                Some(r) => r,
+                None => {
+                    computed = self.torus.route(src, dst);
+                    &computed
+                }
+            };
             let head = now + self.params.prolog;
             for (k, cell) in route.iter().enumerate().skip(1) {
                 if *cell != dst {
@@ -415,6 +536,154 @@ mod link_contention_tests {
             assert!(
                 c >= a.saturating_sub(SimTime::from_nanos(200)),
                 "{s}->{d}: {c} < {a}"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use apfault::{FaultEvent, FaultKind, FaultSpec, RecoveryParams};
+
+    fn c(i: u32) -> CellId {
+        CellId::new(i)
+    }
+
+    fn outage_plan(from: u32, to: u32, until_ns: u64) -> FaultPlan {
+        FaultPlan::new(&FaultSpec {
+            seed: None,
+            recovery: RecoveryParams::default(),
+            events: vec![FaultEvent {
+                from: SimTime::ZERO,
+                until: SimTime::from_nanos(until_ns),
+                kind: FaultKind::LinkDown {
+                    from: c(from),
+                    to: c(to),
+                },
+            }],
+        })
+    }
+
+    #[test]
+    fn outage_drops_first_then_detours() {
+        let mut n = TNet::new(Torus::new(4, 4), TNetParams::default(), Contention::None);
+        // 0 -> 6 routes X then Y through link 1->2 at (1,0)->(2,0).
+        let (src, dst) = (c(0), c(6));
+        assert!(n
+            .torus()
+            .route(src, dst)
+            .windows(2)
+            .any(|w| w == [c(1), c(2)]));
+        let mut plan = outage_plan(1, 2, 1_000_000);
+        // Discovery: first crossing is lost.
+        assert_eq!(
+            n.transfer_faulty(SimTime::ZERO, src, dst, 100, 0, &mut plan),
+            Delivery::Dropped
+        );
+        // Retry detours Y-then-X and arrives with the same hop count.
+        let retry_at = SimTime::from_nanos(10_000);
+        let d = n.transfer_faulty(retry_at, src, dst, 100, 0, &mut plan);
+        let Delivery::Delivered { at, detoured } = d else {
+            panic!("retry should detour, got {d:?}");
+        };
+        assert!(detoured);
+        let hops = n.torus().hops(src, dst) as u64;
+        assert_eq!(
+            at.as_nanos() - retry_at.as_nanos(),
+            160 + 160 * hops + 40 * 100
+        );
+        assert_eq!(plan.report.drops, 1);
+        assert_eq!(plan.report.detours, 1);
+        // After the window heals the primary route is back in use.
+        let healed = n.transfer_faulty(SimTime::from_nanos(2_000_000), src, dst, 100, 0, &mut plan);
+        assert!(matches!(
+            healed,
+            Delivery::Delivered {
+                detoured: false,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn same_row_outage_has_no_detour() {
+        let mut n = TNet::new(Torus::new(4, 4), TNetParams::default(), Contention::None);
+        let (src, dst) = (c(0), c(2)); // pure X move through 0->1->2
+        let mut plan = outage_plan(0, 1, 1_000_000);
+        assert_eq!(
+            n.transfer_faulty(SimTime::ZERO, src, dst, 4, 0, &mut plan),
+            Delivery::Dropped,
+            "discovery"
+        );
+        assert_eq!(
+            n.transfer_faulty(SimTime::from_nanos(100), src, dst, 4, 0, &mut plan),
+            Delivery::Dropped,
+            "detour equals the primary route, so the packet is lost again"
+        );
+        assert_eq!(plan.report.drops, 2);
+        assert_eq!(plan.report.detours, 0);
+        // The outage end restores delivery.
+        assert!(matches!(
+            n.transfer_faulty(SimTime::from_nanos(1_000_000), src, dst, 4, 0, &mut plan),
+            Delivery::Delivered {
+                detoured: false,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn injected_delay_stretches_arrival_but_keeps_fifo() {
+        let mut n = TNet::new(Torus::new(4, 4), TNetParams::default(), Contention::None);
+        let mut plan = FaultPlan::new(&FaultSpec {
+            seed: None,
+            recovery: RecoveryParams::default(),
+            events: vec![FaultEvent {
+                from: SimTime::ZERO,
+                until: SimTime::from_nanos(500),
+                kind: FaultKind::Delay {
+                    src: c(0),
+                    dst: c(1),
+                    extra: SimTime::from_nanos(7_000),
+                },
+            }],
+        });
+        let Delivery::Delivered { at: slow, .. } =
+            n.transfer_faulty(SimTime::ZERO, c(0), c(1), 0, 0, &mut plan)
+        else {
+            panic!("delayed packet must still deliver")
+        };
+        assert_eq!(slow.as_nanos(), 160 + 160 + 7_000);
+        // A packet sent after the window would land earlier on its own,
+        // but per-pair FIFO holds it behind the delayed one.
+        let Delivery::Delivered { at: held, .. } =
+            n.transfer_faulty(SimTime::from_nanos(600), c(0), c(1), 0, 0, &mut plan)
+        else {
+            panic!()
+        };
+        assert!(held >= slow, "FIFO must hold under injected delay");
+    }
+
+    #[test]
+    fn faulty_transfer_without_matching_events_prices_like_the_clean_path() {
+        let mut clean = TNet::new(Torus::new(4, 4), TNetParams::default(), Contention::Links);
+        let mut faulty = TNet::new(Torus::new(4, 4), TNetParams::default(), Contention::Links);
+        let mut plan = outage_plan(3, 0, 10); // never crossed after t=10
+        for (t, s, d, b) in [
+            (100u64, 0u32, 5u32, 64u64),
+            (120, 1, 5, 800),
+            (130, 0, 5, 8),
+        ] {
+            let now = SimTime::from_nanos(t);
+            let want = clean.transfer_tagged(now, c(s), c(d), b, 0);
+            let got = faulty.transfer_faulty(now, c(s), c(d), b, 0, &mut plan);
+            assert_eq!(
+                got,
+                Delivery::Delivered {
+                    at: want,
+                    detoured: false
+                }
             );
         }
     }

@@ -136,6 +136,32 @@ impl Torus {
         }
         path
     }
+
+    /// The deterministic **detour** route: Y dimension resolved first, then
+    /// X. Same hop count as [`Torus::route`], and for any pair that moves
+    /// in both dimensions it is link-disjoint with the primary route — the
+    /// fault layer uses it to steer packets around a downed link. Pairs
+    /// that move in only one dimension (same row or column, including
+    /// every pair on an N×1 torus) have no distinct detour: `route_yx`
+    /// equals `route` and recovery falls back to retry-until-heal.
+    pub fn route_yx(self, src: CellId, dst: CellId) -> Vec<CellId> {
+        let (sx, sy) = self.coords(src);
+        let (dx, dy) = self.coords(dst);
+        let mut path = vec![src];
+        let mut y = sy as i64;
+        let step_y = Self::delta(sy, dy, self.height).signum();
+        while (y.rem_euclid(self.height as i64)) as u32 != dy {
+            y += step_y;
+            path.push(self.cell_at(sx, y.rem_euclid(self.height as i64) as u32));
+        }
+        let mut x = sx as i64;
+        let step_x = Self::delta(sx, dx, self.width).signum();
+        while (x.rem_euclid(self.width as i64)) as u32 != dx {
+            x += step_x;
+            path.push(self.cell_at(x.rem_euclid(self.width as i64) as u32, dy));
+        }
+        path
+    }
 }
 
 #[cfg(test)]
@@ -205,6 +231,44 @@ mod tests {
     #[should_panic(expected = "outside")]
     fn coords_out_of_range_panics() {
         Torus::new(2, 2).coords(CellId::new(4));
+    }
+
+    #[test]
+    fn detour_route_is_link_disjoint_when_both_dims_move() {
+        let t = Torus::new(4, 4);
+        let src = t.cell_at(0, 0);
+        let dst = t.cell_at(2, 3);
+        let xy = t.route(src, dst);
+        let yx = t.route_yx(src, dst);
+        assert_eq!(yx.first(), Some(&src));
+        assert_eq!(yx.last(), Some(&dst));
+        assert_eq!(yx.len(), xy.len(), "same hop count");
+        // Y first: second node differs in y, same x.
+        let (x1, y1) = t.coords(yx[1]);
+        assert_eq!(x1, 0);
+        assert_ne!(y1, 0);
+        let links = |r: &[CellId]| -> std::collections::HashSet<(CellId, CellId)> {
+            r.windows(2).map(|w| (w[0], w[1])).collect()
+        };
+        assert!(
+            links(&xy).is_disjoint(&links(&yx)),
+            "primary and detour share a link"
+        );
+    }
+
+    #[test]
+    fn detour_degenerates_on_single_dimension_moves() {
+        let t = Torus::new(4, 4);
+        // Same row: no distinct detour exists.
+        assert_eq!(
+            t.route_yx(t.cell_at(0, 1), t.cell_at(2, 1)),
+            t.route(t.cell_at(0, 1), t.cell_at(2, 1))
+        );
+        let ring = Torus::new(5, 1);
+        assert_eq!(
+            ring.route_yx(CellId::new(0), CellId::new(3)),
+            ring.route(CellId::new(0), CellId::new(3))
+        );
     }
 
     #[test]
@@ -286,6 +350,13 @@ mod proptests {
             prop_assert_eq!(r1.len() as u32 - 1, t.hops(src, dst));
             let unique: std::collections::HashSet<_> = r1.iter().collect();
             prop_assert_eq!(unique.len(), r1.len(), "route revisits a cell");
+            // The detour obeys the same invariants with the same length.
+            let d = t.route_yx(src, dst);
+            prop_assert_eq!(d.len(), r1.len(), "detour changes hop count");
+            prop_assert_eq!(d.first(), r1.first());
+            prop_assert_eq!(d.last(), r1.last());
+            let unique: std::collections::HashSet<_> = d.iter().collect();
+            prop_assert_eq!(unique.len(), d.len(), "detour revisits a cell");
         }
 
         /// Hop count obeys the torus diameter bound.

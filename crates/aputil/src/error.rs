@@ -1,5 +1,6 @@
 //! The workspace-wide error type.
 
+use crate::fault::{CellLostReport, FaultReport};
 use crate::{CellId, SimTime, VAddr};
 use core::fmt;
 use std::error::Error;
@@ -203,6 +204,25 @@ pub enum ApError {
         /// Every leak found, `;`-separated.
         detail: String,
     },
+    /// An injected fault schedule proved unsurvivable: a crashed cell
+    /// never finished, or a packet exhausted its retries. The report
+    /// carries the full injected schedule and recovery history.
+    Fault(Box<FaultReport>),
+    /// A cell's program thread went away mid-run (channel closed without a
+    /// clean finish). Carries the last request the cell issued and its
+    /// block state, like a one-cell [`DeadlockReport`].
+    CellLost(Box<CellLostReport>),
+    /// A barrier can never complete because a participant is dead. Raised
+    /// eagerly — at the first arrival after (or crash during) the barrier
+    /// — instead of hanging until deadlock detection.
+    BarrierAborted {
+        /// Simulated time of the abort.
+        at: SimTime,
+        /// Cells already waiting at the barrier.
+        waiting: Vec<CellId>,
+        /// Dead cells that can never arrive.
+        dead: Vec<CellId>,
+    },
 }
 
 impl fmt::Display for ApError {
@@ -237,6 +257,25 @@ impl fmt::Display for ApError {
             }
             ApError::StateLeak { detail } => {
                 write!(f, "state leaked past end of run: {detail}")
+            }
+            ApError::Fault(report) => write!(f, "fault injection: {report}"),
+            ApError::CellLost(report) => write!(f, "cell lost: {report}"),
+            ApError::BarrierAborted { at, waiting, dead } => {
+                write!(f, "barrier aborted at {at}: dead participants [")?;
+                for (i, c) in dead.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{c}")?;
+                }
+                write!(f, "], waiting [")?;
+                for (i, c) in waiting.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{c}")?;
+                }
+                write!(f, "]")
             }
         }
     }

@@ -20,12 +20,14 @@
 pub mod addr;
 pub mod bytes;
 pub mod error;
+pub mod fault;
 pub mod id;
 pub mod json;
 pub mod time;
 
 pub use addr::{PAddr, VAddr};
 pub use error::{ApError, ApResult, BlockReason, BlockedCell, DeadlockReport};
+pub use fault::{CellLostReport, DeliveryFailure, FaultReport, InjectedFault};
 pub use id::CellId;
 pub use json::Json;
 pub use time::SimTime;

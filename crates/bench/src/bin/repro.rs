@@ -12,6 +12,7 @@
 //! repro bench  --bench-out F   # versioned machine-readable bench report
 //! repro compare BASE CUR       # diff two bench reports, exit 1 on regression
 //! repro sweep  --bench-out F   # parallel app × size × factor grid sweep
+//! repro fault  --faults F.ron  # run apps under a fault-injection schedule
 //! ```
 //!
 //! Suite-running commands also accept `--json` (machine-readable rows on
@@ -36,14 +37,24 @@
 //! report in deterministic grid order — byte-identical for any N. Failed
 //! grid points are reported on stderr and make the command exit 1.
 //!
+//! `repro fault (--faults SPEC.ron | --fault-seed N) [--out FILE]
+//! [--apps CG] [--scale test|paper] [--threads N]` runs the fault-capable
+//! applications under a deterministic fault-injection schedule — loaded
+//! from a RON spec file or derived (survivable) from a seed — and writes
+//! one merged text report: the schedule, each surviving app's simulated
+//! total and `FaultReport` (retries, drops, detours, acks), and any
+//! failures. The report is byte-identical for any `--threads`; a failed
+//! or unsurvived app makes the command exit 1.
+//!
 //! `--scale test` uses small instances (seconds); the default `paper`
 //! scale uses the reduced-but-paper-shaped instances documented in
 //! DESIGN.md/EXPERIMENTS.md.
 
 use apbench::{
-    bench_report, compare_reports, crosscheck, fig6, fig7, fig8, fig8_ascii, markdown_report,
-    parse_scale, report, run_suite, run_sweep, suite_json, table1, table2, table3,
-    write_bench_report, SweepConfig, SWEEP_APPS,
+    bench_report, compare_reports, crosscheck, fault_sweep_text, fig6, fig7, fig8, fig8_ascii,
+    markdown_report, parse_scale, report, run_fault_sweep, run_suite, run_sweep, suite_json,
+    table1, table2, table3, write_bench_report, FaultSweepConfig, SweepConfig, FAULT_APPS,
+    SWEEP_APPS,
 };
 use std::path::Path;
 use std::time::Instant;
@@ -178,6 +189,89 @@ fn sweep_cmd(args: &[String]) -> ! {
     std::process::exit(if out.failures.is_empty() { 0 } else { 1 });
 }
 
+fn fault_cmd(args: &[String]) -> ! {
+    let bad = |msg: String| -> ! {
+        eprintln!("{msg}");
+        std::process::exit(2);
+    };
+    let apps: Vec<String> = match flag_value(args, "--apps") {
+        Some(list) => list.split(',').map(str::to_string).collect(),
+        None => FAULT_APPS.iter().map(|s| s.to_string()).collect(),
+    };
+    let spec = match (
+        flag_value(args, "--faults"),
+        flag_value(args, "--fault-seed"),
+    ) {
+        (Some(path), None) => {
+            let text = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| bad(format!("cannot read {path}: {e}")));
+            apfault::from_ron(&text).unwrap_or_else(|e| bad(format!("{path}: {e}")))
+        }
+        (None, Some(s)) => {
+            let seed: u64 = s
+                .parse()
+                .unwrap_or_else(|_| bad(format!("--fault-seed takes a number, got '{s}'")));
+            // Survivable schedules only: chaos crash testing lives in the
+            // apfuzz referee; `repro fault` asserts verified completion.
+            // Cell ids are drawn for the largest selected machine; events
+            // naming cells a smaller machine lacks simply never fire.
+            let scale = parse_scale(args);
+            let max_pe = apps
+                .iter()
+                .filter_map(|a| apbench::sweep::build_workload(a, scale, None).ok())
+                .map(|w| w.pe())
+                .max()
+                .unwrap_or(16);
+            apcore::FaultSpec::random(seed, max_pe, true)
+        }
+        (Some(_), Some(_)) => bad("--faults and --fault-seed are mutually exclusive".into()),
+        (None, None) => bad(
+            "usage: repro fault (--faults SPEC.ron | --fault-seed N) [--out FILE] \
+             [--apps CG,..] [--scale test|paper] [--threads N]"
+                .into(),
+        ),
+    };
+    let threads: usize = match flag_value(args, "--threads") {
+        Some(s) => s
+            .parse()
+            .unwrap_or_else(|_| bad(format!("--threads takes a count, got '{s}'"))),
+        None => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+    };
+    let cfg = FaultSweepConfig {
+        scale: parse_scale(args),
+        apps,
+        spec,
+        threads,
+    };
+    eprintln!(
+        "running {} app(s) under a {}-event fault schedule on {} threads at {:?} scale...",
+        cfg.apps.len(),
+        cfg.spec.events.len(),
+        cfg.threads,
+        cfg.scale
+    );
+    let t0 = Instant::now();
+    let out = run_fault_sweep(&cfg);
+    eprintln!(
+        "fault sweep done in {:.1}s: {} survived, {} failed",
+        t0.elapsed().as_secs_f64(),
+        out.rows.len(),
+        out.failures.len()
+    );
+    let text = fault_sweep_text(&cfg, &out);
+    match flag_value(args, "--out") {
+        Some(path) => {
+            std::fs::write(&path, &text).expect("write fault report");
+            eprintln!("wrote fault report to {path}");
+        }
+        None => print!("{text}"),
+    }
+    for f in &out.failures {
+        eprintln!("  FAILED  {f}");
+    }
+    std::process::exit(if out.failures.is_empty() { 0 } else { 1 });
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(String::as_str).unwrap_or("all");
@@ -205,6 +299,7 @@ fn main() {
         }
         "compare" => compare_cmd(&args),
         "sweep" => sweep_cmd(&args),
+        "fault" => fault_cmd(&args),
         "table2" | "table3" | "fig8" | "all" | "bench" => {
             let scale = parse_scale(&args);
             if cmd == "bench" && bench_out.is_none() {
@@ -275,9 +370,10 @@ fn main() {
             eprintln!("unknown command '{other}'");
             eprintln!(
                 "usage: repro [table1|fig6|fig7|table2|table3|fig8|ablations|all|bench|compare|\
-                 sweep] [--scale test|paper] [--json] [--ascii] [--markdown] [--trace-out FILE] \
-                 [--bench-out FILE] [--rev REV] [--md-out FILE] [--threshold PCT] [--apps A,B] \
-                 [--sizes default,4] [--factors 0.5,1.0] [--threads N]"
+                 sweep|fault] [--scale test|paper] [--json] [--ascii] [--markdown] \
+                 [--trace-out FILE] [--bench-out FILE] [--rev REV] [--md-out FILE] \
+                 [--threshold PCT] [--apps A,B] [--sizes default,4] [--factors 0.5,1.0] \
+                 [--threads N] [--faults SPEC.ron] [--fault-seed N] [--out FILE]"
             );
             std::process::exit(2);
         }

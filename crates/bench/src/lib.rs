@@ -15,8 +15,12 @@ use mlsim::{
     ReplayResult,
 };
 
+pub mod fault;
 pub mod report;
 pub mod sweep;
+pub use fault::{
+    fault_sweep_text, run_fault_sweep, FaultOutcome, FaultRow, FaultSweepConfig, FAULT_APPS,
+};
 pub use report::{
     bench_report, compare_reports, markdown_report, write_bench_report, CompareReport, Regression,
     BENCH_SCHEMA, BENCH_SCHEMA_VERSION,

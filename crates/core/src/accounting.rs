@@ -54,6 +54,10 @@ pub struct RunReport<T> {
     /// [`MachineConfig::record_timeline`](crate::MachineConfig) was set);
     /// export with [`apobs::chrome_trace`].
     pub timeline: apobs::Timeline,
+    /// The fault-injection report of a survived faulted run (`None` on
+    /// fault-free runs). Unsurvivable schedules never get here — they
+    /// abort with [`aputil::ApError::Fault`], which carries the report.
+    pub fault: Option<aputil::FaultReport>,
 }
 
 impl<T> RunReport<T> {

@@ -10,11 +10,16 @@
 
 use crate::machine::{ActiveTx, Machine, TxEntry, TxJob};
 use crate::request::{Mark, Request, Response};
-use apmsc::{Packet, Payload, PushOutcome, HEADER_BYTES};
+use apfault::{FaultPlan, FaultSpec, ReplayGuard};
+use apmsc::{checksum, Packet, Payload, PushOutcome, HEADER_BYTES};
+use apnet::Delivery;
 use apobs::{Bucket, Unit, XferKind, XferLat};
 use apsim::{Clock, EventQueue};
 use aptrace::Op;
-use aputil::{ApError, ApResult, BlockReason, BlockedCell, CellId, DeadlockReport, SimTime, VAddr};
+use aputil::{
+    ApError, ApResult, BlockReason, BlockedCell, CellId, CellLostReport, DeadlockReport,
+    DeliveryFailure, FaultReport, SimTime, VAddr,
+};
 use crossbeam::channel::{Receiver, Sender};
 use std::collections::HashMap;
 
@@ -31,6 +36,49 @@ enum Ev {
     Arrive { dst: u32, pkt: Packet, tid: u64 },
     /// `dst`'s receive DMA finished landing a packet.
     RecvDone { dst: u32, pkt: Packet, tid: u64 },
+    /// Fault layer: a sequence-numbered envelope reached `dst`'s MSC+.
+    /// `tag` is the FNV checksum the sender stamped (possibly flipped in
+    /// flight by an injected corruption).
+    ArriveF {
+        dst: u32,
+        src: u32,
+        seq: u64,
+        tag: u32,
+        pkt: Packet,
+        tid: u64,
+    },
+    /// Fault layer: the hardware ack for envelope `seq` reached its
+    /// original sender.
+    AckArrive { seq: u64 },
+    /// Fault layer: retransmission timer for envelope `seq`, armed when
+    /// transmission attempt `attempt` departed. Stale once the envelope
+    /// is acknowledged (or superseded by a later attempt's timer).
+    RetryTimeout { seq: u64, attempt: u32 },
+    /// Fault layer: fail-stop crash of `cell`.
+    Crash { cell: u32 },
+}
+
+/// An envelope awaiting its ack: everything needed to retransmit it.
+struct Outstanding {
+    src: CellId,
+    dst: CellId,
+    pkt: Packet,
+    tid: u64,
+    /// Transmissions so far (1 after the first send).
+    attempts: u32,
+}
+
+/// The kernel's fault-injection and recovery state (absent on fault-free
+/// runs, which keeps their event stream byte-identical).
+struct FaultState {
+    plan: FaultPlan,
+    /// Last sequence number assigned (global, so `(src, seq)` dedup keys
+    /// are unique machine-wide).
+    next_seq: u64,
+    outstanding: HashMap<u64, Outstanding>,
+    replay: ReplayGuard,
+    /// Cells taken down by a fail-stop crash.
+    dead: Vec<bool>,
 }
 
 /// Which of a cell's four MSC+ transmit queues to enqueue into.
@@ -122,6 +170,14 @@ pub(crate) struct Kernel {
     xfers: HashMap<u64, InFlight>,
     bcast: Option<BcastState>,
     done: u32,
+    /// Per-cell: the program called Finish (distinguishes finished cells
+    /// from crashed ones when a fault schedule is active).
+    finished: Vec<bool>,
+    /// Per-cell: name of the last request dispatched, for the
+    /// [`CellLostReport`] raised when a program thread dies.
+    last_req: Vec<Option<&'static str>>,
+    /// Fault-injection state; `None` on fault-free runs.
+    fault: Option<FaultState>,
 }
 
 impl Kernel {
@@ -153,7 +209,39 @@ impl Kernel {
             xfers: HashMap::new(),
             bcast: None,
             done: 0,
+            finished: vec![false; n],
+            last_req: vec![None; n],
+            fault: None,
         }
+    }
+
+    /// Arms a fault schedule: every non-loopback packet now travels in a
+    /// sequence-numbered, checksummed, acknowledged envelope, and the
+    /// schedule's crashes are queued as sim-time events. `None` leaves the
+    /// kernel on the fault-free fast path.
+    pub fn with_faults(mut self, spec: Option<&FaultSpec>) -> Self {
+        if let Some(spec) = spec {
+            let n = self.machine.cells.len();
+            let plan = FaultPlan::new(spec);
+            for (cell, at) in plan.crash_schedule() {
+                if cell.index() < n {
+                    self.evq.push(
+                        at,
+                        Ev::Crash {
+                            cell: cell.as_u32(),
+                        },
+                    );
+                }
+            }
+            self.fault = Some(FaultState {
+                plan,
+                next_seq: 0,
+                outstanding: HashMap::new(),
+                replay: ReplayGuard::new(),
+                dead: vec![false; n],
+            });
+        }
+        self
     }
 
     /// Consumes the kernel, returning the machine and the resume senders
@@ -162,18 +250,72 @@ impl Kernel {
         (self.machine, self.resume_tx)
     }
 
+    /// Takes the fault report of a survived faulted run (`None` on
+    /// fault-free runs). Call after [`Kernel::run`].
+    pub fn take_fault_report(&mut self) -> Option<FaultReport> {
+        self.fault.take().map(|f| f.plan.report)
+    }
+
+    /// Events that must be discarded without advancing the clock: stale
+    /// retry timers (their envelope was acknowledged), crash events for
+    /// cells that already finished, and any activity addressed to a dead
+    /// cell (fail-stop: its hardware neither sends, receives, nor wakes).
+    fn skips(&self, ev: &Ev) -> bool {
+        let Some(f) = &self.fault else { return false };
+        match ev {
+            Ev::RetryTimeout { seq, attempt } => f
+                .outstanding
+                .get(seq)
+                .is_none_or(|o| o.attempts != *attempt),
+            Ev::Crash { cell } => self.finished[*cell as usize] || f.dead[*cell as usize],
+            Ev::Wake { cell, .. } | Ev::SendPop { cell } | Ev::SendDone { cell } => {
+                f.dead[*cell as usize]
+            }
+            Ev::Arrive { dst, .. } | Ev::RecvDone { dst, .. } | Ev::ArriveF { dst, .. } => {
+                f.dead[*dst as usize]
+            }
+            Ev::AckArrive { .. } => false,
+        }
+    }
+
     /// Runs the event loop to completion.
     pub fn run(&mut self) -> ApResult<SimTime> {
         while let Some((t, ev)) = self.evq.pop() {
+            if self.skips(&ev) {
+                continue;
+            }
             self.clock.advance_to(t);
             self.handle(ev)?;
         }
         let n = self.machine.cells.len() as u32;
+        if let Some(f) = &self.fault {
+            let dead = f.dead.iter().filter(|&&d| d).count() as u32;
+            if dead > 0 {
+                // Graceful degradation: surviving cells ran to completion;
+                // the run as a whole reports the crashes structurally.
+                let mut cause = format!("{dead} cell(s) crashed fail-stop");
+                if self.done + dead < n {
+                    cause.push_str(&format!(
+                        "; {} surviving cell(s) still blocked when the event queue drained",
+                        n - self.done - dead
+                    ));
+                }
+                return Err(ApError::Fault(Box::new(self.fault_report(cause))));
+            }
+        }
         if self.done < n {
             return Err(ApError::Deadlock(Box::new(self.deadlock_report())));
         }
         self.check_drained()?;
         Ok(self.clock.now())
+    }
+
+    /// Snapshot of the fault plan's report with an abort `cause` attached.
+    fn fault_report(&self, cause: String) -> FaultReport {
+        let f = self.fault.as_ref().expect("fault layer active");
+        let mut r = f.plan.report.clone();
+        r.cause = cause;
+        r
     }
 
     /// Verifies that a completed run left no hardware or bookkeeping state
@@ -217,62 +359,79 @@ impl Kernel {
         }
     }
 
-    /// Snapshot of every still-blocked cell — why it is blocked, since
-    /// when, and what its MSC+ transmit queues still hold — assembled when
-    /// the event queue drains with unfinished cells.
-    fn deadlock_report(&self) -> DeadlockReport {
-        let now = self.clock.now();
-        let mut blocked = Vec::new();
-        for (i, slot) in self.waiters.iter().enumerate() {
-            let Some(w) = slot else { continue };
-            let cid = CellId::new(i as u32);
-            let (reason, since) = match *w {
-                Waiter::Flag {
-                    flag,
-                    target,
-                    since,
-                } => {
-                    let flag = VAddr::new(flag);
-                    let current = self.machine.read_flag(cid, flag).unwrap_or(0);
-                    (
-                        BlockReason::FlagWait {
-                            flag,
-                            current,
-                            target,
-                        },
-                        since,
-                    )
-                }
-                Waiter::Barrier { since } => (BlockReason::Barrier, since),
-                Waiter::Recv { src, since, .. } => (BlockReason::Recv { src }, since),
-                Waiter::Send { since } => (BlockReason::Send, since),
-                Waiter::Bcast { since } => (BlockReason::Bcast, since),
-                Waiter::Reg { reg, since } => (BlockReason::RegLoad { reg }, since),
-                Waiter::Load { since } => (BlockReason::RemoteLoad, since),
-                Waiter::Fence { since } => {
-                    let hw = &self.machine.cells[i];
-                    (
-                        BlockReason::RemoteFence {
-                            issued: hw.rstore_issued,
-                            acked: hw.rstore_acked,
-                        },
-                        since,
-                    )
-                }
-            };
-            blocked.push(BlockedCell {
-                cell: cid,
-                reason,
+    /// Snapshot of one cell's block state (`None` if it is runnable or
+    /// done): why it is blocked, since when, and what its MSC+ transmit
+    /// queues still hold. The per-cell building block of both the
+    /// deadlock report and the [`CellLostReport`].
+    fn blocked_cell(&self, i: usize) -> Option<BlockedCell> {
+        let w = self.waiters[i].as_ref()?;
+        let cid = CellId::new(i as u32);
+        let (reason, since) = match *w {
+            Waiter::Flag {
+                flag,
+                target,
                 since,
-                pending_tx: self.machine.cells[i].pending_tx(),
-            });
-        }
+            } => {
+                let flag = VAddr::new(flag);
+                let current = self.machine.read_flag(cid, flag).unwrap_or(0);
+                (
+                    BlockReason::FlagWait {
+                        flag,
+                        current,
+                        target,
+                    },
+                    since,
+                )
+            }
+            Waiter::Barrier { since } => (BlockReason::Barrier, since),
+            Waiter::Recv { src, since, .. } => (BlockReason::Recv { src }, since),
+            Waiter::Send { since } => (BlockReason::Send, since),
+            Waiter::Bcast { since } => (BlockReason::Bcast, since),
+            Waiter::Reg { reg, since } => (BlockReason::RegLoad { reg }, since),
+            Waiter::Load { since } => (BlockReason::RemoteLoad, since),
+            Waiter::Fence { since } => {
+                let hw = &self.machine.cells[i];
+                (
+                    BlockReason::RemoteFence {
+                        issued: hw.rstore_issued,
+                        acked: hw.rstore_acked,
+                    },
+                    since,
+                )
+            }
+        };
+        Some(BlockedCell {
+            cell: cid,
+            reason,
+            since,
+            pending_tx: self.machine.cells[i].pending_tx(),
+        })
+    }
+
+    /// Snapshot of every still-blocked cell, assembled when the event
+    /// queue drains with unfinished cells.
+    fn deadlock_report(&self) -> DeadlockReport {
         DeadlockReport {
-            now,
+            now: self.clock.now(),
             total_cells: self.machine.cells.len() as u32,
             finished_cells: self.done,
-            blocked,
+            blocked: (0..self.waiters.len())
+                .filter_map(|i| self.blocked_cell(i))
+                .collect(),
         }
+    }
+
+    /// Structured report for a cell whose program thread died out from
+    /// under the kernel: what it last asked for and whether it was
+    /// blocked, in the same shape the deadlock report uses.
+    fn cell_lost(&self, cell: u32, reason: &str) -> ApError {
+        ApError::CellLost(Box::new(CellLostReport {
+            cell: CellId::new(cell),
+            reason: reason.to_string(),
+            now: self.clock.now(),
+            last_request: self.last_req[cell as usize],
+            blocked: self.blocked_cell(cell as usize),
+        }))
     }
 
     fn now(&self) -> SimTime {
@@ -388,6 +547,26 @@ impl Kernel {
             Ev::SendDone { cell } => self.send_done(cell),
             Ev::Arrive { dst, pkt, tid } => self.arrive(dst, pkt, tid),
             Ev::RecvDone { dst, pkt, tid } => self.recv_done(dst, pkt, tid),
+            Ev::ArriveF {
+                dst,
+                src,
+                seq,
+                tag,
+                pkt,
+                tid,
+            } => self.arrive_f(dst, src, seq, tag, pkt, tid),
+            Ev::AckArrive { seq } => {
+                let f = self
+                    .fault
+                    .as_mut()
+                    .expect("fault event without fault layer");
+                // The envelope is delivered; its pending retry timer is now
+                // stale and will be skipped.
+                f.outstanding.remove(&seq);
+                Ok(())
+            }
+            Ev::RetryTimeout { seq, .. } => self.retry_timeout(seq),
+            Ev::Crash { cell } => self.crash(cell),
         }
     }
 
@@ -409,14 +588,11 @@ impl Kernel {
         }
         self.resume_tx[cell as usize]
             .send(resp)
-            .map_err(|_| ApError::CellFailed {
-                cell: CellId::new(cell),
-                reason: "program thread exited unexpectedly".to_string(),
-            })?;
-        let (from, req) = self.req_rx.recv().map_err(|_| ApError::CellFailed {
-            cell: CellId::new(cell),
-            reason: "program thread panicked".to_string(),
-        })?;
+            .map_err(|_| self.cell_lost(cell, "program thread exited unexpectedly"))?;
+        let (from, req) = self
+            .req_rx
+            .recv()
+            .map_err(|_| self.cell_lost(cell, "program thread panicked"))?;
         debug_assert_eq!(from, cell, "baton protocol violated");
         self.dispatch(from, req)
     }
@@ -427,6 +603,7 @@ impl Kernel {
         let now = self.now();
         let hw_params = self.machine.cfg.hw;
         let cid = CellId::new(cell);
+        self.last_req[cell as usize] = Some(req_name(&req));
         match req {
             Request::Batch(reqs) => {
                 // A run of posted async requests with the cell's next
@@ -591,6 +768,33 @@ impl Kernel {
             }
             Request::Barrier => {
                 self.record(cell, Op::Barrier);
+                // Eager abort instead of a guaranteed hang: a machine-wide
+                // S-net barrier can never release once a participant has
+                // crashed fail-stop.
+                if let Some(f) = &self.fault {
+                    if f.dead.iter().any(|&d| d) {
+                        let dead: Vec<CellId> = f
+                            .dead
+                            .iter()
+                            .enumerate()
+                            .filter(|&(_, &d)| d)
+                            .map(|(i, _)| CellId::new(i as u32))
+                            .collect();
+                        let mut waiting: Vec<CellId> = self
+                            .waiters
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, w)| matches!(w, Some(Waiter::Barrier { .. })))
+                            .map(|(i, _)| CellId::new(i as u32))
+                            .collect();
+                        waiting.push(cid);
+                        return Err(ApError::BarrierAborted {
+                            at: now,
+                            waiting,
+                            dead,
+                        });
+                    }
+                }
                 if let Some(release) = self.machine.snet.arrive(cid, now)? {
                     let epoch = self.machine.snet.epochs();
                     // Release earlier arrivals in cell-id order (the arriving
@@ -703,21 +907,7 @@ impl Kernel {
                         reg,
                         value,
                     };
-                    let arrival = self.machine.tnet.transfer_tagged(
-                        now + hw_params.reg_store_time,
-                        cid,
-                        dst,
-                        pkt.wire_bytes(),
-                        tid,
-                    );
-                    self.evq.push(
-                        arrival,
-                        Ev::Arrive {
-                            dst: dst.as_u32(),
-                            pkt,
-                            tid,
-                        },
-                    );
+                    self.inject(now + hw_params.reg_store_time, cid, dst, pkt, tid);
                 }
                 self.wake_at(cell, now + hw_params.reg_store_time, Response::Unit);
             }
@@ -757,12 +947,17 @@ impl Kernel {
                 state.arrived.push((cell, laddr, now));
                 if state.arrived.len() == self.machine.cells.len() {
                     let state = self.bcast.take().expect("just inserted");
-                    let latest = state
+                    let mut latest = state
                         .arrived
                         .iter()
                         .map(|&(_, _, t)| t)
                         .max()
                         .expect("nonempty");
+                    if let Some(f) = self.fault.as_mut() {
+                        // A B-net outage defers the broadcast until the
+                        // window closes.
+                        latest = f.plan.bnet_clear(latest);
+                    }
                     let root_laddr = state
                         .arrived
                         .iter()
@@ -876,6 +1071,7 @@ impl Kernel {
             Request::Finish => {
                 self.machine.times[cell as usize].finish = now;
                 self.waiters[cell as usize] = None;
+                self.finished[cell as usize] = true;
                 self.done += 1;
             }
         }
@@ -1028,7 +1224,7 @@ impl Kernel {
                     recv_flag: a.recv_flag,
                     payload,
                 };
-                self.inject(cid, a.dst, pkt, tid);
+                self.inject(now, cid, a.dst, pkt, tid);
             }
             TxJob::GetReq(a) => {
                 let pkt = Packet::GetReq {
@@ -1040,13 +1236,13 @@ impl Kernel {
                     reply_stride: a.recv_stride,
                     reply_flag: a.recv_flag,
                 };
-                self.inject(cid, a.src_cell, pkt, tid);
+                self.inject(now, cid, a.src_cell, pkt, tid);
             }
             TxJob::Ring {
                 dst, wake_sender, ..
             } => {
                 let pkt = Packet::RingMsg { src: cid, payload };
-                self.inject(cid, dst, pkt, tid);
+                self.inject(now, cid, dst, pkt, tid);
                 if wake_sender {
                     if let Some(Waiter::Send { since }) =
                         self.take_waiter_if(cell, |w| matches!(w, Waiter::Send { .. }))
@@ -1082,7 +1278,7 @@ impl Kernel {
                     recv_flag: reply_flag,
                     payload,
                 };
-                self.inject(cid, requester, pkt, tid);
+                self.inject(now, cid, requester, pkt, tid);
             }
             TxJob::RemoteStoreTx { dst, offset, .. } => {
                 let pkt = Packet::RemoteStore {
@@ -1090,7 +1286,7 @@ impl Kernel {
                     raddr: VAddr::new(offset),
                     payload,
                 };
-                self.inject(cid, dst, pkt, tid);
+                self.inject(now, cid, dst, pkt, tid);
             }
             TxJob::RemoteLoadReqTx { dst, offset, len } => {
                 let pkt = Packet::RemoteLoadReq {
@@ -1098,29 +1294,49 @@ impl Kernel {
                     raddr: VAddr::new(offset),
                     size: len,
                 };
-                self.inject(cid, dst, pkt, tid);
+                self.inject(now, cid, dst, pkt, tid);
             }
             TxJob::RemoteLoadReplyTx { dst, .. } => {
                 let pkt = Packet::RemoteLoadReply { src: cid, payload };
-                self.inject(cid, dst, pkt, tid);
+                self.inject(now, cid, dst, pkt, tid);
             }
             TxJob::RemoteAckTx { dst } => {
                 let pkt = Packet::RemoteStoreAck { src: cid };
-                self.inject(cid, dst, pkt, tid);
+                self.inject(now, cid, dst, pkt, tid);
             }
         }
         Ok(())
     }
 
-    fn inject(&mut self, src: CellId, dst: CellId, pkt: Packet, tid: u64) {
-        let now = self.now();
+    fn inject(&mut self, at: SimTime, src: CellId, dst: CellId, pkt: Packet, tid: u64) {
+        if self.fault.is_some() && src != dst {
+            // Fault layer: wrap the packet in a sequence-numbered,
+            // checksummed, acknowledged envelope and transmit over the
+            // faulty network. (Loopback stays below — the MSC+
+            // short-circuit cannot lose a packet to its own cell.)
+            let f = self.fault.as_mut().expect("just checked");
+            f.next_seq += 1;
+            let seq = f.next_seq;
+            f.outstanding.insert(
+                seq,
+                Outstanding {
+                    src,
+                    dst,
+                    pkt,
+                    tid,
+                    attempts: 0,
+                },
+            );
+            self.transmit_seq(at, seq);
+            return;
+        }
         let arrival = if src == dst {
             // Loopback: the MSC+ short-circuits the network.
-            now
+            at
         } else {
             self.machine
                 .tnet
-                .transfer_tagged(now, src, dst, pkt.wire_bytes(), tid)
+                .transfer_tagged(at, src, dst, pkt.wire_bytes(), tid)
         };
         self.charge_xfer(tid, Seg::Net, arrival);
         self.evq.push(
@@ -1131,6 +1347,194 @@ impl Kernel {
                 tid,
             },
         );
+    }
+
+    // ---- fault layer: envelope, ack, retry, crash ------------------------
+
+    /// Transmits envelope `seq` (first attempt or retry) at `at`: stamps
+    /// the FNV payload checksum (flipping a bit if an injected corruption
+    /// strikes), asks the faulty T-net for a verdict — deliver, detour, or
+    /// drop — and arms the attempt's backoff retry timer.
+    fn transmit_seq(&mut self, at: SimTime, seq: u64) {
+        let f = self.fault.as_mut().expect("fault layer active");
+        let o = f
+            .outstanding
+            .get_mut(&seq)
+            .expect("transmit of a retired envelope");
+        o.attempts += 1;
+        let attempt = o.attempts;
+        let (src, dst, tid) = (o.src, o.dst, o.tid);
+        let bytes = o.pkt.wire_bytes();
+        let mut tag = checksum(o.pkt.payload_slice());
+        let pkt = o.pkt.clone();
+        if f.plan.corrupt(src, dst, at) {
+            // One bit flipped in flight; the receiver's recomputation
+            // will miss the stamped tag and discard the packet.
+            tag ^= 1 << 7;
+        }
+        let timeout = f.plan.recovery().timeout_for(attempt);
+        // The retry clock starts at the packet's expected delivery
+        // completion, not its departure: an 11 KB transfer's serialization
+        // alone can exceed the base ack timeout, and timing out mid-flight
+        // would spuriously retransmit every large packet.
+        let deadline =
+            match self
+                .machine
+                .tnet
+                .transfer_faulty(at, src, dst, bytes, tid, &mut f.plan)
+            {
+                Delivery::Delivered { at: arrival, .. } => {
+                    self.evq.push(
+                        arrival,
+                        Ev::ArriveF {
+                            dst: dst.as_u32(),
+                            src: src.as_u32(),
+                            seq,
+                            tag,
+                            pkt,
+                            tid,
+                        },
+                    );
+                    arrival + timeout
+                }
+                Delivery::Dropped => at + timeout,
+            };
+        self.evq.push(deadline, Ev::RetryTimeout { seq, attempt });
+    }
+
+    /// An envelope reached `dst`: verify the checksum, acknowledge, and
+    /// deliver unless this `(src, seq)` was already seen (an earlier
+    /// attempt got through but its ack was lost — re-ack, deliver nothing,
+    /// so a retried PUT cannot double-scatter or double-bump a flag).
+    fn arrive_f(
+        &mut self,
+        dst: u32,
+        src: u32,
+        seq: u64,
+        tag: u32,
+        pkt: Packet,
+        tid: u64,
+    ) -> ApResult<()> {
+        let now = self.now();
+        if checksum(pkt.payload_slice()) != tag {
+            // Detected corruption: discard unacknowledged; the sender's
+            // retry timer recovers the transfer.
+            let f = self.fault.as_mut().expect("fault layer active");
+            f.plan.report.corrupt_detected += 1;
+            self.machine
+                .obs
+                .instant(dst, Unit::RecvDma, "corrupt_drop", now, Bucket::Hw, seq);
+            return Ok(());
+        }
+        self.send_ack(dst, src, seq, now);
+        let f = self.fault.as_mut().expect("fault layer active");
+        if !f.replay.first_sighting(CellId::new(src), seq) {
+            f.plan.report.dup_suppressed += 1;
+            self.machine
+                .obs
+                .instant(dst, Unit::RecvDma, "dup_suppressed", now, Bucket::Hw, seq);
+            return Ok(());
+        }
+        self.charge_xfer(tid, Seg::Net, now);
+        self.arrive(dst, pkt, tid)
+    }
+
+    /// The receiver's MSC+ acknowledges envelope `seq` back to `src`.
+    /// Acks are hardware-generated header-sized packets: they ride the
+    /// same faulty network (and can be lost — the sender then retries and
+    /// the receiver re-acks) but are never themselves acknowledged.
+    fn send_ack(&mut self, from: u32, to: u32, seq: u64, now: SimTime) {
+        let f = self.fault.as_mut().expect("fault layer active");
+        f.plan.report.acks += 1;
+        if let Delivery::Delivered { at, .. } = self.machine.tnet.transfer_faulty(
+            now,
+            CellId::new(from),
+            CellId::new(to),
+            HEADER_BYTES,
+            0,
+            &mut f.plan,
+        ) {
+            self.evq.push(at, Ev::AckArrive { seq });
+        }
+    }
+
+    /// Envelope `seq`'s ack did not arrive in time: retransmit with the
+    /// next backed-off timeout, or — past the retry budget — abort the
+    /// run with a structured delivery failure.
+    fn retry_timeout(&mut self, seq: u64) -> ApResult<()> {
+        let now = self.now();
+        let f = self.fault.as_mut().expect("fault layer active");
+        let max_retries = f.plan.recovery().max_retries;
+        let o = f
+            .outstanding
+            .get(&seq)
+            .expect("stale retry timers are skipped");
+        if o.attempts > max_retries {
+            let o = f.outstanding.remove(&seq).expect("just looked up");
+            let failure = DeliveryFailure {
+                src: o.src,
+                dst: o.dst,
+                op: o.pkt.kind_name(),
+                attempts: o.attempts,
+                at: now,
+            };
+            let cause = failure.to_string();
+            f.plan.report.failures.push(failure);
+            return Err(ApError::Fault(Box::new(self.fault_report(cause))));
+        }
+        f.plan.note_retry(o.pkt.kind_name());
+        let src = o.src.as_u32();
+        self.machine
+            .obs
+            .instant(src, Unit::Net, "retry", now, Bucket::Hw, seq);
+        self.transmit_seq(now, seq);
+        Ok(())
+    }
+
+    /// Fail-stop crash of `cell`: its hardware goes silent — pending
+    /// wakes, DMA completions, and arrivals addressed to it are discarded
+    /// (see [`Kernel::skips`]), its unacknowledged envelopes die with it,
+    /// and any barrier it participates in can never complete.
+    fn crash(&mut self, cell: u32) -> ApResult<()> {
+        let now = self.now();
+        let f = self.fault.as_mut().expect("fault layer active");
+        f.dead[cell as usize] = true;
+        f.plan.note_crash(CellId::new(cell), now);
+        // Fail-stop: nothing the dead cell had awaiting acknowledgement is
+        // ever retransmitted; the orphaned retry timers go stale.
+        f.outstanding.retain(|_, o| o.src.as_u32() != cell);
+        let dead: Vec<CellId> = f
+            .dead
+            .iter()
+            .enumerate()
+            .filter(|&(_, &d)| d)
+            .map(|(i, _)| CellId::new(i as u32))
+            .collect();
+        self.pending[cell as usize].clear();
+        self.waiters[cell as usize] = None;
+        let hw = &mut self.machine.cells[cell as usize];
+        hw.send_busy = false;
+        hw.active_tx = None;
+        self.machine
+            .obs
+            .instant(cell, Unit::Cpu, "crash", now, Bucket::Hw, 0);
+        // Eager barrier abort: cells already parked at the S-net barrier
+        // would otherwise wait for a participant that can never arrive.
+        let waiting: Vec<CellId> = self
+            .waiters
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| matches!(w, Some(Waiter::Barrier { .. })))
+            .map(|(i, _)| CellId::new(i as u32))
+            .collect();
+        if !waiting.is_empty() {
+            return Err(ApError::BarrierAborted {
+                at: now,
+                waiting,
+                dead,
+            });
+        }
+        Ok(())
     }
 
     // ---- hardware: receive path ------------------------------------------
@@ -1460,5 +1864,34 @@ impl Kernel {
             self.wake_at(cell, at + cost, Response::Value(v));
         }
         Ok(())
+    }
+}
+
+/// Static name of a request variant, recorded per cell so a lost cell's
+/// report can say what it last asked the machine to do.
+fn req_name(req: &Request) -> &'static str {
+    match req {
+        Request::Batch(_) => "batch",
+        Request::Alloc { .. } => "alloc",
+        Request::ReadMem { .. } => "read_mem",
+        Request::WriteMem { .. } => "write_mem",
+        Request::Work { .. } => "work",
+        Request::Rts { .. } => "rts",
+        Request::Put(_) => "put",
+        Request::Get(_) => "get",
+        Request::WaitFlag { .. } => "wait_flag",
+        Request::ReadFlag { .. } => "read_flag",
+        Request::Barrier => "barrier",
+        Request::Send { .. } => "send",
+        Request::Recv { .. } => "recv",
+        Request::RegStore { .. } => "reg_store",
+        Request::RegLoad { .. } => "reg_load",
+        Request::Bcast { .. } => "bcast",
+        Request::RemoteStore { .. } => "remote_store",
+        Request::RemoteLoad { .. } => "remote_load",
+        Request::RemoteFence => "remote_fence",
+        Request::Mark(_) => "mark",
+        Request::Fail(_) => "fail",
+        Request::Finish => "finish",
     }
 }

@@ -51,10 +51,12 @@ pub use config::{set_timeline_default, timeline_default, HwParams, MachineConfig
 pub use request::Mark;
 
 // Re-export the vocabulary types users need at the API boundary.
+pub use apfault::{FaultEvent, FaultKind, FaultSpec, RecoveryParams};
 pub use apmsc::StrideSpec;
 pub use apobs::{Counters, Timeline};
 pub use aputil::{
-    ApError, ApResult, BlockReason, BlockedCell, CellId, DeadlockReport, SimTime, VAddr,
+    ApError, ApResult, BlockReason, BlockedCell, CellId, CellLostReport, DeadlockReport,
+    FaultReport, SimTime, VAddr,
 };
 
 use crossbeam::channel::unbounded;
@@ -88,6 +90,47 @@ use std::thread;
 /// assert!(sums.outputs.iter().all(|&s| s == 28.0));
 /// ```
 pub fn run_with<T, F>(cfg: MachineConfig, program: F) -> ApResult<RunReport<T>>
+where
+    T: Send + 'static,
+    F: Fn(&mut Cell) -> T + Send + Sync + 'static,
+{
+    run_with_faults(cfg, None, program)
+}
+
+/// Like [`run_with`], but with a deterministic fault schedule injected.
+///
+/// With `faults` set, every non-loopback packet travels in a
+/// sequence-numbered, checksummed envelope: the receiver acknowledges it,
+/// the sender retransmits on a capped-exponential-backoff timeout, the
+/// receiver suppresses replayed duplicates, and the T-net detours around
+/// discovered link outages via the deterministic Y-then-X route. A
+/// survived run carries its [`aputil::FaultReport`] in
+/// [`RunReport::fault`]; an unsurvivable schedule (a fail-stop crash, or
+/// an outage outlasting the retry budget) aborts with
+/// [`ApError::Fault`] / [`ApError::BarrierAborted`] instead of hanging.
+/// `faults: None` is exactly [`run_with`] — same events, same times.
+///
+/// # Errors
+///
+/// Everything [`run_with`] raises, plus [`ApError::Fault`],
+/// [`ApError::CellLost`], and [`ApError::BarrierAborted`] under an
+/// unsurvivable schedule.
+///
+/// # Examples
+///
+/// ```
+/// use apcore::{run_with_faults, FaultSpec, MachineConfig};
+///
+/// // A quiet schedule changes nothing but attaches a (empty) report.
+/// let spec = FaultSpec::quiet();
+/// let r = run_with_faults(MachineConfig::new(4), Some(&spec), |cell| cell.id()).unwrap();
+/// assert!(r.fault.unwrap().survived());
+/// ```
+pub fn run_with_faults<T, F>(
+    cfg: MachineConfig,
+    faults: Option<&FaultSpec>,
+    program: F,
+) -> ApResult<RunReport<T>>
 where
     T: Send + 'static,
     F: Fn(&mut Cell) -> T + Send + Sync + 'static,
@@ -130,8 +173,9 @@ where
     }
     drop(req_tx);
 
-    let mut kernel = kernel::Kernel::new(machine, resume_txs, req_rx);
+    let mut kernel = kernel::Kernel::new(machine, resume_txs, req_rx).with_faults(faults);
     let run_result = kernel.run();
+    let fault = kernel.take_fault_report();
     let (machine, resume_txs) = kernel.into_parts();
     // Unblock any threads still parked on their resume channels.
     drop(resume_txs);
@@ -163,7 +207,15 @@ where
     }
 
     let mut machine = machine;
-    let counters = machine.collect_counters();
+    let mut counters = machine.collect_counters();
+    if let Some(r) = &fault {
+        counters.retries = r.total_retries();
+        counters.drops = r.drops;
+        counters.corrupt_detected = r.corrupt_detected;
+        counters.dup_suppressed = r.dup_suppressed;
+        counters.detours = r.detours;
+        counters.acks = r.acks;
+    }
     let timeline = machine.take_timeline();
     Ok(RunReport {
         outputs,
@@ -174,5 +226,6 @@ where
         barriers: machine.snet.epochs(),
         counters,
         timeline,
+        fault,
     })
 }

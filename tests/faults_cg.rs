@@ -1,0 +1,41 @@
+//! Tier-1 gate for the fault-injection tentpole: CG at paper scale — the
+//! paper's communication worst case on the full 16-cell machine — must
+//! complete with a verified numerical result despite the checked-in
+//! schedule's transient link outage and corrupted packet, the recovery
+//! work must be visible in the observability counters, and the identical
+//! schedule must reproduce the identical `FaultReport`, byte for byte.
+
+use apapps::{cg::Cg, Scale, Workload};
+
+#[test]
+fn cg_paper_scale_survives_the_checked_in_schedule() {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/faults/cg_survivable.ron"
+    );
+    let text = std::fs::read_to_string(path).expect("read checked-in fault spec");
+    let spec = apfault::from_ron(&text).expect("parse checked-in fault spec");
+    assert!(spec.is_survivable(), "the checked-in schedule has no crash");
+
+    let cg = Cg::new(Scale::Paper);
+    // `Ok` means every cell's zeta sequence matched the sequential
+    // reference: recovery was numerically invisible.
+    let a = cg
+        .run_faulted(&spec)
+        .expect("CG must survive the schedule with a verified result");
+    let ra = a.fault.as_ref().expect("faulted run carries a report");
+    assert!(ra.survived());
+    assert!(ra.drops >= 1, "the outage cost at least one packet");
+    assert!(ra.total_retries() >= 1, "the ack timeout retransmitted");
+    assert!(ra.corrupt_detected >= 1, "the checksum caught the flip");
+    assert!(ra.detours >= 1, "the known outage was routed around");
+    // The same recovery work is visible through the apobs counters.
+    assert_eq!(a.counters.retries, ra.total_retries());
+    assert_eq!(a.counters.detours, ra.detours);
+    assert!(a.counters.acks > 0);
+
+    // Identical seed and schedule: byte-identical report, identical time.
+    let b = cg.run_faulted(&spec).expect("second run");
+    assert_eq!(ra.render(), b.fault.expect("report").render());
+    assert_eq!(a.total_time, b.total_time);
+}
