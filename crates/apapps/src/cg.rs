@@ -189,10 +189,15 @@ fn ring_reduce_scatter(
             cell.wait_acks();
         }
         *vgops_done += 1;
-        cell.wait_flag(flag, *vgops_done);
         let (lo, hi) = block(n, p, me);
-        let mine = cell.read_slice::<f64>(blocks, hi - lo);
-        xs[lo..hi].copy_from_slice(&mine);
+        // On machines bigger than the matrix (pe > n) the tail cells own
+        // an empty block: no PUT ever targets them, so they must not wait
+        // for the flag — that was a guaranteed deadlock at 4096 cells.
+        if hi > lo {
+            cell.wait_flag(flag, *vgops_done);
+            let mine = cell.read_slice::<f64>(blocks, hi - lo);
+            xs[lo..hi].copy_from_slice(&mine);
+        }
     }
 }
 

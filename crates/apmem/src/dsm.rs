@@ -51,9 +51,14 @@ impl DsmMap {
     ///
     /// # Panics
     ///
-    /// Panics if `ncells` is 0 or exceeds 1024 (Table 1's maximum).
+    /// Panics if `ncells` is 0 or exceeds 65536. The real machine tops
+    /// out at 1024 cells (Table 1); the emulator decodes up to 65536 so
+    /// beyond-hardware scaling studies still get a well-formed map.
     pub fn new(ncells: u32, dram_size: u64) -> Self {
-        assert!((1..=1024).contains(&ncells), "AP1000+ scales 4-1024 cells");
+        assert!(
+            (1..=65536).contains(&ncells),
+            "AP1000+ scales 4-1024 cells (the emulator decodes up to 65536)"
+        );
         let decode_cells = ncells.next_power_of_two().max(4) as u64;
         let block_size = SHARED_BASE / decode_cells;
         DsmMap {
@@ -167,7 +172,18 @@ mod tests {
     #[test]
     #[should_panic(expected = "1024")]
     fn too_many_cells_panics() {
-        let _ = DsmMap::new(2048, 1 << 20);
+        let _ = DsmMap::new(65537, 1 << 20);
+    }
+
+    #[test]
+    fn beyond_hardware_scales_decode() {
+        // 4096 cells: the decode carves the shared half into 4096 blocks
+        // and addressing still round-trips at the far end.
+        let map = DsmMap::new(4096, 16 << 20);
+        let last = CellId::new(4095);
+        let addr = map.shared_addr(last, 8).unwrap();
+        let (cell, _) = map.resolve(addr).unwrap();
+        assert_eq!(cell, last);
     }
 }
 

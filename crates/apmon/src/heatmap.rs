@@ -1,0 +1,128 @@
+//! Torus heatmaps: per-cell scalar fields rendered as ASCII + JSON.
+
+use aputil::Json;
+
+/// A `width × height` grid of normalized-ish scalars (any non-negative
+/// range; rendering normalizes to the observed maximum), row-major with
+/// cell `id = y * width + x` like `apnet::Torus`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Heatmap {
+    /// What the values mean (e.g. `"cell busy-fraction"`).
+    pub title: String,
+    /// Torus width.
+    pub width: usize,
+    /// Torus height.
+    pub height: usize,
+    /// Row-major values, `width * height` of them.
+    pub values: Vec<f64>,
+}
+
+/// Intensity ramp used by the ASCII rendering, darkest last.
+const RAMP: &[u8] = b" .:-=+*#%@";
+
+impl Heatmap {
+    /// Builds a heatmap; `values.len()` must equal `width * height`.
+    pub fn new(title: impl Into<String>, width: usize, height: usize, values: Vec<f64>) -> Self {
+        assert_eq!(values.len(), width * height, "heatmap shape mismatch");
+        Heatmap {
+            title: title.into(),
+            width,
+            height,
+            values,
+        }
+    }
+
+    /// Largest value (0 for an empty/all-zero map).
+    pub fn max(&self) -> f64 {
+        self.values.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// ASCII art: one character per cell, block-averaged down to at most
+    /// `max_cols` columns so a 100×100 torus still fits a terminal.
+    /// Intensity is relative to the map's own maximum.
+    pub fn render(&self, max_cols: usize) -> String {
+        let max_cols = max_cols.max(1);
+        let step = self.width.div_ceil(max_cols).max(1);
+        let peak = self.max();
+        let mut out = format!(
+            "{} ({}x{} torus, peak {:.3}, '{}' = peak)\n",
+            self.title,
+            self.width,
+            self.height,
+            peak,
+            *RAMP.last().unwrap() as char
+        );
+        for by in (0..self.height).step_by(step) {
+            for bx in (0..self.width).step_by(step) {
+                // Average the step×step block.
+                let mut sum = 0.0;
+                let mut n = 0u32;
+                for y in by..(by + step).min(self.height) {
+                    for x in bx..(bx + step).min(self.width) {
+                        sum += self.values[y * self.width + x];
+                        n += 1;
+                    }
+                }
+                let v = if n == 0 { 0.0 } else { sum / n as f64 };
+                let idx = if peak <= 0.0 {
+                    0
+                } else {
+                    ((v / peak) * (RAMP.len() - 1) as f64).round() as usize
+                };
+                out.push(RAMP[idx.min(RAMP.len() - 1)] as char);
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// `{title, width, height, values}` — values kept full-resolution.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("title", Json::Str(self.title.clone())),
+            ("width", Json::U(self.width as u64)),
+            ("height", Json::U(self.height as u64)),
+            (
+                "values",
+                Json::Arr(self.values.iter().map(|&v| Json::F(v)).collect()),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_full_resolution_when_it_fits() {
+        let h = Heatmap::new("t", 4, 2, vec![0.0, 0.0, 0.0, 1.0, 0.5, 0.0, 0.0, 0.0]);
+        let art = h.render(64);
+        let rows: Vec<&str> = art.lines().skip(1).collect();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].len(), 4);
+        // The peak cell renders as the ramp's last character.
+        assert_eq!(rows[0].as_bytes()[3], *RAMP.last().unwrap());
+        // The zero cells render as spaces.
+        assert_eq!(rows[0].as_bytes()[0], b' ');
+    }
+
+    #[test]
+    fn downsamples_wide_maps_by_block_averaging() {
+        let h = Heatmap::new("t", 128, 4, vec![1.0; 128 * 4]);
+        let art = h.render(64);
+        let rows: Vec<&str> = art.lines().skip(1).collect();
+        assert_eq!(rows.len(), 2, "height shrinks by the same step");
+        assert!(rows.iter().all(|r| r.len() == 64));
+        // Uniform map: every block averages to the peak.
+        assert!(art.lines().skip(1).all(|r| r.bytes().all(|b| b == b'@')));
+    }
+
+    #[test]
+    fn all_zero_map_renders_blank_not_nan() {
+        let h = Heatmap::new("t", 3, 3, vec![0.0; 9]);
+        let art = h.render(10);
+        assert!(art.lines().skip(1).all(|r| r.bytes().all(|b| b == b' ')));
+        assert!(h.to_json().to_string().contains("\"values\""));
+    }
+}

@@ -103,6 +103,18 @@ pub struct TNetObs {
     pub latency: Hist,
 }
 
+/// Per-directed-link busy accumulators for the sampled-metrics layer.
+/// Kept behind an `Option` so metrics-off runs pay nothing (not even the
+/// route computation on the `Contention::None`/`Ports` fast paths).
+#[derive(Clone, Debug, Default)]
+struct LinkStats {
+    /// Cumulative link-transmission time summed over every link crossing
+    /// (one message over `h` hops charges `h` transmission times).
+    total_busy: SimTime,
+    /// Busy time per directed link.
+    per_link: HashMap<(CellId, CellId), SimTime>,
+}
+
 /// The T-net: topology + timing + ordering state.
 #[derive(Clone, Debug)]
 pub struct TNet {
@@ -115,6 +127,7 @@ pub struct TNet {
     last_arrival: HashMap<(CellId, CellId), SimTime>,
     stats: TNetStats,
     obs: TNetObs,
+    link_stats: Option<LinkStats>,
 }
 
 impl TNet {
@@ -132,6 +145,7 @@ impl TNet {
             last_arrival: HashMap::new(),
             stats: TNetStats::default(),
             obs: TNetObs::default(),
+            link_stats: None,
         }
     }
 
@@ -157,9 +171,41 @@ impl TNet {
         self.obs.recorder = Recorder::enabled();
     }
 
+    /// Like [`TNet::enable_events`], but into a bounded flight-recorder
+    /// ring keeping only the last `cap` events per unit category.
+    pub fn enable_events_ring(&mut self, cap: usize) {
+        self.obs.recorder = Recorder::ring(cap);
+    }
+
     /// Drains the buffered timeline events.
     pub fn take_events(&mut self) -> Vec<TimelineEvent> {
         self.obs.recorder.take_events()
+    }
+
+    /// Starts accumulating per-link busy time (the sampled-metrics tap;
+    /// off by default because it walks the route of every message).
+    pub fn enable_link_stats(&mut self) {
+        self.link_stats = Some(LinkStats::default());
+    }
+
+    /// Cumulative link-busy time so far ([`SimTime::ZERO`] when
+    /// [`TNet::enable_link_stats`] was never called).
+    pub fn link_busy_total(&self) -> SimTime {
+        self.link_stats
+            .as_ref()
+            .map_or(SimTime::ZERO, |ls| ls.total_busy)
+    }
+
+    /// Per-directed-link busy time, sorted by `(from, to)` for
+    /// deterministic export. Empty when link stats are off.
+    pub fn link_busy_per_link(&self) -> Vec<(CellId, CellId, SimTime)> {
+        let Some(ls) = &self.link_stats else {
+            return Vec::new();
+        };
+        let mut v: Vec<(CellId, CellId, SimTime)> =
+            ls.per_link.iter().map(|(&(a, b), &t)| (a, b, t)).collect();
+        v.sort_unstable_by_key(|&(a, b, _)| (a, b));
+        v
     }
 
     /// Injects a `size`-byte message at time `now`; returns its arrival
@@ -337,53 +383,87 @@ impl TNet {
         self.obs
             .latency
             .record(arrival.saturating_sub(now).as_nanos());
-        if self.obs.recorder.is_enabled() {
-            self.obs.recorder.span_id(
-                src.as_u32(),
-                Unit::Net,
-                "transfer",
-                now,
-                arrival.saturating_sub(now),
-                Bucket::Hw,
-                size,
-                tid,
-            );
-            // Nominal head-advance times along the static route (or the
-            // detour actually taken); contention stalls show up as the gap
-            // to the delivery instant.
+        if self.link_stats.is_some() || self.obs.recorder.is_enabled() {
+            // Resolve the actual route once for both consumers (the
+            // detour route is passed in; otherwise it's the static one).
             let computed;
-            let route = match route {
+            let route: &[CellId] = match route {
                 Some(r) => r,
                 None => {
                     computed = self.torus.route(src, dst);
                     &computed
                 }
             };
-            let head = now + self.params.prolog;
-            for (k, cell) in route.iter().enumerate().skip(1) {
-                if *cell != dst {
-                    self.obs.recorder.instant_id(
-                        cell.as_u32(),
-                        Unit::Net,
-                        "hop",
-                        head + self.params.per_hop * k as u64,
-                        Bucket::Hw,
-                        size,
-                        tid,
-                    );
+            if let Some(ls) = &mut self.link_stats {
+                // Each directed link holds the message for one hop delay
+                // plus its serialization time.
+                let tx = self.params.per_hop + self.params.per_byte.saturating_mul(size);
+                ls.total_busy += tx * (route.len().saturating_sub(1)) as u64;
+                for pair in route.windows(2) {
+                    let slot = ls
+                        .per_link
+                        .entry((pair[0], pair[1]))
+                        .or_insert(SimTime::ZERO);
+                    *slot += tx;
                 }
             }
-            self.obs.recorder.instant_id(
-                dst.as_u32(),
-                Unit::Net,
-                "deliver",
-                arrival,
-                Bucket::Hw,
-                size,
-                tid,
-            );
+            if self.obs.recorder.is_enabled() {
+                self.record_route_events(now, src, dst, size, arrival, tid, route);
+            }
         }
         arrival
+    }
+
+    /// The per-message timeline events along `route` (extracted from
+    /// [`TNet::finish`] so the route resolves once for events and link
+    /// stats alike).
+    #[allow(clippy::too_many_arguments)]
+    fn record_route_events(
+        &mut self,
+        now: SimTime,
+        src: CellId,
+        dst: CellId,
+        size: u64,
+        arrival: SimTime,
+        tid: u64,
+        route: &[CellId],
+    ) {
+        self.obs.recorder.span_id(
+            src.as_u32(),
+            Unit::Net,
+            "transfer",
+            now,
+            arrival.saturating_sub(now),
+            Bucket::Hw,
+            size,
+            tid,
+        );
+        // Nominal head-advance times along the static route (or the
+        // detour actually taken); contention stalls show up as the gap
+        // to the delivery instant.
+        let head = now + self.params.prolog;
+        for (k, cell) in route.iter().enumerate().skip(1) {
+            if *cell != dst {
+                self.obs.recorder.instant_id(
+                    cell.as_u32(),
+                    Unit::Net,
+                    "hop",
+                    head + self.params.per_hop * k as u64,
+                    Bucket::Hw,
+                    size,
+                    tid,
+                );
+            }
+        }
+        self.obs.recorder.instant_id(
+            dst.as_u32(),
+            Unit::Net,
+            "deliver",
+            arrival,
+            Bucket::Hw,
+            size,
+            tid,
+        );
     }
 }
 

@@ -355,4 +355,55 @@ mod tests {
         assert_eq!(j.get("count").and_then(|v| v.as_u64()), Some(1));
         assert_eq!(j.get("max").and_then(|v| v.as_u64()), Some(64));
     }
+
+    #[test]
+    fn empty_hist_percentiles_are_all_zero() {
+        let h = Hist::new();
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 0, "quantile({q}) on empty");
+            assert_eq!(h.p(q), 0.0, "p({q}) on empty");
+        }
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.render(), "n=0");
+    }
+
+    #[test]
+    fn single_sample_percentiles_return_the_sample() {
+        for v in [0u64, 1, 7, 1 << 20, u64::MAX] {
+            let mut h = Hist::new();
+            h.record(v);
+            for q in [0.0, 0.1, 0.5, 0.9, 1.0] {
+                assert_eq!(h.p(q), v as f64, "p({q}) of single sample {v}");
+            }
+            assert_eq!(h.min(), v);
+            assert_eq!(h.max(), v);
+        }
+    }
+
+    #[test]
+    fn saturating_bucket_percentiles_stay_within_observed_range() {
+        // Values in the open top bucket 63 ([2^62, u64::MAX]): the
+        // interpolation must cap at the observed max, never at u64::MAX.
+        let mut h = Hist::new();
+        let lo = 1u64 << 62;
+        for v in [lo, lo + 10, u64::MAX - 1, u64::MAX] {
+            h.record(v);
+        }
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            let p = h.p(q);
+            assert!(
+                (lo as f64..=u64::MAX as f64).contains(&p),
+                "p({q}) = {p} escaped the observed range"
+            );
+        }
+        assert_eq!(h.p(1.0), u64::MAX as f64);
+        // A hist saturated into one bucket: every percentile in-bucket.
+        let mut one_bucket = Hist::new();
+        for _ in 0..1000 {
+            one_bucket.record(300);
+        }
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(one_bucket.p(q), 300.0);
+        }
+    }
 }

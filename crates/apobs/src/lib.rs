@@ -34,7 +34,7 @@ pub mod latency;
 pub mod recorder;
 pub mod timeline;
 
-pub use chrome::{chrome_trace, write_chrome_trace};
+pub use chrome::{chrome_trace, stream_chrome_trace, write_chrome_trace, write_chrome_trace_with};
 pub use counters::Counters;
 pub use critpath::{critical_path, CritPath, CritStep, GatingOp};
 pub use event::{Bucket, TimelineEvent, Unit};
@@ -63,6 +63,36 @@ mod proptests {
             prop_assert_eq!(h.max(), *samples.iter().max().unwrap());
             let total: u64 = (0..64).map(|i| h.bucket_count(i)).sum();
             prop_assert_eq!(total, samples.len() as u64);
+        }
+
+        /// Merging two independently-recorded histograms is exactly
+        /// equivalent to recording the concatenated sample stream into
+        /// one histogram — the property the parallel sweep driver's
+        /// counter aggregation rests on.
+        #[test]
+        fn hist_merge_equals_concatenated_recording(
+            xs in proptest::collection::vec(any::<u64>(), 0..120),
+            ys in proptest::collection::vec(any::<u64>(), 0..120),
+        ) {
+            let mut a = Hist::new();
+            for &v in &xs {
+                a.record(v);
+            }
+            let mut b = Hist::new();
+            for &v in &ys {
+                b.record(v);
+            }
+            let mut merged = a.clone();
+            merged.merge(&b);
+            let mut concat = Hist::new();
+            for &v in xs.iter().chain(ys.iter()) {
+                concat.record(v);
+            }
+            prop_assert_eq!(&merged, &concat);
+            // Percentile queries agree too (same underlying state).
+            for q in [0.0, 0.5, 0.99, 1.0] {
+                prop_assert_eq!(merged.p(q), concat.p(q));
+            }
         }
 
         /// The Chrome exporter always yields parseable JSON with monotonic

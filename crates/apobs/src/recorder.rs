@@ -3,31 +3,57 @@
 //! A disabled [`Recorder`] is a single `bool` test per call site with no
 //! allocation and no buffer; the event arguments are never materialized
 //! because the inline check happens before any formatting or pushing.
+//!
+//! Besides fully-off and fully-on, a recorder can run as a **flight
+//! recorder**: a fixed-capacity ring per hardware-unit category keeping
+//! only the last N events of each. Memory is bounded no matter how long
+//! the run, which is what makes post-mortem event context affordable on
+//! 10k-cell machines where the unbounded timeline is not. The categories
+//! are the [`Unit`]s, so a storm of CPU events cannot evict the last few
+//! DMA or network events that usually explain a deadlock.
 
 use crate::event::{Bucket, TimelineEvent, Unit};
 use aputil::SimTime;
+use std::collections::VecDeque;
 
 /// Collects [`TimelineEvent`]s while enabled; a no-op sink otherwise.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Recorder {
     enabled: bool,
     events: Vec<TimelineEvent>,
+    /// Flight-recorder mode: per-[`Unit`] rings of this capacity replace
+    /// the unbounded `events` buffer.
+    ring_cap: usize,
+    rings: Vec<VecDeque<TimelineEvent>>,
 }
 
 impl Recorder {
     /// A recorder that drops everything (the default).
     pub fn disabled() -> Self {
-        Recorder {
-            enabled: false,
-            events: Vec::new(),
-        }
+        Recorder::default()
     }
 
     /// A recorder that keeps events.
     pub fn enabled() -> Self {
         Recorder {
             enabled: true,
+            ..Recorder::default()
+        }
+    }
+
+    /// A bounded flight recorder keeping the last `cap` events per
+    /// [`Unit`] category.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero.
+    pub fn ring(cap: usize) -> Self {
+        assert!(cap > 0, "flight-recorder capacity must be > 0");
+        Recorder {
+            enabled: true,
             events: Vec::new(),
+            ring_cap: cap,
+            rings: vec![VecDeque::with_capacity(cap); Unit::ALL.len()],
         }
     }
 
@@ -42,6 +68,25 @@ impl Recorder {
     #[inline]
     pub fn is_enabled(&self) -> bool {
         self.enabled
+    }
+
+    /// True in bounded flight-recorder mode.
+    #[inline]
+    pub fn is_ring(&self) -> bool {
+        self.ring_cap > 0
+    }
+
+    #[inline]
+    fn push(&mut self, ev: TimelineEvent) {
+        if self.ring_cap == 0 {
+            self.events.push(ev);
+            return;
+        }
+        let ring = &mut self.rings[ev.unit.index() as usize];
+        if ring.len() == self.ring_cap {
+            ring.pop_front();
+        }
+        ring.push_back(ev);
     }
 
     /// Records a duration slice with no chain affiliation.
@@ -77,7 +122,7 @@ impl Recorder {
         if !self.enabled {
             return;
         }
-        self.events.push(TimelineEvent {
+        self.push(TimelineEvent {
             cell,
             unit,
             name,
@@ -119,7 +164,7 @@ impl Recorder {
         if !self.enabled {
             return;
         }
-        self.events.push(TimelineEvent {
+        self.push(TimelineEvent {
             cell,
             unit,
             name,
@@ -133,17 +178,23 @@ impl Recorder {
 
     /// Number of buffered events.
     pub fn len(&self) -> usize {
-        self.events.len()
+        self.events.len() + self.rings.iter().map(VecDeque::len).sum::<usize>()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.events.is_empty()
+        self.len() == 0
     }
 
     /// Takes the buffered events, leaving the recorder empty but keeping
-    /// its enabled state.
+    /// its enabled state and mode. In ring mode the surviving events come
+    /// back in [`Unit`] category order (sort by time downstream if
+    /// needed — [`crate::Timeline::sort`] does).
     pub fn take_events(&mut self) -> Vec<TimelineEvent> {
-        std::mem::take(&mut self.events)
+        let mut out = std::mem::take(&mut self.events);
+        for ring in &mut self.rings {
+            out.extend(ring.drain(..));
+        }
+        out
     }
 }
 
@@ -194,5 +245,36 @@ mod tests {
         assert_eq!(evs[1].dur, None);
         assert!(r.is_empty());
         assert!(r.is_enabled());
+    }
+
+    #[test]
+    fn ring_keeps_last_n_per_category() {
+        let mut r = Recorder::ring(3);
+        assert!(r.is_ring() && r.is_enabled());
+        // 10 CPU instants and 2 Net instants: the CPU storm must not
+        // evict the network events.
+        for i in 0..10u64 {
+            r.instant(0, Unit::Cpu, "cpu", SimTime::from_nanos(i), Bucket::Exec, i);
+        }
+        for i in 0..2u64 {
+            r.instant(0, Unit::Net, "hop", SimTime::from_nanos(i), Bucket::Hw, i);
+        }
+        assert_eq!(r.len(), 5);
+        let evs = r.take_events();
+        let cpu: Vec<u64> = evs
+            .iter()
+            .filter(|e| e.unit == Unit::Cpu)
+            .map(|e| e.arg)
+            .collect();
+        assert_eq!(cpu, [7, 8, 9], "only the last 3 CPU events survive");
+        assert_eq!(evs.iter().filter(|e| e.unit == Unit::Net).count(), 2);
+        assert!(r.is_empty());
+        assert!(r.is_ring(), "taking events keeps the mode");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be > 0")]
+    fn zero_capacity_ring_panics() {
+        let _ = Recorder::ring(0);
     }
 }

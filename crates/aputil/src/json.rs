@@ -254,20 +254,27 @@ impl fmt::Display for Json {
 }
 
 fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
-    use fmt::Write as _;
-    f.write_str("\"")?;
+    write_json_escaped(f, s)
+}
+
+/// Writes `s` as a quoted JSON string into any [`fmt::Write`] sink, with
+/// exactly the escaping [`Json`]'s `Display` uses. Exported so streaming
+/// serializers (e.g. the Chrome-trace exporter) share one escaping
+/// implementation instead of reinventing it.
+pub fn write_json_escaped<W: fmt::Write>(w: &mut W, s: &str) -> fmt::Result {
+    w.write_str("\"")?;
     for c in s.chars() {
         match c {
-            '"' => f.write_str("\\\"")?,
-            '\\' => f.write_str("\\\\")?,
-            '\n' => f.write_str("\\n")?,
-            '\r' => f.write_str("\\r")?,
-            '\t' => f.write_str("\\t")?,
-            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
-            c => f.write_char(c)?,
+            '"' => w.write_str("\\\"")?,
+            '\\' => w.write_str("\\\\")?,
+            '\n' => w.write_str("\\n")?,
+            '\r' => w.write_str("\\r")?,
+            '\t' => w.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(w, "\\u{:04x}", c as u32)?,
+            c => w.write_char(c)?,
         }
     }
-    f.write_str("\"")
+    w.write_str("\"")
 }
 
 struct Parser<'a> {

@@ -29,5 +29,5 @@ pub use addr::{PAddr, VAddr};
 pub use error::{ApError, ApResult, BlockReason, BlockedCell, DeadlockReport};
 pub use fault::{CellLostReport, DeliveryFailure, FaultReport, InjectedFault};
 pub use id::CellId;
-pub use json::Json;
+pub use json::{write_json_escaped, Json};
 pub use time::SimTime;

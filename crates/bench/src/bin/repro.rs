@@ -25,6 +25,18 @@
 //! tables instead of plain text) and `--md-out FILE` (write the full
 //! Markdown report, e.g. into `results/`).
 //!
+//! Telemetry flags (suite-running commands): `--metrics-out FILE` writes
+//! the versioned `ap1000plus.metrics` artifact (sampled gauge series,
+//! torus heatmaps, per-link busy times) and implies sampling;
+//! `--metrics-interval USECS` sets the sim-time sampling period (default
+//! 100 µs); `--heatmap` prints the ASCII torus heatmaps; `--progress`
+//! prints rate-limited live progress lines per emulator run;
+//! `--flight-recorder N` bounds timeline recording to the last N events
+//! per cell unit (the only recording mode allowed past 1024 cells);
+//! `--flight-dump FILE` writes the recorded tail as a Chrome trace when a
+//! run dies of a deadlock, lost cell, or unsurvivable fault. Counter
+//! tracks from sampled runs are merged into `--trace-out` exports.
+//!
 //! `repro compare BASE CUR [--threshold PCT]` exits nonzero when any
 //! app's emulator or model total in CUR is more than PCT percent (default
 //! 10) slower than in BASE — the perf-regression gate CI runs against
@@ -64,6 +76,67 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
         .position(|a| a == flag)
         .and_then(|i| args.get(i + 1))
         .cloned()
+}
+
+/// Applies the telemetry flags shared by the suite-running commands by
+/// setting the process-wide emulator defaults before any machine is
+/// built. Returns the `--metrics-out` path; metrics sampling turns on
+/// when it, `--metrics-interval`, or `--heatmap` is present.
+fn apply_telemetry_flags(args: &[String]) -> Option<String> {
+    let bad = |msg: String| -> ! {
+        eprintln!("{msg}");
+        std::process::exit(2);
+    };
+    let metrics_out = flag_value(args, "--metrics-out");
+    let interval = flag_value(args, "--metrics-interval");
+    let heatmap = args.iter().any(|a| a == "--heatmap");
+    if metrics_out.is_some() || interval.is_some() || heatmap {
+        let us: u64 = match &interval {
+            Some(s) => s.parse().ok().filter(|&us| us > 0).unwrap_or_else(|| {
+                bad(format!(
+                    "--metrics-interval takes microseconds (> 0), got '{s}'"
+                ))
+            }),
+            None => 100,
+        };
+        apcore::set_metrics_default(Some(aputil::SimTime::from_micros(us)));
+    }
+    if args.iter().any(|a| a == "--progress") {
+        apcore::set_progress_default(true);
+    }
+    if let Some(s) = flag_value(args, "--flight-recorder") {
+        let cap: usize = s.parse().unwrap_or_else(|_| {
+            bad(format!(
+                "--flight-recorder takes an event capacity, got '{s}'"
+            ))
+        });
+        apcore::set_flight_recorder_default(std::num::NonZeroUsize::new(cap));
+    }
+    if let Some(path) = flag_value(args, "--flight-dump") {
+        apcore::set_flight_dump_path(Some(path.into()));
+    }
+    metrics_out
+}
+
+/// Writes the `ap1000plus.metrics` artifact and/or prints ASCII torus
+/// heatmaps for the rows that carried sampled telemetry.
+fn emit_metrics(args: &[String], metrics_out: Option<&str>, rows: &[apbench::ExperimentRow]) {
+    let runs: Vec<(String, &apmon::RunMetrics)> = rows
+        .iter()
+        .filter_map(|r| r.metrics.as_deref().map(|m| (r.name.clone(), m)))
+        .collect();
+    if let Some(path) = metrics_out {
+        apmon::write_metrics_report(Path::new(path), &runs).expect("write metrics report");
+        eprintln!("wrote metrics report to {path} ({} run(s))", runs.len());
+    }
+    if args.iter().any(|a| a == "--heatmap") {
+        for (name, m) in &runs {
+            for h in [&m.cell_busy, &m.link_util].into_iter().flatten() {
+                println!("== {name} ==");
+                print!("{}", h.render(64));
+            }
+        }
+    }
 }
 
 fn compare_cmd(args: &[String]) -> ! {
@@ -110,7 +183,9 @@ fn sweep_cmd(args: &[String]) -> ! {
     let Some(out_path) = flag_value(args, "--bench-out") else {
         eprintln!(
             "usage: repro sweep --bench-out FILE [--apps A,B,..] [--sizes default,4,8] \
-             [--factors 0.5,1.0] [--threads N] [--scale test|paper] [--rev REV] [--markdown]"
+             [--factors 0.5,1.0] [--threads N] [--scale test|paper] [--rev REV] [--markdown] \
+             [--metrics-out FILE] [--metrics-interval USECS] [--heatmap] [--progress] \
+             [--flight-recorder N] [--flight-dump FILE]"
         );
         std::process::exit(2);
     };
@@ -180,6 +255,11 @@ fn sweep_cmd(args: &[String]) -> ! {
     let doc = bench_report(&out.rows, cfg.scale, rev.as_deref());
     std::fs::write(&out_path, doc.to_string()).expect("write sweep report");
     eprintln!("wrote sweep report to {out_path}");
+    emit_metrics(
+        args,
+        flag_value(args, "--metrics-out").as_deref(),
+        &out.rows,
+    );
     if args.iter().any(|a| a == "--markdown") {
         print!("{}", report::table2_markdown(&out.rows));
     }
@@ -281,6 +361,7 @@ fn main() {
     let trace_out = flag_value(&args, "--trace-out");
     let bench_out = flag_value(&args, "--bench-out");
     let md_out = flag_value(&args, "--md-out");
+    let metrics_out = apply_telemetry_flags(&args);
     match cmd {
         "table1" => print!("{}", table1()),
         "fig6" => print!("{}", fig6()),
@@ -320,7 +401,17 @@ fn main() {
             );
             if let Some(path) = &trace_out {
                 let refs: Vec<&apobs::Timeline> = rows.iter().map(|r| &r.timeline).collect();
-                apobs::write_chrome_trace(Path::new(path), &refs).expect("write trace file");
+                // Sampled counter tracks ride along in their own processes
+                // after the per-workload ones (which hold pids 1..=N).
+                let mut extra = Vec::new();
+                for (i, r) in rows.iter().enumerate() {
+                    if let Some(m) = &r.metrics {
+                        let pid = (rows.len() + 1 + i) as u64;
+                        extra.extend(apmon::perfetto_counter_events(&m.series, pid));
+                    }
+                }
+                apobs::write_chrome_trace_with(Path::new(path), &refs, &extra)
+                    .expect("write trace file");
                 eprintln!("wrote Chrome trace to {path}");
             }
             if let Some(path) = &bench_out {
@@ -329,6 +420,7 @@ fn main() {
                     .expect("write bench report");
                 eprintln!("wrote bench report to {path}");
             }
+            emit_metrics(&args, metrics_out.as_deref(), &rows);
             if let Some(path) = &md_out {
                 std::fs::write(path, markdown_report(&rows, scale)).expect("write markdown");
                 eprintln!("wrote Markdown report to {path}");
@@ -373,7 +465,9 @@ fn main() {
                  sweep|fault] [--scale test|paper] [--json] [--ascii] [--markdown] \
                  [--trace-out FILE] [--bench-out FILE] [--rev REV] [--md-out FILE] \
                  [--threshold PCT] [--apps A,B] [--sizes default,4] [--factors 0.5,1.0] \
-                 [--threads N] [--faults SPEC.ron] [--fault-seed N] [--out FILE]"
+                 [--threads N] [--faults SPEC.ron] [--fault-seed N] [--out FILE] \
+                 [--metrics-out FILE] [--metrics-interval USECS] [--heatmap] [--progress] \
+                 [--flight-recorder N] [--flight-dump FILE]"
             );
             std::process::exit(2);
         }

@@ -63,6 +63,12 @@ pub struct ExperimentRow {
     /// stripped from the versioned bench report so baselines and sweep
     /// outputs stay byte-reproducible; `repro compare` never reads it.
     pub host_ms: Option<f64>,
+    /// Sampled telemetry from the emulator run (`None` unless metrics
+    /// sampling was enabled, e.g. via `--metrics-out`). Exported through
+    /// the separate `ap1000plus.metrics` artifact, never serialized into
+    /// the bench report — its host-profiling block would break the
+    /// report's byte-reproducibility.
+    pub metrics: Option<Box<apmon::RunMetrics>>,
 }
 
 impl ExperimentRow {
@@ -203,6 +209,7 @@ pub fn run_experiment(w: &dyn Workload) -> ExperimentRow {
         critpath,
         divergence,
         host_ms: None,
+        metrics: report.metrics,
     }
 }
 

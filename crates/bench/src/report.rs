@@ -41,6 +41,14 @@ pub fn bench_report(rows: &[ExperimentRow], scale: Scale, rev: Option<&str>) -> 
         "apps",
         Json::Arr(rows.iter().map(|r| r.to_json_with_host(false)).collect()),
     ));
+    // Machine-wide aggregate of every row's hardware counters, merged in
+    // row (grid) order. `compare` ignores it, so old baselines still diff
+    // cleanly against reports that carry it.
+    let mut totals = apobs::Counters::new();
+    for r in rows {
+        totals.merge(&r.counters);
+    }
+    members.push(("totals", totals.to_json()));
     Json::obj(members)
 }
 

@@ -158,6 +158,7 @@ fn run_point(scale: Scale, p: &SweepPoint) -> ExperimentRow {
         critpath: None,
         divergence: None,
         host_ms: None,
+        metrics: report.metrics,
     }
 }
 

@@ -58,6 +58,11 @@ pub struct RunReport<T> {
     /// fault-free runs). Unsurvivable schedules never get here — they
     /// abort with [`aputil::ApError::Fault`], which carries the report.
     pub fault: Option<aputil::FaultReport>,
+    /// Sampled telemetry (`None` unless
+    /// [`MachineConfig::metrics_interval`](crate::MachineConfig) was set):
+    /// the gauge time series, torus heatmaps, per-link busy times, and
+    /// host self-profiling.
+    pub metrics: Option<Box<apmon::RunMetrics>>,
 }
 
 impl<T> RunReport<T> {

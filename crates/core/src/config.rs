@@ -2,7 +2,10 @@
 
 use apnet::Contention;
 use aputil::SimTime;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::num::NonZeroUsize;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Process-wide default for [`MachineConfig::record_timeline`], so CLI
 /// flags like `--trace-out` can switch every subsequently-built machine to
@@ -19,6 +22,72 @@ pub fn set_timeline_default(on: bool) {
 /// The current process-wide timeline default.
 pub fn timeline_default() -> bool {
     TIMELINE_DEFAULT.load(Ordering::Relaxed)
+}
+
+/// Process-wide default for [`MachineConfig::metrics_interval`] in
+/// nanoseconds; 0 means metrics off (same pattern as
+/// [`set_timeline_default`], for the `--metrics-out` CLI flags).
+static METRICS_INTERVAL_DEFAULT_NS: AtomicU64 = AtomicU64::new(0);
+
+/// Sets the default sampled-metrics interval for configurations created
+/// after this call (`None` turns sampling off).
+pub fn set_metrics_default(interval: Option<SimTime>) {
+    METRICS_INTERVAL_DEFAULT_NS.store(
+        interval.map_or(0, |t| t.as_nanos().max(1)),
+        Ordering::Relaxed,
+    );
+}
+
+/// The current process-wide sampled-metrics default.
+pub fn metrics_default() -> Option<SimTime> {
+    match METRICS_INTERVAL_DEFAULT_NS.load(Ordering::Relaxed) {
+        0 => None,
+        ns => Some(SimTime::from_nanos(ns)),
+    }
+}
+
+/// Process-wide default for [`MachineConfig::flight_recorder`]; 0 means
+/// unbounded (classic) timeline recording.
+static FLIGHT_RECORDER_DEFAULT: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the default flight-recorder capacity (last-N events per unit
+/// category) for configurations created after this call.
+pub fn set_flight_recorder_default(cap: Option<NonZeroUsize>) {
+    FLIGHT_RECORDER_DEFAULT.store(cap.map_or(0, NonZeroUsize::get), Ordering::Relaxed);
+}
+
+/// The current process-wide flight-recorder default.
+pub fn flight_recorder_default() -> Option<NonZeroUsize> {
+    NonZeroUsize::new(FLIGHT_RECORDER_DEFAULT.load(Ordering::Relaxed))
+}
+
+/// Process-wide progress-reporting switch (the `--progress` CLI flag):
+/// when on, runs print a rate-limited one-line status to stderr.
+static PROGRESS_DEFAULT: AtomicBool = AtomicBool::new(false);
+
+/// Enables or disables live progress reporting for subsequent runs.
+pub fn set_progress_default(on: bool) {
+    PROGRESS_DEFAULT.store(on, Ordering::Relaxed);
+}
+
+/// The current process-wide progress default.
+pub fn progress_default() -> bool {
+    PROGRESS_DEFAULT.load(Ordering::Relaxed)
+}
+
+/// Where to dump the flight-recorder timeline when a run dies with a
+/// deadlock / lost-cell / fault error. `None` (the default) disables the
+/// automatic post-mortem dump.
+static FLIGHT_DUMP_PATH: Mutex<Option<PathBuf>> = Mutex::new(None);
+
+/// Sets (or clears) the automatic post-mortem flight-recorder dump path.
+pub fn set_flight_dump_path(path: Option<PathBuf>) {
+    *FLIGHT_DUMP_PATH.lock().unwrap() = path;
+}
+
+/// The current post-mortem dump path, if any.
+pub fn flight_dump_path() -> Option<PathBuf> {
+    FLIGHT_DUMP_PATH.lock().unwrap().clone()
 }
 
 /// Hardware timing parameters of the emulated AP1000+ (per-cell MSC+/MC
@@ -133,6 +202,13 @@ pub struct MachineConfig {
     /// Record a sim-time event timeline (for Chrome-trace/Perfetto export).
     /// Off by default: a disabled recorder is a single branch per event.
     pub record_timeline: bool,
+    /// Sampled-metrics interval: take one gauge snapshot per this much sim
+    /// time. `None` (the default) disables the sampler entirely.
+    pub metrics_interval: Option<SimTime>,
+    /// Bound `record_timeline` to a flight recorder keeping only the last
+    /// N events per unit category per cell (memory stays O(cells), not
+    /// O(events)). `None` keeps the classic unbounded timeline.
+    pub flight_recorder: Option<NonZeroUsize>,
 }
 
 impl MachineConfig {
@@ -141,11 +217,11 @@ impl MachineConfig {
     ///
     /// # Panics
     ///
-    /// Panics if `ncells` is 0 or exceeds 1024.
+    /// Panics if `ncells` is 0 or exceeds 65536.
     pub fn new(ncells: u32) -> Self {
         assert!(
-            (1..=1024).contains(&ncells),
-            "AP1000+ systems have 1..=1024 cells, got {ncells}"
+            (1..=65536).contains(&ncells),
+            "AP1000+ systems have 1..=1024 cells (the emulator accepts up to 65536), got {ncells}"
         );
         MachineConfig {
             ncells,
@@ -153,7 +229,11 @@ impl MachineConfig {
             hw: HwParams::default(),
             contention: Contention::None,
             record_trace: true,
-            record_timeline: timeline_default(),
+            // A flight-recorder default implies recording (into the ring),
+            // mirroring `with_flight_recorder`.
+            record_timeline: timeline_default() || flight_recorder_default().is_some(),
+            metrics_interval: metrics_default(),
+            flight_recorder: flight_recorder_default(),
         }
     }
 
@@ -186,6 +266,23 @@ impl MachineConfig {
         self.record_timeline = on;
         self
     }
+
+    /// Sets the sampled-metrics interval (`None` disables sampling).
+    pub fn with_metrics_interval(mut self, interval: Option<SimTime>) -> Self {
+        self.metrics_interval = interval;
+        self
+    }
+
+    /// Bounds timeline recording to a flight recorder of `cap` events per
+    /// unit category per cell (`None` restores the unbounded timeline).
+    /// Implies [`MachineConfig::record_timeline`] when set.
+    pub fn with_flight_recorder(mut self, cap: Option<NonZeroUsize>) -> Self {
+        self.flight_recorder = cap;
+        if cap.is_some() {
+            self.record_timeline = true;
+        }
+        self
+    }
 }
 
 #[cfg(test)]
@@ -216,5 +313,35 @@ mod tests {
     #[should_panic(expected = "1..=1024")]
     fn zero_cells_panics() {
         let _ = MachineConfig::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=1024")]
+    fn oversized_machine_panics() {
+        let _ = MachineConfig::new(65537);
+    }
+
+    #[test]
+    fn huge_machines_are_configurable() {
+        // Paper hardware tops out at 1024, but the emulator accepts up to
+        // 65536 cells for scaling studies (memory is lazily allocated).
+        let cfg = MachineConfig::new(4096);
+        assert_eq!(cfg.ncells, 4096);
+    }
+
+    #[test]
+    fn metrics_and_flight_recorder_builders() {
+        let cfg = MachineConfig::new(4)
+            .with_metrics_interval(Some(SimTime::from_micros_f64(10.0)))
+            .with_flight_recorder(NonZeroUsize::new(64));
+        assert_eq!(cfg.metrics_interval, Some(SimTime::from_micros_f64(10.0)));
+        assert_eq!(cfg.flight_recorder, NonZeroUsize::new(64));
+        assert!(
+            cfg.record_timeline,
+            "a flight recorder implies timeline recording"
+        );
+        let off = MachineConfig::new(4);
+        assert_eq!(off.metrics_interval, None);
+        assert_eq!(off.flight_recorder, None);
     }
 }

@@ -11,6 +11,7 @@
 use crate::machine::{ActiveTx, Machine, TxEntry, TxJob};
 use crate::request::{Mark, Request, Response};
 use apfault::{FaultPlan, FaultSpec, ReplayGuard};
+use apmon::{HostPhase, HostProf, MetricsSample, MetricsSeries, Progress, Sampler};
 use apmsc::{checksum, Packet, Payload, PushOutcome, HEADER_BYTES};
 use apnet::Delivery;
 use apobs::{Bucket, Unit, XferKind, XferLat};
@@ -178,6 +179,17 @@ pub(crate) struct Kernel {
     last_req: Vec<Option<&'static str>>,
     /// Fault-injection state; `None` on fault-free runs.
     fault: Option<FaultState>,
+    /// Sampled-metrics engine (`None` unless `cfg.metrics_interval` is
+    /// set, which keeps the metrics-off hot path one branch per event).
+    sampler: Option<Sampler>,
+    /// Host wall-clock self-profiling of the event loop; runs alongside
+    /// the sampler. Never influences simulated time.
+    hostprof: Option<HostProf>,
+    /// Kernel events handled so far (cumulative; also drives the 1-in-64
+    /// host-timing subsample).
+    events_handled: u64,
+    /// Live one-line progress reporting (the `--progress` flag).
+    progress: Option<Progress>,
 }
 
 impl Kernel {
@@ -198,6 +210,10 @@ impl Kernel {
                 },
             );
         }
+        let sampler = machine.cfg.metrics_interval.map(Sampler::new);
+        let hostprof = sampler.as_ref().map(|_| HostProf::start());
+        let progress = crate::config::progress_default()
+            .then(|| Progress::new(format!("{}c", machine.cfg.ncells)));
         Kernel {
             machine,
             evq,
@@ -212,6 +228,10 @@ impl Kernel {
             finished: vec![false; n],
             last_req: vec![None; n],
             fault: None,
+            sampler,
+            hostprof,
+            events_handled: 0,
+            progress,
         }
     }
 
@@ -280,12 +300,25 @@ impl Kernel {
 
     /// Runs the event loop to completion.
     pub fn run(&mut self) -> ApResult<SimTime> {
-        while let Some((t, ev)) = self.evq.pop() {
-            if self.skips(&ev) {
-                continue;
+        if self.sampler.is_some() || self.progress.is_some() {
+            self.run_instrumented()?;
+        } else {
+            // The metrics-off hot path: identical to the pre-telemetry
+            // loop except for one u64 increment.
+            while let Some((t, ev)) = self.evq.pop() {
+                if self.skips(&ev) {
+                    continue;
+                }
+                self.clock.advance_to(t);
+                self.events_handled += 1;
+                self.handle(ev)?;
             }
-            self.clock.advance_to(t);
-            self.handle(ev)?;
+        }
+        // Flush every sample tick at or before the final time, so the
+        // series always covers the whole run.
+        let end = self.clock.now();
+        if self.sampler.as_ref().is_some_and(|s| s.due(end)) {
+            self.flush_ticks(end);
         }
         let n = self.machine.cells.len() as u32;
         if let Some(f) = &self.fault {
@@ -308,6 +341,134 @@ impl Kernel {
         }
         self.check_drained()?;
         Ok(self.clock.now())
+    }
+
+    /// The event loop with telemetry taps: deterministic metric sampling
+    /// before the event that crosses each tick, 1-in-64 wall-clock phase
+    /// timing, and rate-limited progress lines. Sim-time behavior is
+    /// byte-identical to the plain loop — the wall clock is read but
+    /// never written back into simulated state.
+    fn run_instrumented(&mut self) -> ApResult<()> {
+        use std::time::Instant;
+        loop {
+            let timed = self.events_handled & 63 == 0;
+            let t0 = timed.then(Instant::now);
+            let Some((t, ev)) = self.evq.pop() else { break };
+            if let Some(p) = &mut self.hostprof {
+                match t0 {
+                    Some(t0) => p.record(HostPhase::Pop, t0.elapsed().as_nanos() as u64),
+                    None => p.count(HostPhase::Pop),
+                }
+            }
+            if self.skips(&ev) {
+                continue;
+            }
+            // Sample ticks strictly before handling the event that crosses
+            // them: the gauges reflect machine state after every event
+            // earlier than the tick, independent of host thread count.
+            if self.sampler.as_ref().is_some_and(|s| s.due(t)) {
+                self.flush_ticks(t);
+            }
+            self.clock.advance_to(t);
+            let phase = match &ev {
+                Ev::Wake { cell, .. } if !self.pending[*cell as usize].is_empty() => {
+                    HostPhase::Drain
+                }
+                Ev::Wake { .. } => HostPhase::Wakeup,
+                _ => HostPhase::Dispatch,
+            };
+            self.events_handled += 1;
+            let t0 = timed.then(Instant::now);
+            self.handle(ev)?;
+            if let Some(p) = &mut self.hostprof {
+                match t0 {
+                    Some(t0) => p.record(phase, t0.elapsed().as_nanos() as u64),
+                    None => p.count(phase),
+                }
+            }
+            // Progress gauges cost O(cells); ask at most every 4096 events
+            // and let the reporter's wall-clock gate do the rest.
+            if self.progress.is_some() && self.events_handled & 4095 == 0 {
+                let blocked = self.waiters.iter().flatten().count() as u32;
+                let retries = self
+                    .fault
+                    .as_ref()
+                    .map_or(0, |f| f.plan.report.total_retries());
+                let (now, events) = (self.clock.now(), self.events_handled);
+                if let Some(pr) = &mut self.progress {
+                    pr.maybe_report(now, events, blocked, retries);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Records one sample row per elapsed tick up to (and excluding any
+    /// tick after) time `t`.
+    fn flush_ticks(&mut self, t: SimTime) {
+        let Some(mut sampler) = self.sampler.take() else {
+            return;
+        };
+        while sampler.due(t) {
+            let tick = sampler.next_time();
+            sampler.push(self.metrics_sample(tick));
+        }
+        self.sampler = Some(sampler);
+    }
+
+    /// Assembles the gauge snapshot for the tick at sim time `at`.
+    fn metrics_sample(&self, at: SimTime) -> MetricsSample {
+        let (queue_depth, queue_depth_max, send_dma_busy, recv_dma_busy) =
+            self.machine.occupancy(at);
+        let (mut puts, mut gets) = (0u32, 0u32);
+        for f in self.xfers.values() {
+            match f.x.kind {
+                XferKind::Put => puts += 1,
+                XferKind::Get => gets += 1,
+                XferKind::Other => {}
+            }
+        }
+        let (mut blocked, mut barrier) = (0u32, 0u32);
+        for w in self.waiters.iter().flatten() {
+            blocked += 1;
+            if matches!(w, Waiter::Barrier { .. }) {
+                barrier += 1;
+            }
+        }
+        let stats = self.machine.tnet.stats();
+        let (retries, detours) = self.fault.as_ref().map_or((0, 0), |f| {
+            (f.plan.report.total_retries(), f.plan.report.detours)
+        });
+        MetricsSample {
+            t: at,
+            events: self.events_handled,
+            msgs: stats.messages,
+            bytes: stats.bytes,
+            puts_inflight: puts,
+            gets_inflight: gets,
+            cells_blocked: blocked,
+            barrier_waiting: barrier,
+            queue_depth,
+            queue_depth_max: queue_depth_max as u64,
+            send_dma_busy,
+            recv_dma_busy,
+            link_busy_ns: self.machine.tnet.link_busy_total().as_nanos(),
+            retries,
+            detours,
+        }
+    }
+
+    /// Consumes the sampler, yielding the finished series (`None` when
+    /// metrics were off). Call after [`Kernel::run`].
+    pub fn take_metrics(&mut self) -> Option<MetricsSeries> {
+        self.sampler.take().map(Sampler::finish)
+    }
+
+    /// Stops and takes the host self-profiler. Call after [`Kernel::run`].
+    pub fn take_hostprof(&mut self) -> Option<HostProf> {
+        let mut p = self.hostprof.take()?;
+        p.stop();
+        Some(p)
     }
 
     /// Snapshot of the fault plan's report with an abort `cause` attached.

@@ -47,11 +47,16 @@ mod request;
 
 pub use accounting::{CellTimes, RunReport};
 pub use cell::{Cell, ReduceOp};
-pub use config::{set_timeline_default, timeline_default, HwParams, MachineConfig};
+pub use config::{
+    flight_dump_path, flight_recorder_default, metrics_default, progress_default,
+    set_flight_dump_path, set_flight_recorder_default, set_metrics_default, set_progress_default,
+    set_timeline_default, timeline_default, HwParams, MachineConfig,
+};
 pub use request::Mark;
 
 // Re-export the vocabulary types users need at the API boundary.
 pub use apfault::{FaultEvent, FaultKind, FaultSpec, RecoveryParams};
+pub use apmon::{Heatmap, HostProf, LinkUtil, MetricsSeries, RunMetrics};
 pub use apmsc::StrideSpec;
 pub use apobs::{Counters, Timeline};
 pub use aputil::{
@@ -135,6 +140,16 @@ where
     T: Send + 'static,
     F: Fn(&mut Cell) -> T + Send + Sync + 'static,
 {
+    // An unbounded timeline on a huge machine is O(events) memory with no
+    // bound — refuse it up front and point at the flight recorder, which
+    // keeps the same post-mortem context in O(cells) memory.
+    if cfg.record_timeline && cfg.flight_recorder.is_none() && cfg.ncells > 1024 {
+        return Err(ApError::InvalidArg(format!(
+            "full timeline recording on {} cells is unbounded; use a flight recorder \
+             (MachineConfig::with_flight_recorder / --flight-recorder) for machines over 1024 cells",
+            cfg.ncells
+        )));
+    }
     let machine = machine::Machine::new(cfg);
     let (req_tx, req_rx) = unbounded();
     let program = Arc::new(program);
@@ -176,9 +191,38 @@ where
     let mut kernel = kernel::Kernel::new(machine, resume_txs, req_rx).with_faults(faults);
     let run_result = kernel.run();
     let fault = kernel.take_fault_report();
+    let series = kernel.take_metrics();
+    let hostprof = kernel.take_hostprof();
     let (machine, resume_txs) = kernel.into_parts();
     // Unblock any threads still parked on their resume channels.
     drop(resume_txs);
+    let mut machine = machine;
+
+    // Post-mortem: on the failure modes a flight recorder exists for,
+    // dump whatever timeline context survived before propagating the
+    // error (best-effort — the error itself must still reach the caller).
+    if let Err(e) = &run_result {
+        if matches!(
+            e,
+            ApError::Deadlock(_) | ApError::CellLost(_) | ApError::Fault(_)
+        ) {
+            if let Some(path) = config::flight_dump_path() {
+                let timeline = machine.take_timeline();
+                if !timeline.events.is_empty() {
+                    match apobs::write_chrome_trace(&path, &[&timeline]) {
+                        Ok(()) => eprintln!(
+                            "flight recorder: dumped {} events to {}",
+                            timeline.events.len(),
+                            path.display()
+                        ),
+                        Err(io) => {
+                            eprintln!("flight recorder: failed to write {}: {io}", path.display())
+                        }
+                    }
+                }
+            }
+        }
+    }
 
     let mut outputs = Vec::with_capacity(handles.len());
     let mut failures: Vec<(CellId, String)> = Vec::new();
@@ -206,7 +250,6 @@ where
         _ => return Err(ApError::CellsFailed { failures }),
     }
 
-    let mut machine = machine;
     let mut counters = machine.collect_counters();
     if let Some(r) = &fault {
         counters.retries = r.total_retries();
@@ -217,6 +260,8 @@ where
         counters.acks = r.acks;
     }
     let timeline = machine.take_timeline();
+    let metrics =
+        series.map(|series| Box::new(assemble_metrics(series, hostprof, &machine, total_time)));
     Ok(RunReport {
         outputs,
         times: machine.times,
@@ -227,5 +272,65 @@ where
         counters,
         timeline,
         fault,
+        metrics,
     })
+}
+
+/// Builds the end-of-run [`RunMetrics`] block: the sampled series plus
+/// torus heatmaps (per-cell busy fraction, per-cell outgoing-link
+/// utilization), the sorted per-link busy table, and host self-profiling.
+fn assemble_metrics(
+    series: MetricsSeries,
+    host: Option<HostProf>,
+    machine: &machine::Machine,
+    total_time: SimTime,
+) -> RunMetrics {
+    let torus = machine.tnet.torus();
+    let (w, h) = torus.dims();
+    let total_ns = total_time.as_nanos().max(1) as f64;
+    let busy: Vec<f64> = machine
+        .times
+        .iter()
+        .map(|t| (t.exec + t.rts + t.overhead).as_nanos() as f64 / total_ns)
+        .collect();
+    let cell_busy = (busy.len() == (w * h) as usize)
+        .then(|| Heatmap::new("cell busy fraction", w as usize, h as usize, busy));
+    let per_link = machine.tnet.link_busy_per_link();
+    // Fold each directed link's busy time onto its transmitting cell; a
+    // torus cell drives 4 outgoing links (2 on degenerate 1-wide or
+    // 1-tall rings, but the fraction stays comparable within one map).
+    let mut out_busy = vec![0.0f64; (w * h) as usize];
+    for &(from, _, t) in &per_link {
+        if let Some(slot) = out_busy.get_mut(from.index()) {
+            *slot += t.as_nanos() as f64;
+        }
+    }
+    let deg = |d: u32| -> f64 {
+        match d {
+            1 => 0.0,
+            2 => 1.0, // both wrap directions reach the same neighbour
+            _ => 2.0,
+        }
+    };
+    let links_per_cell = (deg(w) + deg(h)).max(1.0);
+    for v in &mut out_busy {
+        *v /= total_ns * links_per_cell;
+    }
+    let link_util = (!per_link.is_empty())
+        .then(|| Heatmap::new("link utilization", w as usize, h as usize, out_busy));
+    RunMetrics {
+        series,
+        cell_busy,
+        link_util,
+        links: per_link
+            .into_iter()
+            .map(|(from, to, t)| LinkUtil {
+                from: from.as_u32(),
+                to: to.as_u32(),
+                busy_ns: t.as_nanos(),
+            })
+            .collect(),
+        host,
+        final_time: total_time,
+    }
 }

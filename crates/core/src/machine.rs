@@ -211,8 +211,13 @@ impl Machine {
             per_byte: cfg.hw.net_per_byte,
         };
         let mut tnet = TNet::new(torus, tparams, cfg.contention);
-        if cfg.record_timeline {
+        if let Some(cap) = cfg.flight_recorder {
+            tnet.enable_events_ring(cap.get());
+        } else if cfg.record_timeline {
             tnet.enable_events();
+        }
+        if cfg.metrics_interval.is_some() {
+            tnet.enable_link_stats();
         }
         Machine {
             cells: (0..cfg.ncells)
@@ -224,7 +229,10 @@ impl Machine {
             dsm: DsmMap::new(cfg.ncells, cfg.mem_size),
             times: vec![CellTimes::default(); cfg.ncells as usize],
             trace: aptrace::Trace::new(cfg.ncells as usize),
-            obs: apobs::Recorder::new(cfg.record_timeline),
+            obs: match cfg.flight_recorder {
+                Some(cap) => apobs::Recorder::ring(cap.get()),
+                None => apobs::Recorder::new(cfg.record_timeline),
+            },
             flag_wait: apobs::Hist::new(),
             put_lat: apobs::SegmentHists::new(),
             get_lat: apobs::SegmentHists::new(),
@@ -368,6 +376,28 @@ impl Machine {
         c.put_lat.merge(&self.put_lat);
         c.get_lat.merge(&self.get_lat);
         c
+    }
+
+    /// Point-in-time hardware occupancy gauges at `now` for the sampled
+    /// metrics layer: total and max per-cell send-queue depth, and how
+    /// many send / receive DMA engines are mid-transfer.
+    pub fn occupancy(&self, now: SimTime) -> (u64, u32, u32, u32) {
+        let mut depth = 0u64;
+        let mut depth_max = 0u32;
+        let mut send_busy = 0u32;
+        let mut recv_busy = 0u32;
+        for hw in &self.cells {
+            let d = hw.total_pending() as u32;
+            depth += d as u64;
+            depth_max = depth_max.max(d);
+            if hw.send_busy {
+                send_busy += 1;
+            }
+            if hw.recv_dma.busy_until() > now {
+                recv_busy += 1;
+            }
+        }
+        (depth, depth_max, send_busy, recv_busy)
     }
 
     /// Drains the kernel and network event buffers into one sorted

@@ -49,7 +49,9 @@ pub mod params;
 pub mod replay;
 pub mod report;
 
-pub use divergence::{divergence, DivergenceReport, DivergenceRow, SegmentDelta};
+pub use divergence::{
+    divergence, sampled_divergence, DivergenceReport, DivergenceRow, SegmentDelta,
+};
 pub use params::ModelParams;
 pub use replay::{replay, replay_observed, PeBreakdown, ReplayError, ReplayResult};
 pub use report::{fig8_rows, speedup, Fig8Row};

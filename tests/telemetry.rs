@@ -1,0 +1,161 @@
+//! Acceptance suite for the `apmon` telemetry stack.
+//!
+//! Three properties gate the observability layer:
+//!
+//! * the `ap1000plus.metrics` artifact is a **byte-reproducibility
+//!   surface**: identical across host thread counts and across re-runs,
+//!   with every `host_*` field stripped;
+//! * **huge machines** (beyond the paper's 1024 cells) refuse unbounded
+//!   timeline recording but accept the bounded flight recorder, and the
+//!   sampled-metrics path works at that size;
+//! * sampling is cheap enough to leave **always on**: the instrumented
+//!   run loop stays within a few percent of the plain one (asserted in
+//!   release builds only — debug timing is noise).
+//!
+//! The metrics/flight-recorder defaults are process-wide statics, so the
+//! tests serialize on one lock and restore the defaults before releasing.
+
+use apapps::Scale;
+use apbench::{run_sweep, SweepConfig, SweepOutcome};
+use apcore::{run_with, MachineConfig, VAddr};
+use aputil::SimTime;
+use std::num::NonZeroUsize;
+use std::sync::Mutex;
+
+static DEFAULTS: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    DEFAULTS
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn sweep_cfg(threads: usize) -> SweepConfig {
+    SweepConfig {
+        scale: Scale::Test,
+        apps: vec!["EP".into(), "CG".into()],
+        sizes: vec![None],
+        factors: vec![1.0],
+        threads,
+    }
+}
+
+fn metrics_doc(out: &SweepOutcome) -> String {
+    let runs: Vec<(String, &apmon::RunMetrics)> = out
+        .rows
+        .iter()
+        .filter_map(|r| r.metrics.as_deref().map(|m| (r.name.clone(), m)))
+        .collect();
+    assert_eq!(runs.len(), out.rows.len(), "every row must carry metrics");
+    apmon::metrics_report(&runs).to_string()
+}
+
+#[test]
+fn metrics_artifact_is_thread_count_invariant_and_reruns_identically() {
+    let _g = lock();
+    apcore::set_metrics_default(Some(SimTime::from_micros(10)));
+    let serial = run_sweep(&sweep_cfg(1));
+    let parallel = run_sweep(&sweep_cfg(8));
+    let again = run_sweep(&sweep_cfg(1));
+    apcore::set_metrics_default(None);
+    assert!(serial.failures.is_empty(), "{:?}", serial.failures);
+    assert!(parallel.failures.is_empty(), "{:?}", parallel.failures);
+    let a = metrics_doc(&serial);
+    assert_eq!(
+        a,
+        metrics_doc(&parallel),
+        "metrics artifact must not depend on host thread count"
+    );
+    assert_eq!(
+        a,
+        metrics_doc(&again),
+        "metrics artifact must be byte-identical across re-runs"
+    );
+    let doc = aputil::Json::parse(&a).expect("artifact parses");
+    apmon::check_metrics_schema(&doc).expect("versioned schema");
+    assert!(
+        !a.contains("\"host_"),
+        "host profiling leaked into the versioned artifact"
+    );
+}
+
+#[test]
+fn huge_machines_refuse_unbounded_timeline_but_accept_the_flight_recorder() {
+    let _g = lock();
+    // Unbounded timeline on a beyond-hardware machine: refused up front,
+    // pointing at the flight recorder (no machine is ever built, so this
+    // is cheap even at 4096 cells).
+    let err = run_with(MachineConfig::new(4096).with_timeline(true), |cell| {
+        cell.id()
+    })
+    .expect_err("unbounded timeline on 4096 cells must be refused");
+    let msg = err.to_string();
+    assert!(msg.contains("flight recorder"), "{msg}");
+
+    // The bounded ring at the same class of size is accepted, keeps the
+    // recorded tail small, and the sampled metrics carry torus heatmaps.
+    let cells = 1156u32; // 34x34 torus, just past the hardware limit
+    let r = run_with(
+        MachineConfig::new(cells)
+            .with_flight_recorder(NonZeroUsize::new(64))
+            .with_metrics_interval(Some(SimTime::from_micros(1))),
+        |cell| {
+            let peer = (cell.id() + 1) % cell.ncells();
+            let a = cell.alloc::<u64>(8);
+            cell.put(peer, a, a, 64, VAddr::NULL, VAddr::NULL, false);
+            cell.barrier();
+            cell.id()
+        },
+    )
+    .expect("flight-recorder run on 1156 cells");
+    assert!(
+        !r.timeline.events.is_empty(),
+        "ring recorder must keep a tail"
+    );
+    let m = r.metrics.expect("sampling was on");
+    let busy = m.cell_busy.expect("cell-busy heatmap");
+    assert_eq!((busy.width, busy.height), (34, 34));
+    assert_eq!(busy.values.len(), cells as usize);
+    // The run moved real traffic, so some link saw busy time.
+    assert!(!m.links.is_empty(), "per-link busy table is empty");
+}
+
+#[test]
+fn sampled_metrics_overhead_is_bounded() {
+    let _g = lock();
+    // Paper-scale CG (the communication-heaviest Table-2 row) with and
+    // without sampling, min-of-3 each. Debug builds only report the
+    // ratio: the 5% budget is a property of the optimized hot loop.
+    let scale = if cfg!(debug_assertions) {
+        Scale::Test
+    } else {
+        Scale::Paper
+    };
+    let time = |interval: Option<SimTime>| {
+        apcore::set_metrics_default(interval);
+        let best = (0..3)
+            .map(|_| {
+                let w = apbench::sweep::build_workload("CG", scale, None).unwrap();
+                let t0 = std::time::Instant::now();
+                w.run().expect("CG run");
+                t0.elapsed()
+            })
+            .min()
+            .unwrap();
+        apcore::set_metrics_default(None);
+        best
+    };
+    let off = time(None);
+    let on = time(Some(SimTime::from_micros(100)));
+    let ratio = on.as_secs_f64() / off.as_secs_f64().max(1e-9);
+    eprintln!("sampled-metrics overhead: off={off:?} on={on:?} ratio={ratio:.3}");
+    if !cfg!(debug_assertions) {
+        // 5% relative budget plus a small absolute floor so sub-100ms
+        // runs don't fail on scheduler jitter.
+        assert!(
+            on.as_secs_f64() <= off.as_secs_f64() * 1.05 + 0.005,
+            "sampled metrics cost {:.1}%, over the 5% budget",
+            (ratio - 1.0) * 100.0
+        );
+    }
+}
