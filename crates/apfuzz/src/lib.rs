@@ -59,5 +59,5 @@ pub use generate::{gen_big_chunk, gen_program};
 pub use plan::Plan;
 pub use program::{Action, FuzzProgram, StrideMode};
 pub use ron::{from_ron, to_ron};
-pub use runner::{category, run_program};
+pub use runner::{category, program_evtrace, run_program};
 pub use shrink::{shrink, Shrunk};

@@ -36,6 +36,41 @@ pub fn category(violation: &str) -> &str {
     violation.split(':').next().unwrap_or(violation)
 }
 
+/// Re-runs `prog` with probe tracing and the event timeline on and
+/// packages the recording as a binary `.evtrace` document — the corpus
+/// twin of the RON reproducer, replayable with `repro replay` and
+/// `repro remodel`. Returns `None` when the run aborts (expected-error
+/// reproducers leave nothing replayable behind).
+pub fn program_evtrace(prog: &FuzzProgram) -> Option<Vec<u8>> {
+    let plan = Arc::new(Plan::build(prog));
+    let seed = prog.seed;
+    let cfg = MachineConfig::new(plan.ncells)
+        .with_mem_size(plan.mem_size)
+        .with_timeline(true);
+    let read_dsm = plan.expected.remote_stores > 0;
+    let report = {
+        let plan = Arc::clone(&plan);
+        run_with(cfg, move |cell| execute(&plan, seed, read_dsm, cell))
+    }
+    .ok()?;
+    let events = report.timeline.events.len() as u64;
+    let doc = aptrace::EvTrace {
+        header: aptrace::EvHeader::new(plan.ncells, "apfuzz", &format!("seed{seed}")),
+        streams: vec![aptrace::EvStream {
+            label: "emulator".to_string(),
+            events: report.timeline.events,
+        }],
+        ops: Some(report.trace),
+        counters: None,
+        fault_ron: None,
+        summary: aptrace::EvSummary {
+            total_ns: report.total_time.as_nanos(),
+            events,
+        },
+    };
+    Some(aptrace::evtrace::encode(&doc))
+}
+
 /// Runs `prog` end to end and checks every invariant.
 ///
 /// # Errors

@@ -28,6 +28,13 @@ fn check(prog: &FuzzProgram) {
         let path = format!("{dir}/shrunk-seed{}-n{}.ron", min.seed, min.ncells);
         std::fs::write(&path, &ron).expect("write corpus file");
         eprintln!("wrote reproducer to {path}");
+        // The binary-trace twin: replayable with `repro replay`/`remodel`
+        // (absent when the reproducer aborts before completing a run).
+        if let Some(bytes) = apfuzz::program_evtrace(&min) {
+            let tpath = format!("{dir}/shrunk-seed{}-n{}.evtrace", min.seed, min.ncells);
+            std::fs::write(&tpath, &bytes).expect("write corpus trace");
+            eprintln!("wrote binary trace to {tpath}");
+        }
     }
     panic!(
         "fuzz violation (seed {}, ncells {}): {}\n\
@@ -75,4 +82,18 @@ fn fuzz_edge_machine_sizes() {
 #[test]
 fn fuzz_big_chunk_program() {
     check(&gen_big_chunk(2026));
+}
+
+/// The binary-trace twin of a written reproducer decodes cleanly and
+/// carries the program's ops and timeline.
+#[test]
+fn reproducer_evtrace_round_trips() {
+    let prog = gen_program(3, 4);
+    let bytes = apfuzz::program_evtrace(&prog).expect("healthy program records");
+    let doc = aptrace::EvTrace::decode(&bytes).expect("evtrace decodes");
+    assert_eq!(doc.header.app, "apfuzz");
+    assert_eq!(doc.header.ncells, 4);
+    assert!(doc.ops.is_some(), "ops section present");
+    assert!(doc.summary.events > 0, "timeline recorded");
+    assert!(doc.summary.total_ns > 0);
 }

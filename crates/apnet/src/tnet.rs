@@ -177,6 +177,13 @@ impl TNet {
         self.obs.recorder = Recorder::ring(cap);
     }
 
+    /// Like [`TNet::enable_events`], but streaming each event straight to
+    /// a shared sink (typically the same binary trace writer the kernel's
+    /// recorder streams to), so nothing is buffered in memory.
+    pub fn enable_events_sink(&mut self, sink: apobs::SharedSink) {
+        self.obs.recorder = Recorder::streaming(sink);
+    }
+
     /// Drains the buffered timeline events.
     pub fn take_events(&mut self) -> Vec<TimelineEvent> {
         self.obs.recorder.take_events()

@@ -68,6 +68,25 @@ pub enum Bucket {
 }
 
 impl Bucket {
+    pub const ALL: [Bucket; 5] = [
+        Bucket::Exec,
+        Bucket::Rts,
+        Bucket::Overhead,
+        Bucket::Idle,
+        Bucket::Hw,
+    ];
+
+    /// Stable index (the binary trace codec packs it into a flags byte).
+    pub fn index(self) -> u32 {
+        match self {
+            Bucket::Exec => 0,
+            Bucket::Rts => 1,
+            Bucket::Overhead => 2,
+            Bucket::Idle => 3,
+            Bucket::Hw => 4,
+        }
+    }
+
     pub fn label(self) -> &'static str {
         match self {
             Bucket::Exec => "exec",

@@ -40,7 +40,7 @@ pub use critpath::{critical_path, CritPath, CritStep, GatingOp};
 pub use event::{Bucket, TimelineEvent, Unit};
 pub use hist::Hist;
 pub use latency::{SegmentHists, XferKind, XferLat};
-pub use recorder::Recorder;
+pub use recorder::{EventSink, Recorder, SharedSink};
 pub use timeline::Timeline;
 
 #[cfg(test)]

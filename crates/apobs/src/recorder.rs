@@ -11,13 +11,37 @@
 //! 10k-cell machines where the unbounded timeline is not. The categories
 //! are the [`Unit`]s, so a storm of CPU events cannot evict the last few
 //! DMA or network events that usually explain a deadlock.
+//!
+//! The fourth mode is **streaming**: every event is forwarded to a shared
+//! [`EventSink`] (typically a binary `.evtrace` file writer) the moment it
+//! is recorded, so even a >1024-cell machine can record a full event
+//! stream without ever holding the timeline in memory. Several recorders
+//! (the kernel's and the T-net's) can share one sink through the
+//! `Arc<Mutex<..>>`; events arrive in emission order, not canonical
+//! timeline order, and readers are expected to normalize.
 
 use crate::event::{Bucket, TimelineEvent, Unit};
 use aputil::SimTime;
 use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// A destination for streamed [`TimelineEvent`]s.
+///
+/// Implementors buffer or encode each event as it arrives; I/O errors are
+/// remembered internally and surfaced once from [`EventSink::finish`] so
+/// the recording hot path stays infallible.
+pub trait EventSink: Send {
+    /// Accepts one event, in emission order.
+    fn event(&mut self, ev: &TimelineEvent);
+    /// Flushes buffered state. Returns the first deferred error, if any.
+    fn finish(&mut self) -> Result<(), String>;
+}
+
+/// A shareable, lockable [`EventSink`] handle.
+pub type SharedSink = Arc<Mutex<dyn EventSink>>;
 
 /// Collects [`TimelineEvent`]s while enabled; a no-op sink otherwise.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Default)]
 pub struct Recorder {
     enabled: bool,
     events: Vec<TimelineEvent>,
@@ -25,6 +49,38 @@ pub struct Recorder {
     /// the unbounded `events` buffer.
     ring_cap: usize,
     rings: Vec<VecDeque<TimelineEvent>>,
+    /// Streaming mode: events are forwarded here instead of buffered.
+    sink: Option<SharedSink>,
+}
+
+// The sink is compared by identity: two recorders are equal when they
+// buffer the same events and stream to the same sink (or neither streams).
+impl PartialEq for Recorder {
+    fn eq(&self, other: &Self) -> bool {
+        self.enabled == other.enabled
+            && self.events == other.events
+            && self.ring_cap == other.ring_cap
+            && self.rings == other.rings
+            && match (&self.sink, &other.sink) {
+                (None, None) => true,
+                (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+                _ => false,
+            }
+    }
+}
+
+impl Eq for Recorder {}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Recorder")
+            .field("enabled", &self.enabled)
+            .field("events", &self.events)
+            .field("ring_cap", &self.ring_cap)
+            .field("rings", &self.rings)
+            .field("streaming", &self.sink.is_some())
+            .finish()
+    }
 }
 
 impl Recorder {
@@ -51,9 +107,20 @@ impl Recorder {
         assert!(cap > 0, "flight-recorder capacity must be > 0");
         Recorder {
             enabled: true,
-            events: Vec::new(),
             ring_cap: cap,
             rings: vec![VecDeque::with_capacity(cap); Unit::ALL.len()],
+            ..Recorder::default()
+        }
+    }
+
+    /// A recorder that forwards every event to `sink` instead of
+    /// buffering — memory stays O(1) no matter how long the run, so
+    /// >1024-cell machines can record full event streams.
+    pub fn streaming(sink: SharedSink) -> Self {
+        Recorder {
+            enabled: true,
+            sink: Some(sink),
+            ..Recorder::default()
         }
     }
 
@@ -76,8 +143,23 @@ impl Recorder {
         self.ring_cap > 0
     }
 
+    /// True in streaming mode.
+    #[inline]
+    pub fn is_streaming(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// The shared sink, when streaming.
+    pub fn sink(&self) -> Option<SharedSink> {
+        self.sink.clone()
+    }
+
     #[inline]
     fn push(&mut self, ev: TimelineEvent) {
+        if let Some(sink) = &self.sink {
+            sink.lock().expect("event sink poisoned").event(&ev);
+            return;
+        }
         if self.ring_cap == 0 {
             self.events.push(ev);
             return;
@@ -276,5 +358,52 @@ mod tests {
     #[should_panic(expected = "capacity must be > 0")]
     fn zero_capacity_ring_panics() {
         let _ = Recorder::ring(0);
+    }
+
+    /// A sink that counts events — the minimal streaming round-trip.
+    struct CountSink {
+        n: usize,
+        last: Option<TimelineEvent>,
+    }
+
+    impl EventSink for CountSink {
+        fn event(&mut self, ev: &TimelineEvent) {
+            self.n += 1;
+            self.last = Some(ev.clone());
+        }
+        fn finish(&mut self) -> Result<(), String> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn streaming_recorder_forwards_and_buffers_nothing() {
+        let sink = Arc::new(Mutex::new(CountSink { n: 0, last: None }));
+        let shared: SharedSink = sink.clone();
+        let mut r = Recorder::streaming(shared.clone());
+        assert!(r.is_streaming() && r.is_enabled() && !r.is_ring());
+        // Two recorders can share the sink (kernel + T-net pattern).
+        let mut r2 = Recorder::streaming(shared);
+        r.span(
+            0,
+            Unit::Cpu,
+            "work",
+            SimTime::from_nanos(10),
+            SimTime::from_nanos(5),
+            Bucket::Exec,
+            7,
+        );
+        r2.instant(3, Unit::Net, "hop", SimTime::from_nanos(12), Bucket::Hw, 1);
+        assert!(
+            r.is_empty() && r2.is_empty(),
+            "streamed events are not buffered"
+        );
+        assert!(r.take_events().is_empty());
+        let s = sink.lock().unwrap();
+        assert_eq!(s.n, 2);
+        assert_eq!(s.last.as_ref().unwrap().cell, 3);
+        drop(s);
+        assert_eq!(r, r.clone(), "recorders sharing a sink compare equal");
+        assert_ne!(r, Recorder::enabled());
     }
 }

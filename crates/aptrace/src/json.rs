@@ -242,8 +242,10 @@ impl Trace {
         }
         let version = field_u64(j, "version")?;
         if version > VERSION {
+            // Same shape as the binary codec's `EvError::Version` message:
+            // always name both the version found and the newest supported.
             return Err(format!(
-                "trace version {version} is newer than supported version {VERSION}"
+                "aptrace version {version} is newer than supported version {VERSION}"
             ));
         }
         let ncells = field_u64(j, "ncells")? as usize;
@@ -272,6 +274,11 @@ impl Trace {
     }
 
     /// Parses the textual form produced by [`Trace::to_json_string`].
+    ///
+    /// The *entire* input must be one trace document: trailing bytes
+    /// after the closing brace (a concatenated second document, shell
+    /// redirection junk, a partially-overwritten file) are an error, not
+    /// silently ignored.
     pub fn from_json_str(text: &str) -> Result<Trace, String> {
         let j = Json::parse(text).map_err(|e| e.to_string())?;
         Trace::from_json(&j)
@@ -328,7 +335,30 @@ mod tests {
         let err =
             Trace::from_json_str(r#"{"format":"aptrace","version":999,"ncells":1,"pes":[[]]}"#)
                 .unwrap_err();
-        assert!(err.contains("newer"), "{err}");
+        // The refusal names both the found and the supported version,
+        // matching the binary codec's error style.
+        assert!(
+            err.contains("999") && err.contains("supported version 1"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let mut text = sample_trace().to_json_string();
+        text.push_str("garbage");
+        let err = Trace::from_json_str(&text).unwrap_err();
+        assert!(err.contains("trailing"), "{err}");
+        // A second concatenated document is garbage too.
+        let doubled = format!(
+            "{}{}",
+            sample_trace().to_json_string(),
+            sample_trace().to_json_string()
+        );
+        assert!(Trace::from_json_str(&doubled).is_err());
+        // Trailing whitespace alone stays fine.
+        let padded = format!("{} \n\t", sample_trace().to_json_string());
+        assert!(Trace::from_json_str(&padded).is_ok());
     }
 
     #[test]

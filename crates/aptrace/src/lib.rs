@@ -9,9 +9,11 @@
 //! (SEND / Gop / V Gop / Sync / PUT / PUTS / GET / GETS per PE and average
 //! message size).
 
+pub mod evtrace;
 pub mod json;
 pub mod op;
 pub mod stats;
 
+pub use evtrace::{CounterTicks, EvError, EvHeader, EvStream, EvSummary, EvTrace, StreamWriter};
 pub use op::{Op, OpCounts, PeTrace, Trace};
 pub use stats::{AppStats, StatsRow};

@@ -223,6 +223,25 @@ pub enum ApError {
         /// Dead cells that can never arrive.
         dead: Vec<CellId>,
     },
+    /// A host-filesystem operation failed (writing a trace, a bench
+    /// report, a flight dump, …). Always names the path so a full disk or
+    /// a bad `--out` directory is diagnosable without a backtrace.
+    Io {
+        /// Path of the file or directory the operation touched.
+        path: String,
+        /// The underlying OS error, rendered.
+        detail: String,
+    },
+}
+
+impl ApError {
+    /// Wraps an [`std::io::Error`] with the path it happened on.
+    pub fn io(path: impl Into<String>, err: std::io::Error) -> ApError {
+        ApError::Io {
+            path: path.into(),
+            detail: err.to_string(),
+        }
+    }
 }
 
 impl fmt::Display for ApError {
@@ -277,6 +296,9 @@ impl fmt::Display for ApError {
                 }
                 write!(f, "]")
             }
+            ApError::Io { path, detail } => {
+                write!(f, "i/o error on {path}: {detail}")
+            }
         }
     }
 }
@@ -296,6 +318,15 @@ mod tests {
         assert_eq!(e.to_string(), "page fault on cell3 at v:0x10");
         let e = ApError::QueueExhausted { queue: "user send" };
         assert!(e.to_string().contains("user send"));
+        let e = ApError::io(
+            "/tmp/out/trace.evtrace",
+            std::io::Error::other("no space left on device"),
+        );
+        let s = e.to_string();
+        assert!(
+            s.contains("/tmp/out/trace.evtrace") && s.contains("no space left"),
+            "io error must name the path and the cause: {s}"
+        );
     }
 
     #[test]

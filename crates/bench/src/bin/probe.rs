@@ -22,7 +22,7 @@ fn main() {
     let name = args
         .iter()
         .enumerate()
-        .find(|(i, a)| !a.starts_with("--") && trace_pos.map_or(true, |p| *i != p + 1))
+        .find(|(i, a)| !a.starts_with("--") && trace_pos.is_none_or(|p| *i != p + 1))
         .map(|(_, a)| a.as_str())
         .unwrap_or("SP");
     let scale = if args.iter().any(|a| a == "--paper") {

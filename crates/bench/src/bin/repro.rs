@@ -13,6 +13,9 @@
 //! repro compare BASE CUR       # diff two bench reports, exit 1 on regression
 //! repro sweep  --bench-out F   # parallel app × size × factor grid sweep
 //! repro fault  --faults F.ron  # run apps under a fault-injection schedule
+//! repro record  --apps CG ...  # record a run as a binary .evtrace file
+//! repro replay  T.evtrace      # re-execute and gate against the recording
+//! repro remodel T.evtrace      # replay recorded traffic under new models
 //! ```
 //!
 //! Suite-running commands also accept `--json` (machine-readable rows on
@@ -58,17 +61,43 @@
 //! failures. The report is byte-identical for any `--threads`; a failed
 //! or unsurvived app makes the command exit 1.
 //!
+//! `repro record --apps CG[,FT,..] (--trace-out FILE | --out-dir DIR)
+//! [--scale test|paper] [--size N] [--threads N] [--faults SPEC.ron]
+//! [--stream] [--metrics-interval USECS]` runs each app on the emulator
+//! with full event tracing and writes one compact binary `.evtrace` file
+//! per app (wire format: DESIGN.md §9). Recording is deterministic:
+//! re-recording the same app produces byte-identical files regardless of
+//! `--threads`. Machines past 1024 cells (or any run with `--stream`)
+//! stream events to disk instead of buffering the timeline.
+//!
+//! `repro replay TRACE.evtrace [--lenient] [--at NS [--cell ID]]`
+//! re-executes the recorded workload and gates the fresh run against the
+//! file: strict mode (default) exits 1 on the first mismatching event
+//! with a two-sided context window; `--lenient` compares final simulated
+//! times only and prints a divergence summary. `--at NS` skips
+//! re-execution and dumps reconstructed machine state (in-flight
+//! transfers, queue depths, blocked cells) at that recorded sim-time.
+//!
+//! `repro remodel TRACE.evtrace [--factors 0.5,1.0] [--bench-out FILE]
+//! [--rev REV]` replays the recorded traffic under each
+//! computation-factor multiple of the three paper models — no emulator —
+//! and writes a normal versioned `ap1000plus.bench` report.
+//!
+//! `tracecat` (a sibling binary) inspects `.evtrace` headers and size
+//! statistics.
+//!
 //! `--scale test` uses small instances (seconds); the default `paper`
 //! scale uses the reduced-but-paper-shaped instances documented in
 //! DESIGN.md/EXPERIMENTS.md.
 
 use apbench::{
     bench_report, compare_reports, crosscheck, fault_sweep_text, fig6, fig7, fig8, fig8_ascii,
-    markdown_report, parse_scale, report, run_fault_sweep, run_suite, run_sweep, suite_json,
-    table1, table2, table3, write_bench_report, FaultSweepConfig, SweepConfig, FAULT_APPS,
-    SWEEP_APPS,
+    markdown_report, parse_scale, record, report, run_fault_sweep, run_suite, run_sweep,
+    suite_json, table1, table2, table3, write_bench_report, FaultSweepConfig, ReplayMode,
+    SweepConfig, FAULT_APPS, SWEEP_APPS,
 };
-use std::path::Path;
+use aputil::ApError;
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 fn flag_value(args: &[String], flag: &str) -> Option<String> {
@@ -76,6 +105,19 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
         .position(|a| a == flag)
         .and_then(|i| args.get(i + 1))
         .cloned()
+}
+
+/// Exits 1 with a structured error (the `ApError::Io` path-bearing kind
+/// for write failures) instead of panicking on a full disk or a bad
+/// output directory.
+fn fail_io(err: ApError) -> ! {
+    eprintln!("{err}");
+    std::process::exit(1);
+}
+
+/// [`std::fs::write`] with the path woven into the failure message.
+fn write_or_die(path: &str, contents: &str) {
+    record::write_file(Path::new(path), contents.as_bytes()).unwrap_or_else(|e| fail_io(e));
 }
 
 /// Applies the telemetry flags shared by the suite-running commands by
@@ -126,7 +168,8 @@ fn emit_metrics(args: &[String], metrics_out: Option<&str>, rows: &[apbench::Exp
         .filter_map(|r| r.metrics.as_deref().map(|m| (r.name.clone(), m)))
         .collect();
     if let Some(path) = metrics_out {
-        apmon::write_metrics_report(Path::new(path), &runs).expect("write metrics report");
+        apmon::write_metrics_report(Path::new(path), &runs)
+            .unwrap_or_else(|e| fail_io(ApError::io(path.to_string(), e)));
         eprintln!("wrote metrics report to {path} ({} run(s))", runs.len());
     }
     if args.iter().any(|a| a == "--heatmap") {
@@ -150,12 +193,11 @@ fn compare_cmd(args: &[String]) -> ! {
         std::process::exit(2);
     };
     let threshold: f64 = flag_value(args, "--threshold")
-        .and_then(|s| match s.parse() {
-            Ok(t) => Some(t),
-            Err(_) => {
+        .map(|s| {
+            s.parse().unwrap_or_else(|_| {
                 eprintln!("--threshold takes a number, got '{s}'");
                 std::process::exit(2);
-            }
+            })
         })
         .unwrap_or(10.0);
     let fail = |msg: String| -> ! {
@@ -253,7 +295,7 @@ fn sweep_cmd(args: &[String]) -> ! {
     );
     let rev = flag_value(args, "--rev");
     let doc = bench_report(&out.rows, cfg.scale, rev.as_deref());
-    std::fs::write(&out_path, doc.to_string()).expect("write sweep report");
+    write_or_die(&out_path, &doc.to_string());
     eprintln!("wrote sweep report to {out_path}");
     emit_metrics(
         args,
@@ -341,7 +383,7 @@ fn fault_cmd(args: &[String]) -> ! {
     let text = fault_sweep_text(&cfg, &out);
     match flag_value(args, "--out") {
         Some(path) => {
-            std::fs::write(&path, &text).expect("write fault report");
+            write_or_die(&path, &text);
             eprintln!("wrote fault report to {path}");
         }
         None => print!("{text}"),
@@ -350,6 +392,198 @@ fn fault_cmd(args: &[String]) -> ! {
         eprintln!("  FAILED  {f}");
     }
     std::process::exit(if out.failures.is_empty() { 0 } else { 1 });
+}
+
+fn record_cmd(args: &[String]) -> ! {
+    let bad = |msg: String| -> ! {
+        eprintln!("{msg}");
+        std::process::exit(2);
+    };
+    let usage = || -> ! {
+        bad(
+            "usage: repro record --apps CG[,FT,..] (--trace-out FILE | --out-dir DIR) \
+             [--scale test|paper] [--size N] [--threads N] [--faults SPEC.ron] [--stream] \
+             [--metrics-interval USECS]"
+                .into(),
+        )
+    };
+    let Some(apps) = flag_value(args, "--apps") else {
+        usage();
+    };
+    let apps: Vec<String> = apps.split(',').map(str::to_string).collect();
+    let scale = parse_scale(args);
+    let size: Option<u32> = flag_value(args, "--size").map(|s| {
+        s.parse()
+            .unwrap_or_else(|_| bad(format!("--size takes a PE count, got '{s}'")))
+    });
+    let stream = args.iter().any(|a| a == "--stream");
+    let fault = flag_value(args, "--faults").map(|path| {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| bad(format!("cannot read {path}: {e}")));
+        apfault::from_ron(&text).unwrap_or_else(|e| bad(format!("{path}: {e}")))
+    });
+    let outs: Vec<(String, PathBuf)> = match (
+        flag_value(args, "--trace-out"),
+        flag_value(args, "--out-dir"),
+    ) {
+        (Some(path), None) => {
+            if apps.len() != 1 {
+                bad("--trace-out records one app; use --out-dir for several".into());
+            }
+            vec![(apps[0].clone(), PathBuf::from(path))]
+        }
+        (None, Some(dir)) => {
+            let dir = PathBuf::from(dir);
+            std::fs::create_dir_all(&dir)
+                .unwrap_or_else(|e| fail_io(ApError::io(dir.display().to_string(), e)));
+            apps.iter()
+                .map(|a| (a.clone(), dir.join(format!("{a}.evtrace"))))
+                .collect()
+        }
+        _ => usage(),
+    };
+    let threads: usize = match flag_value(args, "--threads") {
+        Some(s) => s
+            .parse()
+            .unwrap_or_else(|_| bad(format!("--threads takes a count, got '{s}'"))),
+        None => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+    };
+    // Streaming installs a process-global sink, so streamed recordings
+    // must not share the process with other machine builds: serialize.
+    let workers = if stream {
+        1
+    } else {
+        threads.clamp(1, outs.len())
+    };
+    let t0 = Instant::now();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut results: Vec<(usize, Result<record::RecordedTrace, String>)> =
+        std::thread::scope(|s| {
+            let outs = &outs;
+            let next = &next;
+            let fault = fault.as_ref();
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    s.spawn(move || {
+                        let mut done = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            let Some((app, path)) = outs.get(i) else {
+                                break;
+                            };
+                            let r = record::record_app(app, scale, size, fault, path, stream)
+                                .map_err(|e| format!("{app}: {e}"));
+                            done.push((i, r));
+                        }
+                        done
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("record worker panicked"))
+                .collect()
+        });
+    results.sort_by_key(|&(i, _)| i);
+    let mut failed = false;
+    for (_, r) in results {
+        match r {
+            Ok(rec) => eprintln!(
+                "recorded {} to {} ({} events, {} bytes, final time {})",
+                rec.app,
+                rec.path.display(),
+                rec.events,
+                rec.bytes,
+                rec.total
+            ),
+            Err(e) => {
+                failed = true;
+                eprintln!("  FAILED  {e}");
+            }
+        }
+    }
+    eprintln!("record done in {:.1}s", t0.elapsed().as_secs_f64());
+    std::process::exit(if failed { 1 } else { 0 });
+}
+
+fn replay_cmd(args: &[String]) -> ! {
+    let bad = |msg: String| -> ! {
+        eprintln!("{msg}");
+        std::process::exit(2);
+    };
+    let Some(path) = args.iter().skip(1).find(|a| !a.starts_with("--")) else {
+        bad("usage: repro replay TRACE.evtrace [--lenient] [--at NS [--cell ID]]".into());
+    };
+    let doc = aptrace::EvTrace::read_file(Path::new(path)).unwrap_or_else(|e| {
+        eprintln!("{path}: {e}");
+        std::process::exit(1);
+    });
+    if let Some(at) = flag_value(args, "--at") {
+        let at_ns: u64 = at
+            .parse()
+            .unwrap_or_else(|_| bad(format!("--at takes sim-time nanoseconds, got '{at}'")));
+        let cell: Option<u32> = flag_value(args, "--cell").map(|s| {
+            s.parse()
+                .unwrap_or_else(|_| bad(format!("--cell takes a cell id, got '{s}'")))
+        });
+        print!("{}", record::seek_report(&doc, at_ns, cell));
+        std::process::exit(0);
+    }
+    let mode = if args.iter().any(|a| a == "--lenient") {
+        ReplayMode::Lenient
+    } else {
+        ReplayMode::Strict
+    };
+    eprintln!(
+        "replaying {} ({} cells, {} scale) against {path}...",
+        doc.header.app, doc.header.ncells, doc.header.scale
+    );
+    let t0 = Instant::now();
+    let conf = record::conformance(&doc, mode).unwrap_or_else(|e| {
+        eprintln!("replay failed: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("replay done in {:.1}s", t0.elapsed().as_secs_f64());
+    print!("{}", conf.render());
+    std::process::exit(if conf.passed() { 0 } else { 1 });
+}
+
+fn remodel_cmd(args: &[String]) -> ! {
+    let bad = |msg: String| -> ! {
+        eprintln!("{msg}");
+        std::process::exit(2);
+    };
+    let Some(path) = args.iter().skip(1).find(|a| !a.starts_with("--")) else {
+        bad(
+            "usage: repro remodel TRACE.evtrace [--factors 0.5,1.0] [--bench-out FILE] \
+             [--rev REV]"
+                .into(),
+        );
+    };
+    let doc = aptrace::EvTrace::read_file(Path::new(path)).unwrap_or_else(|e| {
+        eprintln!("{path}: {e}");
+        std::process::exit(1);
+    });
+    let factors: Vec<f64> = match flag_value(args, "--factors") {
+        Some(list) => list
+            .split(',')
+            .map(|s| {
+                s.parse()
+                    .unwrap_or_else(|_| bad(format!("--factors takes numbers, got '{s}'")))
+            })
+            .collect(),
+        None => vec![1.0],
+    };
+    let rows = record::remodel_rows(&doc, &factors).unwrap_or_else(|e| bad(format!("{path}: {e}")));
+    let scale = record::parse_scale_label(&doc.header.scale).unwrap_or_else(|e| bad(e));
+    if let Some(out) = flag_value(args, "--bench-out") {
+        let rev = flag_value(args, "--rev");
+        let report = bench_report(&rows, scale, rev.as_deref());
+        write_or_die(&out, &report.to_string());
+        eprintln!("wrote bench report to {out}");
+    }
+    print!("{}", record::remodel_text(&rows));
+    std::process::exit(0);
 }
 
 fn main() {
@@ -381,6 +615,9 @@ fn main() {
         "compare" => compare_cmd(&args),
         "sweep" => sweep_cmd(&args),
         "fault" => fault_cmd(&args),
+        "record" => record_cmd(&args),
+        "replay" => replay_cmd(&args),
+        "remodel" => remodel_cmd(&args),
         "table2" | "table3" | "fig8" | "all" | "bench" => {
             let scale = parse_scale(&args);
             if cmd == "bench" && bench_out.is_none() {
@@ -411,18 +648,18 @@ fn main() {
                     }
                 }
                 apobs::write_chrome_trace_with(Path::new(path), &refs, &extra)
-                    .expect("write trace file");
+                    .unwrap_or_else(|e| fail_io(ApError::io(path.clone(), e)));
                 eprintln!("wrote Chrome trace to {path}");
             }
             if let Some(path) = &bench_out {
                 let rev = flag_value(&args, "--rev");
                 write_bench_report(Path::new(path), &rows, scale, rev.as_deref())
-                    .expect("write bench report");
+                    .unwrap_or_else(|e| fail_io(ApError::io(path.clone(), e)));
                 eprintln!("wrote bench report to {path}");
             }
             emit_metrics(&args, metrics_out.as_deref(), &rows);
             if let Some(path) = &md_out {
-                std::fs::write(path, markdown_report(&rows, scale)).expect("write markdown");
+                write_or_die(path, &markdown_report(&rows, scale));
                 eprintln!("wrote Markdown report to {path}");
             }
             if json_out {
@@ -462,7 +699,7 @@ fn main() {
             eprintln!("unknown command '{other}'");
             eprintln!(
                 "usage: repro [table1|fig6|fig7|table2|table3|fig8|ablations|all|bench|compare|\
-                 sweep|fault] [--scale test|paper] [--json] [--ascii] [--markdown] \
+                 sweep|fault|record|replay|remodel] [--scale test|paper] [--json] [--ascii] [--markdown] \
                  [--trace-out FILE] [--bench-out FILE] [--rev REV] [--md-out FILE] \
                  [--threshold PCT] [--apps A,B] [--sizes default,4] [--factors 0.5,1.0] \
                  [--threads N] [--faults SPEC.ron] [--fault-seed N] [--out FILE] \

@@ -16,10 +16,15 @@ use mlsim::{
 };
 
 pub mod fault;
+pub mod record;
 pub mod report;
 pub mod sweep;
 pub use fault::{
     fault_sweep_text, run_fault_sweep, FaultOutcome, FaultRow, FaultSweepConfig, FAULT_APPS,
+};
+pub use record::{
+    conformance, record_app, remodel_rows, remodel_text, seek_report, trace_stats, Conformance,
+    RecordedTrace, ReplayMode, TraceStats,
 };
 pub use report::{
     bench_report, compare_reports, markdown_report, write_bench_report, CompareReport, Regression,

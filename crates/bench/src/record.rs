@@ -1,0 +1,748 @@
+//! Record/replay engine behind `repro record`, `repro replay`, and
+//! `repro remodel`.
+//!
+//! **Record** runs a workload on the machine emulator with full event
+//! tracing and writes one compact binary `.evtrace` file (format:
+//! DESIGN.md §9): the merged event timeline, the probe-op trace MLSim
+//! replays, sampled counter ticks when telemetry is on, and the injected
+//! fault schedule when the run was faulted. Machines past 1024 cells
+//! stream events straight to disk through [`aptrace::StreamWriter`]
+//! instead of holding the timeline in memory.
+//!
+//! **Replay** re-executes the recorded workload — the emulator is
+//! deterministic, so a healthy tree reproduces the recording event for
+//! event — and gates the new run against the file. Strict mode fails on
+//! the first mismatching event with a two-sided context window; lenient
+//! mode only compares final simulated times. `--at` skips re-execution
+//! entirely and reconstructs machine state (in-flight transfers, queue
+//! depths, blocked cells) at a recorded sim-time: time-travel debugging
+//! from the trace alone.
+//!
+//! **Remodel** replays the recorded traffic under scaled
+//! [`ModelParams`] via [`mlsim::remodel`] — no emulator, seconds instead
+//! of minutes — and emits a normal versioned `ap1000plus.bench` report.
+
+use crate::sweep::build_workload;
+use crate::ExperimentRow;
+use apapps::Scale;
+use apobs::{Bucket, Timeline, TimelineEvent, Unit};
+use aptrace::{AppStats, CounterTicks, EvHeader, EvTrace, StreamWriter};
+use aputil::{ApError, SimTime};
+use mlsim::ModelParams;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// Writes `contents` to `path`, wrapping failure as [`ApError::Io`] so
+/// the message names the path (a full disk or a bad `--out` directory is
+/// diagnosable without a backtrace).
+pub fn write_file(path: &Path, contents: &[u8]) -> Result<(), ApError> {
+    std::fs::write(path, contents).map_err(|e| ApError::io(path.display().to_string(), e))
+}
+
+/// The scale label recorded in (and parsed back from) a trace header.
+pub fn scale_label(scale: Scale) -> String {
+    format!("{scale:?}").to_ascii_lowercase()
+}
+
+/// Inverse of [`scale_label`]; unknown labels error rather than guess.
+pub fn parse_scale_label(label: &str) -> Result<Scale, String> {
+    match label {
+        "test" => Ok(Scale::Test),
+        "paper" => Ok(Scale::Paper),
+        other => Err(format!("unknown scale label '{other}' in trace header")),
+    }
+}
+
+/// Sorts events into the canonical total order used for conformance:
+/// the timeline sort key `(cell, unit, start, end)` extended to a total
+/// order, so two identically-evented recordings compare equal no matter
+/// what order their sections were written in (buffered recordings are
+/// pre-sorted; streamed ones arrive in engine order).
+pub fn canonical(mut events: Vec<TimelineEvent>) -> Vec<TimelineEvent> {
+    events.sort_by_key(|e| {
+        (
+            e.cell,
+            e.unit.index(),
+            e.start,
+            e.end(),
+            e.name,
+            e.bucket.index(),
+            e.arg,
+            e.tid,
+        )
+    });
+    events
+}
+
+/// Flattens sampled telemetry into the delta-friendly column series the
+/// counters section stores (one named series per gauge, one value per
+/// tick, [`apmon::MetricsSample::COLUMNS`] order).
+pub fn counter_ticks(m: &apmon::RunMetrics) -> CounterTicks {
+    let s = &m.series.samples;
+    let col = |f: &dyn Fn(&apmon::MetricsSample) -> u64| -> Vec<u64> { s.iter().map(f).collect() };
+    CounterTicks {
+        interval_ns: m.series.interval.as_nanos(),
+        series: vec![
+            ("t_ns".into(), col(&|x| x.t.as_nanos())),
+            ("events".into(), col(&|x| x.events)),
+            ("msgs".into(), col(&|x| x.msgs)),
+            ("bytes".into(), col(&|x| x.bytes)),
+            ("puts_inflight".into(), col(&|x| x.puts_inflight as u64)),
+            ("gets_inflight".into(), col(&|x| x.gets_inflight as u64)),
+            ("cells_blocked".into(), col(&|x| x.cells_blocked as u64)),
+            ("barrier_waiting".into(), col(&|x| x.barrier_waiting as u64)),
+            ("queue_depth".into(), col(&|x| x.queue_depth)),
+            ("queue_depth_max".into(), col(&|x| x.queue_depth_max)),
+            ("send_dma_busy".into(), col(&|x| x.send_dma_busy as u64)),
+            ("recv_dma_busy".into(), col(&|x| x.recv_dma_busy as u64)),
+            ("link_busy_ns".into(), col(&|x| x.link_busy_ns)),
+            ("retries".into(), col(&|x| x.retries)),
+            ("detours".into(), col(&|x| x.detours)),
+        ],
+    }
+}
+
+/// What one `repro record` run produced.
+#[derive(Clone, Debug)]
+pub struct RecordedTrace {
+    /// Workload name as recorded in the header.
+    pub app: String,
+    /// Where the trace landed.
+    pub path: PathBuf,
+    /// Events encoded.
+    pub events: u64,
+    /// File size in bytes.
+    pub bytes: u64,
+    /// Final simulated time of the recorded run.
+    pub total: SimTime,
+}
+
+fn evtrace_err(e: aptrace::EvError) -> ApError {
+    match e {
+        aptrace::EvError::Io { path, detail } => ApError::Io { path, detail },
+        other => ApError::InvalidArg(other.to_string()),
+    }
+}
+
+fn finalize_writer<W: Write>(
+    sw: &mut StreamWriter<W>,
+    report: &apcore::RunReport<()>,
+    fault: Option<&apcore::FaultSpec>,
+) -> Result<u64, ApError> {
+    if report.trace.total_ops() > 0 {
+        sw.append_ops(&report.trace);
+    }
+    if let Some(m) = &report.metrics {
+        sw.append_counters(&counter_ticks(m));
+    }
+    if let Some(spec) = fault {
+        sw.append_fault_ron(&apfault::to_ron(spec));
+    }
+    let events = sw.events_written();
+    sw.finish(report.total_time.as_nanos())
+        .map_err(evtrace_err)?;
+    Ok(events)
+}
+
+/// Records one workload run into `out`.
+///
+/// Machines past 1024 cells (or any size with `stream` set) write
+/// through the process-global streaming sink — events go to disk as they
+/// happen and never accumulate in memory, which is the only way machines
+/// past the in-memory timeline refusal can record. Streaming installs a
+/// process-wide sink, so streamed recordings must not run concurrently
+/// with other machine-building work in the same process; the `repro
+/// record` driver serializes them. Buffered recordings (the default at
+/// small scale) write the post-run *sorted* timeline, making the file
+/// byte-reproducible for a given workload regardless of host threads.
+pub fn record_app(
+    app: &str,
+    scale: Scale,
+    size: Option<u32>,
+    fault: Option<&apcore::FaultSpec>,
+    out: &Path,
+    stream: bool,
+) -> Result<RecordedTrace, ApError> {
+    let w = build_workload(app, scale, size).map_err(ApError::InvalidArg)?;
+    apcore::set_timeline_default(true);
+    let header = EvHeader::new(w.pe(), w.name(), &scale_label(scale));
+    let path_str = out.display().to_string();
+    let file = File::create(out).map_err(|e| ApError::io(path_str.clone(), e))?;
+    let bufw = BufWriter::new(file);
+    let run = || match fault {
+        Some(spec) => w.run_faulted(spec),
+        None => w.run(),
+    };
+    let events;
+    let total;
+    if stream || w.pe() > 1024 {
+        let writer = Arc::new(Mutex::new(StreamWriter::new(bufw, &path_str, &header)));
+        apcore::set_evtrace_sink(Some(writer.clone() as apobs::SharedSink));
+        let result = run();
+        apcore::set_evtrace_sink(None);
+        let report = result?;
+        let mut sw = writer.lock().expect("stream writer poisoned");
+        events = finalize_writer(&mut sw, &report, fault)?;
+        total = report.total_time;
+    } else {
+        let report = run()?;
+        let mut sw = StreamWriter::new(bufw, &path_str, &header);
+        sw.write_events("emulator", &report.timeline.events);
+        events = finalize_writer(&mut sw, &report, fault)?;
+        total = report.total_time;
+    }
+    let bytes = std::fs::metadata(out)
+        .map_err(|e| ApError::io(path_str, e))?
+        .len();
+    Ok(RecordedTrace {
+        app: w.name().to_string(),
+        path: out.to_path_buf(),
+        events,
+        bytes,
+        total,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Replay conformance.
+// ---------------------------------------------------------------------------
+
+/// How hard `repro replay` gates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReplayMode {
+    /// Event-for-event identity; the first mismatch fails with a
+    /// two-sided context window.
+    Strict,
+    /// Final-sim-time identity only; event counts are reported as a
+    /// divergence summary but do not fail the gate.
+    Lenient,
+}
+
+/// Outcome of gating a re-executed run against a recording.
+#[derive(Clone, Debug)]
+pub struct Conformance {
+    /// Workload that was replayed.
+    pub app: String,
+    /// Mode the gate ran in.
+    pub mode: ReplayMode,
+    /// Events in the recording / in the fresh run.
+    pub recorded_events: usize,
+    /// Events the re-executed run produced.
+    pub replayed_events: usize,
+    /// Final simulated time the recording declares.
+    pub recorded_total_ns: u64,
+    /// Final simulated time of the fresh run.
+    pub replayed_total_ns: u64,
+    /// Rendered first-mismatch context window (strict mode only).
+    pub mismatch: Option<String>,
+}
+
+impl Conformance {
+    /// True when the gate passes under its mode.
+    pub fn passed(&self) -> bool {
+        match self.mode {
+            ReplayMode::Strict => {
+                self.mismatch.is_none() && self.recorded_total_ns == self.replayed_total_ns
+            }
+            ReplayMode::Lenient => self.recorded_total_ns == self.replayed_total_ns,
+        }
+    }
+
+    /// Human rendering: verdict line, totals, divergence summary, and
+    /// the mismatch window when there is one.
+    pub fn render(&self) -> String {
+        let mut s = format!(
+            "{} replay of {}: {}\n  recorded: {} events, final time {} ns\n  replayed: {} events, final time {} ns\n",
+            match self.mode {
+                ReplayMode::Strict => "strict",
+                ReplayMode::Lenient => "lenient",
+            },
+            self.app,
+            if self.passed() { "PASS" } else { "FAIL" },
+            self.recorded_events,
+            self.recorded_total_ns,
+            self.replayed_events,
+            self.replayed_total_ns,
+        );
+        if self.recorded_total_ns != self.replayed_total_ns {
+            let d = self.replayed_total_ns as i128 - self.recorded_total_ns as i128;
+            s.push_str(&format!("  divergence: final time {d:+} ns\n"));
+        }
+        if let Some(m) = &self.mismatch {
+            s.push_str(m);
+        }
+        s
+    }
+}
+
+/// One line of the mismatch context window.
+pub fn fmt_event(e: &TimelineEvent) -> String {
+    let dur = match e.dur {
+        Some(d) => format!("+{}", d.as_nanos()),
+        None => "instant".to_string(),
+    };
+    format!(
+        "cell {:>4} {:?}/{:?} {} @{} {} arg={} tid={}",
+        e.cell,
+        e.unit,
+        e.bucket,
+        e.name,
+        e.start.as_nanos(),
+        dur,
+        e.arg,
+        e.tid
+    )
+}
+
+/// Renders the two-sided context window around the first mismatch: three
+/// events of context either side, `>` marking the diverging index, and
+/// an explicit end marker when one stream is shorter.
+fn render_mismatch(rec: &[TimelineEvent], rep: &[TimelineEvent], i: usize) -> String {
+    let lo = i.saturating_sub(3);
+    let hi = i + 4;
+    let mut s = format!(
+        "  first mismatch at event {i} ({} recorded / {} replayed):\n",
+        rec.len(),
+        rep.len()
+    );
+    for (label, side) in [("recorded", rec), ("replayed", rep)] {
+        s.push_str(&format!("  {label}:\n"));
+        for (k, e) in side.iter().enumerate().take(hi.min(side.len())).skip(lo) {
+            let mark = if k == i { '>' } else { ' ' };
+            s.push_str(&format!("  {mark} {k:>8}  {}\n", fmt_event(e)));
+        }
+        if side.len() <= i {
+            s.push_str(&format!("  > {:>8}  (stream ends here)\n", side.len()));
+        }
+    }
+    s
+}
+
+/// Re-executes the workload a trace records and gates the fresh run
+/// against it. Faulted recordings re-run under the recorded schedule.
+///
+/// # Errors
+///
+/// Errors when the header names an unknown app or scale, the fault RON
+/// fails to parse, or the re-executed run itself fails.
+pub fn conformance(doc: &EvTrace, mode: ReplayMode) -> Result<Conformance, ApError> {
+    let scale = parse_scale_label(&doc.header.scale).map_err(ApError::InvalidArg)?;
+    let w = build_workload(&doc.header.app, scale, Some(doc.header.ncells))
+        .map_err(ApError::InvalidArg)?;
+    apcore::set_timeline_default(true);
+    let fault = doc
+        .fault_ron
+        .as_deref()
+        .map(apfault::from_ron)
+        .transpose()
+        .map_err(|e| ApError::InvalidArg(format!("recorded fault schedule: {e}")))?;
+    let report = match &fault {
+        Some(spec) => w.run_faulted(spec)?,
+        None => w.run()?,
+    };
+    let rec = canonical(doc.all_events());
+    let rep = canonical(report.timeline.events.clone());
+    let mismatch = match mode {
+        ReplayMode::Lenient => None,
+        ReplayMode::Strict => {
+            let i = rec
+                .iter()
+                .zip(rep.iter())
+                .position(|(a, b)| a != b)
+                .or((rec.len() != rep.len()).then(|| rec.len().min(rep.len())));
+            i.map(|i| render_mismatch(&rec, &rep, i))
+        }
+    };
+    Ok(Conformance {
+        app: doc.header.app.clone(),
+        mode,
+        recorded_events: rec.len(),
+        replayed_events: rep.len(),
+        recorded_total_ns: doc.summary.total_ns,
+        replayed_total_ns: report.total_time.as_nanos(),
+        mismatch,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Time-travel seek.
+// ---------------------------------------------------------------------------
+
+/// Reconstructs machine state at sim-time `at_ns` from the recorded
+/// events alone (no re-execution): in-flight DMA/network transfers
+/// (duration spans covering the instant), per-cell MSC+ queue depths
+/// (the last queue-unit event at or before it carries the depth in
+/// `arg`), and blocked cells (idle spans covering it, barrier waiters
+/// called out). `cell` narrows the dump to one cell.
+pub fn seek_report(doc: &EvTrace, at_ns: u64, cell: Option<u32>) -> String {
+    const MAX_LINES: usize = 64;
+    let t = SimTime::from_nanos(at_ns);
+    let events = canonical(doc.all_events());
+    let want = |c: u32| cell.is_none_or(|only| c == only);
+    let covers = |e: &TimelineEvent| e.dur.is_some() && e.start <= t && t < e.end();
+
+    let mut s = format!(
+        "state at t={at_ns} ns (app {}, {} cells, run ends at {} ns)\n",
+        doc.header.app, doc.header.ncells, doc.summary.total_ns
+    );
+    if at_ns > doc.summary.total_ns {
+        s.push_str("  (seek time is past the end of the recording)\n");
+    }
+
+    let mut inflight = Vec::new();
+    let mut blocked = Vec::new();
+    let mut barrier_waiters = Vec::new();
+    // Last queue-unit event at or before t per cell: canonical order is
+    // (cell, unit, start, …), so a plain scan keeps the latest one.
+    let mut queue_depth: Vec<(u32, u64)> = Vec::new();
+    for e in &events {
+        if !want(e.cell) {
+            continue;
+        }
+        if e.unit == Unit::Queue && e.start <= t {
+            match queue_depth.last_mut() {
+                Some((c, d)) if *c == e.cell => *d = e.arg,
+                _ => queue_depth.push((e.cell, e.arg)),
+            }
+        }
+        if !covers(e) {
+            continue;
+        }
+        match e.unit {
+            Unit::SendDma | Unit::RecvDma | Unit::Net => inflight.push(e),
+            Unit::Cpu if e.bucket == Bucket::Idle => {
+                if e.name == "barrier" {
+                    barrier_waiters.push(e.cell);
+                }
+                blocked.push(e);
+            }
+            _ => {}
+        }
+    }
+
+    s.push_str(&format!("  in-flight transfers ({}):\n", inflight.len()));
+    for e in inflight.iter().take(MAX_LINES) {
+        let span = e.end().as_nanos() - e.start.as_nanos();
+        let pct = ((at_ns - e.start.as_nanos()) * 100)
+            .checked_div(span)
+            .unwrap_or(100);
+        s.push_str(&format!("    {} ({pct}% elapsed)\n", fmt_event(e)));
+    }
+    if inflight.len() > MAX_LINES {
+        s.push_str(&format!("    … and {} more\n", inflight.len() - MAX_LINES));
+    }
+
+    let nonzero: Vec<&(u32, u64)> = queue_depth.iter().filter(|(_, d)| *d > 0).collect();
+    s.push_str(&format!("  queue depths (nonzero: {}):\n", nonzero.len()));
+    for (c, d) in nonzero.iter().take(MAX_LINES) {
+        s.push_str(&format!("    cell {c:>4}: {d}\n"));
+    }
+
+    s.push_str(&format!(
+        "  blocked cells ({}, {} in barrier):\n",
+        blocked.len(),
+        barrier_waiters.len()
+    ));
+    for e in blocked.iter().take(MAX_LINES) {
+        s.push_str(&format!(
+            "    cell {:>4} idle in {} since {} ns\n",
+            e.cell,
+            e.name,
+            e.start.as_nanos()
+        ));
+    }
+    if blocked.len() > MAX_LINES {
+        s.push_str(&format!("    … and {} more\n", blocked.len() - MAX_LINES));
+    }
+    s
+}
+
+// ---------------------------------------------------------------------------
+// Trace-driven re-modeling.
+// ---------------------------------------------------------------------------
+
+/// Replays a recording's traffic under each `computation_factor`
+/// multiple of all three paper models and shapes the results as
+/// [`ExperimentRow`]s, so [`crate::bench_report`] emits the same
+/// versioned `ap1000plus.bench` document a live run would — without
+/// touching the emulator.
+///
+/// # Errors
+///
+/// Errors when the trace has no ops section or a replay rejects it.
+pub fn remodel_rows(doc: &EvTrace, factors: &[f64]) -> Result<Vec<ExperimentRow>, String> {
+    let trace = doc
+        .ops
+        .as_ref()
+        .ok_or("trace has no ops section (recorded without probe tracing?)")?;
+    let stats = AppStats::from_trace(trace).to_row();
+    let replay_grid = |base: ModelParams| {
+        mlsim::remodel(trace, &mlsim::factor_grid(&base, factors))
+            .map_err(|e| format!("remodel under {}: {e}", base.name))
+    };
+    let ap1000 = replay_grid(ModelParams::ap1000())?;
+    let star = replay_grid(ModelParams::ap1000_star())?;
+    let plus = replay_grid(ModelParams::ap1000_plus())?;
+    let mut rows = Vec::new();
+    for (i, &f) in factors.iter().enumerate() {
+        rows.push(ExperimentRow {
+            name: format!("{} cf{f:.2}", doc.header.app),
+            pe: doc.header.ncells,
+            stats,
+            ap1000: ap1000[i].1.clone(),
+            star: star[i].1.clone(),
+            plus: plus[i].1.clone(),
+            emulator_total: SimTime::from_nanos(doc.summary.total_ns),
+            counters: apobs::Counters::new(),
+            timeline: Timeline::new("remodel"),
+            critpath: None,
+            divergence: None,
+            host_ms: None,
+            metrics: None,
+        });
+    }
+    Ok(rows)
+}
+
+/// Plain-text remodel summary: one line per factor point with all three
+/// model totals and the Table-2 speedup pair.
+pub fn remodel_text(rows: &[ExperimentRow]) -> String {
+    let mut s = String::new();
+    s.push_str("Trace-driven remodel (recorded traffic, scaled models)\n");
+    s.push_str(&format!(
+        "{:20} {:>4} {:>14} {:>14} {:>14} {:>9} {:>9}\n",
+        "Point", "PE", "AP1000", "AP1000*", "AP1000+", "spd+", "spd*"
+    ));
+    for r in rows {
+        let (plus, star) = r.table2();
+        s.push_str(&format!(
+            "{:20} {:>4} {:>14} {:>14} {:>14} {:>9.2} {:>9.2}\n",
+            r.name,
+            r.pe,
+            r.ap1000.total.to_string(),
+            r.star.total.to_string(),
+            r.plus.total.to_string(),
+            plus,
+            star
+        ));
+    }
+    s
+}
+
+// ---------------------------------------------------------------------------
+// Inspection (`tracecat`).
+// ---------------------------------------------------------------------------
+
+/// Size accounting for `tracecat stats`: the binary recording vs the
+/// same data serialized the pre-binary way (Chrome-trace JSON for the
+/// timeline, the versioned JSON op codec for the probe trace).
+#[derive(Clone, Copy, Debug)]
+pub struct TraceStats {
+    /// Bytes of the binary `.evtrace` file.
+    pub binary_bytes: u64,
+    /// Bytes of the equivalent Chrome-trace JSON timeline.
+    pub json_timeline_bytes: u64,
+    /// Bytes of the equivalent JSON op-trace document (0 if no ops).
+    pub json_ops_bytes: u64,
+    /// Events across all streams.
+    pub events: u64,
+}
+
+impl TraceStats {
+    /// Total JSON-equivalent size.
+    pub fn json_bytes(&self) -> u64 {
+        self.json_timeline_bytes + self.json_ops_bytes
+    }
+
+    /// Compression ratio (JSON bytes per binary byte).
+    pub fn ratio(&self) -> f64 {
+        self.json_bytes() as f64 / self.binary_bytes.max(1) as f64
+    }
+}
+
+struct CountWriter(u64);
+
+impl Write for CountWriter {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0 += buf.len() as u64;
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Measures a decoded trace against its JSON-equivalent serializations
+/// without materializing them (`binary_bytes` comes from the file).
+pub fn trace_stats(doc: &EvTrace, binary_bytes: u64) -> TraceStats {
+    let tl = Timeline::from_events(doc.header.app.clone(), doc.all_events());
+    let mut cw = CountWriter(0);
+    apobs::stream_chrome_trace(&mut cw, &[&tl], &[]).expect("counting writer cannot fail");
+    let json_ops_bytes = doc
+        .ops
+        .as_ref()
+        .map_or(0, |t| t.to_json_string().len() as u64);
+    TraceStats {
+        binary_bytes,
+        json_timeline_bytes: cw.0,
+        json_ops_bytes,
+        events: doc.streams.iter().map(|s| s.events.len() as u64).sum(),
+    }
+}
+
+/// Renders a trace's header, section inventory, and trailer for
+/// `tracecat header`.
+pub fn header_text(doc: &EvTrace) -> String {
+    let mut s = format!(
+        "ap1000plus.evtrace v1\n  app: {}\n  scale: {}\n  cells: {}\n",
+        doc.header.app, doc.header.scale, doc.header.ncells
+    );
+    for st in &doc.streams {
+        s.push_str(&format!(
+            "  events[{}]: {} events\n",
+            st.label,
+            st.events.len()
+        ));
+    }
+    match &doc.ops {
+        Some(t) => s.push_str(&format!(
+            "  ops: {} cells, {} ops\n",
+            t.ncells(),
+            t.total_ops()
+        )),
+        None => s.push_str("  ops: absent\n"),
+    }
+    match &doc.counters {
+        Some(c) => s.push_str(&format!(
+            "  counters: {} series x {} ticks every {} ns\n",
+            c.series.len(),
+            c.series.first().map_or(0, |(_, v)| v.len()),
+            c.interval_ns
+        )),
+        None => s.push_str("  counters: absent\n"),
+    }
+    match &doc.fault_ron {
+        Some(r) => s.push_str(&format!("  fault schedule: {} bytes of RON\n", r.len())),
+        None => s.push_str("  fault schedule: absent\n"),
+    }
+    s.push_str(&format!(
+        "  summary: {} events, final time {} ns\n",
+        doc.summary.events, doc.summary.total_ns
+    ));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("apbench-record-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn record_then_strict_replay_passes_and_mutation_fails() {
+        let path = tmp("ep.evtrace");
+        let rec = record_app("EP", Scale::Test, None, None, &path, false).expect("record EP");
+        assert!(rec.events > 0 && rec.bytes > 0);
+        let mut doc = EvTrace::read_file(&path).expect("decode recording");
+        assert_eq!(doc.header.app, "EP");
+        assert_eq!(doc.summary.total_ns, rec.total.as_nanos());
+
+        let ok = conformance(&doc, ReplayMode::Strict).expect("replay EP");
+        assert!(ok.passed(), "{}", ok.render());
+        assert!(ok.mismatch.is_none());
+
+        // A single mutated event must fail strict with a context window
+        // but leave the lenient (sim-time) gate green.
+        let k = doc.streams[0].events.len() / 2;
+        doc.streams[0].events[k].arg ^= 1;
+        let bad = conformance(&doc, ReplayMode::Strict).expect("replay mutated");
+        assert!(!bad.passed());
+        let window = bad.mismatch.as_deref().expect("context window");
+        assert!(
+            window.contains("first mismatch") && window.contains('>'),
+            "{window}"
+        );
+        assert!(bad.render().contains("FAIL"));
+        let lenient = conformance(&doc, ReplayMode::Lenient).expect("lenient replay");
+        assert!(lenient.passed(), "{}", lenient.render());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn seek_reconstructs_midrun_state() {
+        let path = tmp("cg-seek.evtrace");
+        let rec = record_app("CG", Scale::Test, None, None, &path, false).expect("record CG");
+        let doc = EvTrace::read_file(&path).expect("decode");
+        let dump = seek_report(&doc, rec.total.as_nanos() / 2, None);
+        assert!(dump.contains("in-flight transfers"), "{dump}");
+        assert!(dump.contains("queue depths"), "{dump}");
+        assert!(dump.contains("blocked cells"), "{dump}");
+        // Narrowing to one cell never widens the dump.
+        let narrowed = seek_report(&doc, rec.total.as_nanos() / 2, Some(0));
+        assert!(narrowed.len() <= dump.len());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn remodel_rows_scale_with_factors_and_serialize() {
+        let path = tmp("ep-remodel.evtrace");
+        record_app("EP", Scale::Test, None, None, &path, false).expect("record EP");
+        let doc = EvTrace::read_file(&path).expect("decode");
+        let rows = remodel_rows(&doc, &[0.5, 1.0]).expect("remodel");
+        assert_eq!(rows.len(), 2);
+        // EP is compute-bound: halving the computation factor halves the
+        // modeled total.
+        let half = rows[0].plus.total.as_nanos() as f64;
+        let full = rows[1].plus.total.as_nanos() as f64;
+        assert!((half * 2.0 - full).abs() / full < 0.01, "{half} vs {full}");
+        let doc = crate::bench_report(&rows, Scale::Test, Some("remodel"));
+        let parsed = aputil::Json::parse(&doc.to_string()).expect("report parses");
+        assert_eq!(
+            parsed.get("schema").and_then(aputil::Json::as_str),
+            Some(crate::BENCH_SCHEMA)
+        );
+        assert!(remodel_text(&rows).contains("cf0.50"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn stats_show_binary_wins_over_json() {
+        let path = tmp("ep-stats.evtrace");
+        record_app("EP", Scale::Test, None, None, &path, false).expect("record EP");
+        let doc = EvTrace::read_file(&path).expect("decode");
+        let st = trace_stats(&doc, std::fs::metadata(&path).unwrap().len());
+        assert!(st.events > 0);
+        assert!(
+            st.ratio() >= 5.0,
+            "binary must be >=5x smaller than JSON, got {:.1}x ({} vs {} bytes)",
+            st.ratio(),
+            st.json_bytes(),
+            st.binary_bytes
+        );
+        assert!(header_text(&doc).contains("ap1000plus.evtrace v1"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn write_file_errors_name_the_path() {
+        let err = write_file(Path::new("/nonexistent-dir/x/y.json"), b"hi").unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("/nonexistent-dir/x/y.json") && msg.contains("i/o error"),
+            "{msg}"
+        );
+    }
+
+    #[test]
+    fn scale_labels_round_trip() {
+        for s in [Scale::Test, Scale::Paper] {
+            assert_eq!(parse_scale_label(&scale_label(s)).unwrap(), s);
+        }
+        assert!(parse_scale_label("huge").is_err());
+    }
+}

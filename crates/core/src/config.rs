@@ -75,6 +75,25 @@ pub fn progress_default() -> bool {
     PROGRESS_DEFAULT.load(Ordering::Relaxed)
 }
 
+/// Process-wide streaming event sink: when set (by `repro record` on
+/// machines too large for an in-memory timeline), every subsequently
+/// built machine forwards its timeline events straight to this sink
+/// instead of buffering them — O(1) recording memory at any cell count.
+/// The owner of the concrete writer keeps its own handle for
+/// finalization; this global only carries the type-erased sink into
+/// `Machine::new`.
+static EVTRACE_SINK: Mutex<Option<apobs::SharedSink>> = Mutex::new(None);
+
+/// Sets (or clears) the process-wide streaming event sink.
+pub fn set_evtrace_sink(sink: Option<apobs::SharedSink>) {
+    *EVTRACE_SINK.lock().unwrap() = sink;
+}
+
+/// The current streaming event sink, if any.
+pub fn evtrace_sink() -> Option<apobs::SharedSink> {
+    EVTRACE_SINK.lock().unwrap().clone()
+}
+
 /// Where to dump the flight-recorder timeline when a run dies with a
 /// deadlock / lost-cell / fault error. `None` (the default) disables the
 /// automatic post-mortem dump.

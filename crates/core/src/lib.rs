@@ -48,9 +48,9 @@ mod request;
 pub use accounting::{CellTimes, RunReport};
 pub use cell::{Cell, ReduceOp};
 pub use config::{
-    flight_dump_path, flight_recorder_default, metrics_default, progress_default,
-    set_flight_dump_path, set_flight_recorder_default, set_metrics_default, set_progress_default,
-    set_timeline_default, timeline_default, HwParams, MachineConfig,
+    evtrace_sink, flight_dump_path, flight_recorder_default, metrics_default, progress_default,
+    set_evtrace_sink, set_flight_dump_path, set_flight_recorder_default, set_metrics_default,
+    set_progress_default, set_timeline_default, timeline_default, HwParams, MachineConfig,
 };
 pub use request::Mark;
 
@@ -141,12 +141,18 @@ where
     F: Fn(&mut Cell) -> T + Send + Sync + 'static,
 {
     // An unbounded timeline on a huge machine is O(events) memory with no
-    // bound — refuse it up front and point at the flight recorder, which
-    // keeps the same post-mortem context in O(cells) memory.
-    if cfg.record_timeline && cfg.flight_recorder.is_none() && cfg.ncells > 1024 {
+    // bound — refuse it up front and point at the flight recorder (bounded
+    // post-mortem context) or the streaming trace sink (full recording in
+    // O(1) memory), either of which lifts the refusal.
+    if cfg.record_timeline
+        && cfg.flight_recorder.is_none()
+        && cfg.ncells > 1024
+        && config::evtrace_sink().is_none()
+    {
         return Err(ApError::InvalidArg(format!(
             "full timeline recording on {} cells is unbounded; use a flight recorder \
-             (MachineConfig::with_flight_recorder / --flight-recorder) for machines over 1024 cells",
+             (MachineConfig::with_flight_recorder / --flight-recorder) or a streaming \
+             trace sink (set_evtrace_sink / repro record) for machines over 1024 cells",
             cfg.ncells
         )));
     }

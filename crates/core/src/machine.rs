@@ -211,7 +211,16 @@ impl Machine {
             per_byte: cfg.hw.net_per_byte,
         };
         let mut tnet = TNet::new(torus, tparams, cfg.contention);
-        if let Some(cap) = cfg.flight_recorder {
+        // Streaming wins over buffering: with a process-wide sink set,
+        // both the kernel's and the T-net's events go straight to it.
+        let sink = if cfg.record_timeline && cfg.flight_recorder.is_none() {
+            crate::config::evtrace_sink()
+        } else {
+            None
+        };
+        if let Some(sink) = &sink {
+            tnet.enable_events_sink(sink.clone());
+        } else if let Some(cap) = cfg.flight_recorder {
             tnet.enable_events_ring(cap.get());
         } else if cfg.record_timeline {
             tnet.enable_events();
@@ -229,9 +238,10 @@ impl Machine {
             dsm: DsmMap::new(cfg.ncells, cfg.mem_size),
             times: vec![CellTimes::default(); cfg.ncells as usize],
             trace: aptrace::Trace::new(cfg.ncells as usize),
-            obs: match cfg.flight_recorder {
-                Some(cap) => apobs::Recorder::ring(cap.get()),
-                None => apobs::Recorder::new(cfg.record_timeline),
+            obs: match (sink, cfg.flight_recorder) {
+                (Some(sink), _) => apobs::Recorder::streaming(sink),
+                (None, Some(cap)) => apobs::Recorder::ring(cap.get()),
+                (None, None) => apobs::Recorder::new(cfg.record_timeline),
             },
             flag_wait: apobs::Hist::new(),
             put_lat: apobs::SegmentHists::new(),

@@ -46,6 +46,7 @@
 
 pub mod divergence;
 pub mod params;
+pub mod remodel;
 pub mod replay;
 pub mod report;
 
@@ -53,5 +54,6 @@ pub use divergence::{
     divergence, sampled_divergence, DivergenceReport, DivergenceRow, SegmentDelta,
 };
 pub use params::ModelParams;
+pub use remodel::{factor_grid, remodel, RemodelPoint};
 pub use replay::{replay, replay_observed, PeBreakdown, ReplayError, ReplayResult};
 pub use report::{fig8_rows, speedup, Fig8Row};

@@ -1,0 +1,110 @@
+//! Trace-driven re-modeling: replay one recorded trace under many
+//! parameter sets.
+//!
+//! This is the paper's §5 methodology turned into a tool: record a real
+//! run once (the expensive part), then answer "what if the CPU were 8×
+//! faster" or "what if the network prolog doubled" by replaying the
+//! recorded traffic under modified [`ModelParams`] — no emulator, no
+//! re-execution, seconds instead of minutes. `repro remodel` drives this
+//! from a binary `.evtrace` recording.
+
+use crate::params::ModelParams;
+use crate::replay::{replay, ReplayError, ReplayResult};
+use aptrace::Trace;
+
+/// One point of a re-modeling sweep: a label and the full parameter set
+/// to replay under.
+#[derive(Clone, Debug)]
+pub struct RemodelPoint {
+    /// Human-readable point name (`"cf=0.25"`, `"ap1000"`, …).
+    pub label: String,
+    /// Parameters for this point.
+    pub params: ModelParams,
+}
+
+/// Builds a sweep over `computation_factor` multiples of `base`: each
+/// factor scales the base model's computation speed while every network
+/// parameter stays put — the same axis `repro sweep` explores, but
+/// against a recorded trace instead of a live emulator run.
+pub fn factor_grid(base: &ModelParams, factors: &[f64]) -> Vec<RemodelPoint> {
+    factors
+        .iter()
+        .map(|&f| {
+            let mut p = base.clone();
+            p.computation_factor *= f;
+            RemodelPoint {
+                label: format!("cf={:.4}", p.computation_factor),
+                params: p,
+            }
+        })
+        .collect()
+}
+
+/// Replays `trace` under every point, in order. Deterministic: the same
+/// trace and points always produce identical results, regardless of host
+/// threads — replay is single-threaded discrete-event simulation.
+///
+/// # Errors
+///
+/// The first [`ReplayError`] aborts the sweep (every point replays the
+/// same trace, so one malformed trace fails them all identically).
+pub fn remodel(
+    trace: &Trace,
+    points: &[RemodelPoint],
+) -> Result<Vec<(String, ReplayResult)>, ReplayError> {
+    points
+        .iter()
+        .map(|pt| replay(trace, &pt.params).map(|r| (pt.label.clone(), r)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aptrace::Op;
+    use aputil::CellId;
+
+    fn small_trace() -> Trace {
+        let mut t = Trace::new(2);
+        for c in 0..2u32 {
+            let pe = t.pe_mut(CellId::new(c));
+            pe.push(Op::Work { flops: 10_000 });
+            pe.push(Op::Barrier);
+        }
+        t
+    }
+
+    #[test]
+    fn factor_grid_scales_only_computation() {
+        let base = ModelParams::ap1000_plus();
+        let grid = factor_grid(&base, &[0.5, 1.0, 2.0]);
+        assert_eq!(grid.len(), 3);
+        assert_eq!(grid[1].params.computation_factor, base.computation_factor);
+        assert_eq!(grid[0].params.network_prolog, base.network_prolog);
+        assert!(grid[0].params.computation_factor < grid[2].params.computation_factor);
+    }
+
+    #[test]
+    fn remodel_orders_points_and_faster_cpu_is_never_slower() {
+        let t = small_trace();
+        let base = ModelParams::ap1000_plus();
+        let rows = remodel(&t, &factor_grid(&base, &[4.0, 1.0, 0.25])).unwrap();
+        assert_eq!(rows.len(), 3);
+        // Compute-bound trace: a smaller computation factor (faster CPU)
+        // cannot finish later.
+        assert!(rows[2].1.total <= rows[1].1.total);
+        assert!(rows[1].1.total <= rows[0].1.total);
+    }
+
+    #[test]
+    fn remodel_is_deterministic() {
+        let t = small_trace();
+        let pts = factor_grid(&ModelParams::ap1000_plus(), &[1.0, 0.5]);
+        let a = remodel(&t, &pts).unwrap();
+        let b = remodel(&t, &pts).unwrap();
+        for ((la, ra), (lb, rb)) in a.iter().zip(b.iter()) {
+            assert_eq!(la, lb);
+            assert_eq!(ra.total, rb.total);
+        }
+    }
+}

@@ -483,6 +483,7 @@ macro_rules! __proptest_impl {
             for __case in 0..__cfg.cases {
                 let mut __rng = $crate::TestRng::for_case(__test_name, __case);
                 let ($($arg,)+) = $crate::Strategy::sample(&__strategy, &mut __rng);
+                #[allow(clippy::redundant_closure_call)]
                 let __outcome: ::std::result::Result<(), $crate::TestCaseError> =
                     (move || { $body ::std::result::Result::Ok(()) })();
                 match __outcome {
@@ -523,9 +524,9 @@ mod tests {
         #[test]
         fn oneof_maps_and_flat_maps(x in prop_oneof![
             (1u32..10).prop_map(|v| v * 2),
-            (100u32..110).prop_flat_map(|v| Just(v)),
+            (100u32..110).prop_flat_map(Just),
         ]) {
-            prop_assert!((x >= 2 && x < 20 && x % 2 == 0) || (100..110).contains(&x));
+            prop_assert!(((2..20).contains(&x) && x % 2 == 0) || (100..110).contains(&x));
         }
 
         #[test]
