@@ -155,8 +155,7 @@ fn ring_reduce_scatter(
                 cell.write_slice(addr, &xs[lo..hi]);
                 cell.send(1, addr, cbytes);
             } else {
-                cell.recv(me - 1, addr, cbytes);
-                let mut partial = cell.read_slice::<f64>(addr, hi - lo);
+                let (_, mut partial) = cell.recv_slice::<f64>(me - 1, addr, cbytes, hi - lo);
                 for (acc, x) in partial.iter_mut().zip(xs[lo..hi].iter()) {
                     *acc += *x;
                 }

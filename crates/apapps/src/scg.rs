@@ -164,8 +164,8 @@ impl Workload for Scg {
                     cell.send(me + 1, out_row, (gx * 8) as u64);
                 }
                 let top = if has_up {
-                    cell.recv(me - 1, halo_top, (gx * 8) as u64);
-                    cell.read_slice::<f64>(halo_top, gx)
+                    cell.recv_slice::<f64>(me - 1, halo_top, (gx * 8) as u64, gx)
+                        .1
                 } else {
                     vec![0.0; gx]
                 };

@@ -21,7 +21,7 @@ use crate::torus::Torus;
 use apfault::{FaultPlan, RouteVerdict};
 use apobs::{Bucket, Hist, Recorder, TimelineEvent, Unit};
 use apsim::Resource;
-use aputil::{CellId, SimTime};
+use aputil::{ApError, ApResult, CellId, SimTime};
 use std::collections::HashMap;
 
 /// Timing parameters of the T-net (Figure 6 names).
@@ -33,6 +33,17 @@ pub struct TNetParams {
     pub per_hop: SimTime,
     /// Per-byte serialization time (`network_msg_time`); 25 MB/s ⇒ 40 ns/B.
     pub per_byte: SimTime,
+}
+
+impl TNetParams {
+    /// Minimum latency of any packet that crosses at least one torus link:
+    /// one prolog plus one hop, with zero payload bytes. This is the
+    /// conservative PDES lookahead bound — no event injected at time `t`
+    /// on one side of a tile boundary can affect the other side before
+    /// `t + min_crossing_latency()` (DESIGN.md §10).
+    pub fn min_crossing_latency(&self) -> SimTime {
+        self.prolog + self.per_hop
+    }
 }
 
 impl Default for TNetParams {
@@ -154,6 +165,24 @@ impl TNet {
         self.torus
     }
 
+    /// The timing parameters (for lookahead derivation and reporting).
+    pub fn params(&self) -> TNetParams {
+        self.params
+    }
+
+    /// Per-byte serialization cost of a `size`-byte payload; an overflow
+    /// of the sim-time range is a configuration error surfaced as
+    /// [`ApError::InvalidArg`], never silently clamped.
+    fn serialize_cost(&self, src: CellId, dst: CellId, size: u64) -> ApResult<SimTime> {
+        self.params.per_byte.checked_mul(size).ok_or_else(|| {
+            ApError::InvalidArg(format!(
+                "T-net cost overflow: {size} B at {} per byte from {src} to {dst} \
+                 exceeds the sim-time range",
+                self.params.per_byte
+            ))
+        })
+    }
+
     /// Statistics so far.
     pub fn stats(&self) -> TNetStats {
         self.stats
@@ -243,7 +272,9 @@ impl TNet {
         tid: u64,
     ) -> SimTime {
         let hops = self.torus.hops(src, dst);
-        let serialize = self.params.per_byte.saturating_mul(size);
+        let serialize = self
+            .serialize_cost(src, dst, size)
+            .unwrap_or_else(|e| panic!("{e}"));
         let mut depart = now;
         if let Contention::Links = self.contention {
             // Wormhole over the static route: the head advances one hop per
@@ -279,6 +310,12 @@ impl TNet {
     /// delays stretch the arrival. The fault-free entry points never call
     /// this, so their timing is untouched by the fault layer.
     ///
+    /// # Errors
+    ///
+    /// Returns [`ApError::InvalidArg`] on an empty route (which would
+    /// otherwise underflow into a huge hop count) or when the
+    /// serialization cost overflows the sim-time range.
+    ///
     /// # Panics
     ///
     /// Panics if `src` or `dst` are outside the torus.
@@ -290,13 +327,13 @@ impl TNet {
         size: u64,
         tid: u64,
         plan: &mut FaultPlan,
-    ) -> Delivery {
+    ) -> ApResult<Delivery> {
         let primary = self.torus.route(src, dst);
         let (route, detoured) = match plan.route_verdict(&primary, now, false) {
             RouteVerdict::Deliver => (primary, false),
             RouteVerdict::Drop => {
                 self.note_drop(src, now, size, tid);
-                return Delivery::Dropped;
+                return Ok(Delivery::Dropped);
             }
             RouteVerdict::Detour => {
                 let alt = self.torus.route_yx(src, dst);
@@ -309,13 +346,18 @@ impl TNet {
                         // Same-row/column pairs have no distinct detour;
                         // the retry protocol waits the outage out.
                         self.note_drop(src, now, size, tid);
-                        return Delivery::Dropped;
+                        return Ok(Delivery::Dropped);
                     }
                 }
             }
         };
-        let hops = (route.len() - 1) as u32;
-        let serialize = self.params.per_byte.saturating_mul(size);
+        let hops = route.len().checked_sub(1).ok_or_else(|| {
+            ApError::InvalidArg(format!(
+                "T-net route from {src} to {dst} is empty — a zero-length route \
+                 would underflow into a wrapped hop count"
+            ))
+        })? as u32;
+        let serialize = self.serialize_cost(src, dst, size)?;
         let arrival = match self.contention {
             Contention::Links => {
                 let mut head = now + self.params.prolog;
@@ -350,7 +392,7 @@ impl TNet {
             );
         }
         let at = self.finish(now, src, dst, hops, size, arrival, tid, Some(&route));
-        Delivery::Delivered { at, detoured }
+        Ok(Delivery::Delivered { at, detoured })
     }
 
     /// Marks a packet lost in the network on the timeline.
@@ -403,9 +445,21 @@ impl TNet {
             };
             if let Some(ls) = &mut self.link_stats {
                 // Each directed link holds the message for one hop delay
-                // plus its serialization time.
-                let tx = self.params.per_hop + self.params.per_byte.saturating_mul(size);
-                ls.total_busy += tx * (route.len().saturating_sub(1)) as u64;
+                // plus its serialization time. `SimTime`'s `+`/`*` are
+                // checked: an overflow panics with context instead of
+                // clamping the busy accumulators.
+                let tx = self.params.per_hop
+                    + self
+                        .params
+                        .per_byte
+                        .checked_mul(size)
+                        .expect("T-net link-busy cost overflowed the sim-time range");
+                let crossings = route
+                    .len()
+                    .checked_sub(1)
+                    .expect("a route always includes its source cell")
+                    as u64;
+                ls.total_busy += tx * crossings;
                 for pair in route.windows(2) {
                     let slot = ls
                         .per_link
@@ -665,12 +719,15 @@ mod fault_tests {
         let mut plan = outage_plan(1, 2, 1_000_000);
         // Discovery: first crossing is lost.
         assert_eq!(
-            n.transfer_faulty(SimTime::ZERO, src, dst, 100, 0, &mut plan),
+            n.transfer_faulty(SimTime::ZERO, src, dst, 100, 0, &mut plan)
+                .unwrap(),
             Delivery::Dropped
         );
         // Retry detours Y-then-X and arrives with the same hop count.
         let retry_at = SimTime::from_nanos(10_000);
-        let d = n.transfer_faulty(retry_at, src, dst, 100, 0, &mut plan);
+        let d = n
+            .transfer_faulty(retry_at, src, dst, 100, 0, &mut plan)
+            .unwrap();
         let Delivery::Delivered { at, detoured } = d else {
             panic!("retry should detour, got {d:?}");
         };
@@ -683,7 +740,9 @@ mod fault_tests {
         assert_eq!(plan.report.drops, 1);
         assert_eq!(plan.report.detours, 1);
         // After the window heals the primary route is back in use.
-        let healed = n.transfer_faulty(SimTime::from_nanos(2_000_000), src, dst, 100, 0, &mut plan);
+        let healed = n
+            .transfer_faulty(SimTime::from_nanos(2_000_000), src, dst, 100, 0, &mut plan)
+            .unwrap();
         assert!(matches!(
             healed,
             Delivery::Delivered {
@@ -699,12 +758,14 @@ mod fault_tests {
         let (src, dst) = (c(0), c(2)); // pure X move through 0->1->2
         let mut plan = outage_plan(0, 1, 1_000_000);
         assert_eq!(
-            n.transfer_faulty(SimTime::ZERO, src, dst, 4, 0, &mut plan),
+            n.transfer_faulty(SimTime::ZERO, src, dst, 4, 0, &mut plan)
+                .unwrap(),
             Delivery::Dropped,
             "discovery"
         );
         assert_eq!(
-            n.transfer_faulty(SimTime::from_nanos(100), src, dst, 4, 0, &mut plan),
+            n.transfer_faulty(SimTime::from_nanos(100), src, dst, 4, 0, &mut plan)
+                .unwrap(),
             Delivery::Dropped,
             "detour equals the primary route, so the packet is lost again"
         );
@@ -712,7 +773,8 @@ mod fault_tests {
         assert_eq!(plan.report.detours, 0);
         // The outage end restores delivery.
         assert!(matches!(
-            n.transfer_faulty(SimTime::from_nanos(1_000_000), src, dst, 4, 0, &mut plan),
+            n.transfer_faulty(SimTime::from_nanos(1_000_000), src, dst, 4, 0, &mut plan)
+                .unwrap(),
             Delivery::Delivered {
                 detoured: false,
                 ..
@@ -736,16 +798,18 @@ mod fault_tests {
                 },
             }],
         });
-        let Delivery::Delivered { at: slow, .. } =
-            n.transfer_faulty(SimTime::ZERO, c(0), c(1), 0, 0, &mut plan)
+        let Delivery::Delivered { at: slow, .. } = n
+            .transfer_faulty(SimTime::ZERO, c(0), c(1), 0, 0, &mut plan)
+            .unwrap()
         else {
             panic!("delayed packet must still deliver")
         };
         assert_eq!(slow.as_nanos(), 160 + 160 + 7_000);
         // A packet sent after the window would land earlier on its own,
         // but per-pair FIFO holds it behind the delayed one.
-        let Delivery::Delivered { at: held, .. } =
-            n.transfer_faulty(SimTime::from_nanos(600), c(0), c(1), 0, 0, &mut plan)
+        let Delivery::Delivered { at: held, .. } = n
+            .transfer_faulty(SimTime::from_nanos(600), c(0), c(1), 0, 0, &mut plan)
+            .unwrap()
         else {
             panic!()
         };
@@ -764,7 +828,9 @@ mod fault_tests {
         ] {
             let now = SimTime::from_nanos(t);
             let want = clean.transfer_tagged(now, c(s), c(d), b, 0);
-            let got = faulty.transfer_faulty(now, c(s), c(d), b, 0, &mut plan);
+            let got = faulty
+                .transfer_faulty(now, c(s), c(d), b, 0, &mut plan)
+                .unwrap();
             assert_eq!(
                 got,
                 Delivery::Delivered {

@@ -1,4 +1,4 @@
-//! The `ap1000plus.evtrace` v1 compact binary trace store.
+//! The `ap1000plus.evtrace` compact binary trace store (format v2).
 //!
 //! The JSON codecs ([`crate::json`], `apobs::chrome_trace`) are the right
 //! interchange format for small machines, but at the 1024-cell paper
@@ -17,8 +17,20 @@
 //!   gauge series,
 //! * an optional **fault** section carrying the injected schedule as RON
 //!   text (so a recorded faulted run is self-contained),
+//! * a mandatory **index** section (v2) listing every events section's
+//!   byte offset, event count, and sim-time range,
 //! * a mandatory **summary + end** trailer, whose absence is how a
-//!   truncated file is detected.
+//!   truncated file is detected, followed (v2) by a fixed 12-byte footer
+//!   — the index section's offset as 8 LE bytes plus `XIDX` — so a
+//!   seeking reader can jump straight to the index without scanning.
+//!
+//! v2 additionally resets the event-name string table at each events
+//! section, making every section self-contained: [`EvTrace::decode_at`]
+//! uses the footer index to decode only the sections that can contain
+//! events at or before a seek time, skipping the rest of the file (and
+//! the whole ops section) entirely. v1 files — no footer, file-global
+//! string table — still decode, and `decode_at` falls back to the full
+//! linear decode for them.
 //!
 //! Everything multi-byte is LEB128 varint (or zigzag svarint where deltas
 //! go negative); there is no padding and no endianness to get wrong. The
@@ -69,7 +81,7 @@ use std::sync::{Mutex, OnceLock};
 /// File magic: seven ASCII bytes followed by the one-byte format version.
 pub const MAGIC: [u8; 7] = *b"APEVTRC";
 /// Newest format version this library reads and the one it writes.
-pub const VERSION: u8 = 1;
+pub const VERSION: u8 = 2;
 
 /// Section tags. Every section starts with one of these bytes.
 const SEC_HEADER: u8 = b'H';
@@ -77,8 +89,22 @@ const SEC_EVENTS: u8 = b'E';
 const SEC_OPS: u8 = b'O';
 const SEC_COUNTERS: u8 = b'C';
 const SEC_FAULT: u8 = b'F';
+const SEC_INDEX: u8 = b'X';
 const SEC_SUMMARY: u8 = b'S';
 const SEC_END: u8 = b'Z';
+
+/// v2 footer: 8 LE bytes holding the [`SEC_INDEX`] tag's file offset,
+/// then these four magic bytes. Fixed-width (the only non-varint encoding
+/// in the format) so a seeking reader can find it from the file length.
+const TRAILER_MAGIC: [u8; 4] = *b"XIDX";
+/// Total footer length after the end marker.
+const TRAILER_LEN: usize = 12;
+
+/// A v2 writer closes the open `"live"` section and reopens it after this
+/// many events, bounding how much a seeking reader must decode per
+/// section (a 1024-cell paper run is ~3.6M events, so a handful of
+/// sections).
+const ROTATE_EVENTS: u64 = 1 << 20;
 
 /// Event flags byte: unit in bits 0–2, bucket in bits 3–5, duration
 /// present in bit 6, tid present in bit 7. `0xFF` would need unit index 7
@@ -341,6 +367,21 @@ pub struct EvSummary {
     pub events: u64,
 }
 
+/// One entry of the v2 seek index: where an events section lives and
+/// what span of sim-time it covers. Offsets point at the section's
+/// [`SEC_EVENTS`] tag byte.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct EvIndexEntry {
+    /// File offset of the section's tag byte.
+    pub offset: u64,
+    /// Events in the section.
+    pub events: u64,
+    /// Smallest event start timestamp in the section (0 if empty).
+    pub first_ns: u64,
+    /// Largest event start timestamp in the section (0 if empty).
+    pub last_ns: u64,
+}
+
 /// A fully decoded `.evtrace` document.
 #[derive(Clone, Debug, PartialEq, Default)]
 pub struct EvTrace {
@@ -369,56 +410,36 @@ impl EvTrace {
     }
 
     /// Decodes a complete in-memory document, rejecting truncation and
-    /// trailing garbage.
+    /// trailing garbage. v2 files must carry a valid seek index whose
+    /// entries agree with the events sections actually decoded.
     pub fn decode(bytes: &[u8]) -> Result<EvTrace, EvError> {
+        let version = check_magic(bytes)?;
         let mut r = Reader::new(bytes);
-        if r.remaining() < MAGIC.len() + 1 {
-            return Err(if bytes.starts_with(&MAGIC[..bytes.len().min(7)]) {
-                r.truncated("magic")
-            } else {
-                EvError::BadMagic
-            });
-        }
-        if bytes[..7] != MAGIC {
-            return Err(EvError::BadMagic);
-        }
-        r.pos = 7;
-        let version = r.byte("version")?;
-        if version > VERSION {
-            return Err(EvError::Version {
-                found: version,
-                supported: VERSION,
-            });
-        }
+        r.pos = MAGIC.len() + 1;
         let mut doc = EvTrace::default();
         let mut names: Vec<&'static str> = Vec::new();
         let mut saw_header = false;
         let mut saw_summary = false;
+        // v2 integrity: the index section's claims are checked against
+        // the sections the decoder actually walked.
+        let mut index: Option<(usize, Vec<EvIndexEntry>)> = None;
+        let mut walked: Vec<EvIndexEntry> = Vec::new();
         loop {
             let at = r.pos;
             let tag = r.byte("section tag")?;
             match tag {
                 SEC_HEADER => {
-                    let ncells = r.varint("header ncells")?;
-                    let ncells = u32::try_from(ncells).map_err(|_| EvError::Corrupt {
-                        at,
-                        what: format!("header ncells {ncells} out of range"),
-                    })?;
-                    let app = r.string("header app name")?;
-                    let scale = r.string("header scale label")?;
-                    let reserved = r.varint("header reserved flags")?;
-                    if reserved != 0 {
-                        return Err(EvError::Corrupt {
-                            at,
-                            what: format!("reserved header flags {reserved:#x} set in a v1 file"),
-                        });
-                    }
-                    doc.header = EvHeader { ncells, app, scale };
+                    doc.header = decode_header(&mut r, at)?;
                     saw_header = true;
                 }
                 SEC_EVENTS => {
                     let label = r.string("event stream label")?;
+                    if version >= 2 {
+                        // v2 sections are self-contained for seeking.
+                        names.clear();
+                    }
                     let events = decode_events(&mut r, &mut names)?;
+                    walked.push(section_entry(at as u64, &events));
                     doc.streams.push(EvStream { label, events });
                 }
                 SEC_OPS => {
@@ -429,6 +450,15 @@ impl EvTrace {
                 }
                 SEC_FAULT => {
                     doc.fault_ron = Some(r.string("fault schedule RON")?);
+                }
+                SEC_INDEX => {
+                    if version < 2 {
+                        return Err(EvError::Corrupt {
+                            at,
+                            what: "index section in a v1 file".to_string(),
+                        });
+                    }
+                    index = Some((at, decode_index(&mut r)?));
                 }
                 SEC_SUMMARY => {
                     doc.summary = EvSummary {
@@ -451,7 +481,33 @@ impl EvTrace {
                                 .to_string(),
                         });
                     }
-                    if r.remaining() > 0 {
+                    if version >= 2 {
+                        let Some((index_at, entries)) = index else {
+                            return Err(EvError::Corrupt {
+                                at,
+                                what: "v2 file without a seek index section".to_string(),
+                            });
+                        };
+                        if r.remaining() < TRAILER_LEN {
+                            return Err(r.truncated("index footer"));
+                        }
+                        check_trailer(&bytes[r.pos..r.pos + TRAILER_LEN], r.pos, index_at)?;
+                        if r.remaining() > TRAILER_LEN {
+                            return Err(EvError::TrailingGarbage {
+                                at: r.pos + TRAILER_LEN,
+                                extra: r.remaining() - TRAILER_LEN,
+                            });
+                        }
+                        if entries != walked {
+                            return Err(EvError::Corrupt {
+                                at: index_at,
+                                what: format!(
+                                    "seek index disagrees with events sections \
+                                     (index {entries:?}, decoded {walked:?})"
+                                ),
+                            });
+                        }
+                    } else if r.remaining() > 0 {
                         return Err(EvError::TrailingGarbage {
                             at: r.pos,
                             extra: r.remaining(),
@@ -479,17 +535,244 @@ impl EvTrace {
         }
     }
 
+    /// Decodes only what a time-travel seek to `at_ns` needs: the
+    /// header, the summary, and the events sections whose earliest
+    /// timestamp is ≤ `at_ns` — located through the v2 footer index
+    /// without scanning the file (the ops/counters/fault sections are
+    /// skipped entirely). An event starting after `at_ns` cannot be
+    /// in flight at it, so state reconstruction over the partial
+    /// document matches the full decode. v1 files carry no index and
+    /// fall back to the full linear [`EvTrace::decode`].
+    pub fn decode_at(bytes: &[u8], at_ns: u64) -> Result<EvTrace, EvError> {
+        if check_magic(bytes)? < 2 {
+            return EvTrace::decode(bytes);
+        }
+        let (entries, summary) = read_footer(bytes)?;
+        let mut doc = EvTrace {
+            summary,
+            ..EvTrace::default()
+        };
+        // The header is always the first section.
+        let mut r = Reader::new(bytes);
+        r.pos = MAGIC.len() + 1;
+        let at = r.pos;
+        if r.byte("section tag")? != SEC_HEADER {
+            return Err(EvError::Corrupt {
+                at,
+                what: "first section is not the header".to_string(),
+            });
+        }
+        doc.header = decode_header(&mut r, at)?;
+        for e in entries
+            .iter()
+            .filter(|e| e.events > 0 && e.first_ns <= at_ns)
+        {
+            let pos = usize::try_from(e.offset)
+                .ok()
+                .filter(|&p| p < bytes.len())
+                .ok_or(EvError::Corrupt {
+                    at: bytes.len(),
+                    what: format!("seek index offset {} outside the file", e.offset),
+                })?;
+            let mut r = Reader::new(bytes);
+            r.pos = pos;
+            if r.byte("indexed events section")? != SEC_EVENTS {
+                return Err(EvError::Corrupt {
+                    at: pos,
+                    what: format!("seek index offset {pos} is not an events section"),
+                });
+            }
+            let label = r.string("event stream label")?;
+            let mut names = Vec::new();
+            let events = decode_events(&mut r, &mut names)?;
+            if events.len() as u64 != e.events {
+                return Err(EvError::Corrupt {
+                    at: pos,
+                    what: format!(
+                        "seek index promises {} events at offset {pos}, section holds {}",
+                        e.events,
+                        events.len()
+                    ),
+                });
+            }
+            doc.streams.push(EvStream { label, events });
+        }
+        Ok(doc)
+    }
+
     /// Reads and decodes a file.
     pub fn read_file(path: &std::path::Path) -> Result<EvTrace, EvError> {
-        let mut bytes = Vec::new();
-        std::fs::File::open(path)
-            .and_then(|mut f| f.read_to_end(&mut bytes))
-            .map_err(|e| EvError::Io {
-                path: path.display().to_string(),
-                detail: e.to_string(),
-            })?;
-        EvTrace::decode(&bytes)
+        EvTrace::decode(&read_bytes(path)?)
     }
+
+    /// Reads a file through the seek fast path (see
+    /// [`EvTrace::decode_at`]).
+    pub fn read_file_at(path: &std::path::Path, at_ns: u64) -> Result<EvTrace, EvError> {
+        EvTrace::decode_at(&read_bytes(path)?, at_ns)
+    }
+}
+
+fn read_bytes(path: &std::path::Path) -> Result<Vec<u8>, EvError> {
+    let mut bytes = Vec::new();
+    std::fs::File::open(path)
+        .and_then(|mut f| f.read_to_end(&mut bytes))
+        .map_err(|e| EvError::Io {
+            path: path.display().to_string(),
+            detail: e.to_string(),
+        })?;
+    Ok(bytes)
+}
+
+/// Validates the magic prefix and returns the format version byte.
+fn check_magic(bytes: &[u8]) -> Result<u8, EvError> {
+    if bytes.len() < MAGIC.len() + 1 {
+        return Err(if bytes.starts_with(&MAGIC[..bytes.len().min(7)]) {
+            EvError::Truncated {
+                at: bytes.len(),
+                what: "magic".to_string(),
+            }
+        } else {
+            EvError::BadMagic
+        });
+    }
+    if bytes[..7] != MAGIC {
+        return Err(EvError::BadMagic);
+    }
+    let version = bytes[7];
+    if version > VERSION {
+        return Err(EvError::Version {
+            found: version,
+            supported: VERSION,
+        });
+    }
+    Ok(version)
+}
+
+fn decode_header(r: &mut Reader<'_>, at: usize) -> Result<EvHeader, EvError> {
+    let ncells = r.varint("header ncells")?;
+    let ncells = u32::try_from(ncells).map_err(|_| EvError::Corrupt {
+        at,
+        what: format!("header ncells {ncells} out of range"),
+    })?;
+    let app = r.string("header app name")?;
+    let scale = r.string("header scale label")?;
+    let reserved = r.varint("header reserved flags")?;
+    if reserved != 0 {
+        return Err(EvError::Corrupt {
+            at,
+            what: format!("reserved header flags {reserved:#x} set"),
+        });
+    }
+    Ok(EvHeader { ncells, app, scale })
+}
+
+/// What the seek index should say about a decoded events section.
+fn section_entry(offset: u64, events: &[TimelineEvent]) -> EvIndexEntry {
+    EvIndexEntry {
+        offset,
+        events: events.len() as u64,
+        first_ns: events.iter().map(|e| e.start.as_nanos()).min().unwrap_or(0),
+        last_ns: events.iter().map(|e| e.start.as_nanos()).max().unwrap_or(0),
+    }
+}
+
+fn decode_index(r: &mut Reader<'_>) -> Result<Vec<EvIndexEntry>, EvError> {
+    let n = r.varint("index entry count")?;
+    let mut entries: Vec<EvIndexEntry> = Vec::with_capacity(r.cap_hint(n));
+    let mut prev = 0u64;
+    for _ in 0..n {
+        let offset = r.varint("index section offset")?;
+        if offset <= prev {
+            return Err(r.corrupt(format!(
+                "index offsets not strictly increasing ({offset} after {prev})"
+            )));
+        }
+        prev = offset;
+        entries.push(EvIndexEntry {
+            offset,
+            events: r.varint("index event count")?,
+            first_ns: r.varint("index first timestamp")?,
+            last_ns: r.varint("index last timestamp")?,
+        });
+    }
+    Ok(entries)
+}
+
+/// Validates the 12-byte footer at `pos` against the known index offset.
+fn check_trailer(trailer: &[u8], pos: usize, index_at: usize) -> Result<(), EvError> {
+    if trailer[8..12] != TRAILER_MAGIC {
+        return Err(EvError::Corrupt {
+            at: pos + 8,
+            what: "index footer magic is not XIDX".to_string(),
+        });
+    }
+    let off = u64::from_le_bytes(trailer[..8].try_into().expect("8-byte slice"));
+    if off != index_at as u64 {
+        return Err(EvError::Corrupt {
+            at: pos,
+            what: format!("index footer points at byte {off} but the index is at {index_at}"),
+        });
+    }
+    Ok(())
+}
+
+/// Parses the v2 footer and seek index without touching the rest of the
+/// file: trailer → index section → summary → end marker. Also the
+/// public entry point for tools that only want the section map.
+pub fn read_index(bytes: &[u8]) -> Result<Vec<EvIndexEntry>, EvError> {
+    read_footer(bytes).map(|(entries, _)| entries)
+}
+
+fn read_footer(bytes: &[u8]) -> Result<(Vec<EvIndexEntry>, EvSummary), EvError> {
+    let version = check_magic(bytes)?;
+    if version < 2 {
+        return Err(EvError::Corrupt {
+            at: 7,
+            what: format!("v{version} traces carry no seek index (use the full decode)"),
+        });
+    }
+    if bytes.len() < MAGIC.len() + 1 + TRAILER_LEN {
+        return Err(EvError::Truncated {
+            at: bytes.len(),
+            what: "index footer".to_string(),
+        });
+    }
+    let tpos = bytes.len() - TRAILER_LEN;
+    let trailer = &bytes[tpos..];
+    if trailer[8..12] != TRAILER_MAGIC {
+        return Err(EvError::Corrupt {
+            at: tpos + 8,
+            what: "index footer magic is not XIDX".to_string(),
+        });
+    }
+    let off = u64::from_le_bytes(trailer[..8].try_into().expect("8-byte slice"));
+    let pos = usize::try_from(off)
+        .ok()
+        .filter(|&p| p < tpos)
+        .ok_or(EvError::Corrupt {
+            at: tpos,
+            what: format!("index footer offset {off} outside the file"),
+        })?;
+    let mut r = Reader::new(&bytes[..tpos]);
+    r.pos = pos;
+    if r.byte("index section tag")? != SEC_INDEX {
+        return Err(EvError::Corrupt {
+            at: pos,
+            what: format!("index footer offset {pos} is not an index section"),
+        });
+    }
+    let entries = decode_index(&mut r)?;
+    if r.byte("summary section tag")? != SEC_SUMMARY {
+        return Err(r.corrupt("index section is not followed by the summary"));
+    }
+    let summary = EvSummary {
+        total_ns: r.varint("summary total_ns")?,
+        events: r.varint("summary event count")?,
+    };
+    if r.byte("end marker")? != SEC_END || r.remaining() != 0 {
+        return Err(r.corrupt("summary is not followed by the end marker and footer"));
+    }
+    Ok((entries, summary))
 }
 
 fn decode_events(
@@ -840,7 +1123,8 @@ pub struct StreamWriter<W: Write> {
     w: W,
     path: String,
     buf: Vec<u8>,
-    /// File-global string table (name → index), shared across sections.
+    /// Per-section string table (name → index): v2 resets it at every
+    /// events section so each section decodes in isolation.
     name_idx: HashMap<&'static str, u64>,
     names: usize,
     in_events: bool,
@@ -848,6 +1132,14 @@ pub struct StreamWriter<W: Write> {
     prev_start: i64,
     nevents: u64,
     bytes_written: u64,
+    /// Seek index accumulated section by section, written before the
+    /// summary and pointed at by the footer.
+    index: Vec<EvIndexEntry>,
+    sec_offset: u64,
+    sec_events: u64,
+    sec_first: u64,
+    sec_last: u64,
+    sec_label: String,
     err: Option<String>,
     finished: bool,
 }
@@ -866,6 +1158,12 @@ impl<W: Write> StreamWriter<W> {
             prev_start: 0,
             nevents: 0,
             bytes_written: 0,
+            index: Vec::new(),
+            sec_offset: 0,
+            sec_events: 0,
+            sec_first: u64::MAX,
+            sec_last: 0,
+            sec_label: String::new(),
             err: None,
             finished: false,
         };
@@ -894,18 +1192,36 @@ impl<W: Write> StreamWriter<W> {
     /// Opens an events section labelled `label` (closing any open one).
     pub fn begin_events(&mut self, label: &str) {
         self.end_events();
+        self.sec_offset = self.bytes_written + self.buf.len() as u64;
         self.buf.push(SEC_EVENTS);
         put_str(&mut self.buf, label);
         self.in_events = true;
+        self.name_idx.clear();
         self.prev_cell = 0;
         self.prev_start = 0;
+        self.sec_events = 0;
+        self.sec_first = u64::MAX;
+        self.sec_last = 0;
+        self.sec_label.clear();
+        self.sec_label.push_str(label);
     }
 
-    /// Closes the open events section, if any.
+    /// Closes the open events section, if any, recording its seek-index
+    /// entry.
     pub fn end_events(&mut self) {
         if self.in_events {
             self.buf.push(EVENTS_DONE);
             self.in_events = false;
+            self.index.push(EvIndexEntry {
+                offset: self.sec_offset,
+                events: self.sec_events,
+                first_ns: if self.sec_events == 0 {
+                    0
+                } else {
+                    self.sec_first
+                },
+                last_ns: self.sec_last,
+            });
         }
     }
 
@@ -945,6 +1261,15 @@ impl<W: Write> StreamWriter<W> {
             put_varint(&mut self.buf, ev.tid);
         }
         self.nevents += 1;
+        self.sec_events += 1;
+        self.sec_first = self.sec_first.min(start as u64);
+        self.sec_last = self.sec_last.max(start as u64);
+        if self.sec_events >= ROTATE_EVENTS {
+            // Bound per-section decode work for seeking readers.
+            let label = std::mem::take(&mut self.sec_label);
+            self.end_events();
+            self.begin_events(&label);
+        }
         if self.buf.len() >= 48 << 10 {
             self.flush_buf();
         }
@@ -997,17 +1322,29 @@ impl<W: Write> StreamWriter<W> {
         self.nevents
     }
 
-    /// Writes the summary + end trailer and flushes. Surfaces the first
-    /// deferred I/O error; idempotent once successful.
+    /// Writes the seek index, summary, end marker, and footer, then
+    /// flushes. Surfaces the first deferred I/O error; idempotent once
+    /// successful.
     pub fn finish(&mut self, total_ns: u64) -> Result<(), EvError> {
         if self.finished {
             return Ok(());
         }
         self.end_events();
+        let index_off = self.bytes_written + self.buf.len() as u64;
+        self.buf.push(SEC_INDEX);
+        put_varint(&mut self.buf, self.index.len() as u64);
+        for e in &self.index {
+            put_varint(&mut self.buf, e.offset);
+            put_varint(&mut self.buf, e.events);
+            put_varint(&mut self.buf, e.first_ns);
+            put_varint(&mut self.buf, e.last_ns);
+        }
         self.buf.push(SEC_SUMMARY);
         put_varint(&mut self.buf, total_ns);
         put_varint(&mut self.buf, self.nevents);
         self.buf.push(SEC_END);
+        self.buf.extend_from_slice(&index_off.to_le_bytes());
+        self.buf.extend_from_slice(&TRAILER_MAGIC);
         self.flush_buf();
         if self.err.is_none() {
             if let Err(e) = self.w.flush() {
@@ -1149,7 +1486,7 @@ mod tests {
         );
         let msg = EvTrace::decode(&bytes).unwrap_err().to_string();
         assert!(
-            msg.contains('9') && msg.contains('1'),
+            msg.contains('9') && msg.contains(&VERSION.to_string()),
             "version error must name found and supported: {msg}"
         );
     }
@@ -1183,8 +1520,9 @@ mod tests {
     fn event_count_mismatch_is_corrupt() {
         // Tamper with a valid file's summary so it lies about the count.
         let mut bytes = encode(&sample());
-        // The summary section is near the end: S varint(184) varint(3) Z.
-        let z = bytes.len() - 1;
+        // The summary section sits just before the end marker and the
+        // 12-byte footer: S varint(184) varint(3) Z <offset> XIDX.
+        let z = bytes.len() - 1 - TRAILER_LEN;
         assert_eq!(bytes[z], SEC_END);
         assert_eq!(bytes[z - 1], 3, "summary event count byte");
         bytes[z - 1] = 2;
@@ -1250,7 +1588,7 @@ mod tests {
     }
 
     #[test]
-    fn string_table_is_shared_across_sections() {
+    fn string_table_resets_per_section_for_seekability() {
         let mut doc = sample();
         doc.streams.push(EvStream {
             label: "tnet".to_string(),
@@ -1260,9 +1598,155 @@ mod tests {
         let bytes = encode(&doc);
         let back = EvTrace::decode(&bytes).unwrap();
         assert_eq!(back, doc);
-        // "hop" appears in both sections but its UTF-8 is stored once.
+        // v2 stores "hop" once per section that uses it, so each section
+        // decodes standalone (the price of O(1) seeking; v1 shared the
+        // table file-wide and stored it once).
         let text_hops = bytes.windows(3).filter(|w| w == b"hop").count();
-        assert_eq!(text_hops, 1);
+        assert_eq!(text_hops, 2);
+    }
+
+    /// Hand-built v1 bytes: file-global string table, no index, no
+    /// footer. The reader must keep decoding archived traces.
+    fn v1_sample_bytes() -> Vec<u8> {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.push(1);
+        bytes.push(SEC_HEADER);
+        put_varint(&mut bytes, 2);
+        put_str(&mut bytes, "CG");
+        put_str(&mut bytes, "test");
+        put_varint(&mut bytes, 0);
+        // Section 1 introduces "work" (flags 0: Cpu/Hw, no dur, no tid).
+        bytes.push(SEC_EVENTS);
+        put_str(&mut bytes, "emulator");
+        bytes.extend_from_slice(&[0x00, 0x00]); // flags, name idx 0 (new)
+        put_str(&mut bytes, "work");
+        bytes.extend_from_slice(&[0x00, 0x00, 0x00]); // cell Δ, start Δ, arg
+        bytes.push(EVENTS_DONE);
+        // Section 2 reuses index 0 WITHOUT the string: v1 sharing.
+        bytes.push(SEC_EVENTS);
+        put_str(&mut bytes, "tnet");
+        bytes.extend_from_slice(&[0x00, 0x00, 0x02, 0x02, 0x00]);
+        bytes.push(EVENTS_DONE);
+        bytes.push(SEC_SUMMARY);
+        put_varint(&mut bytes, 1);
+        put_varint(&mut bytes, 2);
+        bytes.push(SEC_END);
+        bytes
+    }
+
+    #[test]
+    fn v1_files_still_decode_with_a_shared_string_table() {
+        let doc = EvTrace::decode(&v1_sample_bytes()).unwrap();
+        assert_eq!(doc.header.app, "CG");
+        assert_eq!(doc.streams.len(), 2);
+        assert_eq!(doc.streams[0].events[0].name, "work");
+        assert_eq!(
+            doc.streams[1].events[0].name, "work",
+            "v1 second section resolves the name from the shared table"
+        );
+        // No index → the seek path falls back to the full decode.
+        assert!(matches!(
+            read_index(&v1_sample_bytes()),
+            Err(EvError::Corrupt { .. })
+        ));
+        let seeked = EvTrace::decode_at(&v1_sample_bytes(), 0).unwrap();
+        assert_eq!(seeked, doc);
+    }
+
+    #[test]
+    fn footer_index_locates_every_events_section() {
+        let mut doc = sample();
+        doc.streams.push(EvStream {
+            label: "tnet".to_string(),
+            events: vec![ev(3, Unit::Net, "hop", 999, None)],
+        });
+        doc.summary.events = 4;
+        let bytes = encode(&doc);
+        let index = read_index(&bytes).unwrap();
+        assert_eq!(index.len(), 2);
+        for (entry, stream) in index.iter().zip(&doc.streams) {
+            assert_eq!(bytes[entry.offset as usize], SEC_EVENTS);
+            assert_eq!(entry.events, stream.events.len() as u64);
+            let starts: Vec<u64> = stream.events.iter().map(|e| e.start.as_nanos()).collect();
+            assert_eq!(entry.first_ns, *starts.iter().min().unwrap());
+            assert_eq!(entry.last_ns, *starts.iter().max().unwrap());
+        }
+    }
+
+    #[test]
+    fn decode_at_skips_sections_past_the_seek_time() {
+        let mut doc = sample(); // one section, events at 0..=120
+        doc.streams.push(EvStream {
+            label: "late".to_string(),
+            events: vec![ev(3, Unit::Net, "hop", 999, None)],
+        });
+        doc.summary.events = 4;
+        let bytes = encode(&doc);
+        let early = EvTrace::decode_at(&bytes, 500).unwrap();
+        assert_eq!(early.header, doc.header);
+        assert_eq!(early.summary, doc.summary);
+        assert_eq!(early.streams.len(), 1, "late section skipped");
+        assert_eq!(early.streams[0].events.len(), 3);
+        assert!(early.ops.is_none(), "seek path never decodes ops");
+        let late = EvTrace::decode_at(&bytes, 2000).unwrap();
+        assert_eq!(late.streams.len(), 2);
+        assert_eq!(late.all_events(), doc.all_events());
+    }
+
+    #[test]
+    fn tampered_footer_or_index_is_rejected() {
+        let good = encode(&sample());
+        // Footer magic.
+        let mut bad = good.clone();
+        let n = bad.len();
+        bad[n - 1] ^= 0xFF;
+        assert!(matches!(
+            EvTrace::decode(&bad),
+            Err(EvError::Corrupt { .. })
+        ));
+        // Footer offset.
+        let mut bad = good.clone();
+        bad[n - TRAILER_LEN] ^= 0x01;
+        assert!(EvTrace::decode(&bad).is_err());
+        assert!(read_index(&bad).is_err());
+        // An index lying about an event count is caught by the full
+        // decode's cross-check (find the count byte via the real index).
+        let idx_at = u64::from_le_bytes(good[n - TRAILER_LEN..n - 4].try_into().unwrap()) as usize;
+        let mut bad = good.clone();
+        // layout: X varint(count) then per-entry varints; entry 0 event
+        // count is the second varint after the entry offset.
+        assert_eq!(bad[idx_at], SEC_INDEX);
+        let victim = idx_at + 1 /* tag */ + 1 /* count */ + 1 /* offset */;
+        bad[victim] = bad[victim].wrapping_add(1);
+        assert!(
+            EvTrace::decode(&bad).is_err(),
+            "index/section disagreement must not decode"
+        );
+    }
+
+    #[test]
+    fn long_live_sections_rotate_for_seekability() {
+        let mut out = Vec::new();
+        let mut w = StreamWriter::new(&mut out, "<mem>", &EvHeader::new(4, "", ""));
+        let n = ROTATE_EVENTS + 5;
+        for i in 0..n {
+            w.push_event(&ev(0, Unit::Cpu, "work", i, None));
+        }
+        w.finish(n).unwrap();
+        let index = read_index(&out).unwrap();
+        assert_eq!(index.len(), 2, "section rotated at the event cap");
+        assert_eq!(index[0].events, ROTATE_EVENTS);
+        assert_eq!(index[1].events, 5);
+        assert!(index[0].last_ns < index[1].first_ns);
+        let doc = EvTrace::decode(&out).unwrap();
+        assert_eq!(doc.summary.events, n);
+        assert_eq!(doc.streams.len(), 2);
+        assert_eq!(doc.streams[0].label, "live");
+        assert_eq!(doc.streams[1].label, "live");
+        // A seek into the first window decodes only that section.
+        let seeked = EvTrace::decode_at(&out, 100).unwrap();
+        assert_eq!(seeked.streams.len(), 1);
     }
 }
 

@@ -14,6 +14,9 @@ pub mod json;
 pub mod op;
 pub mod stats;
 
-pub use evtrace::{CounterTicks, EvError, EvHeader, EvStream, EvSummary, EvTrace, StreamWriter};
+pub use evtrace::{
+    read_index, CounterTicks, EvError, EvHeader, EvIndexEntry, EvStream, EvSummary, EvTrace,
+    StreamWriter,
+};
 pub use op::{Op, OpCounts, PeTrace, Trace};
 pub use stats::{AppStats, StatsRow};

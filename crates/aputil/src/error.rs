@@ -223,6 +223,22 @@ pub enum ApError {
         /// Dead cells that can never arrive.
         dead: Vec<CellId>,
     },
+    /// A kernel-internal invariant broke mid-run: a hardware unit lost
+    /// track of bookkeeping it must hold (an active DMA job, an
+    /// outstanding fault envelope, collective state, the windowed
+    /// engine). Indicates a kernel bug, never a program error — raised
+    /// as a structured error naming the cell and unit instead of
+    /// panicking, so the run dies with a diagnosable report and the
+    /// caller's cleanup still runs.
+    Internal {
+        /// Cell whose unit's bookkeeping broke, when attributable.
+        cell: Option<CellId>,
+        /// Hardware unit or kernel subsystem involved (`"send-dma"`,
+        /// `"fault-layer"`, `"bnet"`, …).
+        unit: &'static str,
+        /// What was missing or inconsistent.
+        detail: String,
+    },
     /// A host-filesystem operation failed (writing a trace, a bench
     /// report, a flight dump, …). Always names the path so a full disk or
     /// a bad `--out` directory is diagnosable without a backtrace.
@@ -240,6 +256,20 @@ impl ApError {
         ApError::Io {
             path: path.into(),
             detail: err.to_string(),
+        }
+    }
+
+    /// Builds an [`ApError::Internal`]; pass a [`CellId`] when the broken
+    /// invariant is attributable to one cell's unit, `None` otherwise.
+    pub fn internal(
+        cell: impl Into<Option<CellId>>,
+        unit: &'static str,
+        detail: impl Into<String>,
+    ) -> ApError {
+        ApError::Internal {
+            cell: cell.into(),
+            unit,
+            detail: detail.into(),
         }
     }
 }
@@ -296,6 +326,10 @@ impl fmt::Display for ApError {
                 }
                 write!(f, "]")
             }
+            ApError::Internal { cell, unit, detail } => match cell {
+                Some(c) => write!(f, "internal kernel error on {c} in {unit}: {detail}"),
+                None => write!(f, "internal kernel error in {unit}: {detail}"),
+            },
             ApError::Io { path, detail } => {
                 write!(f, "i/o error on {path}: {detail}")
             }

@@ -124,6 +124,13 @@ impl SimTime {
     pub fn saturating_mul(self, n: u64) -> SimTime {
         SimTime(self.0.saturating_mul(n))
     }
+
+    /// Checked multiplication, `None` on overflow — for cost arithmetic
+    /// that must surface overflow instead of clamping sim time.
+    #[inline]
+    pub fn checked_mul(self, n: u64) -> Option<SimTime> {
+        self.0.checked_mul(n).map(SimTime)
+    }
 }
 
 impl Add for SimTime {

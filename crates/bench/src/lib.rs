@@ -18,6 +18,7 @@ use mlsim::{
 pub mod fault;
 pub mod record;
 pub mod report;
+pub mod scaling;
 pub mod sweep;
 pub use fault::{
     fault_sweep_text, run_fault_sweep, FaultOutcome, FaultRow, FaultSweepConfig, FAULT_APPS,
@@ -29,6 +30,10 @@ pub use record::{
 pub use report::{
     bench_report, compare_reports, markdown_report, write_bench_report, CompareReport, Regression,
     BENCH_SCHEMA, BENCH_SCHEMA_VERSION,
+};
+pub use scaling::{
+    run_scaling, scaling_report, scaling_text, ScalingConfig, ScalingPoint, SCALING_SCHEMA,
+    SCALING_SCHEMA_VERSION,
 };
 pub use sweep::{run_sweep, SweepConfig, SweepOutcome, SweepPoint, SWEEP_APPS};
 

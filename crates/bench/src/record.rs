@@ -597,8 +597,11 @@ pub fn trace_stats(doc: &EvTrace, binary_bytes: u64) -> TraceStats {
 /// `tracecat header`.
 pub fn header_text(doc: &EvTrace) -> String {
     let mut s = format!(
-        "ap1000plus.evtrace v1\n  app: {}\n  scale: {}\n  cells: {}\n",
-        doc.header.app, doc.header.scale, doc.header.ncells
+        "ap1000plus.evtrace v{}\n  app: {}\n  scale: {}\n  cells: {}\n",
+        aptrace::evtrace::VERSION,
+        doc.header.app,
+        doc.header.scale,
+        doc.header.ncells
     );
     for st in &doc.streams {
         s.push_str(&format!(
@@ -688,6 +691,32 @@ mod tests {
         let _ = std::fs::remove_file(&path);
     }
 
+    /// The indexed seek path (partial decode through the v2 footer) and
+    /// the full linear decode reconstruct identical state at every probe
+    /// time, streamed or buffered.
+    #[test]
+    fn indexed_seek_matches_full_decode() {
+        for stream in [false, true] {
+            let path = tmp(if stream {
+                "cg-idx-s.evtrace"
+            } else {
+                "cg-idx-b.evtrace"
+            });
+            let rec = record_app("CG", Scale::Test, None, None, &path, stream).expect("record CG");
+            let full = EvTrace::read_file(&path).expect("full decode");
+            let total = rec.total.as_nanos();
+            for at in [0, total / 7, total / 2, total - 1, total + 5] {
+                let fast = EvTrace::read_file_at(&path, at).expect("seek decode");
+                assert_eq!(
+                    seek_report(&fast, at, None),
+                    seek_report(&full, at, None),
+                    "seek at {at} ns diverged (streamed: {stream})"
+                );
+            }
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+
     #[test]
     fn remodel_rows_scale_with_factors_and_serialize() {
         let path = tmp("ep-remodel.evtrace");
@@ -724,7 +753,7 @@ mod tests {
             st.json_bytes(),
             st.binary_bytes
         );
-        assert!(header_text(&doc).contains("ap1000plus.evtrace v1"));
+        assert!(header_text(&doc).contains("ap1000plus.evtrace v2"));
         let _ = std::fs::remove_file(&path);
     }
 

@@ -1,0 +1,247 @@
+//! PDES scaling measurement and the versioned `ap1000plus.scaling` artifact.
+//!
+//! The windowed engine (DESIGN.md §10) parallelizes a *single* simulation
+//! run across `--sim-threads` host threads without moving a simulated
+//! nanosecond. This module measures what that buys in host wall-clock:
+//! it records the same workload once per (machine size × sim-thread
+//! count) grid point, byte-compares every recording against the grid
+//! row's first (serial) recording, and serializes the resulting curve
+//! under a versioned schema.
+//!
+//! Unlike the `ap1000plus.bench` report — which strips host wall-clock so
+//! baselines diff byte-for-byte — the scaling artifact exists *only* to
+//! carry host wall-clock, so it also records `host_threads` (the
+//! machine's available parallelism): a speedup curve is meaningless
+//! without knowing how many cores the host could actually run. CI treats
+//! the checked-in `results/SCALING_baseline.json` as documentation of a
+//! measured curve, never as a byte-compared gate.
+
+use crate::record::record_app;
+use crate::sweep::build_workload;
+use apapps::Scale;
+use aputil::{ApError, Json};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Schema identifier stamped into every scaling artifact.
+pub const SCALING_SCHEMA: &str = "ap1000plus.scaling";
+/// Current schema version. Bump on breaking layout changes.
+pub const SCALING_SCHEMA_VERSION: u64 = 1;
+
+/// One scaling run: a workload recorded once per machine size per
+/// sim-thread count. The first entry of `sim_threads` is the baseline
+/// the other entries are byte-compared and speedup-normalized against
+/// (conventionally 1, the serial engine).
+#[derive(Clone, Debug)]
+pub struct ScalingConfig {
+    /// Workload name (`CG`, `FT`, ... — anything `build_workload` takes).
+    pub app: String,
+    /// Problem scale.
+    pub scale: Scale,
+    /// Machine sizes to sweep; `None` is the workload's default size.
+    pub sizes: Vec<Option<u32>>,
+    /// Sim-thread counts to sweep, baseline first.
+    pub sim_threads: Vec<u32>,
+    /// Recordings per grid point; the reported wall-clock is the best of
+    /// these (min, the standard noise filter for timing runs).
+    pub repeats: u32,
+}
+
+/// One measured grid point of the scaling curve.
+#[derive(Clone, Debug)]
+pub struct ScalingPoint {
+    /// Cells in the simulated machine.
+    pub cells: u32,
+    /// Sim-thread count the run was recorded under.
+    pub sim_threads: u32,
+    /// Best-of-`repeats` host wall-clock for the recording.
+    pub wall: Duration,
+    /// Events the recording encodes.
+    pub events: u64,
+    /// Final simulated time in nanoseconds.
+    pub total_ns: u64,
+    /// Baseline wall / this wall for the same machine size.
+    pub speedup: f64,
+    /// Whether the trace bytes equal the baseline recording's — the
+    /// engine's byte-identity contract, re-checked on every point.
+    pub identical: bool,
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "apbench-scaling-{}-{tag}.evtrace",
+        std::process::id()
+    ))
+}
+
+/// Records the whole grid. Mutates the process-global sim-thread default
+/// per point and restores the caller's default before returning — do not
+/// run machines concurrently with this on other threads of the process.
+pub fn run_scaling(cfg: &ScalingConfig) -> Result<Vec<ScalingPoint>, ApError> {
+    let prior = apcore::sim_threads_default();
+    let result = run_grid(cfg);
+    apcore::set_sim_threads_default(prior);
+    result
+}
+
+fn run_grid(cfg: &ScalingConfig) -> Result<Vec<ScalingPoint>, ApError> {
+    if cfg.sim_threads.is_empty() {
+        return Err(ApError::InvalidArg(
+            "scaling needs at least one sim-thread count".into(),
+        ));
+    }
+    let mut points = Vec::new();
+    for &size in &cfg.sizes {
+        let cells = build_workload(&cfg.app, cfg.scale, size)
+            .map_err(ApError::InvalidArg)?
+            .pe();
+        // (bytes, wall) of this machine size's first recording.
+        let mut baseline: Option<(Vec<u8>, Duration)> = None;
+        for &threads in &cfg.sim_threads {
+            apcore::set_sim_threads_default(threads);
+            let path = scratch(&format!("{cells}c-t{threads}"));
+            let mut best = Duration::MAX;
+            let mut rec = None;
+            for _ in 0..cfg.repeats.max(1) {
+                let t0 = Instant::now();
+                let r = record_app(&cfg.app, cfg.scale, size, None, &path, false)?;
+                best = best.min(t0.elapsed());
+                rec = Some(r);
+            }
+            let rec = rec.expect("repeats.max(1) recorded at least once");
+            let bytes =
+                std::fs::read(&path).map_err(|e| ApError::io(path.display().to_string(), e))?;
+            let _ = std::fs::remove_file(&path);
+            let (identical, speedup) = match &baseline {
+                None => {
+                    baseline = Some((bytes, best));
+                    (true, 1.0)
+                }
+                Some((want, serial_wall)) => (
+                    bytes == *want,
+                    serial_wall.as_secs_f64() / best.as_secs_f64().max(f64::EPSILON),
+                ),
+            };
+            points.push(ScalingPoint {
+                cells,
+                sim_threads: threads,
+                wall: best,
+                events: rec.events,
+                total_ns: rec.total.as_nanos(),
+                speedup,
+                identical,
+            });
+        }
+    }
+    Ok(points)
+}
+
+/// Builds the versioned scaling artifact for a measured grid.
+pub fn scaling_report(cfg: &ScalingConfig, points: &[ScalingPoint], rev: Option<&str>) -> Json {
+    let host_threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let mut members = vec![
+        ("schema", Json::from(SCALING_SCHEMA)),
+        ("version", Json::from(SCALING_SCHEMA_VERSION)),
+        ("app", Json::from(cfg.app.as_str())),
+        (
+            "scale",
+            Json::from(format!("{:?}", cfg.scale).to_ascii_lowercase()),
+        ),
+        ("host_threads", Json::from(host_threads)),
+        ("repeats", Json::from(cfg.repeats.max(1))),
+    ];
+    if let Some(rev) = rev {
+        members.push(("rev", Json::from(rev)));
+    }
+    members.push((
+        "points",
+        Json::Arr(
+            points
+                .iter()
+                .map(|p| {
+                    Json::obj(vec![
+                        ("cells", Json::from(p.cells)),
+                        ("sim_threads", Json::from(p.sim_threads)),
+                        ("wall_ms", Json::from(p.wall.as_secs_f64() * 1e3)),
+                        ("events", Json::from(p.events)),
+                        ("sim_total_ns", Json::from(p.total_ns)),
+                        ("speedup", Json::from(p.speedup)),
+                        ("identical", Json::from(p.identical)),
+                    ])
+                })
+                .collect(),
+        ),
+    ));
+    Json::obj(members)
+}
+
+/// Renders the measured curve as a plain-text table.
+pub fn scaling_text(points: &[ScalingPoint]) -> String {
+    let mut out =
+        String::from("  cells  sim-threads    wall [s]  speedup    events/s  identical\n");
+    for p in points {
+        let secs = p.wall.as_secs_f64();
+        out.push_str(&format!(
+            "{:>7}  {:>11}  {:>10.3}  {:>7.2}  {:>10.0}  {}\n",
+            p.cells,
+            p.sim_threads,
+            secs,
+            p.speedup,
+            p.events as f64 / secs.max(f64::EPSILON),
+            if p.identical { "yes" } else { "NO" },
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_measures_and_byte_checks_every_point() {
+        let cfg = ScalingConfig {
+            app: "CG".into(),
+            scale: Scale::Test,
+            sizes: vec![None],
+            sim_threads: vec![1, 2],
+            repeats: 1,
+        };
+        let prior = apcore::sim_threads_default();
+        let points = run_scaling(&cfg).expect("scaling run");
+        assert_eq!(apcore::sim_threads_default(), prior, "default restored");
+        assert_eq!(points.len(), 2);
+        assert!(points.iter().all(|p| p.identical), "byte-identity holds");
+        assert_eq!(points[0].total_ns, points[1].total_ns);
+        assert_eq!(points[0].events, points[1].events);
+        assert_eq!(points[0].speedup, 1.0);
+        assert!(points[1].speedup > 0.0);
+
+        let doc = scaling_report(&cfg, &points, Some("test-rev"));
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some(SCALING_SCHEMA)
+        );
+        assert_eq!(
+            doc.get("version").and_then(Json::as_u64),
+            Some(SCALING_SCHEMA_VERSION)
+        );
+        assert_eq!(doc.get("rev").and_then(Json::as_str), Some("test-rev"));
+        let pts = doc.get("points").and_then(Json::as_arr).expect("points");
+        assert_eq!(pts.len(), 2);
+        let p0 = &pts[0];
+        assert_eq!(p0.get("sim_threads").and_then(Json::as_u64), Some(1));
+        assert!(p0.get("wall_ms").and_then(Json::as_f64).is_some());
+        // The artifact round-trips through the parser it will be read with.
+        let text = doc.to_string();
+        let back = Json::parse(&text).expect("self-parse");
+        assert_eq!(
+            back.get("points").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(2)
+        );
+
+        let table = scaling_text(&points);
+        assert!(table.contains("speedup"), "{table}");
+        assert_eq!(table.lines().count(), 3);
+    }
+}

@@ -62,6 +62,13 @@ pub struct Cell {
     /// one resolves to [`Response::Unit`], so nothing is lost by batching
     /// them with the next synchronous call into one host round trip.
     pending: Vec<Request>,
+    /// Under the windowed PDES engine, blocking operations that return
+    /// no data (`wait_flag`, `barrier`, `send`, …) are posted instead of
+    /// called: the kernel dispatches them at identical simulated times
+    /// (the PR-4 batching argument), and the program thread keeps
+    /// computing instead of blocking on a host round trip. Off on the
+    /// serial engine so its host behavior is exactly the classic baton.
+    wide_batch: bool,
     ack_flag: VAddr,
     acks_issued: u32,
     scratch: VAddr,
@@ -77,6 +84,7 @@ impl Cell {
         ncells: u32,
         req_tx: Sender<(u32, Request)>,
         resume_rx: Receiver<Response>,
+        wide_batch: bool,
     ) -> Self {
         Cell {
             id,
@@ -84,6 +92,7 @@ impl Cell {
             req_tx,
             resume_rx,
             pending: Vec::new(),
+            wide_batch,
             ack_flag: VAddr::NULL,
             acks_issued: 0,
             scratch: VAddr::NULL,
@@ -139,6 +148,46 @@ impl Cell {
             .send((self.id.as_u32(), req))
             .expect("machine stopped");
         self.resume_rx.recv().expect("machine stopped")
+    }
+
+    /// Ships a blocking-but-unit-valued request: posted under the
+    /// windowed engine (the simulated blocking is preserved by the
+    /// kernel's dispatch schedule; only the *host* round trip is
+    /// skipped), a classic blocking call on the serial engine.
+    fn sync_unit(&mut self, req: Request) {
+        if self.wide_batch {
+            self.post(req);
+        } else {
+            self.call(req);
+        }
+    }
+
+    /// Ships `N` synchronous requests back-to-back, then collects their
+    /// `N` responses in issue order ("request pipelining"). The wire
+    /// stream — and with it the event stream and every simulated time —
+    /// is identical to issuing them as sequential blocking calls: the
+    /// kernel dispatches request `k + 1` only when request `k`'s wake
+    /// commits, whatever the host arrival time (early arrivals sit in
+    /// the kernel's per-cell stash). Under the windowed engine the
+    /// program thread parks once instead of `N` times; on the serial
+    /// engine this degrades to exactly the classic exchange.
+    ///
+    /// Only the first request picks up posted requests (as in a serial
+    /// sequence, where [`Cell::flushed`] would attach them there); a
+    /// caller mirroring a serial interleaving with posts *between* two
+    /// calls passes an explicit [`Request::Batch`].
+    fn call_pipelined<const N: usize>(&mut self, reqs: [Request; N]) -> [Response; N] {
+        if self.wide_batch {
+            for (k, req) in reqs.into_iter().enumerate() {
+                let req = if k == 0 { self.flushed(req) } else { req };
+                self.req_tx
+                    .send((self.id.as_u32(), req))
+                    .expect("machine stopped");
+            }
+            std::array::from_fn(|_| self.resume_rx.recv().expect("machine stopped"))
+        } else {
+            reqs.map(|req| self.call(req))
+        }
     }
 
     // ---- identity ------------------------------------------------------
@@ -401,7 +450,7 @@ impl Cell {
 
     /// Blocks until the local flag at `flag` reaches `target`.
     pub fn wait_flag(&mut self, flag: VAddr, target: u32) {
-        self.call(Request::WaitFlag { flag, target });
+        self.sync_unit(Request::WaitFlag { flag, target });
     }
 
     /// Non-blocking read of a flag's current value.
@@ -430,7 +479,7 @@ impl Cell {
     /// Returns when the send DMA has drained the buffer (§5.4: "SEND
     /// operations are blocking").
     pub fn send(&mut self, dst: usize, laddr: VAddr, bytes: u64) {
-        self.call(Request::Send {
+        self.sync_unit(Request::Send {
             dst: CellId::new(dst as u32),
             laddr,
             bytes,
@@ -450,17 +499,51 @@ impl Cell {
         }
     }
 
+    /// [`Cell::recv`] followed by a zero-cost [`Cell::read_slice`] of `n`
+    /// scalars from the landing buffer: the identical wire requests,
+    /// simulated cost, and event stream, pipelined into a single parked
+    /// wait under the windowed engine. Returns the received byte length
+    /// and the slice.
+    pub fn recv_slice<T: Pod>(
+        &mut self,
+        src: usize,
+        laddr: VAddr,
+        max: u64,
+        n: usize,
+    ) -> (u64, Vec<T>) {
+        let [len, data] = self.call_pipelined([
+            Request::Recv {
+                src: CellId::new(src as u32),
+                laddr,
+                max,
+            },
+            Request::ReadMem {
+                addr: laddr,
+                len: (n * T::SIZE) as u64,
+            },
+        ]);
+        let len = match len {
+            Response::Len(l) => l,
+            r => unreachable!("recv got {r:?}"),
+        };
+        let data = match data {
+            Response::Bytes(b) => decode_slice(&b),
+            r => unreachable!("read got {r:?}"),
+        };
+        (len, data)
+    }
+
     // ---- synchronization ---------------------------------------------------
 
     /// Machine-wide hardware barrier on the S-net.
     pub fn barrier(&mut self) {
-        self.call(Request::Barrier);
+        self.sync_unit(Request::Barrier);
     }
 
     /// Collective B-net broadcast: `root`'s `bytes` at `laddr` are
     /// delivered to the same `laddr` on every cell. All cells must call.
     pub fn bcast(&mut self, root: usize, laddr: VAddr, bytes: u64) {
-        self.call(Request::Bcast {
+        self.sync_unit(Request::Bcast {
             root: CellId::new(root as u32),
             laddr,
             bytes,
@@ -531,10 +614,19 @@ impl Cell {
         self.reg_store(dst, reg + 1, (bits >> 32) as u32);
     }
 
+    fn reg_value(r: Response) -> u32 {
+        match r {
+            Response::Value(v) => v,
+            r => unreachable!("reg_load got {r:?}"),
+        }
+    }
+
     fn reg_load_f64(&mut self, reg: u16) -> f64 {
-        let lo = self.reg_load(reg) as u64;
-        let hi = self.reg_load(reg + 1) as u64;
-        f64::from_bits(lo | (hi << 32))
+        // The two halves are only needed together, so they pipeline into
+        // one parked wait under the windowed engine.
+        let [lo, hi] =
+            self.call_pipelined([Request::RegLoad { reg }, Request::RegLoad { reg: reg + 1 }]);
+        f64::from_bits(Self::reg_value(lo) as u64 | ((Self::reg_value(hi) as u64) << 32))
     }
 
     // ---- reductions (§4.5) ---------------------------------------------------
@@ -573,13 +665,29 @@ impl Cell {
         let n = group.len();
         let (l, r) = (2 * pos + 1, 2 * pos + 2);
         let mut acc = x;
-        if l < n {
-            let v = self.reg_load_f64(REG_UP_L);
-            acc = op.combine(acc, v);
+        if l < n && r < n {
+            // Both children: one four-deep pipeline covering what the
+            // serial sequence issues as two `reg_load_f64`s with the
+            // first combine's `work(1)` posted between them — the
+            // explicit Batch reproduces that interleaving on the wire,
+            // so the event stream is unchanged.
+            let [a, b, c, d] = self.call_pipelined([
+                Request::RegLoad { reg: REG_UP_L },
+                Request::RegLoad { reg: REG_UP_L + 1 },
+                Request::Batch(vec![
+                    Request::Work { flops: 1 },
+                    Request::RegLoad { reg: REG_UP_R },
+                ]),
+                Request::RegLoad { reg: REG_UP_R + 1 },
+            ]);
+            let vl =
+                f64::from_bits(Self::reg_value(a) as u64 | ((Self::reg_value(b) as u64) << 32));
+            let vr =
+                f64::from_bits(Self::reg_value(c) as u64 | ((Self::reg_value(d) as u64) << 32));
+            acc = op.combine(op.combine(acc, vl), vr);
             self.work(1);
-        }
-        if r < n {
-            let v = self.reg_load_f64(REG_UP_R);
+        } else if l < n {
+            let v = self.reg_load_f64(REG_UP_L);
             acc = op.combine(acc, v);
             self.work(1);
         }
@@ -628,8 +736,7 @@ impl Cell {
             self.send(1, scratch, bytes);
         } else {
             // Accumulate the running partial from the previous ring member.
-            self.recv(me - 1, scratch, bytes);
-            let mut partial = self.read_slice::<f64>(scratch, n);
+            let (_, mut partial) = self.recv_slice::<f64>(me - 1, scratch, bytes, n);
             for (p, x) in partial.iter_mut().zip(xs.iter()) {
                 *p += *x;
             }
@@ -685,7 +792,7 @@ impl Cell {
 
     /// Blocks until all issued remote stores are acknowledged.
     pub fn remote_fence(&mut self) {
-        self.call(Request::RemoteFence);
+        self.sync_unit(Request::RemoteFence);
     }
 
     // ---- write-through pages (§4.2) --------------------------------------

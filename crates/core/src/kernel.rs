@@ -9,6 +9,7 @@
 //! identical execution.
 
 use crate::machine::{ActiveTx, Machine, TxEntry, TxJob};
+use crate::pdes::TilePlan;
 use crate::request::{Mark, Request, Response};
 use apfault::{FaultPlan, FaultSpec, ReplayGuard};
 use apmon::{HostPhase, HostProf, MetricsSample, MetricsSeries, Progress, Sampler};
@@ -22,7 +23,15 @@ use aputil::{
     DeliveryFailure, FaultReport, SimTime, VAddr,
 };
 use crossbeam::channel::{Receiver, Sender};
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Dispatch-window width of the PDES engine, in units of the cross-tile
+/// lookahead. Any value is *safe* — events commit in canonical order
+/// regardless — so this only controls how many cell programs can be
+/// computing concurrently between frontier advances. Chosen by
+/// measuring the 1024-cell CG scaling curve (EXPERIMENTS.md).
+const WINDOW_MULT: u32 = 64;
 
 /// Kernel events.
 #[derive(Debug)]
@@ -154,6 +163,48 @@ struct BcastState {
     arrived: Vec<(u32, VAddr, SimTime)>,
 }
 
+/// State of the conservative time-windowed PDES engine (DESIGN.md §10).
+///
+/// The kernel keeps popping and committing events in the exact serial
+/// `(time, seq)` order, so every observable output — timelines, sampler
+/// ticks, op traces, final times — is byte-identical to the serial
+/// engine *by construction*. Parallelism comes from **eager wake
+/// delivery**: a `Wake`'s response content is fixed at schedule time,
+/// the program observes nothing but its own responses, and at most one
+/// wake per cell is ever in flight — so the response can be handed to
+/// the program thread as soon as the sliding dispatch window covers the
+/// wake's time. All released programs then compute concurrently on
+/// their own host threads while the kernel continues committing; their
+/// next requests are stashed and consumed when each wake commits.
+struct Eager {
+    /// Rectangular tile partition of the torus. Two or more tiles are
+    /// what give a *finite* cross-tile lookahead (packets between
+    /// tiles spend at least `prolog + per_hop` in the T-net); the plan
+    /// is also reported in the scaling artifact.
+    plan: TilePlan,
+    /// Dispatch-window width (lookahead × [`WINDOW_MULT`]).
+    window: SimTime,
+    /// Current window edge: wakes at or before this time may have
+    /// their response released ahead of commit.
+    horizon: SimTime,
+    /// Wakes scheduled past the horizon, ordered by `(time, cell)`.
+    parked: BinaryHeap<Reverse<(SimTime, u32)>>,
+    /// A parked wake's response, held until the window reaches it.
+    resp: Vec<Option<Response>>,
+    /// Cells whose response went out ahead of the wake's commit.
+    sent: Vec<bool>,
+    /// Requests that arrived on the shared channel ahead of their
+    /// wake's commit. A pipelining cell (`Cell::call_pipelined`) ships
+    /// several synchronous requests back-to-back, so each cell gets a
+    /// FIFO queue; commits consume it in arrival order, which is the
+    /// program's issue order.
+    stash: Vec<std::collections::VecDeque<Request>>,
+    /// Diagnostics (printed when `AP_EAGER_STATS` is set): eagerly sent
+    /// at insert, parked then released, serial fallbacks at commit,
+    /// stash hits, and blocking channel reads at commit.
+    stats: [u64; 5],
+}
+
 pub(crate) struct Kernel {
     pub machine: Machine,
     evq: EventQueue<Ev>,
@@ -190,6 +241,9 @@ pub(crate) struct Kernel {
     events_handled: u64,
     /// Live one-line progress reporting (the `--progress` flag).
     progress: Option<Progress>,
+    /// Windowed PDES engine; `None` runs the classic serial protocol
+    /// (one channel round trip per wake).
+    eager: Option<Eager>,
 }
 
 impl Kernel {
@@ -214,6 +268,28 @@ impl Kernel {
         let hostprof = sampler.as_ref().map(|_| HostProf::start());
         let progress = crate::config::progress_default()
             .then(|| Progress::new(format!("{}c", machine.cfg.ncells)));
+        // The windowed engine needs at least two tiles (a single tile
+        // has no boundary and hence no finite lookahead) — which a
+        // one-cell machine can never form.
+        let eager = (machine.cfg.sim_threads > 1 && n > 1)
+            .then(|| {
+                let (w, h) = machine.tnet.torus().dims();
+                let plan = TilePlan::new(w, h, machine.cfg.sim_threads);
+                let lookahead = machine.tnet.params().min_crossing_latency();
+                Eager {
+                    plan,
+                    window: crate::pdes::window(lookahead, WINDOW_MULT),
+                    horizon: SimTime::ZERO,
+                    parked: BinaryHeap::new(),
+                    resp: (0..n).map(|_| None).collect(),
+                    sent: vec![false; n],
+                    stash: vec![std::collections::VecDeque::new(); n],
+                    stats: [0; 5],
+                }
+            })
+            // A degenerate partition (one tile) has no boundary and no
+            // finite lookahead; only the serial engine is sound there.
+            .filter(|e| e.plan.ntiles() > 1);
         Kernel {
             machine,
             evq,
@@ -232,6 +308,7 @@ impl Kernel {
             hostprof,
             events_handled: 0,
             progress,
+            eager,
         }
     }
 
@@ -260,6 +337,11 @@ impl Kernel {
                 replay: ReplayGuard::new(),
                 dead: vec![false; n],
             });
+            // Fault-armed runs stay on the serial protocol: fail-stop
+            // crashes retroactively skip a dead cell's queued wakes, and
+            // an eagerly released response cannot be unsent. Fault runs
+            // are therefore windowed-engine-invariant trivially.
+            self.eager = None;
         }
         self
     }
@@ -311,7 +393,18 @@ impl Kernel {
                 }
                 self.clock.advance_to(t);
                 self.events_handled += 1;
+                if self.eager.is_some() {
+                    self.slide_window(t);
+                }
                 self.handle(ev)?;
+            }
+        }
+        if let Some(e) = &self.eager {
+            if std::env::var_os("AP_EAGER_STATS").is_some() {
+                eprintln!(
+                    "eager stats: sent-at-insert {} parked {} fallback {} stash-hit {} chan-read {}",
+                    e.stats[0], e.stats[1], e.stats[2], e.stats[3], e.stats[4]
+                );
             }
         }
         // Flush every sample tick at or before the final time, so the
@@ -370,6 +463,9 @@ impl Kernel {
                 self.flush_ticks(t);
             }
             self.clock.advance_to(t);
+            if self.eager.is_some() {
+                self.slide_window(t);
+            }
             let phase = match &ev {
                 Ev::Wake { cell, .. } if !self.pending[*cell as usize].is_empty() => {
                     HostPhase::Drain
@@ -599,6 +695,31 @@ impl Kernel {
         self.clock.now()
     }
 
+    /// The fault layer, or a structured [`ApError::Internal`] if a
+    /// fault-only event fired on an unfaulted run (a kernel bug — fault
+    /// events are only scheduled by the fault layer itself).
+    fn fault_mut(&mut self) -> ApResult<&mut FaultState> {
+        self.fault.as_mut().ok_or_else(|| {
+            ApError::internal(
+                None,
+                "fault-layer",
+                "fault event fired without a fault layer",
+            )
+        })
+    }
+
+    /// The windowed-PDES engine, or a structured [`ApError::Internal`]
+    /// if a windowed-only path ran under the serial engine.
+    fn eager_mut(&mut self) -> ApResult<&mut Eager> {
+        self.eager.as_mut().ok_or_else(|| {
+            ApError::internal(
+                None,
+                "pdes-window",
+                "windowed-engine path entered with the serial engine active",
+            )
+        })
+    }
+
     // ---- accounting helpers -------------------------------------------
 
     fn charge_exec(&mut self, cell: u32, t: SimTime) {
@@ -625,7 +746,74 @@ impl Kernel {
 
     fn wake_at(&mut self, cell: u32, at: SimTime, resp: Response) {
         self.waiters[cell as usize] = None;
+        let resp = self.eager_offer(cell, at, resp);
         self.evq.push(at, Ev::Wake { cell, resp });
+    }
+
+    /// Windowed engine: tries to hand `resp` to `cell`'s program ahead
+    /// of the wake's commit. The response's content is fixed here, the
+    /// program can observe nothing else until its own next request, and
+    /// only one wake per cell is ever in flight — so releasing it early
+    /// changes no observable state, only host-thread overlap. Returns
+    /// the response the committed `Wake` event should carry: `Unit`
+    /// when the real one was consumed here, `resp` unchanged on the
+    /// serial path.
+    fn eager_offer(&mut self, cell: u32, at: SimTime, resp: Response) -> Response {
+        let i = cell as usize;
+        let Some(e) = &mut self.eager else {
+            return resp;
+        };
+        if !self.pending[i].is_empty() {
+            // Batched wakes carry no data; the commit pops the queue.
+            return resp;
+        }
+        debug_assert!(
+            !e.sent[i] && e.resp[i].is_none(),
+            "cell {cell} has more than one wake in flight"
+        );
+        if at <= e.horizon {
+            e.stats[0] += 1;
+            match self.resume_tx[i].send(resp) {
+                Ok(()) => e.sent[i] = true,
+                // The program thread is gone; keep the response so the
+                // commit raises the same CellLost the serial engine
+                // would, at the same sim time.
+                Err(err) => e.resp[i] = Some(err.0),
+            }
+        } else {
+            e.stats[1] += 1;
+            e.resp[i] = Some(resp);
+            e.parked.push(Reverse((at, cell)));
+        }
+        Response::Unit
+    }
+
+    /// Slides the dispatch window so it covers `[now, now + window]`
+    /// and releases every parked wake the new horizon reaches. Called
+    /// at each committed event, so the horizon tracks the canonical
+    /// commit frontier and a wake is always released no later than its
+    /// own commit.
+    fn slide_window(&mut self, now: SimTime) {
+        let Some(e) = &mut self.eager else { return };
+        let horizon = now + e.window;
+        if horizon <= e.horizon {
+            return;
+        }
+        e.horizon = horizon;
+        while let Some(&Reverse((at, cell))) = e.parked.peek() {
+            if at > horizon {
+                break;
+            }
+            e.parked.pop();
+            let i = cell as usize;
+            let Some(resp) = e.resp[i].take() else {
+                continue;
+            };
+            match self.resume_tx[i].send(resp) {
+                Ok(()) => e.sent[i] = true,
+                Err(err) => e.resp[i] = Some(err.0),
+            }
+        }
     }
 
     /// Removes and returns cell's waiter if `pred` accepts it. The O(1)
@@ -717,13 +905,9 @@ impl Kernel {
                 tid,
             } => self.arrive_f(dst, src, seq, tag, pkt, tid),
             Ev::AckArrive { seq } => {
-                let f = self
-                    .fault
-                    .as_mut()
-                    .expect("fault event without fault layer");
                 // The envelope is delivered; its pending retry timer is now
                 // stale and will be skipped.
-                f.outstanding.remove(&seq);
+                self.fault_mut()?.outstanding.remove(&seq);
                 Ok(())
             }
             Ev::RetryTimeout { seq, .. } => self.retry_timeout(seq),
@@ -747,6 +931,9 @@ impl Kernel {
             );
             return self.dispatch(cell, req);
         }
+        if self.eager.is_some() {
+            return self.deliver_eager(cell, resp);
+        }
         self.resume_tx[cell as usize]
             .send(resp)
             .map_err(|_| self.cell_lost(cell, "program thread exited unexpectedly"))?;
@@ -756,6 +943,62 @@ impl Kernel {
             .map_err(|_| self.cell_lost(cell, "program thread panicked"))?;
         debug_assert_eq!(from, cell, "baton protocol violated");
         self.dispatch(from, req)
+    }
+
+    /// Commits a wake under the windowed engine. The response usually
+    /// went out when the window first covered the wake time, so the
+    /// commit only consumes the program's next request — then the
+    /// dispatch happens here, at the canonical time and order, exactly
+    /// where the serial engine would have dispatched it.
+    fn deliver_eager(&mut self, cell: u32, resp: Response) -> ApResult<()> {
+        let i = cell as usize;
+        let sent = {
+            let e = self.eager_mut()?;
+            std::mem::take(&mut e.sent[i])
+        };
+        if !sent {
+            // The window never released this wake ahead of commit (boot
+            // wakes precede the first slide, and a failed early send
+            // retries here): fall back to the serial exchange.
+            if let Some(e) = self.eager.as_mut() {
+                e.stats[2] += 1;
+            }
+            let held = self
+                .eager
+                .as_mut()
+                .and_then(|e| e.resp[i].take())
+                .unwrap_or(resp);
+            self.resume_tx[i]
+                .send(held)
+                .map_err(|_| self.cell_lost(cell, "program thread exited unexpectedly"))?;
+        }
+        let req = self.take_request(cell)?;
+        self.dispatch(cell, req)
+    }
+
+    /// Returns `cell`'s next request. With several programs computing
+    /// concurrently, requests arrive on the shared channel in arbitrary
+    /// host order; anything from another cell is stashed (in arrival =
+    /// issue order) for its own wakes' commits. `Fail` and `Finish` need
+    /// no special casing — a failing cell's next wake commit consumes
+    /// the stashed failure at the canonical time.
+    fn take_request(&mut self, cell: u32) -> ApResult<Request> {
+        let e = self.eager_mut()?;
+        if let Some(req) = e.stash[cell as usize].pop_front() {
+            e.stats[3] += 1;
+            return Ok(req);
+        }
+        e.stats[4] += 1;
+        loop {
+            let (from, req) = self
+                .req_rx
+                .recv()
+                .map_err(|_| self.cell_lost(cell, "program thread panicked"))?;
+            if from == cell {
+                return Ok(req);
+            }
+            self.eager_mut()?.stash[from as usize].push_back(req);
+        }
     }
 
     // ---- request handling ----------------------------------------------
@@ -1068,7 +1311,7 @@ impl Kernel {
                         reg,
                         value,
                     };
-                    self.inject(now + hw_params.reg_store_time, cid, dst, pkt, tid);
+                    self.inject(now + hw_params.reg_store_time, cid, dst, pkt, tid)?;
                 }
                 self.wake_at(cell, now + hw_params.reg_store_time, Response::Unit);
             }
@@ -1107,13 +1350,18 @@ impl Kernel {
                 }
                 state.arrived.push((cell, laddr, now));
                 if state.arrived.len() == self.machine.cells.len() {
-                    let state = self.bcast.take().expect("just inserted");
-                    let mut latest = state
-                        .arrived
-                        .iter()
-                        .map(|&(_, _, t)| t)
-                        .max()
-                        .expect("nonempty");
+                    let state = self.bcast.take().ok_or_else(|| {
+                        ApError::internal(cid, "bnet", "bcast completed without collective state")
+                    })?;
+                    let mut latest =
+                        state
+                            .arrived
+                            .iter()
+                            .map(|&(_, _, t)| t)
+                            .max()
+                            .ok_or_else(|| {
+                                ApError::internal(cid, "bnet", "bcast completed with no arrivals")
+                            })?;
                     if let Some(f) = self.fault.as_mut() {
                         // A B-net outage defers the broadcast until the
                         // window closes.
@@ -1123,7 +1371,13 @@ impl Kernel {
                         .arrived
                         .iter()
                         .find(|&&(c, _, _)| c == state.root.as_u32())
-                        .expect("root participated")
+                        .ok_or_else(|| {
+                            ApError::internal(
+                                state.root,
+                                "bnet",
+                                "bcast root never arrived at its own collective",
+                            )
+                        })?
                         .1;
                     let payload = self.machine.read_v(state.root, root_laddr, state.bytes)?;
                     let delivery =
@@ -1371,7 +1625,9 @@ impl Kernel {
         let ActiveTx { tid, job, payload } = {
             let hw = &mut self.machine.cells[cell as usize];
             hw.send_busy = false;
-            hw.active_tx.take().expect("send_done without active job")
+            hw.active_tx.take().ok_or_else(|| {
+                ApError::internal(cid, "send-dma", "send_done fired with no active job")
+            })?
         };
         // More work may be queued.
         self.evq.push(now, Ev::SendPop { cell });
@@ -1385,7 +1641,7 @@ impl Kernel {
                     recv_flag: a.recv_flag,
                     payload,
                 };
-                self.inject(now, cid, a.dst, pkt, tid);
+                self.inject(now, cid, a.dst, pkt, tid)?;
             }
             TxJob::GetReq(a) => {
                 let pkt = Packet::GetReq {
@@ -1397,13 +1653,13 @@ impl Kernel {
                     reply_stride: a.recv_stride,
                     reply_flag: a.recv_flag,
                 };
-                self.inject(now, cid, a.src_cell, pkt, tid);
+                self.inject(now, cid, a.src_cell, pkt, tid)?;
             }
             TxJob::Ring {
                 dst, wake_sender, ..
             } => {
                 let pkt = Packet::RingMsg { src: cid, payload };
-                self.inject(now, cid, dst, pkt, tid);
+                self.inject(now, cid, dst, pkt, tid)?;
                 if wake_sender {
                     if let Some(Waiter::Send { since }) =
                         self.take_waiter_if(cell, |w| matches!(w, Waiter::Send { .. }))
@@ -1439,7 +1695,7 @@ impl Kernel {
                     recv_flag: reply_flag,
                     payload,
                 };
-                self.inject(now, cid, requester, pkt, tid);
+                self.inject(now, cid, requester, pkt, tid)?;
             }
             TxJob::RemoteStoreTx { dst, offset, .. } => {
                 let pkt = Packet::RemoteStore {
@@ -1447,7 +1703,7 @@ impl Kernel {
                     raddr: VAddr::new(offset),
                     payload,
                 };
-                self.inject(now, cid, dst, pkt, tid);
+                self.inject(now, cid, dst, pkt, tid)?;
             }
             TxJob::RemoteLoadReqTx { dst, offset, len } => {
                 let pkt = Packet::RemoteLoadReq {
@@ -1455,27 +1711,34 @@ impl Kernel {
                     raddr: VAddr::new(offset),
                     size: len,
                 };
-                self.inject(now, cid, dst, pkt, tid);
+                self.inject(now, cid, dst, pkt, tid)?;
             }
             TxJob::RemoteLoadReplyTx { dst, .. } => {
                 let pkt = Packet::RemoteLoadReply { src: cid, payload };
-                self.inject(now, cid, dst, pkt, tid);
+                self.inject(now, cid, dst, pkt, tid)?;
             }
             TxJob::RemoteAckTx { dst } => {
                 let pkt = Packet::RemoteStoreAck { src: cid };
-                self.inject(now, cid, dst, pkt, tid);
+                self.inject(now, cid, dst, pkt, tid)?;
             }
         }
         Ok(())
     }
 
-    fn inject(&mut self, at: SimTime, src: CellId, dst: CellId, pkt: Packet, tid: u64) {
+    fn inject(
+        &mut self,
+        at: SimTime,
+        src: CellId,
+        dst: CellId,
+        pkt: Packet,
+        tid: u64,
+    ) -> ApResult<()> {
         if self.fault.is_some() && src != dst {
             // Fault layer: wrap the packet in a sequence-numbered,
             // checksummed, acknowledged envelope and transmit over the
             // faulty network. (Loopback stays below — the MSC+
             // short-circuit cannot lose a packet to its own cell.)
-            let f = self.fault.as_mut().expect("just checked");
+            let f = self.fault_mut()?;
             f.next_seq += 1;
             let seq = f.next_seq;
             f.outstanding.insert(
@@ -1488,8 +1751,7 @@ impl Kernel {
                     attempts: 0,
                 },
             );
-            self.transmit_seq(at, seq);
-            return;
+            return self.transmit_seq(at, seq);
         }
         let arrival = if src == dst {
             // Loopback: the MSC+ short-circuits the network.
@@ -1508,6 +1770,7 @@ impl Kernel {
                 tid,
             },
         );
+        Ok(())
     }
 
     // ---- fault layer: envelope, ack, retry, crash ------------------------
@@ -1516,12 +1779,23 @@ impl Kernel {
     /// the FNV payload checksum (flipping a bit if an injected corruption
     /// strikes), asks the faulty T-net for a verdict — deliver, detour, or
     /// drop — and arms the attempt's backoff retry timer.
-    fn transmit_seq(&mut self, at: SimTime, seq: u64) {
-        let f = self.fault.as_mut().expect("fault layer active");
-        let o = f
-            .outstanding
-            .get_mut(&seq)
-            .expect("transmit of a retired envelope");
+    fn transmit_seq(&mut self, at: SimTime, seq: u64) -> ApResult<()> {
+        // Field-level borrow: `f` must stay disjoint from `self.machine`
+        // for the faulty-network call below.
+        let f = self.fault.as_mut().ok_or_else(|| {
+            ApError::internal(
+                None,
+                "fault-layer",
+                "fault event fired without a fault layer",
+            )
+        })?;
+        let o = f.outstanding.get_mut(&seq).ok_or_else(|| {
+            ApError::internal(
+                None,
+                "fault-layer",
+                format!("transmit of retired envelope seq {seq}"),
+            )
+        })?;
         o.attempts += 1;
         let attempt = o.attempts;
         let (src, dst, tid) = (o.src, o.dst, o.tid);
@@ -1542,7 +1816,7 @@ impl Kernel {
             match self
                 .machine
                 .tnet
-                .transfer_faulty(at, src, dst, bytes, tid, &mut f.plan)
+                .transfer_faulty(at, src, dst, bytes, tid, &mut f.plan)?
             {
                 Delivery::Delivered { at: arrival, .. } => {
                     self.evq.push(
@@ -1561,6 +1835,7 @@ impl Kernel {
                 Delivery::Dropped => at + timeout,
             };
         self.evq.push(deadline, Ev::RetryTimeout { seq, attempt });
+        Ok(())
     }
 
     /// An envelope reached `dst`: verify the checksum, acknowledge, and
@@ -1580,15 +1855,14 @@ impl Kernel {
         if checksum(pkt.payload_slice()) != tag {
             // Detected corruption: discard unacknowledged; the sender's
             // retry timer recovers the transfer.
-            let f = self.fault.as_mut().expect("fault layer active");
-            f.plan.report.corrupt_detected += 1;
+            self.fault_mut()?.plan.report.corrupt_detected += 1;
             self.machine
                 .obs
                 .instant(dst, Unit::RecvDma, "corrupt_drop", now, Bucket::Hw, seq);
             return Ok(());
         }
-        self.send_ack(dst, src, seq, now);
-        let f = self.fault.as_mut().expect("fault layer active");
+        self.send_ack(dst, src, seq, now)?;
+        let f = self.fault_mut()?;
         if !f.replay.first_sighting(CellId::new(src), seq) {
             f.plan.report.dup_suppressed += 1;
             self.machine
@@ -1604,8 +1878,16 @@ impl Kernel {
     /// Acks are hardware-generated header-sized packets: they ride the
     /// same faulty network (and can be lost — the sender then retries and
     /// the receiver re-acks) but are never themselves acknowledged.
-    fn send_ack(&mut self, from: u32, to: u32, seq: u64, now: SimTime) {
-        let f = self.fault.as_mut().expect("fault layer active");
+    fn send_ack(&mut self, from: u32, to: u32, seq: u64, now: SimTime) -> ApResult<()> {
+        // Field-level borrow: `f` must stay disjoint from `self.machine`
+        // for the faulty-network call below.
+        let f = self.fault.as_mut().ok_or_else(|| {
+            ApError::internal(
+                None,
+                "fault-layer",
+                "fault event fired without a fault layer",
+            )
+        })?;
         f.plan.report.acks += 1;
         if let Delivery::Delivered { at, .. } = self.machine.tnet.transfer_faulty(
             now,
@@ -1614,9 +1896,10 @@ impl Kernel {
             HEADER_BYTES,
             0,
             &mut f.plan,
-        ) {
+        )? {
             self.evq.push(at, Ev::AckArrive { seq });
         }
+        Ok(())
     }
 
     /// Envelope `seq`'s ack did not arrive in time: retransmit with the
@@ -1624,14 +1907,23 @@ impl Kernel {
     /// run with a structured delivery failure.
     fn retry_timeout(&mut self, seq: u64) -> ApResult<()> {
         let now = self.now();
-        let f = self.fault.as_mut().expect("fault layer active");
+        let f = self.fault_mut()?;
         let max_retries = f.plan.recovery().max_retries;
-        let o = f
-            .outstanding
-            .get(&seq)
-            .expect("stale retry timers are skipped");
+        let Some(o) = f.outstanding.get(&seq) else {
+            return Err(ApError::internal(
+                None,
+                "fault-retry",
+                format!("retry timer fired for retired envelope seq {seq} (stale timers are skipped before dispatch)"),
+            ));
+        };
         if o.attempts > max_retries {
-            let o = f.outstanding.remove(&seq).expect("just looked up");
+            let o = f.outstanding.remove(&seq).ok_or_else(|| {
+                ApError::internal(
+                    None,
+                    "fault-retry",
+                    format!("envelope seq {seq} vanished between lookup and removal"),
+                )
+            })?;
             let failure = DeliveryFailure {
                 src: o.src,
                 dst: o.dst,
@@ -1648,7 +1940,7 @@ impl Kernel {
         self.machine
             .obs
             .instant(src, Unit::Net, "retry", now, Bucket::Hw, seq);
-        self.transmit_seq(now, seq);
+        self.transmit_seq(now, seq)?;
         Ok(())
     }
 
@@ -1658,7 +1950,7 @@ impl Kernel {
     /// and any barrier it participates in can never complete.
     fn crash(&mut self, cell: u32) -> ApResult<()> {
         let now = self.now();
-        let f = self.fault.as_mut().expect("fault layer active");
+        let f = self.fault_mut()?;
         f.dead[cell as usize] = true;
         f.plan.note_crash(CellId::new(cell), now);
         // Fail-stop: nothing the dead cell had awaiting acknowledgement is
@@ -1904,7 +2196,16 @@ impl Kernel {
                 ) {
                     let payload = self.machine.cells[dst as usize].ring[wsrc.index()]
                         .pop_front()
-                        .expect("message just queued for the waiting receiver");
+                        .ok_or_else(|| {
+                            ApError::internal(
+                                CellId::new(dst),
+                                "msc-ring",
+                                format!(
+                                    "message queued from cell{src} vanished before its \
+                                     blocked receiver woke"
+                                ),
+                            )
+                        })?;
                     self.add_idle(dst, since, now);
                     self.machine.obs.span_id(
                         dst,
@@ -2008,7 +2309,13 @@ impl Kernel {
             let v = self.machine.cells[cell as usize]
                 .regs
                 .load(reg as usize)
-                .expect("p-bit just set");
+                .ok_or_else(|| {
+                    ApError::internal(
+                        CellId::new(cell),
+                        "cregs",
+                        format!("communication register {reg} lost its p-bit between store and waiter wake"),
+                    )
+                })?;
             let cost = self.machine.cfg.hw.reg_load_time;
             self.add_idle(cell, since, at);
             self.machine.obs.span_id(

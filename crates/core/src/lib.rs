@@ -43,6 +43,7 @@ pub mod cell;
 pub mod config;
 mod kernel;
 mod machine;
+pub mod pdes;
 mod request;
 
 pub use accounting::{CellTimes, RunReport};
@@ -50,7 +51,8 @@ pub use cell::{Cell, ReduceOp};
 pub use config::{
     evtrace_sink, flight_dump_path, flight_recorder_default, metrics_default, progress_default,
     set_evtrace_sink, set_flight_dump_path, set_flight_recorder_default, set_metrics_default,
-    set_progress_default, set_timeline_default, timeline_default, HwParams, MachineConfig,
+    set_progress_default, set_sim_threads_default, set_timeline_default, sim_threads_default,
+    timeline_default, HwParams, MachineConfig,
 };
 pub use request::Mark;
 
@@ -159,6 +161,11 @@ where
     let machine = machine::Machine::new(cfg);
     let (req_tx, req_rx) = unbounded();
     let program = Arc::new(program);
+    // Wide batching is the cell-side half of the windowed engine: only
+    // worth it when the kernel can overlap the posted work, and kept off
+    // under fault injection so a lost cell's blocked-on request in the
+    // post-mortem report matches the classic serial engine.
+    let wide_batch = cfg.sim_threads > 1 && faults.is_none();
     let mut resume_txs = Vec::with_capacity(cfg.ncells as usize);
     let mut handles = Vec::with_capacity(cfg.ncells as usize);
     for id in 0..cfg.ncells {
@@ -171,7 +178,8 @@ where
             thread::Builder::new()
                 .name(format!("cell{id}"))
                 .spawn(move || -> Result<T, String> {
-                    let mut cell = Cell::new(CellId::new(id), ncells, req_tx, resume_rx);
+                    let mut cell =
+                        Cell::new(CellId::new(id), ncells, req_tx, resume_rx, wide_batch);
                     cell.wait_boot();
                     match catch_unwind(AssertUnwindSafe(|| program(&mut cell))) {
                         Ok(out) => {

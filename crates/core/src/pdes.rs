@@ -1,0 +1,191 @@
+//! Conservative time-windowed PDES scheduling support (DESIGN.md §10).
+//!
+//! The windowed engine partitions the torus into rectangular tiles —
+//! one per simulation thread — and lets every cell program whose wake
+//! falls inside the current dispatch window compute concurrently. The
+//! window is derived from the T-net's fixed per-hop latency: no packet
+//! injected on one side of a tile boundary can arrive on the other side
+//! in less than [`apnet::TNetParams::min_crossing_latency`], so a wake
+//! scheduled inside `[now, now + window]` can be released before all
+//! earlier events have committed without changing what the program
+//! observes. Event *commitment* stays in canonical `(sim-time, seq)`
+//! order regardless of the window, which is what makes every observable
+//! output byte-identical to the serial engine.
+
+use aputil::{CellId, SimTime};
+
+/// Rectangular partition of a `w × h` torus into at most `threads`
+/// tiles, as close to square as the dimensions allow.
+///
+/// # Examples
+///
+/// ```
+/// use apcore::pdes::TilePlan;
+///
+/// let plan = TilePlan::new(8, 8, 4);
+/// assert_eq!(plan.ntiles(), 4);
+/// assert_eq!(plan.grid(), (2, 2));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TilePlan {
+    torus_w: u32,
+    torus_h: u32,
+    tiles_x: u32,
+    tiles_y: u32,
+}
+
+impl TilePlan {
+    /// Partitions a `torus_w × torus_h` torus into at most `threads`
+    /// rectangular tiles. The factorization favors squareness (a 2×2
+    /// grid over a 4×1 grid for 4 threads) because square tiles minimize
+    /// the boundary-to-area ratio, and never cuts a dimension into more
+    /// pieces than it has cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either torus dimension or `threads` is zero.
+    pub fn new(torus_w: u32, torus_h: u32, threads: u32) -> TilePlan {
+        assert!(
+            torus_w > 0 && torus_h > 0,
+            "torus dimensions must be nonzero"
+        );
+        assert!(threads > 0, "at least one tile is required");
+        let mut best = (1, 1);
+        for ty in 1..=threads.min(torus_h) {
+            let tx = (threads / ty).min(torus_w);
+            if tx == 0 {
+                continue;
+            }
+            let better_count = tx * ty > best.0 * best.1;
+            // Among equal tile counts, prefer the squarer grid (smaller
+            // |tx - ty| once scaled by the torus aspect).
+            let better_shape =
+                tx * ty == best.0 * best.1 && tx.abs_diff(ty) < best.0.abs_diff(best.1);
+            if better_count || better_shape {
+                best = (tx, ty);
+            }
+        }
+        TilePlan {
+            torus_w,
+            torus_h,
+            tiles_x: best.0,
+            tiles_y: best.1,
+        }
+    }
+
+    /// `(tiles_x, tiles_y)` of the tile grid.
+    pub fn grid(&self) -> (u32, u32) {
+        (self.tiles_x, self.tiles_y)
+    }
+
+    /// Number of tiles actually formed (may be less than the requested
+    /// thread count when the torus is small).
+    pub fn ntiles(&self) -> u32 {
+        self.tiles_x * self.tiles_y
+    }
+
+    /// The tile that owns `cell` (row-major over the tile grid).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is outside the torus.
+    pub fn tile_of(&self, cell: CellId) -> u32 {
+        let i = cell.as_u32();
+        assert!(
+            i < self.torus_w * self.torus_h,
+            "{cell} outside {}x{} torus",
+            self.torus_w,
+            self.torus_h
+        );
+        let (x, y) = (i % self.torus_w, i / self.torus_w);
+        let tx = x * self.tiles_x / self.torus_w;
+        let ty = y * self.tiles_y / self.torus_h;
+        ty * self.tiles_x + tx
+    }
+
+    /// Whether `cell` has a torus neighbor in a different tile — i.e. it
+    /// sits on a tile boundary and its packets can cross tiles in one
+    /// hop. The minimum over these crossings is what bounds the
+    /// conservative lookahead.
+    pub fn is_boundary(&self, cell: CellId) -> bool {
+        let i = cell.as_u32();
+        let (x, y) = (i % self.torus_w, i / self.torus_w);
+        let home = self.tile_of(cell);
+        let neighbors = [
+            ((x + 1) % self.torus_w, y),
+            ((x + self.torus_w - 1) % self.torus_w, y),
+            (x, (y + 1) % self.torus_h),
+            (x, (y + self.torus_h - 1) % self.torus_h),
+        ];
+        neighbors
+            .iter()
+            .any(|&(nx, ny)| self.tile_of(CellId::new(ny * self.torus_w + nx)) != home)
+    }
+
+    /// Count of cells sitting on a tile boundary (reported in the
+    /// scaling artifact so the surface-to-volume cost is visible).
+    pub fn boundary_cells(&self) -> u32 {
+        (0..self.torus_w * self.torus_h)
+            .filter(|&i| self.is_boundary(CellId::new(i)))
+            .count() as u32
+    }
+}
+
+/// The dispatch window: how far past the canonical commit frontier a
+/// wake may be released for concurrent execution. Any multiple of the
+/// lookahead is *safe* (commit order is canonical either way); larger
+/// windows keep more cell threads runnable between frontier advances,
+/// at the price of more in-flight host state. The default multiplier
+/// was picked by measuring the 1024-cell CG scaling curve.
+pub fn window(lookahead: SimTime, mult: u32) -> SimTime {
+    lookahead.saturating_mul(mult.max(1) as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_favor_square_grids() {
+        assert_eq!(TilePlan::new(8, 8, 4).grid(), (2, 2));
+        assert_eq!(TilePlan::new(8, 8, 8).grid(), (4, 2));
+        assert_eq!(TilePlan::new(32, 32, 16).grid(), (4, 4));
+    }
+
+    #[test]
+    fn plans_never_overcut_a_dimension() {
+        // A 4×1 ring cannot form a 2×2 grid; the plan degrades to 4×1.
+        assert_eq!(TilePlan::new(4, 1, 4).grid(), (4, 1));
+        // A 2×2 torus asked for 8 tiles can only form 4.
+        assert_eq!(TilePlan::new(2, 2, 8).ntiles(), 4);
+        // One thread is one tile.
+        assert_eq!(TilePlan::new(8, 8, 1).ntiles(), 1);
+    }
+
+    #[test]
+    fn tile_of_partitions_every_cell_once() {
+        let plan = TilePlan::new(8, 4, 4);
+        let mut counts = vec![0u32; plan.ntiles() as usize];
+        for i in 0..32 {
+            counts[plan.tile_of(CellId::new(i)) as usize] += 1;
+        }
+        assert!(counts.iter().all(|&c| c == 8), "{counts:?}");
+    }
+
+    #[test]
+    fn boundary_cells_exist_whenever_there_are_two_tiles() {
+        let plan = TilePlan::new(8, 8, 4);
+        assert!(plan.boundary_cells() > 0);
+        assert!(plan.boundary_cells() < 64, "not every cell is boundary");
+        // A single tile has no boundary (and hence unbounded lookahead).
+        assert_eq!(TilePlan::new(8, 8, 1).boundary_cells(), 0);
+    }
+
+    #[test]
+    fn window_scales_the_lookahead() {
+        let la = SimTime::from_nanos(320);
+        assert_eq!(window(la, 1), la);
+        assert_eq!(window(la, 4).as_nanos(), 1280);
+        assert_eq!(window(la, 0), la, "multiplier clamps to 1");
+    }
+}

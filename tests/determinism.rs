@@ -10,13 +10,19 @@
 //!   `tests/fuzz_corpus.rs` separately replays its reproducers through
 //!   the full differential referees);
 //! * an `apsweep` grid run on 1 thread and on N threads serializes to
-//!   byte-identical bench-report JSON.
+//!   byte-identical bench-report JSON;
+//! * a single 1024-cell CG run recorded under the windowed PDES engine
+//!   (`--sim-threads` 2/4/8, DESIGN.md §10) produces the byte-identical
+//!   evtrace and final simulated time the serial engine produces, with
+//!   and without fault injection.
 //!
 //! If an *intentional* timing-model change moves the suite times, update
 //! the constants here in the same commit and say why.
 
+use std::sync::Mutex;
+
 use apapps::{standard_suite, Scale};
-use apbench::{bench_report, run_sweep, SweepConfig};
+use apbench::{bench_report, record_app, run_sweep, SweepConfig};
 
 /// Final simulated time of each Table-2 workload at test scale, pinned
 /// to the pre-zero-copy kernel's output.
@@ -68,4 +74,96 @@ fn sweep_is_thread_count_invariant() {
     let a = bench_report(&serial.rows, Scale::Test, Some("pin")).to_string();
     let b = bench_report(&parallel.rows, Scale::Test, Some("pin")).to_string();
     assert_eq!(a, b, "sweep output must not depend on thread count");
+}
+
+/// The `--sim-threads` default is process-global, so the PDES tests
+/// serialize behind this lock and restore the serial default (via
+/// [`SerialDefault`]) before releasing it.
+static SIM_THREADS_LOCK: Mutex<()> = Mutex::new(());
+
+/// Drop guard: puts the process back on the classic serial engine even if
+/// a recording panics mid-matrix.
+struct SerialDefault;
+
+impl Drop for SerialDefault {
+    fn drop(&mut self) {
+        apcore::set_sim_threads_default(1);
+    }
+}
+
+fn scratch(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("ap1000plus-pdes-{}-{name}", std::process::id()))
+}
+
+/// Records one CG run per `sim-threads` count and asserts every recording
+/// is byte-for-byte the serial recording with the same final simulated
+/// time. On divergence, reports the first differing offset instead of
+/// dumping megabytes of trace.
+fn assert_thread_count_invariant_recordings<F>(counts: &[u32], mut record: F)
+where
+    F: FnMut(u32, &std::path::Path) -> apbench::RecordedTrace,
+{
+    let _serial = SIM_THREADS_LOCK.lock().expect("sim-threads lock");
+    let _restore = SerialDefault;
+    let mut baseline: Option<(Vec<u8>, u64)> = None;
+    for &threads in counts {
+        apcore::set_sim_threads_default(threads);
+        let path = scratch(&format!("t{threads}.evtrace"));
+        let rec = record(threads, &path);
+        let bytes = std::fs::read(&path).expect("read recorded trace");
+        let _ = std::fs::remove_file(&path);
+        match &baseline {
+            None => baseline = Some((bytes, rec.total.as_nanos())),
+            Some((want, total)) => {
+                assert_eq!(
+                    rec.total.as_nanos(),
+                    *total,
+                    "final simulated time moved at {threads} sim threads"
+                );
+                if bytes != *want {
+                    let at = bytes
+                        .iter()
+                        .zip(want.iter())
+                        .position(|(a, b)| a != b)
+                        .unwrap_or_else(|| bytes.len().min(want.len()));
+                    panic!(
+                        "evtrace diverged at {threads} sim threads: first \
+                         difference at byte {at} (serial {} bytes, parallel \
+                         {} bytes) — the windowed engine must replay the \
+                         serial event stream exactly",
+                        want.len(),
+                        bytes.len()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn pdes_trace_is_byte_identical_across_sim_thread_counts() {
+    // 1024 cells: large enough that every window spans many tiles and the
+    // wide-batch + eager-delivery fast paths are all exercised.
+    assert_thread_count_invariant_recordings(&[1, 2, 4, 8], |threads, path| {
+        record_app("CG", Scale::Test, Some(1024), None, path, false)
+            .unwrap_or_else(|e| panic!("record CG at {threads} sim threads: {e}"))
+    });
+}
+
+#[test]
+fn pdes_with_fault_injection_matches_the_serial_engine() {
+    // Fault injection forces the serial engine regardless of the
+    // configured thread count (retry timers and detours are scheduled
+    // against the global clock, not a window). The recordings must still
+    // be byte-identical — the fallback is the mechanism under test.
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/faults/cg_survivable.ron"
+    );
+    let text = std::fs::read_to_string(path).expect("read checked-in fault spec");
+    let spec = apfault::from_ron(&text).expect("parse checked-in fault spec");
+    assert_thread_count_invariant_recordings(&[1, 8], |threads, path| {
+        record_app("CG", Scale::Paper, None, Some(&spec), path, false)
+            .unwrap_or_else(|e| panic!("record faulted CG at {threads} sim threads: {e}"))
+    });
 }
