@@ -35,7 +35,7 @@ pub mod recorder;
 pub mod timeline;
 
 pub use chrome::{chrome_trace, stream_chrome_trace, write_chrome_trace, write_chrome_trace_with};
-pub use counters::Counters;
+pub use counters::{CacheCounters, Counters};
 pub use critpath::{critical_path, CritPath, CritStep, GatingOp};
 pub use event::{Bucket, TimelineEvent, Unit};
 pub use hist::Hist;

@@ -1,0 +1,224 @@
+//! Content-addressed result cache: in-memory LRU front, optional
+//! persistent disk tier.
+//!
+//! Keys are FNV-1a hashes of canonical request text ([`crate::request`]);
+//! values are complete report documents as bytes. Because reports are
+//! byte-reproducible, a hit at either tier is *exactly* the bytes a cold
+//! run would produce — callers never need to distinguish tiers for
+//! correctness, only for the `X-Cache` diagnostic header.
+//!
+//! Disk entries are one file per key, `<key-hex>.json`, holding a
+//! versioned envelope that records the canonical request alongside the
+//! report (so a cache directory is auditable on its own). Files are
+//! written via [`aputil::write_atomic`]; a crash mid-write leaves either
+//! the old entry or none, and any corrupt or truncated file is treated
+//! as a miss and overwritten on the next store.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+use aputil::{key_hex, Json};
+
+/// Where a lookup was satisfied.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheTier {
+    Memory,
+    Disk,
+}
+
+/// Schema tag for on-disk entries; bump `DISK_VERSION` on layout change
+/// and old entries become misses (recomputed, then overwritten).
+const DISK_SCHEMA: &str = "ap1000plus.cached";
+const DISK_VERSION: u64 = 1;
+
+/// LRU of complete report bodies, with optional write-through to disk.
+pub struct ResultCache {
+    /// key -> report bytes.
+    map: HashMap<u64, Vec<u8>>,
+    /// Keys in recency order, most recent last. Small (≤ capacity), so
+    /// the O(n) reposition on hit is noise next to a simulation run.
+    order: Vec<u64>,
+    capacity: usize,
+    dir: Option<PathBuf>,
+    /// Evictions performed since construction (memory tier only).
+    pub evictions: u64,
+    /// Total bytes held by the memory tier.
+    bytes: usize,
+}
+
+impl ResultCache {
+    /// `capacity` is the memory-tier entry cap (≥ 1); `dir`, when given,
+    /// enables the persistent tier (created on first store).
+    pub fn new(capacity: usize, dir: Option<PathBuf>) -> ResultCache {
+        ResultCache {
+            map: HashMap::new(),
+            order: Vec::new(),
+            capacity: capacity.max(1),
+            dir,
+            evictions: 0,
+            bytes: 0,
+        }
+    }
+
+    pub fn entries(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    fn touch(&mut self, key: u64) {
+        if let Some(pos) = self.order.iter().position(|&k| k == key) {
+            self.order.remove(pos);
+        }
+        self.order.push(key);
+    }
+
+    fn disk_path(&self, key: u64) -> Option<PathBuf> {
+        self.dir
+            .as_ref()
+            .map(|d| d.join(format!("{}.json", key_hex(key))))
+    }
+
+    /// Looks `key` up in memory, then on disk. A disk hit is promoted
+    /// into the memory tier.
+    pub fn get(&mut self, key: u64) -> Option<(Vec<u8>, CacheTier)> {
+        if let Some(body) = self.map.get(&key) {
+            let body = body.clone();
+            self.touch(key);
+            return Some((body, CacheTier::Memory));
+        }
+        let path = self.disk_path(key)?;
+        let raw = std::fs::read(&path).ok()?;
+        let body = decode_disk_entry(&raw, key)?;
+        self.insert_memory(key, body.clone());
+        Some((body, CacheTier::Disk))
+    }
+
+    fn insert_memory(&mut self, key: u64, body: Vec<u8>) {
+        if let Some(old) = self.map.insert(key, body) {
+            self.bytes -= old.len();
+        }
+        self.bytes += self.map[&key].len();
+        self.touch(key);
+        while self.map.len() > self.capacity {
+            let victim = self.order.remove(0);
+            if let Some(old) = self.map.remove(&victim) {
+                self.bytes -= old.len();
+            }
+            self.evictions += 1;
+        }
+    }
+
+    /// Stores a freshly computed report under `key`, writing through to
+    /// the disk tier if one is configured. Disk write failures are
+    /// returned for logging but do not poison the memory entry.
+    pub fn put(&mut self, key: u64, canonical_request: &str, body: &[u8]) -> Result<(), String> {
+        self.insert_memory(key, body.to_vec());
+        let Some(path) = self.disk_path(key) else {
+            return Ok(());
+        };
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+        }
+        let report = std::str::from_utf8(body)
+            .map_err(|_| "report is not UTF-8; disk tier skipped".to_string())?;
+        let request = Json::parse(canonical_request)
+            .map_err(|e| format!("canonical request does not reparse: {e}"))?;
+        let envelope = Json::obj([
+            ("schema", Json::from(DISK_SCHEMA)),
+            ("version", Json::from(DISK_VERSION)),
+            ("key", Json::from(key_hex(key))),
+            ("request", request),
+            ("report", Json::from(report)),
+        ]);
+        aputil::write_atomic(&path, envelope.to_string().as_bytes())
+            .map_err(|e| format!("write {}: {e}", path.display()))
+    }
+}
+
+/// Validates and unwraps one on-disk envelope; `None` means "treat as
+/// miss" (corrupt, truncated, wrong schema, or key mismatch).
+fn decode_disk_entry(raw: &[u8], key: u64) -> Option<Vec<u8>> {
+    let text = std::str::from_utf8(raw).ok()?;
+    let doc = Json::parse(text).ok()?;
+    if doc.get("schema")?.as_str()? != DISK_SCHEMA {
+        return None;
+    }
+    if doc.get("version")?.as_u64()? != DISK_VERSION {
+        return None;
+    }
+    if doc.get("key")?.as_str()? != key_hex(key) {
+        return None;
+    }
+    Some(doc.get("report")?.as_str()?.as_bytes().to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("apserve-cache-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = ResultCache::new(2, None);
+        c.put(1, "{}", b"one").unwrap();
+        c.put(2, "{}", b"two").unwrap();
+        assert!(c.get(1).is_some()); // 1 now most recent
+        c.put(3, "{}", b"three").unwrap(); // evicts 2
+        assert_eq!(c.evictions, 1);
+        assert!(c.get(2).is_none());
+        assert_eq!(c.get(1).unwrap().0, b"one");
+        assert_eq!(c.get(3).unwrap().0, b"three");
+        assert_eq!(c.bytes(), "one".len() + "three".len());
+    }
+
+    #[test]
+    fn disk_tier_survives_a_new_cache_and_promotes() {
+        let dir = tmpdir("disk");
+        let mut c = ResultCache::new(4, Some(dir.clone()));
+        c.put(7, r#"{"kind":"sleep","ms":1}"#, b"report-bytes")
+            .unwrap();
+
+        // Fresh cache over the same directory: memory is cold, disk hits.
+        let mut c2 = ResultCache::new(4, Some(dir.clone()));
+        let (body, tier) = c2.get(7).unwrap();
+        assert_eq!(body, b"report-bytes");
+        assert_eq!(tier, CacheTier::Disk);
+        // Promoted: second lookup is a memory hit.
+        assert_eq!(c2.get(7).unwrap().1, CacheTier::Memory);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_disk_entries_are_misses() {
+        let dir = tmpdir("corrupt");
+        std::fs::create_dir_all(&dir).unwrap();
+        for garbage in [
+            &b"not json at all"[..],
+            br#"{"schema":"wrong","version":1,"key":"0000000000000009","report":"x"}"#,
+            br#"{"schema":"ap1000plus.cached","version":99,"key":"0000000000000009","report":"x"}"#,
+            br#"{"schema":"ap1000plus.cached","version":1,"key":"ffffffffffffffff","report":"x"}"#,
+            br#"{"schema":"ap1000plus.cached","version":1,"key":"0000000000000009""#,
+        ] {
+            std::fs::write(dir.join(format!("{}.json", key_hex(9))), garbage).unwrap();
+            let mut c = ResultCache::new(4, Some(dir.clone()));
+            assert!(c.get(9).is_none(), "{garbage:?} should be a miss");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn memory_only_cache_recomputes_after_eviction() {
+        let mut c = ResultCache::new(1, None);
+        c.put(1, "{}", b"a").unwrap();
+        c.put(2, "{}", b"b").unwrap();
+        assert!(c.get(1).is_none(), "no disk tier: eviction means miss");
+    }
+}

@@ -1,0 +1,308 @@
+//! Minimal HTTP/1.1 machinery over `std::net` — no external crates.
+//!
+//! The server speaks the smallest useful subset of HTTP/1.1:
+//! `Connection: close` on every exchange (one request per connection, so
+//! file descriptors cannot pile up behind idle keep-alives), explicit
+//! `Content-Length` bodies, and hard input limits. Every limit violation
+//! is a structured [`HttpError`] that the serving layer renders as a
+//! JSON error document — a hostile or confused client gets a diagnosis,
+//! never a panic, a hang, or unbounded memory growth.
+
+use std::io::{BufRead, Write};
+
+/// Largest accepted request body, in bytes. Requests are small JSON
+/// documents; a megabyte is already two orders of magnitude of headroom.
+pub const MAX_BODY_BYTES: usize = 1 << 20;
+/// Largest accepted request line or single header line, in bytes.
+pub const MAX_LINE_BYTES: usize = 8 << 10;
+/// Most header lines accepted in one request.
+pub const MAX_HEADERS: usize = 64;
+
+/// A parsed request.
+#[derive(Clone, Debug)]
+pub struct HttpRequest {
+    pub method: String,
+    /// Path exactly as sent (no query-string splitting; the API does not
+    /// use queries).
+    pub path: String,
+    /// Header `(name, value)` pairs; names lowercased.
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+impl HttpRequest {
+    /// First value of `name` (case-insensitive), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be read. Each variant maps to one HTTP status.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HttpError {
+    /// Malformed request line, header, or length field (HTTP 400).
+    BadRequest(String),
+    /// Body longer than [`MAX_BODY_BYTES`] (HTTP 413).
+    TooLarge { declared: usize, limit: usize },
+    /// Socket error or timeout mid-request.
+    Io(String),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::BadRequest(m) => write!(f, "bad request: {m}"),
+            HttpError::TooLarge { declared, limit } => {
+                write!(f, "body of {declared} bytes exceeds the {limit}-byte limit")
+            }
+            HttpError::Io(m) => write!(f, "i/o: {m}"),
+        }
+    }
+}
+
+fn read_line(r: &mut impl BufRead) -> Result<String, HttpError> {
+    let mut line = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        let n = std::io::Read::read(r, &mut byte).map_err(|e| HttpError::Io(e.to_string()))?;
+        if n == 0 {
+            return Err(HttpError::Io("connection closed mid-line".into()));
+        }
+        if byte[0] == b'\n' {
+            break;
+        }
+        line.push(byte[0]);
+        if line.len() > MAX_LINE_BYTES {
+            return Err(HttpError::BadRequest(format!(
+                "line exceeds the {MAX_LINE_BYTES}-byte limit"
+            )));
+        }
+    }
+    if line.last() == Some(&b'\r') {
+        line.pop();
+    }
+    String::from_utf8(line).map_err(|_| HttpError::BadRequest("line is not UTF-8".into()))
+}
+
+/// Reads one complete request (request line, headers, `Content-Length`
+/// body) off the stream.
+pub fn read_request(r: &mut impl BufRead) -> Result<HttpRequest, HttpError> {
+    let request_line = read_line(r)?;
+    let mut parts = request_line.split_ascii_whitespace();
+    let (Some(method), Some(path), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Err(HttpError::BadRequest(format!(
+            "malformed request line '{request_line}'"
+        )));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::BadRequest(format!(
+            "unsupported protocol '{version}'"
+        )));
+    }
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(r)?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(HttpError::BadRequest(format!(
+                "more than {MAX_HEADERS} header lines"
+            )));
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::BadRequest(format!("malformed header '{line}'")));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    let mut req = HttpRequest {
+        method: method.to_string(),
+        path: path.to_string(),
+        headers,
+        body: Vec::new(),
+    };
+    if req.header("transfer-encoding").is_some() {
+        return Err(HttpError::BadRequest(
+            "chunked request bodies are not supported; send Content-Length".into(),
+        ));
+    }
+    if let Some(len) = req.header("content-length") {
+        let declared: usize = len.parse().map_err(|_| {
+            HttpError::BadRequest(format!("Content-Length is not a number: '{len}'"))
+        })?;
+        if declared > MAX_BODY_BYTES {
+            return Err(HttpError::TooLarge {
+                declared,
+                limit: MAX_BODY_BYTES,
+            });
+        }
+        let mut body = vec![0u8; declared];
+        std::io::Read::read_exact(r, &mut body).map_err(|e| HttpError::Io(e.to_string()))?;
+        req.body = body;
+    }
+    Ok(req)
+}
+
+/// A response about to be written. `Connection: close` is implied.
+#[derive(Clone, Debug)]
+pub struct Response {
+    pub status: u16,
+    /// Extra headers beyond `Content-Type`/`Content-Length`/`Connection`.
+    pub headers: Vec<(String, String)>,
+    pub content_type: &'static str,
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response with no extra headers.
+    pub fn json(status: u16, body: impl Into<Vec<u8>>) -> Response {
+        Response {
+            status,
+            headers: Vec::new(),
+            content_type: "application/json",
+            body: body.into(),
+        }
+    }
+}
+
+/// The standard reason phrase for the handful of statuses the API uses.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+/// Serializes `resp` (with `Content-Length`) onto the stream.
+pub fn write_response(w: &mut impl Write, resp: &Response) -> std::io::Result<()> {
+    write!(
+        w,
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        resp.status,
+        reason(resp.status),
+        resp.content_type,
+        resp.body.len()
+    )?;
+    for (k, v) in &resp.headers {
+        write!(w, "{k}: {v}\r\n")?;
+    }
+    w.write_all(b"\r\n")?;
+    w.write_all(&resp.body)?;
+    w.flush()
+}
+
+/// Writes the header block of a streamed (NDJSON, no `Content-Length`)
+/// response; the caller then writes newline-terminated lines and relies
+/// on `Connection: close` to delimit the body.
+pub fn write_stream_header(w: &mut impl Write, extra: &[(String, String)]) -> std::io::Result<()> {
+    write!(
+        w,
+        "HTTP/1.1 200 OK\r\nContent-Type: application/x-ndjson\r\nConnection: close\r\n"
+    )?;
+    for (k, v) in extra {
+        write!(w, "{k}: {v}\r\n")?;
+    }
+    w.write_all(b"\r\n")?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &[u8]) -> Result<HttpRequest, HttpError> {
+        read_request(&mut BufReader::new(raw))
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req = parse(b"POST /submit HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\n{\"a\"rest")
+            .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/submit");
+        assert_eq!(req.body, b"{\"a\"");
+        assert_eq!(req.header("HOST"), Some("x"));
+    }
+
+    #[test]
+    fn rejects_malformed_request_lines() {
+        assert!(matches!(
+            parse(b"GARBAGE\r\n\r\n"),
+            Err(HttpError::BadRequest(_))
+        ));
+        assert!(matches!(
+            parse(b"GET / SPDY/3\r\n\r\n"),
+            Err(HttpError::BadRequest(_))
+        ));
+        assert!(matches!(
+            parse(b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n"),
+            Err(HttpError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_oversized_bodies_and_bad_lengths() {
+        let huge = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(matches!(
+            parse(huge.as_bytes()),
+            Err(HttpError::TooLarge { .. })
+        ));
+        assert!(matches!(
+            parse(b"POST / HTTP/1.1\r\nContent-Length: abc\r\n\r\n"),
+            Err(HttpError::BadRequest(_))
+        ));
+        assert!(matches!(
+            parse(b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+            Err(HttpError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_header_floods() {
+        let mut raw = b"GET / HTTP/1.1\r\n".to_vec();
+        for i in 0..(MAX_HEADERS + 1) {
+            raw.extend_from_slice(format!("h{i}: v\r\n").as_bytes());
+        }
+        raw.extend_from_slice(b"\r\n");
+        assert!(matches!(parse(&raw), Err(HttpError::BadRequest(_))));
+        let long = format!(
+            "GET / HTTP/1.1\r\nh: {}\r\n\r\n",
+            "x".repeat(MAX_LINE_BYTES)
+        );
+        assert!(matches!(
+            parse(long.as_bytes()),
+            Err(HttpError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn response_round_trip_shape() {
+        let mut out = Vec::new();
+        let mut resp = Response::json(429, r#"{"error":"queue_full"}"#);
+        resp.headers.push(("Retry-After".into(), "1".into()));
+        write_response(&mut out, &resp).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(
+            text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"),
+            "{text}"
+        );
+        assert!(text.contains("Content-Length: 22\r\n"));
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"error\":\"queue_full\"}"));
+    }
+}

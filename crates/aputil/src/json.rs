@@ -43,9 +43,25 @@ pub enum Json {
     Obj(Vec<(String, Json)>),
 }
 
-/// Parse failure: byte offset and description.
+/// Maximum container nesting depth [`Json::parse`] accepts. The parser is
+/// recursive-descent, so unbounded `[[[[…]]]]` input would otherwise grow
+/// the host stack until the process dies; anything legitimately produced
+/// by this workspace nests a handful of levels.
+pub const MAX_JSON_DEPTH: usize = 128;
+
+/// What class of failure a [`JsonError`] reports.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JsonErrorKind {
+    /// Malformed input (bad token, truncation, trailing garbage, …).
+    Syntax,
+    /// Containers nested deeper than [`MAX_JSON_DEPTH`].
+    TooDeep,
+}
+
+/// Parse failure: kind, byte offset, and description.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct JsonError {
+    pub kind: JsonErrorKind,
     pub offset: usize,
     pub message: String,
 }
@@ -189,11 +205,33 @@ impl Json {
         }
     }
 
+    /// Recursively sorts every object's members by key, producing the
+    /// canonical form used for content addressing: two documents that
+    /// differ only in member order (or in integral-float spelling of the
+    /// same logical value, once both pass through typed accessors)
+    /// canonicalize to the same bytes. Arrays keep their order — element
+    /// order is semantically significant.
+    pub fn canonicalize(&self) -> Json {
+        match self {
+            Json::Arr(items) => Json::Arr(items.iter().map(Json::canonicalize).collect()),
+            Json::Obj(members) => {
+                let mut sorted: Vec<(String, Json)> = members
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.canonicalize()))
+                    .collect();
+                sorted.sort_by(|a, b| a.0.cmp(&b.0));
+                Json::Obj(sorted)
+            }
+            other => other.clone(),
+        }
+    }
+
     /// Parses a complete JSON document (surrounding whitespace allowed).
     pub fn parse(text: &str) -> Result<Json, JsonError> {
         let mut p = Parser {
             bytes: text.as_bytes(),
             pos: 0,
+            depth: 0,
         };
         p.skip_ws();
         let v = p.value()?;
@@ -280,14 +318,35 @@ pub fn write_json_escaped<W: fmt::Write>(w: &mut W, s: &str) -> fmt::Result {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
     fn err(&self, message: impl Into<String>) -> JsonError {
         JsonError {
+            kind: JsonErrorKind::Syntax,
             offset: self.pos,
             message: message.into(),
         }
+    }
+
+    /// Bumps the container nesting depth, refusing past
+    /// [`MAX_JSON_DEPTH`]. Callers must pair with [`Self::leave`] on
+    /// every success path (error paths abandon the parse entirely).
+    fn enter(&mut self) -> Result<(), JsonError> {
+        self.depth += 1;
+        if self.depth > MAX_JSON_DEPTH {
+            return Err(JsonError {
+                kind: JsonErrorKind::TooDeep,
+                offset: self.pos,
+                message: format!("containers nested deeper than {MAX_JSON_DEPTH}"),
+            });
+        }
+        Ok(())
+    }
+
+    fn leave(&mut self) {
+        self.depth -= 1;
     }
 
     fn peek(&self) -> Option<u8> {
@@ -334,10 +393,12 @@ impl<'a> Parser<'a> {
 
     fn array(&mut self) -> Result<Json, JsonError> {
         self.expect(b'[')?;
+        self.enter()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.leave();
             return Ok(Json::Arr(items));
         }
         loop {
@@ -348,6 +409,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.leave();
                     return Ok(Json::Arr(items));
                 }
                 _ => return Err(self.err("expected ',' or ']' in array")),
@@ -357,10 +419,12 @@ impl<'a> Parser<'a> {
 
     fn object(&mut self) -> Result<Json, JsonError> {
         self.expect(b'{')?;
+        self.enter()?;
         let mut members = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.leave();
             return Ok(Json::Obj(members));
         }
         loop {
@@ -376,6 +440,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.leave();
                     return Ok(Json::Obj(members));
                 }
                 _ => return Err(self.err("expected ',' or '}' in object")),
@@ -566,6 +631,54 @@ mod tests {
         for text in ["", "{", "[1,", "{\"a\" 1}", "tru", "1 2", "{\"a\":}"] {
             assert!(Json::parse(text).is_err(), "accepted {text:?}");
         }
+    }
+
+    #[test]
+    fn depth_cap_boundary() {
+        // Exactly MAX_JSON_DEPTH nested arrays parse; one more is a
+        // structured TooDeep error, not a stack overflow.
+        let ok = format!(
+            "{}{}",
+            "[".repeat(MAX_JSON_DEPTH),
+            "]".repeat(MAX_JSON_DEPTH)
+        );
+        assert!(Json::parse(&ok).is_ok());
+        let deep = format!(
+            "{}{}",
+            "[".repeat(MAX_JSON_DEPTH + 1),
+            "]".repeat(MAX_JSON_DEPTH + 1)
+        );
+        let err = Json::parse(&deep).unwrap_err();
+        assert_eq!(err.kind, JsonErrorKind::TooDeep);
+        assert!(err.message.contains("128"), "{err}");
+        // Same cap through objects, and for a hostile unclosed flood.
+        let objs = "{\"a\":".repeat(MAX_JSON_DEPTH + 1);
+        assert_eq!(Json::parse(&objs).unwrap_err().kind, JsonErrorKind::TooDeep);
+        let flood = "[".repeat(1 << 20);
+        assert_eq!(
+            Json::parse(&flood).unwrap_err().kind,
+            JsonErrorKind::TooDeep
+        );
+        // Ordinary syntax errors keep the Syntax kind.
+        assert_eq!(Json::parse("[1,").unwrap_err().kind, JsonErrorKind::Syntax);
+        // Siblings do not accumulate depth: a wide-but-shallow document
+        // is fine.
+        let wide = format!("[{}]", vec!["[1]"; 1000].join(","));
+        assert!(Json::parse(&wide).is_ok());
+    }
+
+    #[test]
+    fn canonicalize_sorts_keys_recursively() {
+        let v = Json::parse(r#"{"z":{"b":1,"a":2},"a":[{"y":1,"x":2}],"m":3}"#).unwrap();
+        assert_eq!(
+            v.canonicalize().to_string(),
+            r#"{"a":[{"x":2,"y":1}],"m":3,"z":{"a":2,"b":1}}"#
+        );
+        // Canonicalizing is idempotent and array order survives.
+        let c = v.canonicalize();
+        assert_eq!(c.canonicalize(), c);
+        let arr = Json::parse("[3,1,2]").unwrap();
+        assert_eq!(arr.canonicalize().to_string(), "[3,1,2]");
     }
 
     #[test]

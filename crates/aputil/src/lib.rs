@@ -21,6 +21,8 @@ pub mod addr;
 pub mod bytes;
 pub mod error;
 pub mod fault;
+pub mod fsio;
+pub mod hash;
 pub mod id;
 pub mod json;
 pub mod time;
@@ -28,6 +30,8 @@ pub mod time;
 pub use addr::{PAddr, VAddr};
 pub use error::{ApError, ApResult, BlockReason, BlockedCell, DeadlockReport};
 pub use fault::{CellLostReport, DeliveryFailure, FaultReport, InjectedFault};
+pub use fsio::write_atomic;
+pub use hash::{fnv1a_64, key_hex, parse_key_hex};
 pub use id::CellId;
-pub use json::{write_json_escaped, Json};
+pub use json::{write_json_escaped, Json, JsonError, JsonErrorKind, MAX_JSON_DEPTH};
 pub use time::SimTime;

@@ -17,6 +17,8 @@
 //! repro replay  T.evtrace      # re-execute and gate against the recording
 //! repro remodel T.evtrace      # replay recorded traffic under new models
 //! repro scaling --out F        # PDES sim-thread scaling curve + artifact
+//! repro serve  --addr A:P      # simulation-as-a-service job server
+//! repro submit --addr A:P ...  # client for a running repro serve
 //! ```
 //!
 //! Suite-running commands also accept `--json` (machine-readable rows on
@@ -101,6 +103,22 @@
 //! `results/SCALING_baseline.json` documents the curve measured on the
 //! reference (single-core) CI host.
 //!
+//! `repro serve [--addr HOST:PORT] [--workers N] [--queue-cap N]
+//! [--cache-entries N] [--cache-dir DIR] [--allow-sleep]` runs the
+//! apserve job server (DESIGN.md §11): clients POST JSON job documents
+//! to `/submit` and identical requests are answered byte-identically
+//! from a content-addressed result cache. `--addr 127.0.0.1:0` binds an
+//! ephemeral port; the bound address is printed as `listening ADDR` on
+//! stdout. `POST /shutdown` (or `repro submit --shutdown`) stops it.
+//!
+//! `repro submit --addr HOST:PORT (--job JSON | --job-file FILE |
+//! --stats | --health | --shutdown) [--stream] [--out FILE]` talks to a
+//! running server: prints the report on stdout (or atomically writes it
+//! to `--out`), the `X-Cache`/`X-Key` diagnosis on stderr. Exit codes:
+//! 0 success, 3 queue-full backpressure (retry later), 2 rejected
+//! request, 1 transport or job failure. `--stream` prints NDJSON
+//! progress lines on stderr as the job advances.
+//!
 //! `tracecat` (a sibling binary) inspects `.evtrace` headers and size
 //! statistics.
 //!
@@ -123,6 +141,15 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
         .position(|a| a == flag)
         .and_then(|i| args.get(i + 1))
         .cloned()
+}
+
+/// [`parse_scale`] with the CLI exit convention: a bad `--scale` prints
+/// the structured error and exits with the usage status.
+fn scale_or_die(args: &[String]) -> apapps::Scale {
+    parse_scale(args).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    })
 }
 
 /// Exits 1 with a structured error (the `ApError::Io` path-bearing kind
@@ -295,7 +322,7 @@ fn sweep_cmd(args: &[String]) -> ! {
         None => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
     };
     let cfg = SweepConfig {
-        scale: parse_scale(args),
+        scale: scale_or_die(args),
         apps,
         sizes,
         factors,
@@ -363,7 +390,7 @@ fn fault_cmd(args: &[String]) -> ! {
             // apfuzz referee; `repro fault` asserts verified completion.
             // Cell ids are drawn for the largest selected machine; events
             // naming cells a smaller machine lacks simply never fire.
-            let scale = parse_scale(args);
+            let scale = scale_or_die(args);
             let max_pe = apps
                 .iter()
                 .filter_map(|a| apbench::sweep::build_workload(a, scale, None).ok())
@@ -386,7 +413,7 @@ fn fault_cmd(args: &[String]) -> ! {
         None => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
     };
     let cfg = FaultSweepConfig {
-        scale: parse_scale(args),
+        scale: scale_or_die(args),
         apps,
         spec,
         threads,
@@ -462,7 +489,7 @@ fn scaling_cmd(args: &[String]) -> ! {
     };
     let cfg = apbench::ScalingConfig {
         app,
-        scale: parse_scale(args),
+        scale: scale_or_die(args),
         sizes,
         sim_threads,
         repeats,
@@ -513,7 +540,7 @@ fn record_cmd(args: &[String]) -> ! {
         usage();
     };
     let apps: Vec<String> = apps.split(',').map(str::to_string).collect();
-    let scale = parse_scale(args);
+    let scale = scale_or_die(args);
     let size: Option<u32> = flag_value(args, "--size").map(|s| {
         s.parse()
             .unwrap_or_else(|_| bad(format!("--size takes a PE count, got '{s}'")))
@@ -695,6 +722,154 @@ fn remodel_cmd(args: &[String]) -> ! {
     std::process::exit(0);
 }
 
+fn serve_cmd(args: &[String]) -> ! {
+    let bad = |msg: String| -> ! {
+        eprintln!("{msg}");
+        std::process::exit(2);
+    };
+    let count = |flag: &str, default: usize| -> usize {
+        match flag_value(args, flag) {
+            Some(s) => s
+                .parse()
+                .ok()
+                .filter(|&n| n > 0)
+                .unwrap_or_else(|| bad(format!("{flag} takes a count (> 0), got '{s}'"))),
+            None => default,
+        }
+    };
+    let cfg = apserve::Config {
+        addr: flag_value(args, "--addr").unwrap_or_else(|| "127.0.0.1:8090".into()),
+        workers: count("--workers", 2),
+        queue_cap: count("--queue-cap", 8),
+        cache_entries: count("--cache-entries", 64),
+        cache_dir: flag_value(args, "--cache-dir").map(PathBuf::from),
+        allow_sleep: args.iter().any(|a| a == "--allow-sleep"),
+    };
+    let handle = apserve::serve(cfg, apbench::simulator_executor()).unwrap_or_else(|e| {
+        eprintln!("cannot start server: {e}");
+        std::process::exit(1);
+    });
+    // Machine-parseable bind line on stdout — `--addr 127.0.0.1:0` gets
+    // an ephemeral port, and scripts need to learn which.
+    println!("listening {}", handle.addr);
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+    eprintln!(
+        "apserve ready on {} (POST /submit, GET /stats, POST /shutdown)",
+        handle.addr
+    );
+    while !handle.shutting_down() {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    handle.shutdown();
+    std::process::exit(0);
+}
+
+fn submit_cmd(args: &[String]) -> ! {
+    let bad = |msg: String| -> ! {
+        eprintln!("{msg}");
+        std::process::exit(2);
+    };
+    let Some(addr) = flag_value(args, "--addr") else {
+        bad(
+            "usage: repro submit --addr HOST:PORT (--job JSON | --job-file FILE | --stats | \
+             --health | --shutdown) [--stream] [--out FILE]"
+                .into(),
+        );
+    };
+    let transport_fail = |e: String| -> ! {
+        eprintln!("submit failed: {e}");
+        std::process::exit(1);
+    };
+    if args.iter().any(|a| a == "--stats" || a == "--health") {
+        let path = if args.iter().any(|a| a == "--stats") {
+            "/stats"
+        } else {
+            "/healthz"
+        };
+        let resp = apserve::client::get(&addr, path).unwrap_or_else(|e| transport_fail(e));
+        println!("{}", resp.body_str());
+        std::process::exit(if resp.status == 200 { 0 } else { 1 });
+    }
+    if args.iter().any(|a| a == "--shutdown") {
+        let resp = apserve::client::request(&addr, "POST", "/shutdown", b"")
+            .unwrap_or_else(|e| transport_fail(e));
+        println!("{}", resp.body_str());
+        std::process::exit(if resp.status == 200 { 0 } else { 1 });
+    }
+    let job = match (flag_value(args, "--job"), flag_value(args, "--job-file")) {
+        (Some(json), None) => json,
+        (None, Some(path)) => std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| bad(format!("cannot read {path}: {e}"))),
+        _ => bad("submit takes exactly one of --job JSON or --job-file FILE".into()),
+    };
+    if args.iter().any(|a| a == "--stream") {
+        // The flag is transport-only: inject `"stream": true` into the
+        // job document (it is excluded from the cache key), so the
+        // server narrates progress instead of answering in one piece.
+        let job = match aputil::Json::parse(&job) {
+            Ok(aputil::Json::Obj(mut fields)) => {
+                fields.retain(|(k, _)| k != "stream");
+                fields.push(("stream".to_string(), aputil::Json::Bool(true)));
+                aputil::Json::Obj(fields).to_string()
+            }
+            _ => bad(format!("--stream needs a JSON object job, got: {job}")),
+        };
+        // Progress lines go to stderr as they arrive; the final report
+        // line is the stdout payload, same as the non-streamed mode.
+        let report = apserve::client::submit_stream(&addr, &job, |line| eprintln!("{line}"))
+            .unwrap_or_else(|e| transport_fail(e));
+        // A streamed job failure arrives as a final `{"error": ...}`
+        // line over the same 200 stream; it is not a report.
+        if let Ok(doc) = aputil::Json::parse(&report) {
+            if doc.get("error").is_some() {
+                eprintln!("{report}");
+                std::process::exit(1);
+            }
+        }
+        emit_report(args, &report);
+        std::process::exit(0);
+    }
+    let resp = apserve::client::submit(&addr, &job).unwrap_or_else(|e| transport_fail(e));
+    if let Some(cache) = resp.header("x-cache") {
+        eprintln!(
+            "x-cache: {cache}  x-key: {}",
+            resp.header("x-key").unwrap_or("?")
+        );
+    }
+    match resp.status {
+        200 => {
+            emit_report(args, &resp.body_str());
+            std::process::exit(0);
+        }
+        // Backpressure gets its own exit code so retry loops can tell
+        // "try again later" from "this request is broken".
+        429 => {
+            eprintln!("{}", resp.body_str());
+            std::process::exit(3);
+        }
+        400 | 404 | 405 | 413 => {
+            eprintln!("{}", resp.body_str());
+            std::process::exit(2);
+        }
+        _ => {
+            eprintln!("{}", resp.body_str());
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Prints the report to stdout, or writes it (atomically) to `--out`.
+fn emit_report(args: &[String], report: &str) {
+    match flag_value(args, "--out") {
+        Some(path) => {
+            write_or_die(&path, report);
+            eprintln!("wrote report to {path}");
+        }
+        None => println!("{report}"),
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(String::as_str).unwrap_or("all");
@@ -715,26 +890,29 @@ fn main() {
         "table1" => print!("{}", table1()),
         "fig6" => print!("{}", fig6()),
         "fig7" => {
-            let bytes = args
-                .iter()
-                .position(|a| a == "--bytes")
-                .and_then(|i| args.get(i + 1))
-                .and_then(|s| s.parse().ok())
-                .unwrap_or(1600);
+            let bytes = match flag_value(&args, "--bytes") {
+                Some(s) => s.parse().ok().filter(|&b| b > 0).unwrap_or_else(|| {
+                    eprintln!("--bytes takes a message size in bytes (> 0), got '{s}'");
+                    std::process::exit(2);
+                }),
+                None => 1600,
+            };
             print!("{}", fig7(bytes));
         }
         "ablations" => {
-            let scale = parse_scale(&args);
+            let scale = scale_or_die(&args);
             print!("{}", apbench::ablations(scale));
         }
         "compare" => compare_cmd(&args),
+        "serve" => serve_cmd(&args),
+        "submit" => submit_cmd(&args),
         "sweep" => sweep_cmd(&args),
         "fault" => fault_cmd(&args),
         "record" => record_cmd(&args),
         "replay" => replay_cmd(&args),
         "remodel" => remodel_cmd(&args),
         "table2" | "table3" | "fig8" | "all" | "bench" => {
-            let scale = parse_scale(&args);
+            let scale = scale_or_die(&args);
             if cmd == "bench" && bench_out.is_none() {
                 eprintln!("usage: repro bench --bench-out FILE [--scale test|paper] [--rev REV]");
                 std::process::exit(2);

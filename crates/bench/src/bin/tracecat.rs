@@ -33,6 +33,21 @@ fn main() {
     else {
         usage();
     };
+    if !matches!(cmd.as_str(), "header" | "stats") {
+        usage();
+    }
+    // Validate flags before the (possibly large) trace read: a typo'd
+    // `--min-ratio` must be diagnosed even when the file is missing, and
+    // without paying for a decode first.
+    let min_ratio: Option<f64> = flag_value(&args, "--min-ratio").map(|s| {
+        s.parse::<f64>()
+            .ok()
+            .filter(|r| r.is_finite() && *r >= 0.0)
+            .unwrap_or_else(|| {
+                eprintln!("--min-ratio takes a non-negative number, got '{s}'");
+                std::process::exit(2);
+            })
+    });
     let doc = EvTrace::read_file(Path::new(path)).unwrap_or_else(|e| {
         eprintln!("{path}: {e}");
         std::process::exit(1);
@@ -50,11 +65,7 @@ fn main() {
                 st.json_ops_bytes
             );
             println!("ratio: {:.1}x", st.ratio());
-            if let Some(min) = flag_value(&args, "--min-ratio") {
-                let min: f64 = min.parse().unwrap_or_else(|_| {
-                    eprintln!("--min-ratio takes a number, got '{min}'");
-                    std::process::exit(2);
-                });
+            if let Some(min) = min_ratio {
                 if st.ratio() < min {
                     eprintln!(
                         "FAIL: ratio {:.1}x is below the required {min}x",

@@ -19,6 +19,7 @@ pub mod fault;
 pub mod record;
 pub mod report;
 pub mod scaling;
+pub mod serve_exec;
 pub mod sweep;
 pub use fault::{
     fault_sweep_text, run_fault_sweep, FaultOutcome, FaultRow, FaultSweepConfig, FAULT_APPS,
@@ -35,6 +36,7 @@ pub use scaling::{
     run_scaling, scaling_report, scaling_text, ScalingConfig, ScalingPoint, SCALING_SCHEMA,
     SCALING_SCHEMA_VERSION,
 };
+pub use serve_exec::simulator_executor;
 pub use sweep::{run_sweep, SweepConfig, SweepOutcome, SweepPoint, SWEEP_APPS};
 
 /// Everything measured for one application.
@@ -553,15 +555,18 @@ pub fn ablations(scale: Scale) -> String {
     s
 }
 
-/// Parses `--scale test|paper` style args (default paper).
-pub fn parse_scale(args: &[String]) -> Scale {
+/// Parses `--scale test|paper` style args (default paper). An unknown
+/// scale is a structured error naming the flag, not a panic — the CLIs
+/// print it and exit with the usage status.
+pub fn parse_scale(args: &[String]) -> Result<Scale, String> {
     match args.iter().position(|a| a == "--scale") {
         Some(i) => match args.get(i + 1).map(String::as_str) {
-            Some("test") => Scale::Test,
-            Some("paper") | None => Scale::Paper,
-            Some(other) => panic!("unknown scale '{other}' (use test|paper)"),
+            Some("test") => Ok(Scale::Test),
+            Some("paper") => Ok(Scale::Paper),
+            Some(other) => Err(format!("--scale takes test|paper, got '{other}'")),
+            None => Err("--scale takes test|paper, got nothing".to_string()),
         },
-        None => Scale::Paper,
+        None => Ok(Scale::Paper),
     }
 }
 
@@ -662,7 +667,11 @@ mod tests {
     #[test]
     fn scale_parsing() {
         let args: Vec<String> = vec!["--scale".into(), "test".into()];
-        assert_eq!(parse_scale(&args), Scale::Test);
-        assert_eq!(parse_scale(&[]), Scale::Paper);
+        assert_eq!(parse_scale(&args), Ok(Scale::Test));
+        assert_eq!(parse_scale(&[]), Ok(Scale::Paper));
+        let bad: Vec<String> = vec!["--scale".into(), "huge".into()];
+        assert!(parse_scale(&bad).unwrap_err().contains("--scale"));
+        let dangling: Vec<String> = vec!["--scale".into()];
+        assert!(parse_scale(&dangling).is_err());
     }
 }

@@ -34,11 +34,14 @@ use std::io::{BufWriter, Write};
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 
-/// Writes `contents` to `path`, wrapping failure as [`ApError::Io`] so
-/// the message names the path (a full disk or a bad `--out` directory is
-/// diagnosable without a backtrace).
+/// Writes `contents` to `path` atomically (temp file + rename, via
+/// [`aputil::write_atomic`]), wrapping failure as [`ApError::Io`] so the
+/// message names the path (a full disk or a bad `--out` directory is
+/// diagnosable without a backtrace). Atomicity matters because these are
+/// baseline and report files CI diffs byte-for-byte: a crash mid-write
+/// must leave the old bytes or nothing, never a truncated document.
 pub fn write_file(path: &Path, contents: &[u8]) -> Result<(), ApError> {
-    std::fs::write(path, contents).map_err(|e| ApError::io(path.display().to_string(), e))
+    aputil::write_atomic(path, contents).map_err(|e| ApError::io(path.display().to_string(), e))
 }
 
 /// The scale label recorded in (and parsed back from) a trace header.

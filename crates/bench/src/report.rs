@@ -52,14 +52,16 @@ pub fn bench_report(rows: &[ExperimentRow], scale: Scale, rev: Option<&str>) -> 
     Json::obj(members)
 }
 
-/// Writes [`bench_report`] to `path`.
+/// Writes [`bench_report`] to `path` atomically (temp file + rename):
+/// comparisons against checked-in baselines read these files, so a
+/// crash mid-write must never leave a truncated report behind.
 pub fn write_bench_report(
     path: &Path,
     rows: &[ExperimentRow],
     scale: Scale,
     rev: Option<&str>,
 ) -> std::io::Result<()> {
-    std::fs::write(path, bench_report(rows, scale, rev).to_string())
+    aputil::write_atomic(path, bench_report(rows, scale, rev).to_string().as_bytes())
 }
 
 /// One metric that got slower than the baseline allows.

@@ -1,0 +1,363 @@
+//! Cache-correctness suite for `repro serve` / apserve, run over real
+//! HTTP against the real simulator executor.
+//!
+//! The invariants pinned here are the ones DESIGN.md §11 promises:
+//!
+//! - a repeated request is served from cache **byte-identical** to the
+//!   cold run (status travels in `X-Cache`, never in the body);
+//! - hit/miss/run counters advance exactly as the cache story says
+//!   (`runs == misses`, single-flight);
+//! - two concurrent identical requests simulate exactly once;
+//! - an evicted entry is recomputed byte-identically;
+//! - a full queue yields the structured 429 backpressure document;
+//! - hostile input gets structured 400/404/405/413 errors;
+//! - a disk-tier entry survives a server restart as a `disk-hit`.
+
+use apserve::{client, serve, Config};
+use aputil::Json;
+use std::path::PathBuf;
+
+fn test_server(cfg: Config) -> (apserve::ServerHandle, String) {
+    let handle = serve(cfg, apbench::simulator_executor()).expect("bind server");
+    let addr = handle.addr.to_string();
+    (handle, addr)
+}
+
+fn cfg() -> Config {
+    Config {
+        addr: "127.0.0.1:0".to_string(),
+        allow_sleep: true,
+        ..Config::default()
+    }
+}
+
+fn stats(addr: &str) -> Json {
+    let resp = client::get(addr, "/stats").expect("GET /stats");
+    assert_eq!(resp.status, 200);
+    Json::parse(&resp.body_str()).expect("stats parses")
+}
+
+fn cache_counter(st: &Json, name: &str) -> u64 {
+    st.get("cache")
+        .and_then(|c| c.get(name))
+        .and_then(Json::as_u64)
+        .unwrap_or_else(|| panic!("counter {name} missing from {st}"))
+}
+
+const EP_BENCH: &str = r#"{"kind":"bench","apps":["EP"],"scale":"test"}"#;
+/// The same job, spelled differently: key order shuffled, defaults
+/// written out, `1.0` as `1`. Must hash to the same content address.
+const EP_BENCH_RESPELLED: &str =
+    r#"{"scale":"test","factors":[1],"kind":"bench","sizes":["default"],"apps":["EP"],"rev":null}"#;
+
+#[test]
+fn repeated_request_is_cached_byte_identical() {
+    let (handle, addr) = test_server(cfg());
+
+    let cold = client::submit(&addr, EP_BENCH).unwrap();
+    assert_eq!(cold.status, 200, "{}", cold.body_str());
+    assert_eq!(cold.header("x-cache"), Some("miss"));
+    let key = cold.header("x-key").expect("X-Key present").to_string();
+
+    let warm = client::submit(&addr, EP_BENCH_RESPELLED).unwrap();
+    assert_eq!(warm.status, 200);
+    assert_eq!(warm.header("x-cache"), Some("hit"));
+    assert_eq!(warm.header("x-key"), Some(key.as_str()));
+    assert_eq!(
+        cold.body, warm.body,
+        "cached body must be byte-identical to the cold body"
+    );
+
+    // The body is a real versioned bench report, not an envelope.
+    let doc = Json::parse(&cold.body_str()).unwrap();
+    assert_eq!(
+        doc.get("schema").and_then(Json::as_str),
+        Some(apbench::BENCH_SCHEMA)
+    );
+
+    let st = stats(&addr);
+    assert_eq!(cache_counter(&st, "misses"), 1);
+    assert_eq!(cache_counter(&st, "hits"), 1);
+    assert_eq!(cache_counter(&st, "runs"), 1, "one simulation, not two");
+    handle.shutdown();
+}
+
+#[test]
+fn concurrent_identical_requests_simulate_exactly_once() {
+    let (handle, addr) = test_server(cfg());
+    // A slow job gives the second submission time to arrive while the
+    // first is still executing.
+    let job = r#"{"kind":"sleep","ms":500}"#;
+    let a = {
+        let addr = addr.clone();
+        std::thread::spawn(move || client::submit(&addr, job).unwrap())
+    };
+    std::thread::sleep(std::time::Duration::from_millis(120));
+    let b = client::submit(&addr, job).unwrap();
+    let a = a.join().unwrap();
+    assert_eq!((a.status, b.status), (200, 200));
+    assert_eq!(a.body, b.body, "both callers get the same bytes");
+    let statuses = [a.header("x-cache").unwrap(), b.header("x-cache").unwrap()];
+    assert!(
+        statuses.contains(&"miss") && statuses.contains(&"join"),
+        "one miss, one join; got {statuses:?}"
+    );
+    let st = stats(&addr);
+    assert_eq!(cache_counter(&st, "runs"), 1, "exactly one execution");
+    assert_eq!(cache_counter(&st, "misses"), 1);
+    assert_eq!(cache_counter(&st, "joins"), 1);
+    handle.shutdown();
+}
+
+#[test]
+fn full_queue_gets_the_structured_backpressure_error() {
+    let (handle, addr) = test_server(Config {
+        workers: 1,
+        queue_cap: 1,
+        ..cfg()
+    });
+    // Occupy the single worker, then the single queue slot, with
+    // distinct slow jobs; the third distinct job must bounce.
+    let slow: Vec<_> = [600u64, 601]
+        .into_iter()
+        .map(|ms| {
+            let addr = addr.clone();
+            let t = std::thread::spawn(move || {
+                client::submit(&addr, &format!(r#"{{"kind":"sleep","ms":{ms}}}"#)).unwrap()
+            });
+            std::thread::sleep(std::time::Duration::from_millis(120));
+            t
+        })
+        .collect();
+    let rejected = client::submit(&addr, r#"{"kind":"sleep","ms":602}"#).unwrap();
+    assert_eq!(rejected.status, 429, "{}", rejected.body_str());
+    assert_eq!(rejected.header("retry-after"), Some("1"));
+    let doc = Json::parse(&rejected.body_str()).unwrap();
+    assert_eq!(doc.get("error").and_then(Json::as_str), Some("queue_full"));
+    assert_eq!(doc.get("capacity").and_then(Json::as_u64), Some(1));
+    for t in slow {
+        assert_eq!(t.join().unwrap().status, 200);
+    }
+    assert_eq!(cache_counter(&stats(&addr), "rejected"), 1);
+    handle.shutdown();
+}
+
+#[test]
+fn evicted_entry_is_recomputed_byte_identically() {
+    // Memory-only cache with a single slot: the second job evicts the
+    // first, so repeating the first must re-simulate — and reproduce
+    // the exact bytes.
+    let (handle, addr) = test_server(Config {
+        cache_entries: 1,
+        ..cfg()
+    });
+    let cold = client::submit(&addr, EP_BENCH).unwrap();
+    assert_eq!(cold.header("x-cache"), Some("miss"));
+    let evictor = client::submit(&addr, r#"{"kind":"sleep","ms":1}"#).unwrap();
+    assert_eq!(evictor.status, 200);
+    let again = client::submit(&addr, EP_BENCH).unwrap();
+    assert_eq!(again.header("x-cache"), Some("miss"), "evicted ⇒ recompute");
+    assert_eq!(cold.body, again.body, "recompute must be byte-identical");
+    let st = stats(&addr);
+    assert!(cache_counter(&st, "evictions") >= 1);
+    assert_eq!(cache_counter(&st, "runs"), 3);
+    handle.shutdown();
+}
+
+#[test]
+fn disk_tier_survives_a_server_restart() {
+    let dir = std::env::temp_dir().join(format!("apserve-restart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let disk_cfg = || Config {
+        cache_dir: Some(PathBuf::from(&dir)),
+        ..cfg()
+    };
+    let (handle, addr) = test_server(disk_cfg());
+    let cold = client::submit(&addr, EP_BENCH).unwrap();
+    assert_eq!(cold.header("x-cache"), Some("miss"));
+    handle.shutdown();
+
+    // A brand-new server over the same cache directory: cold memory,
+    // warm disk.
+    let (handle, addr) = test_server(disk_cfg());
+    let warm = client::submit(&addr, EP_BENCH).unwrap();
+    assert_eq!(
+        warm.header("x-cache"),
+        Some("disk-hit"),
+        "{}",
+        warm.body_str()
+    );
+    assert_eq!(cold.body, warm.body, "disk tier returns the exact bytes");
+    let st = stats(&addr);
+    assert_eq!(cache_counter(&st, "disk_hits"), 1);
+    assert_eq!(cache_counter(&st, "runs"), 0, "no simulation after restart");
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn hostile_inputs_get_structured_errors() {
+    let (handle, addr) = test_server(cfg());
+    // (body, expected named field)
+    for (body, field) in [
+        ("this is not json", "body"),
+        (r#"{"apps":["EP"]}"#, "kind"),
+        (r#"{"kind":"warpdrive"}"#, "kind"),
+        (r#"{"kind":"bench","bogus":1}"#, "bogus"),
+        (r#"{"kind":"bench","scale":"huge"}"#, "scale"),
+        (r#"{"kind":"remodel","trace":"../../etc/passwd"}"#, "trace"),
+    ] {
+        let resp = client::submit(&addr, body).unwrap();
+        assert_eq!(resp.status, 400, "{body}");
+        let doc = Json::parse(&resp.body_str()).unwrap();
+        assert_eq!(doc.get("error").and_then(Json::as_str), Some("bad_request"));
+        assert_eq!(
+            doc.get("field").and_then(Json::as_str),
+            Some(field),
+            "{body} -> {}",
+            resp.body_str()
+        );
+    }
+    // Too-deep JSON is rejected as a structured error, not a crash.
+    let deep = format!(r#"{{"kind":{}1{}}}"#, "[".repeat(500), "]".repeat(500));
+    let resp = client::submit(&addr, &deep).unwrap();
+    assert_eq!(resp.status, 400);
+    assert!(resp.body_str().contains("rejected"), "{}", resp.body_str());
+
+    // Unknown route, wrong method, oversized body.
+    assert_eq!(client::get(&addr, "/nope").unwrap().status, 404);
+    assert_eq!(client::get(&addr, "/submit").unwrap().status, 405);
+    let huge = vec![b' '; apserve::MAX_BODY_BYTES + 1];
+    let resp = client::request(&addr, "POST", "/submit", &huge).unwrap();
+    assert_eq!(resp.status, 413);
+
+    // None of that counts as cache traffic.
+    let st = stats(&addr);
+    assert_eq!(cache_counter(&st, "misses"), 0);
+    assert_eq!(cache_counter(&st, "runs"), 0);
+    handle.shutdown();
+}
+
+#[test]
+fn streaming_submits_narrate_then_report() {
+    let (handle, addr) = test_server(cfg());
+    let job = r#"{"kind":"sleep","ms":50,"stream":true}"#;
+    let mut lines = Vec::new();
+    let report = client::submit_stream(&addr, job, |line| lines.push(line.to_string())).unwrap();
+    // Progress lines arrived before the report line.
+    let progress: Vec<String> = lines
+        .iter()
+        .filter_map(|l| {
+            Json::parse(l)
+                .ok()
+                .and_then(|d| d.get("progress").and_then(Json::as_str).map(str::to_string))
+        })
+        .collect();
+    assert!(progress.iter().any(|p| p == "queued"), "{lines:?}");
+    assert!(progress.iter().any(|p| p == "done"), "{lines:?}");
+    let doc = Json::parse(&report).unwrap();
+    assert_eq!(
+        doc.get("schema").and_then(Json::as_str),
+        Some("ap1000plus.sleep")
+    );
+
+    // A streamed repeat is a hit: no progress, just the report line —
+    // byte-identical to the cold report.
+    let mut lines2 = Vec::new();
+    let report2 = client::submit_stream(&addr, job, |l| lines2.push(l.to_string())).unwrap();
+    assert_eq!(lines2.len(), 1, "a hit streams exactly the report line");
+    assert_eq!(report, report2);
+    handle.shutdown();
+}
+
+/// End-to-end through the binaries: `repro serve` on an ephemeral port,
+/// `repro submit` as the client — the exact workflow CI's serve-smoke
+/// job drives.
+#[test]
+fn repro_serve_and_submit_round_trip() {
+    use std::io::BufRead;
+    use std::process::{Command, Stdio};
+
+    let mut server = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["serve", "--addr", "127.0.0.1:0", "--allow-sleep"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("start repro serve");
+    let stdout = server.stdout.take().unwrap();
+    let mut first_line = String::new();
+    std::io::BufReader::new(stdout)
+        .read_line(&mut first_line)
+        .expect("read bind line");
+    let addr = first_line
+        .trim()
+        .strip_prefix("listening ")
+        .unwrap_or_else(|| panic!("unexpected bind line {first_line:?}"))
+        .to_string();
+
+    let submit = |extra: &[&str]| {
+        Command::new(env!("CARGO_BIN_EXE_repro"))
+            .args(["submit", "--addr", &addr])
+            .args(extra)
+            .output()
+            .expect("run repro submit")
+    };
+
+    let job = r#"{"kind":"sleep","ms":5}"#;
+    let cold = submit(&["--job", job]);
+    assert!(
+        cold.status.success(),
+        "{}",
+        String::from_utf8_lossy(&cold.stderr)
+    );
+    assert!(String::from_utf8_lossy(&cold.stderr).contains("x-cache: miss"));
+    let warm = submit(&["--job", job]);
+    assert!(warm.status.success());
+    assert!(String::from_utf8_lossy(&warm.stderr).contains("x-cache: hit"));
+    assert_eq!(cold.stdout, warm.stdout, "cached bytes identical via CLI");
+
+    let stats_out = submit(&["--stats"]);
+    assert!(stats_out.status.success());
+    let st = Json::parse(String::from_utf8_lossy(&stats_out.stdout).trim()).unwrap();
+    assert_eq!(
+        st.get("schema").and_then(Json::as_str),
+        Some("ap1000plus.servestats")
+    );
+
+    // A malformed job exits 2 with the field named on stderr.
+    let bad = submit(&["--job", r#"{"kind":"bench","bogus":1}"#]);
+    assert_eq!(bad.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&bad.stderr).contains("bogus"));
+
+    // `--stream` injects the transport flag itself: progress narration
+    // lands on stderr, the report alone on stdout.
+    let streamed = submit(&["--stream", "--job", r#"{"kind":"sleep","ms":40}"#]);
+    assert!(streamed.status.success());
+    let err = String::from_utf8_lossy(&streamed.stderr);
+    assert!(err.contains(r#"{"progress":"queued"}"#), "{err}");
+    assert!(err.contains(r#"{"progress":"done"}"#), "{err}");
+    let out = String::from_utf8_lossy(&streamed.stdout);
+    assert!(
+        out.trim().starts_with(r#"{"schema":"ap1000plus.sleep""#),
+        "{out}"
+    );
+
+    // A failed streamed job exits 1 and keeps stdout clean.
+    let failed = submit(&[
+        "--stream",
+        "--job",
+        r#"{"kind":"bench","apps":["NoSuchApp"],"scale":"test"}"#,
+    ]);
+    assert_eq!(failed.status.code(), Some(1));
+    assert!(
+        failed.stdout.is_empty(),
+        "no report on stdout for a failure"
+    );
+    assert!(String::from_utf8_lossy(&failed.stderr).contains("job_failed"));
+
+    // Remote shutdown stops the foreground server process.
+    let down = submit(&["--shutdown"]);
+    assert!(down.status.success());
+    let status = server.wait().expect("server exits after /shutdown");
+    assert!(status.success());
+}
