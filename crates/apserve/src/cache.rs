@@ -16,8 +16,9 @@
 
 use std::collections::HashMap;
 use std::path::PathBuf;
+use std::time::SystemTime;
 
-use aputil::{key_hex, Json};
+use aputil::{key_hex, parse_key_hex, Json};
 
 /// Where a lookup was satisfied.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -44,20 +45,98 @@ pub struct ResultCache {
     pub evictions: u64,
     /// Total bytes held by the memory tier.
     bytes: usize,
+    /// Byte budget for the disk tier; `None` means unbounded (the
+    /// pre-budget behaviour).
+    disk_budget: Option<u64>,
+    /// Disk keys in recency order, most recent last. Seeded from the
+    /// directory scan (mtime order) so the budget holds across restarts.
+    disk_order: Vec<u64>,
+    /// key -> on-disk envelope size in bytes.
+    disk_sizes: HashMap<u64, u64>,
+    /// Disk-tier entries deleted to hold `disk_budget`.
+    pub disk_evictions: u64,
 }
 
 impl ResultCache {
     /// `capacity` is the memory-tier entry cap (≥ 1); `dir`, when given,
-    /// enables the persistent tier (created on first store).
-    pub fn new(capacity: usize, dir: Option<PathBuf>) -> ResultCache {
-        ResultCache {
+    /// enables the persistent tier (created on first store);
+    /// `disk_budget` bounds the disk tier's total bytes with LRU
+    /// eviction (existing entries are inventoried, oldest-mtime first,
+    /// so a restart over a full directory trims it immediately).
+    pub fn new(capacity: usize, dir: Option<PathBuf>, disk_budget: Option<u64>) -> ResultCache {
+        let mut cache = ResultCache {
             map: HashMap::new(),
             order: Vec::new(),
             capacity: capacity.max(1),
             dir,
             evictions: 0,
             bytes: 0,
+            disk_budget,
+            disk_order: Vec::new(),
+            disk_sizes: HashMap::new(),
+            disk_evictions: 0,
+        };
+        cache.scan_disk();
+        cache.enforce_disk_budget();
+        cache
+    }
+
+    /// Inventories the disk tier: every `<key-hex>.json` file, ordered
+    /// oldest-mtime first so pre-existing entries evict before anything
+    /// written this run. Unparseable filenames are ignored (they are
+    /// not cache entries and are never deleted).
+    fn scan_disk(&mut self) {
+        let Some(dir) = self.dir.as_ref() else { return };
+        let Ok(entries) = std::fs::read_dir(dir) else { return };
+        let mut found: Vec<(SystemTime, u64, u64)> = Vec::new();
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(stem) = name.to_str().and_then(|n| n.strip_suffix(".json")) else {
+                continue;
+            };
+            let Some(key) = parse_key_hex(stem) else { continue };
+            let Ok(meta) = entry.metadata() else { continue };
+            let mtime = meta.modified().unwrap_or(SystemTime::UNIX_EPOCH);
+            found.push((mtime, key, meta.len()));
         }
+        found.sort();
+        for (_, key, len) in found {
+            self.disk_order.push(key);
+            self.disk_sizes.insert(key, len);
+        }
+    }
+
+    /// Deletes oldest disk entries until the tier fits the budget. The
+    /// most recently used entry is never evicted, however small the
+    /// budget — a cache that immediately forgets its only entry is
+    /// worse than one slightly over budget.
+    fn enforce_disk_budget(&mut self) {
+        let Some(budget) = self.disk_budget else { return };
+        while self.disk_order.len() > 1 && self.disk_bytes() > budget {
+            let victim = self.disk_order.remove(0);
+            self.disk_sizes.remove(&victim);
+            if let Some(path) = self.disk_path(victim) {
+                let _ = std::fs::remove_file(path);
+            }
+            self.disk_evictions += 1;
+        }
+    }
+
+    fn touch_disk(&mut self, key: u64) {
+        if let Some(pos) = self.disk_order.iter().position(|&k| k == key) {
+            self.disk_order.remove(pos);
+            self.disk_order.push(key);
+        }
+    }
+
+    /// Disk-tier entry count (0 when no disk tier is configured).
+    pub fn disk_entries(&self) -> usize {
+        self.disk_sizes.len()
+    }
+
+    /// Total bytes of on-disk envelopes.
+    pub fn disk_bytes(&self) -> u64 {
+        self.disk_sizes.values().sum()
     }
 
     pub fn entries(&self) -> usize {
@@ -93,6 +172,7 @@ impl ResultCache {
         let raw = std::fs::read(&path).ok()?;
         let body = decode_disk_entry(&raw, key)?;
         self.insert_memory(key, body.clone());
+        self.touch_disk(key);
         Some((body, CacheTier::Disk))
     }
 
@@ -133,8 +213,27 @@ impl ResultCache {
             ("request", request),
             ("report", Json::from(report)),
         ]);
-        aputil::write_atomic(&path, envelope.to_string().as_bytes())
-            .map_err(|e| format!("write {}: {e}", path.display()))
+        let encoded = envelope.to_string();
+        aputil::write_atomic(&path, encoded.as_bytes())
+            .map_err(|e| format!("write {}: {e}", path.display()))?;
+        if self.disk_sizes.insert(key, encoded.len() as u64).is_none() {
+            self.disk_order.push(key);
+        }
+        self.touch_disk(key);
+        self.enforce_disk_budget();
+        Ok(())
+    }
+
+    /// Deletes any partial or complete disk entry for `key` (used when a
+    /// job is abandoned mid-flight; write_atomic means this is usually a
+    /// no-op, but it keeps "no partial entries" an invariant, not a hope).
+    pub fn forget_disk(&mut self, key: u64) {
+        if self.disk_sizes.remove(&key).is_some() {
+            self.disk_order.retain(|&k| k != key);
+        }
+        if let Some(path) = self.disk_path(key) {
+            let _ = std::fs::remove_file(path);
+        }
     }
 }
 
@@ -167,7 +266,7 @@ mod tests {
 
     #[test]
     fn lru_evicts_least_recently_used() {
-        let mut c = ResultCache::new(2, None);
+        let mut c = ResultCache::new(2, None, None);
         c.put(1, "{}", b"one").unwrap();
         c.put(2, "{}", b"two").unwrap();
         assert!(c.get(1).is_some()); // 1 now most recent
@@ -182,12 +281,12 @@ mod tests {
     #[test]
     fn disk_tier_survives_a_new_cache_and_promotes() {
         let dir = tmpdir("disk");
-        let mut c = ResultCache::new(4, Some(dir.clone()));
+        let mut c = ResultCache::new(4, Some(dir.clone()), None);
         c.put(7, r#"{"kind":"sleep","ms":1}"#, b"report-bytes")
             .unwrap();
 
         // Fresh cache over the same directory: memory is cold, disk hits.
-        let mut c2 = ResultCache::new(4, Some(dir.clone()));
+        let mut c2 = ResultCache::new(4, Some(dir.clone()), None);
         let (body, tier) = c2.get(7).unwrap();
         assert_eq!(body, b"report-bytes");
         assert_eq!(tier, CacheTier::Disk);
@@ -208,7 +307,7 @@ mod tests {
             br#"{"schema":"ap1000plus.cached","version":1,"key":"0000000000000009""#,
         ] {
             std::fs::write(dir.join(format!("{}.json", key_hex(9))), garbage).unwrap();
-            let mut c = ResultCache::new(4, Some(dir.clone()));
+            let mut c = ResultCache::new(4, Some(dir.clone()), None);
             assert!(c.get(9).is_none(), "{garbage:?} should be a miss");
         }
         std::fs::remove_dir_all(&dir).unwrap();
@@ -216,9 +315,80 @@ mod tests {
 
     #[test]
     fn memory_only_cache_recomputes_after_eviction() {
-        let mut c = ResultCache::new(1, None);
+        let mut c = ResultCache::new(1, None, None);
         c.put(1, "{}", b"a").unwrap();
         c.put(2, "{}", b"b").unwrap();
         assert!(c.get(1).is_none(), "no disk tier: eviction means miss");
+    }
+
+    /// A 1000-byte body: envelope overhead (~100 bytes) is noise next
+    /// to it, so "budget holds N entries" arithmetic below is robust.
+    fn big(fill: char) -> Vec<u8> {
+        fill.to_string().repeat(1000).into_bytes()
+    }
+
+    #[test]
+    fn disk_budget_evicts_oldest_but_never_newest() {
+        let dir = tmpdir("budget");
+        // ~1.1 KB per envelope; a 2.5 KB budget holds two entries.
+        let mut c = ResultCache::new(8, Some(dir.clone()), Some(2500));
+        c.put(1, "{}", &big('a')).unwrap();
+        c.put(2, "{}", &big('b')).unwrap();
+        assert_eq!(c.disk_entries(), 2);
+        assert_eq!(c.disk_evictions, 0);
+        c.put(3, "{}", &big('c')).unwrap(); // over budget: key 1 goes
+        assert_eq!(c.disk_evictions, 1);
+        assert_eq!(c.disk_entries(), 2);
+        assert!(!dir.join(format!("{}.json", key_hex(1))).exists());
+        assert!(dir.join(format!("{}.json", key_hex(3))).exists());
+        assert!(c.disk_bytes() <= 2500);
+
+        // A budget smaller than one entry still keeps the newest entry.
+        let mut tiny = ResultCache::new(8, Some(tmpdir("tiny")), Some(1));
+        tiny.put(9, "{}", b"only").unwrap();
+        assert_eq!(tiny.disk_entries(), 1, "most-recent entry is immortal");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn restart_scan_enforces_the_budget_by_mtime() {
+        let dir = tmpdir("rescan");
+        {
+            let mut c = ResultCache::new(8, Some(dir.clone()), None);
+            for key in 1..=4u64 {
+                c.put(key, "{}", &big('x')).unwrap();
+                // Distinct mtimes so the scan's LRU order is deterministic.
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            assert_eq!(c.disk_entries(), 4);
+        }
+        // Reopen with a budget that fits two entries: the two oldest are
+        // trimmed at construction, the two newest survive.
+        let c = ResultCache::new(8, Some(dir.clone()), Some(2500));
+        assert_eq!(c.disk_evictions, 2);
+        assert!(!dir.join(format!("{}.json", key_hex(1))).exists());
+        assert!(!dir.join(format!("{}.json", key_hex(2))).exists());
+        assert!(dir.join(format!("{}.json", key_hex(3))).exists());
+        assert!(dir.join(format!("{}.json", key_hex(4))).exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn disk_hits_refresh_recency_and_forget_removes_files() {
+        let dir = tmpdir("touch");
+        let mut c = ResultCache::new(1, Some(dir.clone()), Some(2500));
+        c.put(1, "{}", &big('a')).unwrap();
+        c.put(2, "{}", &big('b')).unwrap();
+        // Touch 1 via a disk hit (memory tier only holds one entry, so
+        // key 1 was evicted from memory and must come from disk).
+        assert_eq!(c.get(1).unwrap().1, CacheTier::Disk);
+        c.put(3, "{}", &big('c')).unwrap(); // evicts 2, not the touched 1
+        assert!(dir.join(format!("{}.json", key_hex(1))).exists());
+        assert!(!dir.join(format!("{}.json", key_hex(2))).exists());
+
+        c.forget_disk(3);
+        assert!(!dir.join(format!("{}.json", key_hex(3))).exists());
+        assert_eq!(c.disk_entries(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

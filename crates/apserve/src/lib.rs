@@ -21,7 +21,10 @@
 //! - [`cache`]: in-memory LRU + optional persistent disk tier;
 //! - [`service`]: bounded worker pool, single-flight deduplication,
 //!   explicit backpressure (full queue ⇒ structured 429, never
-//!   unbounded memory);
+//!   unbounded memory), crash retry, and the crash-loop breaker;
+//! - [`worker`]: the process-isolation supervisor — per-job child
+//!   processes, wall-clock deadlines, rlimit ceilings, and the
+//!   stdin/stdout result-envelope protocol for `repro job-exec`;
 //! - [`server`]: accept loop and routing (`/healthz`, `/stats`,
 //!   `/submit`, `/shutdown`), with NDJSON progress streaming;
 //! - [`client`]: the blocking client used by `repro submit` and CI.
@@ -36,10 +39,14 @@ pub mod http;
 pub mod request;
 pub mod server;
 pub mod service;
+pub mod worker;
 
 pub use cache::{CacheTier, ResultCache};
 pub use client::HttpResponse;
 pub use http::{HttpError, HttpRequest, Response, MAX_BODY_BYTES};
 pub use request::{parse_request, CanonRequest, Kind, RequestError};
 pub use server::{serve, ServerHandle};
-pub use service::{ClientGone, Config, Executor, Service, Stats, Submission};
+pub use service::{
+    sleep_report, ClientGone, Config, Executor, JobError, Service, Stats, Submission,
+};
+pub use worker::{result_envelope, SandboxConfig};

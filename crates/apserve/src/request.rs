@@ -285,7 +285,7 @@ pub fn parse_request(body: &[u8]) -> Result<CanonRequest, RequestError> {
         }
         Kind::Fault => &["kind", "stream", "apps", "scale", "fault_seed"],
         Kind::Remodel => &["kind", "stream", "trace", "factors", "rev"],
-        Kind::Sleep => &["kind", "stream", "ms"],
+        Kind::Sleep => &["kind", "stream", "ms", "crash"],
     };
     for (k, _) in members {
         if !allowed.contains(&k.as_str()) {
@@ -374,6 +374,23 @@ pub fn parse_request(body: &[u8]) -> Result<CanonRequest, RequestError> {
                 },
             };
             canon.push(("ms".into(), Json::from(ms)));
+            // Deliberate failure injection for the sandbox test matrix:
+            // `"crash":"panic"` panics after the sleep, `"abort"` calls
+            // `abort(2)`. Only meaningful where sleep jobs are enabled.
+            let crash = match doc.get("crash") {
+                None | Some(Json::Null) => Json::Null,
+                Some(j) => match j.as_str() {
+                    Some("panic") => Json::from("panic"),
+                    Some("abort") => Json::from("abort"),
+                    _ => {
+                        return Err(RequestError::new(
+                            "crash",
+                            format!("must be null, \"panic\", or \"abort\", got {j}"),
+                        ))
+                    }
+                },
+            };
+            canon.push(("crash".into(), crash));
         }
     }
 
@@ -469,6 +486,8 @@ mod tests {
             ),
             (r#"{"kind":"bench","apps":["EP"],"apps":["CG"]}"#, "apps"),
             (r#"{"kind":"bench","stream":"yes"}"#, "stream"),
+            (r#"{"kind":"sleep","crash":"sometimes"}"#, "crash"),
+            (r#"{"kind":"bench","crash":"panic"}"#, "crash"),
         ] {
             let e = parse(body).unwrap_err();
             assert_eq!(e.field, field, "{body} -> {e:?}");
@@ -481,6 +500,16 @@ mod tests {
         let e = parse(&deep).unwrap_err();
         assert_eq!(e.field, "body");
         assert!(e.detail.contains("rejected"), "{e:?}");
+    }
+
+    #[test]
+    fn sleep_crash_injection_canonicalizes() {
+        let plain = parse(r#"{"kind":"sleep","ms":5}"#).unwrap();
+        let explicit = parse(r#"{"kind":"sleep","ms":5,"crash":null}"#).unwrap();
+        assert_eq!(plain.key, explicit.key, "null crash is the default");
+        let panic = parse(r#"{"kind":"sleep","ms":5,"crash":"panic"}"#).unwrap();
+        assert_ne!(plain.key, panic.key, "crash mode is part of the address");
+        assert_eq!(panic.field("crash").and_then(Json::as_str), Some("panic"));
     }
 
     #[test]

@@ -158,7 +158,14 @@ fn route(
 ) -> std::io::Result<()> {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => {
-            write_response(w, &Response::json(200, br#"{"status":"ok"}"#.to_vec()))
+            let st = svc.stats();
+            let doc = Json::obj([
+                ("status", Json::from("ok")),
+                ("sandbox", Json::Bool(st.sandbox)),
+                ("workers", Json::from(st.workers)),
+                ("poisoned_keys", Json::from(st.poisoned_keys)),
+            ]);
+            write_response(w, &Response::json(200, doc.to_string().into_bytes()))
         }
         ("GET", "/stats") => {
             let doc = stats_json(svc, gauge.load(Ordering::SeqCst));
@@ -166,11 +173,16 @@ fn route(
         }
         ("POST", "/submit") => submit(svc, req, w),
         ("POST", "/shutdown") => {
-            svc.shutdown();
-            write_response(
+            // Acknowledge *before* draining: the drain can take up to
+            // `drain_ms` plus the reap window, and the client should not
+            // have its response truncated by the process exiting the
+            // moment the drain completes.
+            let sent = write_response(
                 w,
                 &Response::json(200, br#"{"status":"stopping"}"#.to_vec()),
-            )
+            );
+            svc.shutdown();
+            sent
         }
         (_, "/healthz" | "/stats" | "/submit" | "/shutdown") => write_response(
             w,
@@ -208,6 +220,11 @@ fn stats_json(svc: &Service, open_connections: usize) -> Json {
                 ("open_connections", Json::from(open_connections)),
                 ("workers", Json::from(st.workers)),
                 ("queue_capacity", Json::from(st.queue_capacity)),
+                ("disk_entries", Json::from(st.disk_entries)),
+                ("disk_bytes", Json::from(st.disk_bytes)),
+                ("poisoned_keys", Json::from(st.poisoned_keys)),
+                ("children", Json::from(st.children)),
+                ("sandbox", Json::Bool(st.sandbox)),
             ]),
         ),
     ])
@@ -273,17 +290,20 @@ fn submit(svc: &Service, req: &HttpRequest, w: &mut TcpStream) -> std::io::Resul
                         String::from_utf8(body)
                             .unwrap_or_else(|_| r#"{"error":"non-utf8 report"}"#.to_string())
                     }
-                    Err(e) => Json::obj([
-                        ("error", Json::from("job_failed")),
-                        ("detail", Json::from(e)),
-                    ])
-                    .to_string(),
+                    Err(e) => e.to_json().to_string(),
                 };
                 writeln!(w, "{line}")?;
                 w.flush()
             } else {
                 finish(w, &key, status, job.wait())
             }
+        }
+        Submission::Poisoned { crashes } => {
+            let err = crate::service::JobError::Poisoned { crashes };
+            let mut resp =
+                Response::json(err.http_status(), err.to_json().to_string().into_bytes());
+            resp.headers.push(("X-Key".to_string(), key));
+            write_response(w, &resp)
         }
         Submission::Rejected { queued, capacity } => {
             let body = Json::obj([
@@ -309,19 +329,11 @@ fn finish(
     w: &mut TcpStream,
     key: &str,
     cache_status: &str,
-    outcome: Result<Vec<u8>, String>,
+    outcome: Result<Vec<u8>, crate::service::JobError>,
 ) -> std::io::Result<()> {
     let mut resp = match outcome {
         Ok(body) => Response::json(200, body),
-        Err(e) => Response::json(
-            500,
-            Json::obj([
-                ("error", Json::from("job_failed")),
-                ("detail", Json::from(e)),
-            ])
-            .to_string()
-            .into_bytes(),
-        ),
+        Err(e) => Response::json(e.http_status(), e.to_json().to_string().into_bytes()),
     };
     resp.headers
         .push(("X-Cache".to_string(), cache_status.to_string()));

@@ -1,28 +1,41 @@
 //! The job engine: bounded worker pool, single-flight deduplication,
-//! and the cache/backpressure decision — everything below the HTTP
-//! layer, so all of it is testable without a socket.
+//! crash containment, and the cache/backpressure decision — everything
+//! below the HTTP layer, so all of it is testable without a socket.
 //!
 //! One lock ([`Service::inner`]) guards the cache, the in-flight table,
-//! and the queue, so the submit decision — *hit? join? enqueue?
-//! reject?* — is atomic. The invariants the integration suite pins:
+//! the queue, the child-process registry, and the poison set, so the
+//! submit decision — *poisoned? hit? join? enqueue? reject?* — is
+//! atomic. The invariants the integration suite pins:
 //!
 //! - **Single-flight**: at most one execution per content address is
 //!   ever in flight; concurrent identical submissions join it
-//!   (`runs == misses`, always).
+//!   (`runs == misses` for successful jobs, always).
 //! - **Bounded**: the queue never exceeds `queue_cap`; beyond that,
 //!   submissions are rejected *immediately* with a structured error —
 //!   the server's memory is bounded by `queue_cap`, not by clients.
 //! - **Byte-stable**: a cached result is returned verbatim, so cold and
-//!   cached responses are identical bytes.
+//!   cached responses are identical bytes — and so are sandboxed and
+//!   in-process responses, because the worker envelope transports the
+//!   executor's output through one exact JSON round trip.
+//! - **Contained**: with a sandbox configured, a job that panics,
+//!   aborts, OOMs, or overruns its deadline kills *its own process*;
+//!   the server answers with a structured error and keeps serving.
+//!   A crashed (not cleanly-failed) job is retried once with backoff;
+//!   if it crashes again its key is poisoned — subsequent submissions
+//!   get a structured 422 instead of another turn on the pool.
 
 use std::collections::{HashMap, VecDeque};
+use std::panic::AssertUnwindSafe;
 use std::path::PathBuf;
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 use apobs::CacheCounters;
+use aputil::Json;
 
 use crate::cache::{CacheTier, ResultCache};
-use crate::request::CanonRequest;
+use crate::request::{CanonRequest, Kind};
+use crate::worker::{ChildSlot, KillReason, RunOutcome, SandboxConfig};
 
 /// Computes one job: canonical request in, complete report document
 /// out. Injected by the binary that owns the simulators (`apbench`),
@@ -30,12 +43,17 @@ use crate::request::CanonRequest;
 /// caching sense: same canonical request ⇒ same bytes.
 pub type Executor = Arc<dyn Fn(&CanonRequest) -> Result<String, String> + Send + Sync>;
 
+/// Most keys the crash-loop breaker remembers; beyond this the oldest
+/// poisoned key is forgotten (and would have to crash-loop again to
+/// re-trip). Bounds a hostile client's ability to grow server memory.
+const POISON_CAP: usize = 1024;
+
 /// Server/service configuration.
 #[derive(Clone, Debug)]
 pub struct Config {
     /// Listen address, e.g. `127.0.0.1:0` (port 0 = ephemeral).
     pub addr: String,
-    /// Worker threads executing jobs.
+    /// Worker threads executing (or supervising) jobs.
     pub workers: usize,
     /// Jobs admitted but not yet running; beyond this, reject.
     pub queue_cap: usize,
@@ -43,8 +61,16 @@ pub struct Config {
     pub cache_entries: usize,
     /// Disk-tier directory; `None` disables persistence.
     pub cache_dir: Option<PathBuf>,
+    /// Disk-tier byte budget with LRU eviction; `None` = unbounded.
+    pub disk_cache_bytes: Option<u64>,
     /// Accept `kind:"sleep"` test jobs. Off in production.
     pub allow_sleep: bool,
+    /// Process isolation policy; `None` runs jobs in-process (PR 9
+    /// behaviour, plus panic containment via `catch_unwind`).
+    pub sandbox: Option<SandboxConfig>,
+    /// How long `shutdown` waits for in-flight jobs to finish before
+    /// killing their worker processes.
+    pub drain_ms: u64,
 }
 
 impl Default for Config {
@@ -55,7 +81,90 @@ impl Default for Config {
             queue_cap: 8,
             cache_entries: 64,
             cache_dir: None,
+            disk_cache_bytes: None,
             allow_sleep: false,
+            sandbox: None,
+            drain_ms: 2_000,
+        }
+    }
+}
+
+/// How a job failed — each variant maps to one structured HTTP error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JobError {
+    /// The job ran to completion and reported an error of its own
+    /// (unknown app, unreadable trace...). `500 job_failed`.
+    Failed(String),
+    /// The worker process (or, in-process, the worker thread's
+    /// `catch_unwind`) died without a result. `500 job_crashed`.
+    Crashed { status: String, stderr_tail: String },
+    /// Killed for exceeding the per-job deadline. `504 job_timeout`.
+    Timeout { deadline_ms: u64 },
+    /// The key tripped the crash-loop breaker. `422 job_poisoned`.
+    Poisoned { crashes: u32 },
+    /// The server is shutting down. `503 job_canceled`.
+    Canceled(String),
+}
+
+impl JobError {
+    /// The machine-readable `error` field of the response document.
+    pub fn code(&self) -> &'static str {
+        match self {
+            JobError::Failed(_) => "job_failed",
+            JobError::Crashed { .. } => "job_crashed",
+            JobError::Timeout { .. } => "job_timeout",
+            JobError::Poisoned { .. } => "job_poisoned",
+            JobError::Canceled(_) => "job_canceled",
+        }
+    }
+
+    pub fn http_status(&self) -> u16 {
+        match self {
+            JobError::Failed(_) | JobError::Crashed { .. } => 500,
+            JobError::Timeout { .. } => 504,
+            JobError::Poisoned { .. } => 422,
+            JobError::Canceled(_) => 503,
+        }
+    }
+
+    /// The structured error document (HTTP body).
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("error", Json::from(self.code())),
+            ("detail", Json::from(self.to_string())),
+        ];
+        match self {
+            JobError::Crashed {
+                status,
+                stderr_tail,
+            } => {
+                fields.push(("exit_status", Json::from(status.as_str())));
+                fields.push(("stderr_tail", Json::from(stderr_tail.as_str())));
+            }
+            JobError::Timeout { deadline_ms } => {
+                fields.push(("deadline_ms", Json::from(*deadline_ms)));
+            }
+            JobError::Poisoned { crashes } => {
+                fields.push(("crashes", Json::from(u64::from(*crashes))));
+            }
+            JobError::Failed(_) | JobError::Canceled(_) => {}
+        }
+        Json::obj(fields)
+    }
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::Failed(msg) | JobError::Canceled(msg) => write!(f, "{msg}"),
+            JobError::Crashed { status, .. } => write!(f, "worker crashed: {status}"),
+            JobError::Timeout { deadline_ms } => {
+                write!(f, "job exceeded the {deadline_ms} ms deadline and was killed")
+            }
+            JobError::Poisoned { crashes } => write!(
+                f,
+                "request key is poisoned after {crashes} crashed executions"
+            ),
         }
     }
 }
@@ -76,8 +185,8 @@ pub struct Job {
 struct JobState {
     /// Progress lines appended as the job advances; waiters stream them.
     progress: Vec<String>,
-    /// `Some` once finished: the report bytes or a failure message.
-    outcome: Option<Result<Vec<u8>, String>>,
+    /// `Some` once finished: the report bytes or a structured failure.
+    outcome: Option<Result<Vec<u8>, JobError>>,
 }
 
 impl Job {
@@ -98,7 +207,7 @@ impl Job {
         self.done_cv.notify_all();
     }
 
-    fn complete(&self, outcome: Result<Vec<u8>, String>) {
+    fn complete(&self, outcome: Result<Vec<u8>, JobError>) {
         let mut st = self.state.lock().unwrap();
         st.progress
             .push(if outcome.is_ok() { "done" } else { "failed" }.to_string());
@@ -107,7 +216,7 @@ impl Job {
     }
 
     /// Blocks until the job finishes; returns report bytes or failure.
-    pub fn wait(&self) -> Result<Vec<u8>, String> {
+    pub fn wait(&self) -> Result<Vec<u8>, JobError> {
         let mut st = self.state.lock().unwrap();
         loop {
             if let Some(outcome) = &st.outcome {
@@ -123,7 +232,7 @@ impl Job {
     pub fn wait_streaming(
         &self,
         mut emit: impl FnMut(&str) -> Result<(), ClientGone>,
-    ) -> Result<Result<Vec<u8>, String>, ClientGone> {
+    ) -> Result<Result<Vec<u8>, JobError>, ClientGone> {
         let mut seen = 0usize;
         let mut st = self.state.lock().unwrap();
         loop {
@@ -151,6 +260,8 @@ pub enum Submission {
     Pending { job: Arc<Job>, joined: bool },
     /// Queue full — structured backpressure, client should retry later.
     Rejected { queued: usize, capacity: usize },
+    /// The key crash-looped and is poisoned — structured 422, no run.
+    Poisoned { crashes: u32 },
 }
 
 struct Inner {
@@ -158,6 +269,13 @@ struct Inner {
     /// Content address -> the one job currently computing it.
     inflight: HashMap<u64, Arc<Job>>,
     queue: VecDeque<Arc<Job>>,
+    /// Content address -> the live child computing it (sandbox mode);
+    /// this is what the shutdown drain kills.
+    children: HashMap<u64, Arc<ChildSlot>>,
+    /// Crash-loop breaker: key -> total crashed executions. Bounded by
+    /// [`POISON_CAP`] (oldest key forgotten first).
+    poisoned: HashMap<u64, u32>,
+    poison_order: VecDeque<u64>,
     counters: CacheCounters,
     shutdown: bool,
 }
@@ -169,6 +287,11 @@ pub struct Service {
     inner: Mutex<Inner>,
     work_cv: Condvar,
     executor: Executor,
+    /// Serializes [`Service::shutdown`]: the first caller drains, every
+    /// concurrent caller blocks here until the drain has finished (the
+    /// flag records "drained"). Without this a foreground server could
+    /// observe the shutdown flag and exit the process mid-drain.
+    drain_lock: Mutex<bool>,
 }
 
 /// A point-in-time `/stats` snapshot.
@@ -179,24 +302,44 @@ pub struct Stats {
     pub queue_depth: usize,
     pub cache_entries: usize,
     pub cache_bytes: usize,
+    pub disk_entries: usize,
+    pub disk_bytes: u64,
     pub workers: usize,
     pub queue_capacity: usize,
+    pub poisoned_keys: usize,
+    pub children: usize,
+    pub sandbox: bool,
+}
+
+/// The report document for a `kind:"sleep"` job — shared with `repro
+/// job-exec` so sandboxed and in-process sleep results are identical.
+pub fn sleep_report(ms: u64) -> String {
+    Json::obj([
+        ("schema", Json::from("ap1000plus.sleep")),
+        ("version", Json::from(1u64)),
+        ("slept_ms", Json::from(ms)),
+    ])
+    .to_string()
 }
 
 impl Service {
     pub fn new(cfg: Config, executor: Executor) -> Arc<Service> {
-        let cache = ResultCache::new(cfg.cache_entries, cfg.cache_dir.clone());
+        let cache = ResultCache::new(cfg.cache_entries, cfg.cache_dir.clone(), cfg.disk_cache_bytes);
         Arc::new(Service {
             cfg,
             inner: Mutex::new(Inner {
                 cache,
                 inflight: HashMap::new(),
                 queue: VecDeque::new(),
+                children: HashMap::new(),
+                poisoned: HashMap::new(),
+                poison_order: VecDeque::new(),
                 counters: CacheCounters::new(),
                 shutdown: false,
             }),
             work_cv: Condvar::new(),
             executor,
+            drain_lock: Mutex::new(false),
         })
     }
 
@@ -213,7 +356,8 @@ impl Service {
             .collect()
     }
 
-    /// The atomic admit decision: cache hit, join, enqueue, or reject.
+    /// The atomic admit decision: poisoned, cache hit, join, enqueue,
+    /// or reject.
     pub fn submit(&self, request: CanonRequest) -> Submission {
         let key = request.key;
         let mut inner = self.inner.lock().unwrap();
@@ -222,6 +366,13 @@ impl Service {
                 queued: inner.queue.len(),
                 capacity: 0,
             };
+        }
+        // The breaker outranks the cache: a poisoned key has never been
+        // cached as success (only Ok results are stored), and answering
+        // 422 here keeps repeat crashers off the pool entirely.
+        if let Some(&crashes) = inner.poisoned.get(&key) {
+            inner.counters.poison_rejects += 1;
+            return Submission::Poisoned { crashes };
         }
         if let Some((body, tier)) = inner.cache.get(key) {
             match tier {
@@ -266,54 +417,179 @@ impl Service {
                 }
             };
             job.push_progress("started");
-            let result = self.execute(&job.request);
+            let result = self.run_with_retry(&job);
             let mut inner = self.inner.lock().unwrap();
             let key = job.request.key;
-            match &result {
-                Ok(body) => {
-                    inner.counters.runs += 1;
-                    if let Err(e) = inner.cache.put(key, &job.request.text, body.as_bytes()) {
-                        // The memory tier took the entry; only persistence
-                        // failed. Log and carry on — correctness is a
-                        // recompute, not an error.
-                        eprintln!("apserve: disk cache write failed: {e}");
-                    }
-                    inner.counters.evictions = inner.cache.evictions;
+            if let Ok(body) = &result {
+                inner.counters.runs += 1;
+                if let Err(e) = inner.cache.put(key, &job.request.text, body) {
+                    // The memory tier took the entry; only persistence
+                    // failed. Log and carry on — correctness is a
+                    // recompute, not an error.
+                    eprintln!("apserve: disk cache write failed: {e}");
                 }
-                Err(_) => inner.counters.failures += 1,
+                inner.counters.evictions = inner.cache.evictions;
+                inner.counters.disk_evictions = inner.cache.disk_evictions;
             }
             inner.inflight.remove(&key);
             drop(inner);
-            job.complete(result.map(String::into_bytes));
+            job.complete(result);
         }
     }
 
-    fn execute(&self, request: &CanonRequest) -> Result<String, String> {
-        if request.kind == crate::request::Kind::Sleep {
-            if !self.cfg.allow_sleep {
-                return Err("sleep jobs are disabled on this server".to_string());
+    /// Executes a job to its final verdict, applying the crash policy:
+    /// a crashed (not cleanly-failed, not timed-out) execution gets
+    /// `retries` deterministic retries with linear backoff; when the
+    /// last one also crashes, the key is poisoned. Timeouts neither
+    /// retry (the deadline would just burn twice) nor poison (slow is
+    /// not crash-looping); clean failures pass straight through.
+    fn run_with_retry(&self, job: &Arc<Job>) -> Result<Vec<u8>, JobError> {
+        let (retries, backoff_ms) = match &self.cfg.sandbox {
+            Some(s) => (s.retries, s.retry_backoff_ms),
+            None => (1, 100),
+        };
+        let mut attempt: u32 = 0;
+        loop {
+            match self.execute_once(job) {
+                RunOutcome::Ok(body) => return Ok(body),
+                RunOutcome::CleanFail(msg) => {
+                    self.inner.lock().unwrap().counters.failures += 1;
+                    return Err(JobError::Failed(msg));
+                }
+                RunOutcome::Timeout { deadline_ms } => {
+                    let mut inner = self.inner.lock().unwrap();
+                    inner.counters.timeouts += 1;
+                    inner.counters.kills += 1;
+                    return Err(JobError::Timeout { deadline_ms });
+                }
+                RunOutcome::Canceled => {
+                    self.inner.lock().unwrap().counters.failures += 1;
+                    return Err(JobError::Canceled(
+                        "job killed by server shutdown".to_string(),
+                    ));
+                }
+                RunOutcome::Crashed {
+                    status,
+                    stderr_tail,
+                } => {
+                    self.inner.lock().unwrap().counters.crashed += 1;
+                    if attempt < retries && !self.is_shutdown() {
+                        attempt += 1;
+                        self.inner.lock().unwrap().counters.job_retries += 1;
+                        job.push_progress(&format!(
+                            "crashed ({status}); retrying ({attempt}/{retries})"
+                        ));
+                        std::thread::sleep(Duration::from_millis(
+                            backoff_ms.saturating_mul(u64::from(attempt)),
+                        ));
+                        continue;
+                    }
+                    self.poison(job.request.key, attempt + 1);
+                    return Err(JobError::Crashed {
+                        status,
+                        stderr_tail,
+                    });
+                }
             }
-            let ms = request
-                .field("ms")
-                .and_then(aputil::Json::as_u64)
-                .unwrap_or(0);
-            std::thread::sleep(std::time::Duration::from_millis(ms));
-            return Ok(aputil::Json::obj([
-                ("schema", aputil::Json::from("ap1000plus.sleep")),
-                ("version", aputil::Json::from(1u64)),
-                ("slept_ms", aputil::Json::from(ms)),
-            ])
-            .to_string());
         }
-        (self.executor)(request)
     }
 
-    /// Flips the shutdown flag, fails everything still queued, and wakes
-    /// the workers so they can exit.
+    /// One execution attempt, sandboxed or in-process.
+    fn execute_once(&self, job: &Arc<Job>) -> RunOutcome {
+        let request = &job.request;
+        // The sleep gate is server policy, enforced before any process
+        // is spawned; the child itself always honours sleep requests.
+        if request.kind == Kind::Sleep && !self.cfg.allow_sleep {
+            return RunOutcome::CleanFail("sleep jobs are disabled on this server".to_string());
+        }
+        match &self.cfg.sandbox {
+            Some(sandbox) => self.execute_sandboxed(sandbox, request),
+            None => self.execute_inproc(request),
+        }
+    }
+
+    fn execute_sandboxed(&self, sandbox: &SandboxConfig, request: &CanonRequest) -> RunOutcome {
+        if self.is_shutdown() {
+            return RunOutcome::Canceled;
+        }
+        let key = request.key;
+        let outcome = crate::worker::run_job(sandbox, &request.text, |slot| {
+            self.inner.lock().unwrap().children.insert(key, slot);
+        });
+        self.inner.lock().unwrap().children.remove(&key);
+        outcome
+    }
+
+    /// In-process execution with panic containment: a panicking
+    /// executor becomes [`RunOutcome::Crashed`] — same retry and
+    /// breaker policy as a sandboxed crash, it just can't survive
+    /// `abort(2)` or enforce deadlines (that needs `sandbox`).
+    fn execute_inproc(&self, request: &CanonRequest) -> RunOutcome {
+        let run = || -> Result<String, String> {
+            if request.kind == Kind::Sleep {
+                let ms = request.field("ms").and_then(Json::as_u64).unwrap_or(0);
+                match request.field("crash").and_then(Json::as_str) {
+                    Some("panic") => {
+                        std::thread::sleep(Duration::from_millis(ms));
+                        panic!("injected panic (crash=\"panic\")");
+                    }
+                    Some("abort") => {
+                        return Err(
+                            "crash=\"abort\" requires sandbox mode (--sandbox)".to_string()
+                        )
+                    }
+                    _ => {}
+                }
+                std::thread::sleep(Duration::from_millis(ms));
+                return Ok(sleep_report(ms));
+            }
+            (self.executor)(request)
+        };
+        match std::panic::catch_unwind(AssertUnwindSafe(run)) {
+            Ok(Ok(body)) => RunOutcome::Ok(body.into_bytes()),
+            Ok(Err(msg)) => RunOutcome::CleanFail(msg),
+            Err(payload) => RunOutcome::Crashed {
+                status: "panic in worker thread".to_string(),
+                stderr_tail: panic_message(payload.as_ref()),
+            },
+        }
+    }
+
+    /// Trips the breaker for `key`, evicting the oldest poisoned key
+    /// if the set is at capacity.
+    fn poison(&self, key: u64, crashes: u32) {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.poisoned.len() >= POISON_CAP && !inner.poisoned.contains_key(&key) {
+            if let Some(old) = inner.poison_order.pop_front() {
+                inner.poisoned.remove(&old);
+            }
+        }
+        if inner.poisoned.insert(key, crashes).is_none() {
+            inner.poison_order.push_back(key);
+        }
+    }
+
+    /// Graceful drain: refuse new work, fail everything still queued,
+    /// give running jobs `drain_ms` to finish, then kill the remaining
+    /// worker processes and wait (bounded) for their reaping — so a
+    /// stopped server leaves no orphan processes behind.
+    ///
+    /// Safe to call from multiple threads: the first caller drains,
+    /// everyone else blocks until that drain is complete. This is what
+    /// lets a foreground server exit the process only *after* the drain
+    /// has actually finished, whichever thread started it.
     pub fn shutdown(&self) {
+        let mut drained = self.drain_lock.lock().unwrap();
+        if !*drained {
+            self.drain();
+            *drained = true;
+        }
+    }
+
+    fn drain(&self) {
+        self.inner.lock().unwrap().shutdown = true;
         let drained: Vec<Arc<Job>> = {
             let mut inner = self.inner.lock().unwrap();
-            inner.shutdown = true;
             inner.queue.drain(..).collect()
         };
         for job in &drained {
@@ -321,9 +597,48 @@ impl Service {
             inner.inflight.remove(&job.request.key);
             inner.counters.failures += 1;
             drop(inner);
-            job.complete(Err("server shutting down".to_string()));
+            job.complete(Err(JobError::Canceled("server shutting down".to_string())));
         }
         self.work_cv.notify_all();
+
+        // Phase 1: let in-flight jobs finish on their own.
+        let drain_deadline = Instant::now() + Duration::from_millis(self.cfg.drain_ms);
+        while Instant::now() < drain_deadline {
+            if self.inner.lock().unwrap().inflight.is_empty() {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        // Phase 2: kill whatever is still running in a child process.
+        let slots: Vec<Arc<ChildSlot>> = {
+            let mut inner = self.inner.lock().unwrap();
+            let slots: Vec<_> = inner.children.values().map(Arc::clone).collect();
+            inner.counters.kills += slots.len() as u64;
+            slots
+        };
+        for slot in &slots {
+            slot.kill(KillReason::Drain);
+        }
+        if slots.is_empty() {
+            // In-process stragglers can't be killed; the worker join in
+            // the server's stop path bounds what happens next.
+            return;
+        }
+        // Phase 3: bounded wait for the supervisors to reap the kills.
+        let reap_deadline = Instant::now() + Duration::from_secs(5);
+        while Instant::now() < reap_deadline {
+            let inner = self.inner.lock().unwrap();
+            if inner.inflight.is_empty() {
+                return;
+            }
+            // Close the register-after-sweep race: kill any child that
+            // appeared since phase 2 (idempotent on dead children).
+            for slot in inner.children.values() {
+                slot.kill(KillReason::Drain);
+            }
+            drop(inner);
+            std::thread::sleep(Duration::from_millis(10));
+        }
     }
 
     /// Whether [`Service::shutdown`] has run (e.g. via `POST /shutdown`).
@@ -339,9 +654,24 @@ impl Service {
             queue_depth: inner.queue.len(),
             cache_entries: inner.cache.entries(),
             cache_bytes: inner.cache.bytes(),
+            disk_entries: inner.cache.disk_entries(),
+            disk_bytes: inner.cache.disk_bytes(),
             workers: self.cfg.workers,
             queue_capacity: self.cfg.queue_cap,
+            poisoned_keys: inner.poisoned.len(),
+            children: inner.children.len(),
+            sandbox: self.cfg.sandbox.is_some(),
         }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
     }
 }
 
@@ -492,7 +822,7 @@ mod tests {
         let run = |body: &str| match svc.submit(req(body)) {
             Submission::Pending { job, .. } => job.wait().unwrap(),
             Submission::Done { body, .. } => body,
-            Submission::Rejected { .. } => panic!("rejected"),
+            _ => panic!("rejected"),
         };
         let first = run(r#"{"kind":"bench","apps":["EP"]}"#);
         run(r#"{"kind":"bench","apps":["MatMul"]}"#); // evicts EP
@@ -518,7 +848,9 @@ mod tests {
         for _ in 0..2 {
             match svc.submit(req(r#"{"kind":"bench","apps":["EP"]}"#)) {
                 Submission::Pending { job, .. } => {
-                    assert_eq!(job.wait().unwrap_err(), "workload exploded");
+                    let err = job.wait().unwrap_err();
+                    assert_eq!(err, JobError::Failed("workload exploded".to_string()));
+                    assert_eq!(err.code(), "job_failed");
                 }
                 _ => panic!("failures must not be cached"),
             }
@@ -534,7 +866,7 @@ mod tests {
         let (svc, workers) = svc(Config::default(), runs);
         match svc.submit(req(r#"{"kind":"sleep","ms":1}"#)) {
             Submission::Pending { job, .. } => {
-                assert!(job.wait().unwrap_err().contains("disabled"));
+                assert!(job.wait().unwrap_err().to_string().contains("disabled"));
             }
             _ => panic!("expected pending"),
         }
@@ -559,5 +891,106 @@ mod tests {
         assert!(outcome.is_ok());
         assert_eq!(lines, ["queued", "started", "done"]);
         finish(svc, workers);
+    }
+
+    #[test]
+    fn panicking_executor_is_contained_retried_and_poisons_the_key() {
+        let calls = Arc::new(AtomicU64::new(0));
+        let calls2 = Arc::clone(&calls);
+        let exec: Executor = Arc::new(move |_req| {
+            calls2.fetch_add(1, Ordering::SeqCst);
+            panic!("simulated simulator bug");
+        });
+        let svc = Service::new(Config::default(), exec);
+        let workers = svc.spawn_workers();
+        let body = r#"{"kind":"bench","apps":["EP"]}"#;
+        match svc.submit(req(body)) {
+            Submission::Pending { job, .. } => match job.wait().unwrap_err() {
+                JobError::Crashed {
+                    status,
+                    stderr_tail,
+                } => {
+                    assert!(status.contains("panic"), "{status}");
+                    assert!(stderr_tail.contains("simulated simulator bug"));
+                }
+                other => panic!("expected Crashed, got {other:?}"),
+            },
+            _ => panic!("expected pending"),
+        }
+        // One retry happened: the executor ran twice for one submit.
+        assert_eq!(calls.load(Ordering::SeqCst), 2);
+        let st = svc.stats();
+        assert_eq!(st.counters.crashed, 2);
+        assert_eq!(st.counters.job_retries, 1);
+        assert_eq!(st.poisoned_keys, 1, "final crash poisons the key");
+        finish(svc, workers);
+    }
+
+    #[test]
+    fn poisoned_key_is_rejected_without_running() {
+        let calls = Arc::new(AtomicU64::new(0));
+        let calls2 = Arc::clone(&calls);
+        let exec: Executor = Arc::new(move |_req| {
+            calls2.fetch_add(1, Ordering::SeqCst);
+            panic!("always crashes");
+        });
+        let svc = Service::new(Config::default(), exec);
+        let workers = svc.spawn_workers();
+        let body = r#"{"kind":"bench","apps":["EP"]}"#;
+        match svc.submit(req(body)) {
+            Submission::Pending { job, .. } => {
+                assert!(matches!(job.wait().unwrap_err(), JobError::Crashed { .. }));
+            }
+            _ => panic!("expected pending"),
+        }
+        // Same key again: the breaker answers, the executor does not run.
+        let before = calls.load(Ordering::SeqCst);
+        match svc.submit(req(body)) {
+            Submission::Poisoned { crashes } => assert_eq!(crashes, 2),
+            _ => panic!("expected poisoned"),
+        }
+        assert_eq!(calls.load(Ordering::SeqCst), before);
+        let st = svc.stats();
+        assert_eq!(st.counters.poison_rejects, 1);
+        assert_eq!(st.poisoned_keys, 1);
+        // A *different* key still runs (and also crashes — but it ran).
+        match svc.submit(req(r#"{"kind":"bench","apps":["CG"]}"#)) {
+            Submission::Pending { job, .. } => {
+                let _ = job.wait();
+            }
+            _ => panic!("expected pending"),
+        }
+        assert!(calls.load(Ordering::SeqCst) > before);
+        finish(svc, workers);
+    }
+
+    #[test]
+    fn error_documents_are_structured() {
+        let crashed = JobError::Crashed {
+            status: "killed by signal 9".to_string(),
+            stderr_tail: "oom".to_string(),
+        };
+        assert_eq!(crashed.http_status(), 500);
+        let j = crashed.to_json();
+        assert_eq!(j.get("error").and_then(Json::as_str), Some("job_crashed"));
+        assert_eq!(
+            j.get("exit_status").and_then(Json::as_str),
+            Some("killed by signal 9")
+        );
+        assert_eq!(j.get("stderr_tail").and_then(Json::as_str), Some("oom"));
+
+        let timeout = JobError::Timeout { deadline_ms: 250 };
+        assert_eq!(timeout.http_status(), 504);
+        assert_eq!(
+            timeout.to_json().get("deadline_ms").and_then(Json::as_u64),
+            Some(250)
+        );
+
+        let poisoned = JobError::Poisoned { crashes: 2 };
+        assert_eq!(poisoned.http_status(), 422);
+        assert_eq!(
+            poisoned.to_json().get("crashes").and_then(Json::as_u64),
+            Some(2)
+        );
     }
 }

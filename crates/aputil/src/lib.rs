@@ -25,6 +25,7 @@ pub mod fsio;
 pub mod hash;
 pub mod id;
 pub mod json;
+pub mod proc;
 pub mod time;
 
 pub use addr::{PAddr, VAddr};
@@ -34,4 +35,5 @@ pub use fsio::write_atomic;
 pub use hash::{fnv1a_64, key_hex, parse_key_hex};
 pub use id::CellId;
 pub use json::{write_json_escaped, Json, JsonError, JsonErrorKind, MAX_JSON_DEPTH};
+pub use proc::{exit_desc, spawn_limited, TailBuf};
 pub use time::SimTime;

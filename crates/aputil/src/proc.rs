@@ -1,0 +1,202 @@
+//! Child-process helpers for the sandboxed worker mode.
+//!
+//! The serving layer (DESIGN.md §11) executes jobs in self-exec'd child
+//! processes so a panicking, aborting, or OOM-killed simulation cannot
+//! take down the server. This module holds the process plumbing that is
+//! policy-free enough to live in the foundation crate:
+//!
+//! - [`spawn_limited`]: spawn a command with piped stdio and an optional
+//!   address-space ceiling. The workspace has no libc binding, so the
+//!   rlimit is applied best-effort by launching through
+//!   `/bin/sh -c 'ulimit -v KB; exec "$@"'` — with `exec`, the shell
+//!   replaces itself, so the returned [`Child`] pid *is* the job and
+//!   `kill` reaches it directly.
+//! - [`TailBuf`]: a bounded byte tail for capturing the last N bytes of
+//!   a child's stderr without letting a log-spewing job grow server
+//!   memory.
+//! - [`exit_desc`]: one honest line about how a child died (exit code or
+//!   signal), for structured `job_crashed` error documents.
+
+use std::process::{Child, Command, ExitStatus, Stdio};
+
+/// Keeps the last `cap` bytes pushed into it — the "stderr tail" a
+/// crashed job's error document carries. Bounded by construction: a
+/// child that writes gigabytes of diagnostics costs the server `cap`
+/// bytes, no more.
+#[derive(Debug)]
+pub struct TailBuf {
+    cap: usize,
+    buf: Vec<u8>,
+    truncated: bool,
+}
+
+impl TailBuf {
+    pub fn new(cap: usize) -> TailBuf {
+        TailBuf {
+            cap: cap.max(1),
+            buf: Vec::new(),
+            truncated: false,
+        }
+    }
+
+    /// Appends `bytes`, discarding from the front to stay within `cap`.
+    pub fn push(&mut self, bytes: &[u8]) {
+        if bytes.len() >= self.cap {
+            if !self.buf.is_empty() || bytes.len() > self.cap {
+                self.truncated = true;
+            }
+            self.buf.clear();
+            self.buf.extend_from_slice(&bytes[bytes.len() - self.cap..]);
+            return;
+        }
+        let overflow = (self.buf.len() + bytes.len()).saturating_sub(self.cap);
+        if overflow > 0 {
+            self.buf.drain(..overflow);
+            self.truncated = true;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// The retained tail as text (lossy on non-UTF-8), prefixed with an
+    /// ellipsis when earlier bytes were discarded.
+    pub fn render(&self) -> String {
+        let text = String::from_utf8_lossy(&self.buf);
+        if self.truncated {
+            format!("...{text}")
+        } else {
+            text.into_owned()
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// Spawns `program args...` with all three stdio streams piped.
+///
+/// When `mem_limit_bytes` is given (and the platform is unix), the child
+/// is launched through `/bin/sh` with `ulimit -v` set to the ceiling in
+/// KiB before `exec`ing the real program — so a runaway allocation in
+/// the job fails (and the allocator aborts the *child*) instead of
+/// triggering the kernel OOM killer against the whole server. The limit
+/// is best-effort: if the shell cannot lower it, the job still runs.
+pub fn spawn_limited(
+    program: &str,
+    args: &[String],
+    mem_limit_bytes: Option<u64>,
+) -> std::io::Result<Child> {
+    let mut cmd = match mem_limit_bytes {
+        Some(bytes) if cfg!(unix) => {
+            let kb = (bytes / 1024).max(1);
+            let mut c = Command::new("/bin/sh");
+            c.arg("-c")
+                .arg(format!("ulimit -v {kb} 2>/dev/null; exec \"$@\""))
+                .arg("sh")
+                .arg(program)
+                .args(args);
+            c
+        }
+        _ => {
+            let mut c = Command::new(program);
+            c.args(args);
+            c
+        }
+    };
+    cmd.stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped());
+    cmd.spawn()
+}
+
+/// One line describing how a child exited: `exit code N`, or on unix
+/// `killed by signal N` when it died to a signal (SIGKILL from the
+/// deadline enforcer, SIGABRT from `abort`, SIGSEGV, the OOM killer...).
+pub fn exit_desc(status: &ExitStatus) -> String {
+    #[cfg(unix)]
+    {
+        use std::os::unix::process::ExitStatusExt;
+        if let Some(sig) = status.signal() {
+            return format!("killed by signal {sig}");
+        }
+    }
+    match status.code() {
+        Some(c) => format!("exit code {c}"),
+        None => "exited abnormally".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+
+    #[test]
+    fn tail_buf_keeps_only_the_tail() {
+        let mut t = TailBuf::new(8);
+        t.push(b"abc");
+        assert_eq!(t.render(), "abc");
+        t.push(b"defgh");
+        assert_eq!(t.render(), "abcdefgh");
+        t.push(b"XY");
+        assert_eq!(t.render(), "...cdefghXY");
+        // A single oversized push keeps its own tail.
+        let mut t = TailBuf::new(4);
+        t.push(b"0123456789");
+        assert_eq!(t.render(), "...6789");
+        // An exactly-cap push into an empty buffer is not truncated.
+        let mut t = TailBuf::new(4);
+        t.push(b"wxyz");
+        assert_eq!(t.render(), "wxyz");
+    }
+
+    #[test]
+    fn spawn_round_trips_stdio() {
+        // `cat` echoes stdin to stdout; exercises the piped plumbing.
+        let mut child = spawn_limited("cat", &[], None).expect("spawn cat");
+        child
+            .stdin
+            .take()
+            .unwrap()
+            .write_all(b"ping")
+            .expect("write stdin");
+        let mut out = String::new();
+        child
+            .stdout
+            .take()
+            .unwrap()
+            .read_to_string(&mut out)
+            .expect("read stdout");
+        let status = child.wait().expect("wait");
+        assert!(status.success());
+        assert_eq!(out, "ping");
+        assert_eq!(exit_desc(&status), "exit code 0");
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn limited_spawn_still_runs_and_signals_are_described() {
+        // A generous limit must not break an ordinary child.
+        let mut child = spawn_limited(
+            "/bin/sh",
+            &["-c".to_string(), "echo ok".to_string()],
+            Some(1 << 32),
+        )
+        .expect("spawn limited");
+        let mut out = String::new();
+        child
+            .stdout
+            .take()
+            .unwrap()
+            .read_to_string(&mut out)
+            .unwrap();
+        assert!(child.wait().unwrap().success());
+        assert_eq!(out.trim(), "ok");
+
+        // A killed child is described as a signal, not an exit code.
+        let mut child = spawn_limited("sleep", &["30".to_string()], None).expect("spawn sleep");
+        child.kill().unwrap();
+        let status = child.wait().unwrap();
+        assert_eq!(exit_desc(&status), "killed by signal 9");
+    }
+}

@@ -104,20 +104,31 @@
 //! reference (single-core) CI host.
 //!
 //! `repro serve [--addr HOST:PORT] [--workers N] [--queue-cap N]
-//! [--cache-entries N] [--cache-dir DIR] [--allow-sleep]` runs the
-//! apserve job server (DESIGN.md §11): clients POST JSON job documents
-//! to `/submit` and identical requests are answered byte-identically
-//! from a content-addressed result cache. `--addr 127.0.0.1:0` binds an
-//! ephemeral port; the bound address is printed as `listening ADDR` on
-//! stdout. `POST /shutdown` (or `repro submit --shutdown`) stops it.
+//! [--cache-entries N] [--cache-dir DIR] [--disk-cache-bytes N]
+//! [--allow-sleep] [--sandbox] [--job-timeout MS] [--job-mem-mb N]
+//! [--job-retries N] [--drain-ms MS]` runs the apserve job server
+//! (DESIGN.md §11): clients POST JSON job documents to `/submit` and
+//! identical requests are answered byte-identically from a
+//! content-addressed result cache. `--sandbox` executes each job in a
+//! self-exec'd `repro job-exec` child process with a wall-clock
+//! deadline and optional address-space ceiling, so a crashing or
+//! runaway job yields a structured 500/504 instead of taking the
+//! server down; a key that crashes through its retry is poisoned
+//! (422). `--addr 127.0.0.1:0` binds an ephemeral port; the bound
+//! address is printed as `listening ADDR` on stdout. `POST /shutdown`
+//! (or `repro submit --shutdown`) drains in-flight jobs for
+//! `--drain-ms`, then kills the remaining children — no orphans.
 //!
 //! `repro submit --addr HOST:PORT (--job JSON | --job-file FILE |
-//! --stats | --health | --shutdown) [--stream] [--out FILE]` talks to a
-//! running server: prints the report on stdout (or atomically writes it
-//! to `--out`), the `X-Cache`/`X-Key` diagnosis on stderr. Exit codes:
-//! 0 success, 3 queue-full backpressure (retry later), 2 rejected
-//! request, 1 transport or job failure. `--stream` prints NDJSON
-//! progress lines on stderr as the job advances.
+//! --stats | --health | --shutdown) [--stream] [--retry N] [--out
+//! FILE]` talks to a running server: prints the report on stdout (or
+//! atomically writes it to `--out`), the `X-Cache`/`X-Key` diagnosis
+//! on stderr. Exit codes: 0 success, 3 queue-full backpressure (retry
+//! later), 2 rejected request (including a poisoned key), 1 transport
+//! or job failure. `--retry N` honours the 429 `Retry-After` header
+//! with capped exponential backoff before giving up with exit 3.
+//! `--stream` prints NDJSON progress lines on stderr as the job
+//! advances.
 //!
 //! `tracecat` (a sibling binary) inspects `.evtrace` headers and size
 //! statistics.
@@ -737,14 +748,55 @@ fn serve_cmd(args: &[String]) -> ! {
             None => default,
         }
     };
+    let u64_flag = |flag: &str| -> Option<u64> {
+        flag_value(args, flag).map(|s| {
+            s.parse()
+                .ok()
+                .filter(|&n| n > 0)
+                .unwrap_or_else(|| bad(format!("{flag} takes a positive integer, got '{s}'")))
+        })
+    };
+    let sandbox = if args.iter().any(|a| a == "--sandbox") {
+        let exe = std::env::current_exe()
+            .unwrap_or_else(|e| bad(format!("cannot locate own executable for --sandbox: {e}")));
+        let mut sb = apserve::SandboxConfig::new(vec![
+            exe.to_string_lossy().into_owned(),
+            "job-exec".to_string(),
+        ]);
+        if let Some(ms) = u64_flag("--job-timeout") {
+            sb.job_timeout_ms = ms;
+        }
+        if let Some(mb) = u64_flag("--job-mem-mb") {
+            sb.mem_limit_bytes = Some(mb.saturating_mul(1024 * 1024));
+        }
+        if let Some(s) = flag_value(args, "--job-retries") {
+            sb.retries = s
+                .parse()
+                .unwrap_or_else(|_| bad(format!("--job-retries takes a count (>= 0), got '{s}'")));
+        }
+        Some(sb)
+    } else {
+        for flag in ["--job-timeout", "--job-mem-mb", "--job-retries"] {
+            if flag_value(args, flag).is_some() {
+                bad(format!("{flag} requires --sandbox"));
+            }
+        }
+        None
+    };
     let cfg = apserve::Config {
         addr: flag_value(args, "--addr").unwrap_or_else(|| "127.0.0.1:8090".into()),
         workers: count("--workers", 2),
         queue_cap: count("--queue-cap", 8),
         cache_entries: count("--cache-entries", 64),
         cache_dir: flag_value(args, "--cache-dir").map(PathBuf::from),
+        disk_cache_bytes: u64_flag("--disk-cache-bytes"),
         allow_sleep: args.iter().any(|a| a == "--allow-sleep"),
+        sandbox,
+        drain_ms: u64_flag("--drain-ms").unwrap_or(2_000),
     };
+    if cfg.disk_cache_bytes.is_some() && cfg.cache_dir.is_none() {
+        bad("--disk-cache-bytes requires --cache-dir".into());
+    }
     let handle = apserve::serve(cfg, apbench::simulator_executor()).unwrap_or_else(|e| {
         eprintln!("cannot start server: {e}");
         std::process::exit(1);
@@ -773,7 +825,7 @@ fn submit_cmd(args: &[String]) -> ! {
     let Some(addr) = flag_value(args, "--addr") else {
         bad(
             "usage: repro submit --addr HOST:PORT (--job JSON | --job-file FILE | --stats | \
-             --health | --shutdown) [--stream] [--out FILE]"
+             --health | --shutdown) [--stream] [--retry N] [--out FILE]"
                 .into(),
         );
     };
@@ -830,7 +882,34 @@ fn submit_cmd(args: &[String]) -> ! {
         emit_report(args, &report);
         std::process::exit(0);
     }
-    let resp = apserve::client::submit(&addr, &job).unwrap_or_else(|e| transport_fail(e));
+    // `--retry N`: on 429 backpressure, honor the server's Retry-After
+    // header with capped exponential backoff instead of exiting 3
+    // immediately. Only 429 retries — structural errors would just fail
+    // again, and 5xx may not be idempotent to wait out.
+    let retries: u32 = match flag_value(args, "--retry") {
+        Some(s) => s
+            .parse()
+            .unwrap_or_else(|_| bad(format!("--retry takes a count (>= 0), got '{s}'"))),
+        None => 0,
+    };
+    let mut attempt: u32 = 0;
+    let resp = loop {
+        let resp = apserve::client::submit(&addr, &job).unwrap_or_else(|e| transport_fail(e));
+        if resp.status != 429 || attempt >= retries {
+            break resp;
+        }
+        attempt += 1;
+        let after_secs: u64 = resp
+            .header("retry-after")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1);
+        let delay_ms = after_secs
+            .saturating_mul(1000)
+            .saturating_mul(1u64 << (attempt - 1).min(10))
+            .min(10_000);
+        eprintln!("server busy (429); retry {attempt}/{retries} in {delay_ms} ms");
+        std::thread::sleep(std::time::Duration::from_millis(delay_ms));
+    };
     if let Some(cache) = resp.header("x-cache") {
         eprintln!(
             "x-cache: {cache}  x-key: {}",
@@ -848,7 +927,9 @@ fn submit_cmd(args: &[String]) -> ! {
             eprintln!("{}", resp.body_str());
             std::process::exit(3);
         }
-        400 | 404 | 405 | 413 => {
+        // Structural rejections, including a poisoned key: the request
+        // (or its crash history) is the problem, not the server's load.
+        400 | 404 | 405 | 413 | 422 => {
             eprintln!("{}", resp.body_str());
             std::process::exit(2);
         }
@@ -873,6 +954,13 @@ fn emit_report(args: &[String], report: &str) {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(String::as_str).unwrap_or("all");
+    if cmd == "job-exec" {
+        // Hidden worker mode, spawned by `repro serve --sandbox`: one
+        // canonical request on stdin, one result envelope on stdout.
+        // Dispatched before any flag handling — its only interface is
+        // the pipe protocol.
+        apbench::job_exec_main();
+    }
     let json_out = args.iter().any(|a| a == "--json");
     let ascii = args.iter().any(|a| a == "--ascii");
     let markdown = args.iter().any(|a| a == "--markdown");

@@ -36,7 +36,7 @@ pub use scaling::{
     run_scaling, scaling_report, scaling_text, ScalingConfig, ScalingPoint, SCALING_SCHEMA,
     SCALING_SCHEMA_VERSION,
 };
-pub use serve_exec::simulator_executor;
+pub use serve_exec::{job_exec_main, simulator_executor};
 pub use sweep::{run_sweep, SweepConfig, SweepOutcome, SweepPoint, SWEEP_APPS};
 
 /// Everything measured for one application.

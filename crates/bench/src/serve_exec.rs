@@ -153,6 +153,44 @@ pub fn simulator_executor() -> Executor {
     })
 }
 
+/// The hidden `repro job-exec` worker mode: reads one canonical request
+/// document from stdin, executes it, writes the versioned result
+/// envelope on stdout, and exits 0 — for both success and *clean*
+/// failure (the envelope says which). Any other death — panic, abort,
+/// rlimit, SIGKILL — reaches the supervisor as a nonzero/signal exit
+/// and becomes a structured `job_crashed`.
+///
+/// Sleep jobs are executed here without a policy check: the server
+/// enforces `--allow-sleep` *before* spawning the child, so by the time
+/// a sleep request reaches this process it has been approved. The
+/// `crash` field is honoured literally (`panic!` / `abort`) — that is
+/// the test matrix's way of making a worker die on demand.
+pub fn job_exec_main() -> ! {
+    let mut input = String::new();
+    if let Err(e) = std::io::Read::read_to_string(&mut std::io::stdin(), &mut input) {
+        eprintln!("job-exec: cannot read request from stdin: {e}");
+        std::process::exit(1);
+    }
+    let result = match apserve::parse_request(input.trim_end().as_bytes()) {
+        Err(e) => Err(format!("job-exec: invalid canonical request: {e}")),
+        Ok(req) if req.kind == Kind::Sleep => run_sleep(&req),
+        Ok(req) => (simulator_executor())(&req),
+    };
+    println!("{}", apserve::result_envelope(&result));
+    std::process::exit(0);
+}
+
+fn run_sleep(req: &CanonRequest) -> Result<String, String> {
+    let ms = req.field("ms").and_then(Json::as_u64).unwrap_or(0);
+    std::thread::sleep(std::time::Duration::from_millis(ms));
+    match req.field("crash").and_then(Json::as_str) {
+        Some("panic") => panic!("injected panic (crash=\"panic\")"),
+        Some("abort") => std::process::abort(),
+        _ => {}
+    }
+    Ok(apserve::sleep_report(ms))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -96,6 +96,44 @@ fn serve_and_submit_validate_their_flags() {
 }
 
 #[test]
+fn sandbox_flags_validate_their_preconditions() {
+    // The per-job knobs only mean something in sandbox mode.
+    for flag in ["--job-timeout", "--job-mem-mb", "--job-retries"] {
+        let out = repro(&["serve", flag, "1"]);
+        assert_eq!(out.status.code(), Some(2), "{flag} without --sandbox");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("--sandbox"), "{flag}: {stderr}");
+    }
+    // And their values must parse as positive numbers.
+    assert_usage_error(
+        repro(&["serve", "--sandbox", "--job-timeout", "0"]),
+        "--job-timeout",
+    );
+    assert_usage_error(
+        repro(&["serve", "--sandbox", "--job-mem-mb", "lots"]),
+        "--job-mem-mb",
+    );
+    assert_usage_error(
+        repro(&["serve", "--sandbox", "--job-retries", "-1"]),
+        "--job-retries",
+    );
+    // A disk byte budget needs a disk tier to govern.
+    assert_usage_error(
+        repro(&["serve", "--disk-cache-bytes", "1000000"]),
+        "--cache-dir",
+    );
+    assert_usage_error(
+        repro(&["serve", "--cache-dir", "/tmp/x", "--disk-cache-bytes", "0"]),
+        "--disk-cache-bytes",
+    );
+    // Client-side retry count must be a number.
+    assert_usage_error(
+        repro(&["submit", "--addr", "127.0.0.1:1", "--job", "{}", "--retry", "soon"]),
+        "--retry",
+    );
+}
+
+#[test]
 fn tracecat_validates_before_reading_the_trace() {
     // The flag error must surface even though the trace file does not
     // exist — validation happens before the (possibly expensive) read.

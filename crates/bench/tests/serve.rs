@@ -12,8 +12,23 @@
 //! - a full queue yields the structured 429 backpressure document;
 //! - hostile input gets structured 400/404/405/413 errors;
 //! - a disk-tier entry survives a server restart as a `disk-hit`.
+//!
+//! Plus the sandbox failure matrix (DESIGN.md §11's worker-supervision
+//! contract):
+//!
+//! - a panicking or aborting job is a structured `500 job_crashed` and
+//!   the server keeps answering;
+//! - a deadline overrun is a `504 job_timeout`;
+//! - a key that crashes through its retry is poisoned: `422`, never
+//!   cached as success;
+//! - a sandboxed response body is byte-identical to the same request
+//!   served in-process;
+//! - `kill -9` mid-job leaves no orphan process and no partial
+//!   disk-cache entry;
+//! - shutdown drains: in-flight children are killed within the drain
+//!   deadline and nothing is left running.
 
-use apserve::{client, serve, Config};
+use apserve::{client, serve, Config, SandboxConfig};
 use aputil::Json;
 use std::path::PathBuf;
 
@@ -360,4 +375,328 @@ fn repro_serve_and_submit_round_trip() {
     assert!(down.status.success());
     let status = server.wait().expect("server exits after /shutdown");
     assert!(status.success());
+}
+
+/// `repro submit --retry N` rides out 429 backpressure: without the
+/// flag a full queue is exit 3; with it the client honours
+/// `Retry-After` (capped exponential backoff) and eventually lands.
+#[test]
+fn submit_retry_rides_out_backpressure() {
+    let (handle, addr) = test_server(Config {
+        workers: 1,
+        queue_cap: 1,
+        ..cfg()
+    });
+    // Occupy the single worker and the single queue slot.
+    let slow: Vec<_> = [800u64, 801]
+        .into_iter()
+        .map(|ms| {
+            let addr = addr.clone();
+            let t = std::thread::spawn(move || {
+                client::submit(&addr, &format!(r#"{{"kind":"sleep","ms":{ms}}}"#)).unwrap()
+            });
+            std::thread::sleep(std::time::Duration::from_millis(120));
+            t
+        })
+        .collect();
+
+    let submit = |extra: &[&str]| {
+        std::process::Command::new(env!("CARGO_BIN_EXE_repro"))
+            .args(["submit", "--addr", &addr, "--job", r#"{"kind":"sleep","ms":5}"#])
+            .args(extra)
+            .output()
+            .expect("run repro submit")
+    };
+
+    // No retries: backpressure is a distinct exit code (3).
+    let bounced = submit(&[]);
+    assert_eq!(bounced.status.code(), Some(3));
+    assert!(String::from_utf8_lossy(&bounced.stderr).contains("queue_full"));
+
+    // With retries the client waits out Retry-After and succeeds once
+    // the slow jobs drain.
+    let retried = submit(&["--retry", "5"]);
+    assert!(
+        retried.status.success(),
+        "{}",
+        String::from_utf8_lossy(&retried.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&retried.stderr);
+    assert!(stderr.contains("429"), "{stderr}");
+    assert!(stderr.contains("retry 1/5"), "{stderr}");
+
+    for t in slow {
+        assert_eq!(t.join().unwrap().status, 200);
+    }
+    handle.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Sandbox failure matrix
+// ---------------------------------------------------------------------------
+
+/// A sandboxed config whose children run `repro job-exec`. The `tag`
+/// rides along as an ignored argv marker so concurrent tests can tell
+/// their children apart in `/proc`.
+fn sandbox_cfg(tag: &str) -> Config {
+    let mut sb = SandboxConfig::new(vec![
+        env!("CARGO_BIN_EXE_repro").to_string(),
+        "job-exec".to_string(),
+        format!("--tag={tag}"),
+    ]);
+    sb.retry_backoff_ms = 10;
+    Config {
+        sandbox: Some(sb),
+        ..cfg()
+    }
+}
+
+fn gauge(st: &Json, name: &str) -> u64 {
+    st.get("gauges")
+        .and_then(|g| g.get(name))
+        .and_then(Json::as_u64)
+        .unwrap_or_else(|| panic!("gauge {name} missing from {st}"))
+}
+
+/// Every live process whose cmdline carries the given tag marker.
+#[cfg(target_os = "linux")]
+fn pids_with_marker(marker: &str) -> Vec<u32> {
+    let mut out = Vec::new();
+    let Ok(entries) = std::fs::read_dir("/proc") else {
+        return out;
+    };
+    for e in entries.flatten() {
+        let Some(pid) = e.file_name().to_str().and_then(|s| s.parse::<u32>().ok()) else {
+            continue;
+        };
+        let Ok(cmd) = std::fs::read(format!("/proc/{pid}/cmdline")) else {
+            continue;
+        };
+        if String::from_utf8_lossy(&cmd).replace('\0', " ").contains(marker) {
+            out.push(pid);
+        }
+    }
+    out
+}
+
+#[cfg(target_os = "linux")]
+fn wait_for_marker(marker: &str) -> u32 {
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    loop {
+        if let Some(&pid) = pids_with_marker(marker).first() {
+            return pid;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "no child tagged {marker} appeared"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn sandboxed_crash_is_structured_and_the_server_survives() {
+    let (handle, addr) = test_server(sandbox_cfg("crash"));
+
+    // A panicking child: retried once, then reported as a structured
+    // 500 with the exit status and a stderr tail.
+    let resp = client::submit(&addr, r#"{"kind":"sleep","ms":1,"crash":"panic"}"#).unwrap();
+    assert_eq!(resp.status, 500, "{}", resp.body_str());
+    let doc = Json::parse(&resp.body_str()).unwrap();
+    assert_eq!(doc.get("error").and_then(Json::as_str), Some("job_crashed"));
+    assert!(
+        doc.get("exit_status").and_then(Json::as_str).is_some(),
+        "{doc}"
+    );
+    let tail = doc.get("stderr_tail").and_then(Json::as_str).unwrap();
+    assert!(tail.contains("injected panic"), "{tail}");
+
+    // An aborting child dies on SIGABRT — also contained.
+    let resp = client::submit(&addr, r#"{"kind":"sleep","ms":1,"crash":"abort"}"#).unwrap();
+    assert_eq!(resp.status, 500);
+    let doc = Json::parse(&resp.body_str()).unwrap();
+    assert_eq!(doc.get("error").and_then(Json::as_str), Some("job_crashed"));
+    assert!(
+        doc.get("exit_status")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("signal"),
+        "{doc}"
+    );
+
+    // The server is unharmed: a real simulation still runs to 200.
+    let ok = client::submit(&addr, EP_BENCH).unwrap();
+    assert_eq!(ok.status, 200, "{}", ok.body_str());
+
+    let st = stats(&addr);
+    assert_eq!(cache_counter(&st, "crashed"), 4, "2 jobs × (run + retry)");
+    assert_eq!(cache_counter(&st, "job_retries"), 2);
+    assert_eq!(gauge(&st, "poisoned_keys"), 2);
+    assert_eq!(
+        st.get("gauges").and_then(|g| g.get("sandbox")),
+        Some(&Json::Bool(true))
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn deadline_overrun_is_killed_and_reported_as_504() {
+    let mut c = sandbox_cfg("deadline");
+    c.sandbox.as_mut().unwrap().job_timeout_ms = 200;
+    let (handle, addr) = test_server(c);
+
+    let resp = client::submit(&addr, r#"{"kind":"sleep","ms":30000}"#).unwrap();
+    assert_eq!(resp.status, 504, "{}", resp.body_str());
+    let doc = Json::parse(&resp.body_str()).unwrap();
+    assert_eq!(doc.get("error").and_then(Json::as_str), Some("job_timeout"));
+    assert_eq!(doc.get("deadline_ms").and_then(Json::as_u64), Some(200));
+
+    // Timeouts are not retried and do not poison the key.
+    let st = stats(&addr);
+    assert_eq!(cache_counter(&st, "timeouts"), 1);
+    assert_eq!(cache_counter(&st, "kills"), 1);
+    assert_eq!(cache_counter(&st, "job_retries"), 0);
+    assert_eq!(gauge(&st, "poisoned_keys"), 0);
+
+    // And the server keeps answering.
+    let ok = client::submit(&addr, r#"{"kind":"sleep","ms":1}"#).unwrap();
+    assert_eq!(ok.status, 200);
+    handle.shutdown();
+}
+
+#[test]
+fn crash_looping_key_is_poisoned_and_never_cached() {
+    let (handle, addr) = test_server(sandbox_cfg("poison"));
+    let job = r#"{"kind":"sleep","ms":2,"crash":"panic"}"#;
+
+    // First submission crashes through its retry: 500.
+    let first = client::submit(&addr, job).unwrap();
+    assert_eq!(first.status, 500, "{}", first.body_str());
+
+    // Every later submission of the same key is refused up front: 422,
+    // no execution, no cache entry, no X-Cache header.
+    for _ in 0..2 {
+        let resp = client::submit(&addr, job).unwrap();
+        assert_eq!(resp.status, 422, "{}", resp.body_str());
+        let doc = Json::parse(&resp.body_str()).unwrap();
+        assert_eq!(doc.get("error").and_then(Json::as_str), Some("job_poisoned"));
+        assert_eq!(doc.get("crashes").and_then(Json::as_u64), Some(2));
+        assert_eq!(resp.header("x-cache"), None, "a poisoned key is not cache traffic");
+    }
+
+    let st = stats(&addr);
+    assert_eq!(cache_counter(&st, "poison_rejects"), 2);
+    assert_eq!(cache_counter(&st, "hits"), 0, "failures are never cached");
+    assert_eq!(cache_counter(&st, "crashed"), 2, "poison gate stops re-execution");
+    handle.shutdown();
+}
+
+#[test]
+fn sandboxed_report_is_byte_identical_to_in_process() {
+    let (sb_handle, sb_addr) = test_server(sandbox_cfg("cmp"));
+    let (ip_handle, ip_addr) = test_server(cfg());
+
+    let sandboxed = client::submit(&sb_addr, EP_BENCH).unwrap();
+    let inproc = client::submit(&ip_addr, EP_BENCH).unwrap();
+    assert_eq!(sandboxed.status, 200, "{}", sandboxed.body_str());
+    assert_eq!(inproc.status, 200, "{}", inproc.body_str());
+    assert_eq!(
+        sandboxed.body, inproc.body,
+        "process isolation must not change a single byte"
+    );
+    assert_eq!(sandboxed.header("x-key"), inproc.header("x-key"));
+    sb_handle.shutdown();
+    ip_handle.shutdown();
+}
+
+/// `kill -9` straight at the worker process mid-job: the caller gets a
+/// structured crash, nothing is cached (not even partially, on disk),
+/// no child survives, and the server keeps serving.
+#[cfg(target_os = "linux")]
+#[test]
+fn sigkilled_job_leaves_no_orphan_and_no_partial_disk_entry() {
+    let dir = std::env::temp_dir().join(format!("apserve-kill9-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut c = sandbox_cfg("kill9");
+    c.sandbox.as_mut().unwrap().retries = 0; // the kill is the whole story
+    c.cache_dir = Some(PathBuf::from(&dir));
+    let (handle, addr) = test_server(c);
+
+    let t = {
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            client::submit(&addr, r#"{"kind":"sleep","ms":30000}"#).unwrap()
+        })
+    };
+    let pid = wait_for_marker("--tag=kill9");
+    let killed = std::process::Command::new("kill")
+        .args(["-9", &pid.to_string()])
+        .status()
+        .expect("run kill");
+    assert!(killed.success());
+
+    let resp = t.join().unwrap();
+    assert_eq!(resp.status, 500, "{}", resp.body_str());
+    let doc = Json::parse(&resp.body_str()).unwrap();
+    assert_eq!(doc.get("error").and_then(Json::as_str), Some("job_crashed"));
+    assert!(
+        doc.get("exit_status")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("signal 9"),
+        "{doc}"
+    );
+
+    // The child was reaped — no orphan, no zombie with our tag.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    while !pids_with_marker("--tag=kill9").is_empty() {
+        assert!(std::time::Instant::now() < deadline, "orphaned job-exec child");
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+
+    // No partial disk-cache entry: the directory holds nothing at all
+    // (results are written atomically, and only for successes).
+    let leftovers: Vec<String> = std::fs::read_dir(&dir)
+        .map(|rd| {
+            rd.flatten()
+                .map(|e| e.file_name().to_string_lossy().into_owned())
+                .collect()
+        })
+        .unwrap_or_default();
+    assert!(leftovers.is_empty(), "partial disk entries: {leftovers:?}");
+
+    // The server shrugs it off.
+    let ok = client::submit(&addr, r#"{"kind":"sleep","ms":1}"#).unwrap();
+    assert_eq!(ok.status, 200, "{}", ok.body_str());
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Graceful drain: shutdown fails the in-flight sandboxed job as
+/// `job_canceled`, kills its child within the drain deadline, and
+/// leaves no process behind.
+#[cfg(target_os = "linux")]
+#[test]
+fn shutdown_drains_and_kills_in_flight_children() {
+    let mut c = sandbox_cfg("drain");
+    c.drain_ms = 100;
+    let (handle, addr) = test_server(c);
+
+    let t = {
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            client::submit(&addr, r#"{"kind":"sleep","ms":30000}"#).unwrap()
+        })
+    };
+    wait_for_marker("--tag=drain");
+    handle.shutdown();
+
+    let resp = t.join().unwrap();
+    assert_eq!(resp.status, 503, "{}", resp.body_str());
+    let doc = Json::parse(&resp.body_str()).unwrap();
+    assert_eq!(doc.get("error").and_then(Json::as_str), Some("job_canceled"));
+    assert!(
+        pids_with_marker("--tag=drain").is_empty(),
+        "drain left a job-exec child running"
+    );
 }
